@@ -1,0 +1,80 @@
+//===- bench/BenchConfig.h - Shared bench configuration ---------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Environment-tunable knobs shared by the figure-reproduction bench
+/// binaries, so default runs finish in minutes on a laptop while
+/// CRS_BENCH_FULL=1 reproduces the paper-scale configuration
+/// (5×10^5 ops per thread, 8 repetitions with the first 3 discarded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_BENCH_BENCHCONFIG_H
+#define CRS_BENCH_BENCHCONFIG_H
+
+#include "workload/Harness.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace crs {
+
+inline uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::strtoull(V, nullptr, 10) : Default;
+}
+
+inline bool benchFull() { return envU64("CRS_BENCH_FULL", 0) != 0; }
+
+/// Thread counts for scalability sweeps (CRS_THREADS="1,2,4,8").
+inline std::vector<unsigned> benchThreadCounts() {
+  if (const char *V = std::getenv("CRS_THREADS")) {
+    std::vector<unsigned> Out;
+    std::string S = V;
+    size_t Pos = 0;
+    while (Pos < S.size()) {
+      size_t Comma = S.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = S.size();
+      Out.push_back(
+          static_cast<unsigned>(std::stoul(S.substr(Pos, Comma - Pos))));
+      Pos = Comma + 1;
+    }
+    return Out;
+  }
+  if (benchFull())
+    return {1, 2, 4, 8, 12, 16, 24};
+  return {1, 2, 4};
+}
+
+/// Harness parameters: paper-scale under CRS_BENCH_FULL, quick sweep by
+/// default.
+inline HarnessParams benchParams(unsigned Threads) {
+  HarnessParams P;
+  P.NumThreads = Threads;
+  if (benchFull()) {
+    P.OpsPerThread = envU64("CRS_OPS", 500000); // §6.2
+    P.Repeats = 8;
+    P.DiscardRuns = 3;
+  } else {
+    P.OpsPerThread = envU64("CRS_OPS", 2000);
+    P.Repeats = 2;
+    P.DiscardRuns = 1;
+  }
+  return P;
+}
+
+inline KeySpace benchKeySpace() {
+  KeySpace K;
+  K.NumNodes = static_cast<int64_t>(envU64("CRS_NODES", 512));
+  return K;
+}
+
+} // namespace crs
+
+#endif // CRS_BENCH_BENCHCONFIG_H

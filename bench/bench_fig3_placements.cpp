@@ -1,0 +1,82 @@
+//===- bench/bench_fig3_placements.cpp - Lock placement ablation --------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Figure 3 placement spectrum, isolated: one decomposition
+/// structure (split, the paper's strongest) with the container choices
+/// held fixed, sweeping only the lock placement — coarse ψ1, fine ψ2,
+/// striped ψ3, speculative ψ4 — across the four Figure 5 workloads.
+/// This separates the synthesis dimensions: Figure 5 varies everything
+/// at once; this ablation shows what the *placement alone* buys.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchConfig.h"
+#include "autotune/Autotuner.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace crs;
+
+int main() {
+  using CK = ContainerKind;
+  using PS = PlacementSchemeKind;
+  struct Row {
+    const char *Name;
+    GraphVariant Variant;
+  };
+  const Row Rows[] = {
+      {"coarse (psi1)", {GraphShape::Split, PS::Coarse, 1,
+                         CK::ConcurrentHashMap, CK::HashMap}},
+      {"fine (psi2)", {GraphShape::Split, PS::Fine, 1,
+                       CK::ConcurrentHashMap, CK::HashMap}},
+      {"striped-1024 (psi3)", {GraphShape::Split, PS::Striped, 1024,
+                               CK::ConcurrentHashMap, CK::HashMap}},
+      {"speculative-1024 (psi4)", {GraphShape::Split, PS::Speculative, 1024,
+                                   CK::ConcurrentHashMap, CK::HashMap}},
+  };
+
+  std::vector<unsigned> Threads = benchThreadCounts();
+  KeySpace Keys = benchKeySpace();
+
+  std::printf("=== Figure 3 ablation: lock placements on the split "
+              "decomposition (ConcurrentHashMap/HashMap) ===\n\n");
+
+  for (const OpMix &Mix : Fig5Workloads) {
+    std::printf("--- Operation Distribution: %s ---\n", Mix.str().c_str());
+    std::vector<std::string> Header{"placement"};
+    for (unsigned T : Threads)
+      Header.push_back(std::to_string(T) + "T");
+    Table Panel(Header);
+    for (const Row &R : Rows) {
+      RepresentationConfig Config = makeGraphRepresentation(R.Variant);
+      if (!Config.Placement) {
+        Panel.addRow({R.Name, "(illegal)"});
+        continue;
+      }
+      std::vector<std::string> Cells{R.Name};
+      for (unsigned T : Threads) {
+        auto Make = [&]() -> std::unique_ptr<GraphTarget> {
+          struct Owning : RelationGraphTarget {
+            std::unique_ptr<ConcurrentRelation> Rel;
+            explicit Owning(std::unique_ptr<ConcurrentRelation> Rl)
+                : RelationGraphTarget(*Rl), Rel(std::move(Rl)) {}
+          };
+          return std::make_unique<Owning>(
+              std::make_unique<ConcurrentRelation>(Config));
+        };
+        ThroughputResult TR = runThroughput(Make, Mix, Keys, benchParams(T));
+        Cells.push_back(Table::fmt(TR.OpsPerSec, 0));
+      }
+      Panel.addRow(Cells);
+    }
+    Panel.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- bench/bench_planner.cpp - Query planner micro-benchmarks ---------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Planner costs: how long plan enumeration + selection takes per
+/// operation signature (plans are compiled once per signature and
+/// cached, so this is a representation-construction cost, not a
+/// per-operation cost), how many candidates are enumerated, and how far
+/// the cost model's pick is from the cheapest candidate (sanity: it IS
+/// the cheapest; the interesting column is the best/worst spread the
+/// planner navigates).
+///
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Shapes.h"
+#include "lockplace/PlacementSchemes.h"
+#include "plan/Planner.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace crs;
+
+namespace {
+
+struct PlannerCase {
+  const char *Name;
+  Decomposition D;
+  LockPlacement P;
+};
+
+std::vector<PlannerCase> plannerCases() {
+  static RelationSpec GraphSpec = makeGraphSpec();
+  static RelationSpec DSpec = makeDCacheSpec();
+  std::vector<PlannerCase> Out;
+  for (GraphShape S :
+       {GraphShape::Stick, GraphShape::Split, GraphShape::Diamond}) {
+    Decomposition D = makeGraphDecomposition(
+        GraphSpec, S,
+        {ContainerKind::ConcurrentHashMap, ContainerKind::HashMap});
+    Out.push_back({graphShapeName(S), D, makeStripedPlacement(D, 1024)});
+  }
+  Decomposition DC = makeDCacheDecomposition(DSpec);
+  Out.push_back({"dcache", DC, makeFinePlacement(DC)});
+  return Out;
+}
+
+void BM_PlanQuery(benchmark::State &State) {
+  auto Cases = plannerCases();
+  const PlannerCase &C = Cases[State.range(0)];
+  const RelationSpec &Spec = C.D.spec();
+  QueryPlanner Planner(C.D, C.P);
+  ColumnSet DomS = ColumnSet::of(0);
+  ColumnSet Out = Spec.allColumns() - DomS;
+  for (auto _ : State) {
+    Plan P = Planner.planQuery(DomS, Out);
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetLabel(C.Name);
+  State.counters["candidates"] = static_cast<double>(
+      Planner.enumerateQueryPlans(DomS, Out).size());
+}
+
+void BM_PlanRemoveLocate(benchmark::State &State) {
+  auto Cases = plannerCases();
+  const PlannerCase &C = Cases[State.range(0)];
+  QueryPlanner Planner(C.D, C.P);
+  std::vector<ColumnSet> Keys = C.D.spec().minimalKeys();
+  for (auto _ : State) {
+    Plan P = Planner.planRemoveLocate(Keys.front());
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetLabel(C.Name);
+}
+
+void BM_EnumerateAllPlans(benchmark::State &State) {
+  auto Cases = plannerCases();
+  const PlannerCase &C = Cases[State.range(0)];
+  QueryPlanner Planner(C.D, C.P);
+  ColumnSet All = C.D.spec().allColumns();
+  for (auto _ : State) {
+    auto Plans = Planner.enumerateQueryPlans(ColumnSet::empty(), All);
+    benchmark::DoNotOptimize(Plans);
+  }
+  State.SetLabel(C.Name);
+}
+
+BENCHMARK(BM_PlanQuery)->DenseRange(0, 3);
+BENCHMARK(BM_PlanRemoveLocate)->DenseRange(0, 3);
+BENCHMARK(BM_EnumerateAllPlans)->DenseRange(0, 3);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Cost-spread report: what the planner's choice is worth.
+  std::printf("=== planner cost-model spread (best vs worst candidate, "
+              "estimated cost) ===\n");
+  for (const PlannerCase &C : plannerCases()) {
+    QueryPlanner Planner(C.D, C.P);
+    const RelationSpec &Spec = C.D.spec();
+    ColumnSet DomS = ColumnSet::of(Spec.catalog().size() - 2);
+    ColumnSet Out = Spec.allColumns() - DomS;
+    auto Plans = Planner.enumerateQueryPlans(DomS, Out);
+    double Best = 1e300, Worst = 0;
+    for (const Plan &P : Plans) {
+      double Cost = Planner.cost(P);
+      Best = std::min(Best, Cost);
+      Worst = std::max(Worst, Cost);
+    }
+    std::printf("  %-8s %2zu candidates, cost best=%.1f worst=%.1f "
+                "(%.0fx spread)\n",
+                C.Name, Plans.size(), Best, Worst,
+                Worst / std::max(1.0, Best));
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- bench/bench_striping.cpp - Lock striping ablation (§4.4) ---------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The §4.4 trade-off, measured: "by increasing the value k we can
+/// reduce lock contention to arbitrarily low levels, at the cost of
+/// making operations such as iteration that access the entire container
+/// more expensive." We sweep the striping factor on the split
+/// decomposition under (a) a point-operation workload, where higher k
+/// should help (or at least not hurt), and (b) a remove-heavy workload
+/// whose locate plans take all k stripes on the weight edges — the
+/// iteration-style cost that grows with k.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchConfig.h"
+#include "autotune/Autotuner.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace crs;
+
+int main() {
+  const uint32_t Factors[] = {1, 4, 16, 64, 256, 1024};
+  const OpMix PointHeavy{45, 45, 9, 1};  // lookups dominate
+  const OpMix RemoveHeavy{0, 0, 50, 50}; // mutation locate plans
+
+  KeySpace Keys = benchKeySpace();
+  std::vector<unsigned> Threads = benchThreadCounts();
+
+  std::printf("=== §4.4 ablation: striping factor k on "
+              "split/ConcurrentHashMap/TreeMap ===\n\n");
+
+  for (const OpMix &Mix : {PointHeavy, RemoveHeavy}) {
+    std::printf("--- workload %s ---\n", Mix.str().c_str());
+    std::vector<std::string> Header{"k"};
+    for (unsigned T : Threads)
+      Header.push_back(std::to_string(T) + "T");
+    Table Panel(Header);
+    for (uint32_t K : Factors) {
+      RepresentationConfig Config = makeGraphRepresentation(
+          {GraphShape::Split, PlacementSchemeKind::Striped, K,
+           ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap});
+      if (!Config.Placement)
+        continue;
+      std::vector<std::string> Row{std::to_string(K)};
+      for (unsigned T : Threads) {
+        auto Make = [&]() -> std::unique_ptr<GraphTarget> {
+          struct Owning : RelationGraphTarget {
+            std::unique_ptr<ConcurrentRelation> Rel;
+            explicit Owning(std::unique_ptr<ConcurrentRelation> R)
+                : RelationGraphTarget(*R), Rel(std::move(R)) {}
+          };
+          return std::make_unique<Owning>(
+              std::make_unique<ConcurrentRelation>(Config));
+        };
+        Row.push_back(Table::fmt(
+            runThroughput(Make, Mix, Keys, benchParams(T)).OpsPerSec, 0));
+      }
+      Panel.addRow(Row);
+    }
+    Panel.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

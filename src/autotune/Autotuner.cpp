@@ -1,0 +1,225 @@
+//===- autotune/Autotuner.cpp - Representation autotuning ---------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Autotuner.h"
+
+#include "lockplace/PlacementSchemes.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+const char *crs::placementSchemeName(PlacementSchemeKind K) {
+  switch (K) {
+  case PlacementSchemeKind::Coarse:
+    return "coarse";
+  case PlacementSchemeKind::Fine:
+    return "fine";
+  case PlacementSchemeKind::Striped:
+    return "striped";
+  case PlacementSchemeKind::Speculative:
+    return "speculative";
+  }
+  crs_unreachable("unknown placement scheme");
+}
+
+std::string GraphVariant::str() const {
+  std::string Out = graphShapeName(Shape);
+  Out += "/";
+  Out += placementSchemeName(Scheme);
+  if (Scheme == PlacementSchemeKind::Striped ||
+      Scheme == PlacementSchemeKind::Speculative)
+    Out += "(" + std::to_string(Stripes) + ")";
+  Out += "/";
+  Out += containerKindName(Level1);
+  Out += "/";
+  Out += containerKindName(Level2);
+  return Out;
+}
+
+RepresentationConfig crs::makeGraphRepresentation(const GraphVariant &V) {
+  auto Spec = std::make_shared<RelationSpec>(makeGraphSpec());
+  GraphContainers Containers{V.Level1, V.Level2};
+  auto Decomp = std::make_shared<Decomposition>(
+      makeGraphDecomposition(*Spec, V.Shape, Containers));
+
+  std::shared_ptr<LockPlacement> Placement;
+  switch (V.Scheme) {
+  case PlacementSchemeKind::Coarse:
+    Placement = std::make_shared<LockPlacement>(makeCoarsePlacement(*Decomp));
+    break;
+  case PlacementSchemeKind::Fine:
+    Placement = std::make_shared<LockPlacement>(makeFinePlacement(*Decomp));
+    break;
+  case PlacementSchemeKind::Striped:
+    Placement = std::make_shared<LockPlacement>(
+        makeStripedPlacement(*Decomp, V.Stripes));
+    break;
+  case PlacementSchemeKind::Speculative:
+    // ψ4 needs linearizable unlocked lookups on the speculated edges.
+    if (!containerTraits(V.Level1).linearizableLookup() ||
+        !containerTraits(V.Level1).concurrencySafe())
+      return {};
+    Placement = std::make_shared<LockPlacement>(
+        makeSpeculativePlacement(*Decomp, V.Stripes));
+    break;
+  }
+
+  if (!Placement->validate().ok() ||
+      !Placement->validateContainerSafety().ok())
+    return {};
+
+  RepresentationConfig Config;
+  Config.Spec = std::move(Spec);
+  Config.Decomp = std::move(Decomp);
+  Config.Placement = std::move(Placement);
+  Config.Name = V.str();
+  return Config;
+}
+
+std::vector<GraphVariant>
+crs::enumerateGraphVariants(uint32_t StripeFactor) {
+  // The §6.2 option menu: containers from {ConcurrentHashMap,
+  // ConcurrentSkipListMap, HashMap, TreeMap}; striping factor 1 or
+  // StripeFactor; the three structures; the four schemes.
+  const ContainerKind Menu[] = {
+      ContainerKind::ConcurrentHashMap, ContainerKind::ConcurrentSkipListMap,
+      ContainerKind::HashMap, ContainerKind::TreeMap};
+  const GraphShape Shapes[] = {GraphShape::Stick, GraphShape::Split,
+                               GraphShape::Diamond};
+  const PlacementSchemeKind Schemes[] = {
+      PlacementSchemeKind::Coarse, PlacementSchemeKind::Fine,
+      PlacementSchemeKind::Striped, PlacementSchemeKind::Speculative};
+
+  std::vector<GraphVariant> Out;
+  for (GraphShape Shape : Shapes)
+    for (PlacementSchemeKind Scheme : Schemes)
+      for (uint32_t Stripes :
+           {1u, StripeFactor != 1 ? StripeFactor : 2u})
+        for (ContainerKind L1 : Menu)
+          for (ContainerKind L2 : Menu) {
+            bool UsesStripes = Scheme == PlacementSchemeKind::Striped ||
+                               Scheme == PlacementSchemeKind::Speculative;
+            if (!UsesStripes && Stripes != 1)
+              continue; // striping factor only applies to striped schemes
+            GraphVariant V{Shape, Scheme, Stripes, L1, L2};
+            if (makeGraphRepresentation(V).Placement)
+              Out.push_back(V);
+          }
+  return Out;
+}
+
+/// Split 2 (§6.2): striped locks and concurrent maps on the left side of
+/// the split decomposition (ρu, uw, wx); a single coarse lock protecting
+/// the right side — realized as a constant stripe at the root (stripe
+/// columns ∅), which serializes the right-side containers.
+static RepresentationConfig makeSplit2Representation(uint32_t Stripes) {
+  auto Spec = std::make_shared<RelationSpec>(makeGraphSpec());
+  auto Decomp = std::make_shared<Decomposition>(makeGraphDecomposition(
+      *Spec, GraphShape::Split,
+      {ContainerKind::ConcurrentHashMap, ContainerKind::HashMap}));
+  // Edges (in makeGraphDecomposition order): 0 ρu, 1 ρv, 2 uw, 3 vy,
+  // 4 wx, 5 yz. Right side gets non-concurrent containers.
+  Decomp->setEdgeKind(1, ContainerKind::HashMap);
+  Decomp->setEdgeKind(2, ContainerKind::ConcurrentHashMap);
+  Decomp->setEdgeKind(3, ContainerKind::TreeMap);
+
+  auto Placement = std::make_shared<LockPlacement>(*Decomp);
+  Placement->setNodeStripes(Decomp->root(), Stripes);
+  const ColumnSet Src = Spec->cols({"src"});
+  NodeId U = 1, W = 3;
+  Placement->setEdge(0, {Decomp->root(), Src, false}); // ρu striped by src
+  Placement->setEdge(2, {U, ColumnSet::empty(), false});
+  Placement->setEdge(4, {W, ColumnSet::empty(), false});
+  // Right side: everything under one constant root stripe.
+  for (EdgeId E : {1u, 3u, 5u})
+    Placement->setEdge(E, {Decomp->root(), ColumnSet::empty(), false});
+
+  assert(Placement->validate().ok() && "Split 2 placement must validate");
+  assert(Placement->validateContainerSafety().ok() &&
+         "Split 2 containers must be safe");
+
+  RepresentationConfig Config;
+  Config.Spec = std::move(Spec);
+  Config.Decomp = std::move(Decomp);
+  Config.Placement = std::move(Placement);
+  Config.Name = "split/hybrid(" + std::to_string(Stripes) + ")";
+  return Config;
+}
+
+std::vector<std::pair<std::string, RepresentationConfig>>
+crs::figure5Representations() {
+  using CK = ContainerKind;
+  using PS = PlacementSchemeKind;
+  const uint32_t K = 1024; // the paper's striping factor
+  auto Mk = [](GraphShape S, PS Scheme, uint32_t Str, CK L1, CK L2) {
+    RepresentationConfig C =
+        makeGraphRepresentation({S, Scheme, Str, L1, L2});
+    assert(C.Placement && "figure-5 variant must be legal");
+    return C;
+  };
+  std::vector<std::pair<std::string, RepresentationConfig>> Out;
+  Out.emplace_back("Stick 1", Mk(GraphShape::Stick, PS::Coarse, 1,
+                                 CK::HashMap, CK::TreeMap));
+  Out.emplace_back("Stick 2", Mk(GraphShape::Stick, PS::Striped, K,
+                                 CK::ConcurrentHashMap, CK::HashMap));
+  Out.emplace_back("Stick 3", Mk(GraphShape::Stick, PS::Striped, K,
+                                 CK::ConcurrentHashMap, CK::TreeMap));
+  Out.emplace_back("Stick 4", Mk(GraphShape::Stick, PS::Striped, K,
+                                 CK::ConcurrentSkipListMap, CK::HashMap));
+  Out.emplace_back("Split 1", Mk(GraphShape::Split, PS::Coarse, 1,
+                                 CK::HashMap, CK::TreeMap));
+  Out.emplace_back("Split 2", makeSplit2Representation(K));
+  Out.emplace_back("Split 3", Mk(GraphShape::Split, PS::Striped, K,
+                                 CK::ConcurrentHashMap, CK::HashMap));
+  Out.emplace_back("Split 4", Mk(GraphShape::Split, PS::Striped, K,
+                                 CK::ConcurrentHashMap, CK::TreeMap));
+  Out.emplace_back("Split 5", Mk(GraphShape::Split, PS::Striped, K,
+                                 CK::ConcurrentSkipListMap, CK::HashMap));
+  Out.emplace_back("Diamond 0", Mk(GraphShape::Diamond, PS::Coarse, 1,
+                                   CK::HashMap, CK::TreeMap));
+  Out.emplace_back("Diamond 1", Mk(GraphShape::Diamond, PS::Striped, K,
+                                   CK::ConcurrentHashMap, CK::HashMap));
+  Out.emplace_back("Diamond 2", Mk(GraphShape::Diamond, PS::Striped, K,
+                                   CK::ConcurrentSkipListMap, CK::HashMap));
+  return Out;
+}
+
+std::vector<TuneResult>
+crs::autotune(const std::vector<GraphVariant> &Variants, const OpMix &Mix,
+              const KeySpace &Keys, const HarnessParams &Params,
+              const std::function<void(const TuneResult &)> &OnResult) {
+  std::vector<TuneResult> Results;
+  for (const GraphVariant &V : Variants) {
+    RepresentationConfig Config = makeGraphRepresentation(V);
+    if (!Config.Placement)
+      continue;
+    auto MakeTarget = [&]() -> std::unique_ptr<GraphTarget> {
+      // Fresh relation per run: the benchmark starts from empty (§6.2).
+      struct OwningTarget : RelationGraphTarget {
+        std::unique_ptr<ConcurrentRelation> Rel;
+        explicit OwningTarget(std::unique_ptr<ConcurrentRelation> R)
+            : RelationGraphTarget(*R), Rel(std::move(R)) {}
+      };
+      return std::make_unique<OwningTarget>(
+          std::make_unique<ConcurrentRelation>(Config));
+    };
+    TuneResult R;
+    R.Variant = V;
+    R.Name = V.str();
+    R.OpsPerSec = runThroughput(MakeTarget, Mix, Keys, Params).OpsPerSec;
+    if (OnResult)
+      OnResult(R);
+    Results.push_back(std::move(R));
+  }
+  std::sort(Results.begin(), Results.end(),
+            [](const TuneResult &A, const TuneResult &B) {
+              return A.OpsPerSec > B.OpsPerSec;
+            });
+  return Results;
+}

@@ -1,0 +1,93 @@
+//===- autotune/Autotuner.h - Representation autotuning ---------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The autotuner (paper §6.1): given a concurrent benchmark, discovers
+/// the best combination of decomposition structure, container data
+/// structures, and lock placement. Enumeration follows the paper: first
+/// an adequate decomposition structure, then a well-formed lock
+/// placement (coarse / fine / striped with factor ∈ {1, 1024} /
+/// speculative), then a container per edge — a non-concurrent container
+/// wherever the placement serializes the edge, a concurrency-safe one
+/// where concurrent access is possible. Illegal combinations are
+/// filtered by the same validation the runtime enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_AUTOTUNE_AUTOTUNER_H
+#define CRS_AUTOTUNE_AUTOTUNER_H
+
+#include "decomp/Shapes.h"
+#include "runtime/ConcurrentRelation.h"
+#include "workload/Harness.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace crs {
+
+/// The lock-placement schemes the autotuner enumerates.
+enum class PlacementSchemeKind : uint8_t {
+  Coarse,      ///< ψ1: one root lock
+  Fine,        ///< ψ2: per-source locks
+  Striped,     ///< ψ3: striped root locks
+  Speculative, ///< ψ4: per-entry target locks + striped absence locks
+};
+
+const char *placementSchemeName(PlacementSchemeKind K);
+
+/// One candidate representation of the graph relation.
+struct GraphVariant {
+  GraphShape Shape = GraphShape::Stick;
+  PlacementSchemeKind Scheme = PlacementSchemeKind::Coarse;
+  uint32_t Stripes = 1; ///< striping factor for Striped/Speculative
+  ContainerKind Level1 = ContainerKind::HashMap;
+  ContainerKind Level2 = ContainerKind::HashMap;
+
+  std::string str() const;
+};
+
+/// Builds the (validated) representation for \p V, or returns an empty
+/// config (null pointers) if the combination is illegal — e.g. a
+/// non-concurrent container on an edge the placement leaves concurrent.
+RepresentationConfig makeGraphRepresentation(const GraphVariant &V);
+
+/// Enumerates every legal graph variant over the paper's option menu
+/// (§6.2: containers from {ConcurrentHashMap, ConcurrentSkipListMap,
+/// HashMap, TreeMap}, striping factor ∈ {1, 1024}, the three structures,
+/// the four placement schemes). The paper reports 448 generated
+/// variants; the legal subset of this menu is the same order of
+/// magnitude.
+std::vector<GraphVariant> enumerateGraphVariants(uint32_t StripeFactor = 1024);
+
+/// The 12 named representations plotted in Figure 5 (Stick 1-4,
+/// Split 1-5, Diamond 0-2), built per the §6.2 descriptions. "Handcoded"
+/// is provided separately by the baseline library. Split 2 — striped
+/// locks and concurrent maps on the left side, a single coarse lock on
+/// the right — is a custom placement not expressible as a GraphVariant,
+/// so this returns ready-made configurations.
+std::vector<std::pair<std::string, RepresentationConfig>>
+figure5Representations();
+
+/// Result of evaluating one variant on a training workload.
+struct TuneResult {
+  GraphVariant Variant;
+  std::string Name;
+  double OpsPerSec = 0;
+};
+
+/// Autotunes over \p Variants: measures each with the harness and
+/// returns results sorted best-first.
+std::vector<TuneResult>
+autotune(const std::vector<GraphVariant> &Variants, const OpMix &Mix,
+         const KeySpace &Keys, const HarnessParams &Params,
+         const std::function<void(const TuneResult &)> &OnResult = nullptr);
+
+} // namespace crs
+
+#endif // CRS_AUTOTUNE_AUTOTUNER_H

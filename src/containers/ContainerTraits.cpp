@@ -1,0 +1,73 @@
+//===- containers/ContainerTraits.cpp - Figure 1 taxonomy --------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "containers/ContainerTraits.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+ContainerTraits crs::containerTraits(ContainerKind Kind) {
+  using PS = PairSafety;
+  switch (Kind) {
+  case ContainerKind::HashMap:
+    // Parallel reads are safe (no rebalancing on read); any write races.
+    return {PS::Linearizable, PS::Unsafe, PS::Unsafe, PS::Unsafe,
+            /*SortedScan=*/false};
+  case ContainerKind::TreeMap:
+    return {PS::Linearizable, PS::Unsafe, PS::Unsafe, PS::Unsafe,
+            /*SortedScan=*/true};
+  case ContainerKind::ConcurrentHashMap:
+    // Lookup/write linearizable; iteration is safe but only weakly
+    // consistent (may miss or duplicate concurrent updates).
+    return {PS::Linearizable, PS::Linearizable, PS::Weak, PS::Linearizable,
+            /*SortedScan=*/false};
+  case ContainerKind::ConcurrentSkipListMap:
+    return {PS::Linearizable, PS::Linearizable, PS::Weak, PS::Linearizable,
+            /*SortedScan=*/true};
+  case ContainerKind::CowArrayMap:
+    // Copy-on-write: iteration runs over an immutable snapshot, hence
+    // fully linearizable; writes copy the whole array.
+    return {PS::Linearizable, PS::Linearizable, PS::Linearizable,
+            PS::Linearizable, /*SortedScan=*/true};
+  case ContainerKind::SingletonCell:
+    // A plain cell: reads race with writes unless externally locked.
+    return {PS::Linearizable, PS::Unsafe, PS::Unsafe, PS::Unsafe,
+            /*SortedScan=*/true};
+  }
+  crs_unreachable("unknown container kind");
+}
+
+const char *crs::containerKindName(ContainerKind Kind) {
+  switch (Kind) {
+  case ContainerKind::HashMap:
+    return "HashMap";
+  case ContainerKind::TreeMap:
+    return "TreeMap";
+  case ContainerKind::ConcurrentHashMap:
+    return "ConcurrentHashMap";
+  case ContainerKind::ConcurrentSkipListMap:
+    return "ConcurrentSkipListMap";
+  case ContainerKind::CowArrayMap:
+    return "CowArrayMap";
+  case ContainerKind::SingletonCell:
+    return "SingletonCell";
+  }
+  crs_unreachable("unknown container kind");
+}
+
+const char *crs::pairSafetyName(PairSafety S) {
+  switch (S) {
+  case PairSafety::Unsafe:
+    return "no";
+  case PairSafety::Weak:
+    return "weak";
+  case PairSafety::Linearizable:
+    return "yes";
+  }
+  crs_unreachable("unknown pair safety");
+}

@@ -1,0 +1,94 @@
+//===- containers/ContainerTraits.h - Figure 1 taxonomy --------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The taxonomy of concurrent containers (paper §3, Figure 1). Containers
+/// implement an associative map interface (lookup / scan / write); each
+/// pair of operations is either unsafe to run in parallel, safe but only
+/// weakly consistent, or safe and linearizable. Decomposition synthesis
+/// consumes exactly these properties: a lock placement that permits
+/// concurrent access to a container requires matching safety entries
+/// (§4.4, §6.1), and speculative placements additionally require
+/// linearizable lookups (§4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_CONTAINERS_CONTAINERTRAITS_H
+#define CRS_CONTAINERS_CONTAINERTRAITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace crs {
+
+/// The concrete container implementations shipped with this library.
+/// They mirror the JDK containers of Figure 1: HashMap and TreeMap are
+/// non-concurrent; ConcurrentHashMap and ConcurrentSkipListMap allow
+/// concurrent reads and writes with weakly-consistent iteration;
+/// CowArrayMap (the CopyOnWriteArrayList analogue) provides snapshot
+/// iteration. SingletonCell implements the paper's dotted edges: a
+/// container holding at most one entry (a singleton tuple).
+enum class ContainerKind : uint8_t {
+  HashMap,
+  TreeMap,
+  ConcurrentHashMap,
+  ConcurrentSkipListMap,
+  CowArrayMap,
+  SingletonCell,
+};
+
+/// Safety/consistency classification of one operation pair (Figure 1):
+/// executing the pair concurrently from two threads with no external
+/// synchronization is unsafe, safe-but-weakly-consistent, or safe and
+/// linearizable.
+enum class PairSafety : uint8_t { Unsafe, Weak, Linearizable };
+
+/// Concurrency-safety and consistency properties of one container kind.
+struct ContainerTraits {
+  PairSafety LookupLookup; ///< L/L — also covers L/S and S/S (read pairs)
+  PairSafety LookupWrite;  ///< L/W
+  PairSafety ScanWrite;    ///< S/W
+  PairSafety WriteWrite;   ///< W/W
+  bool SortedScan;         ///< scan returns entries in key order
+  /// Whether the container may be accessed by multiple threads at all
+  /// without external locks (i.e. every pair is at least Weak).
+  bool concurrencySafe() const {
+    return LookupLookup != PairSafety::Unsafe &&
+           LookupWrite != PairSafety::Unsafe &&
+           ScanWrite != PairSafety::Unsafe &&
+           WriteWrite != PairSafety::Unsafe;
+  }
+  /// Whether unlocked lookups are linearizable — the precondition for
+  /// speculative lock placements (§4.5).
+  bool linearizableLookup() const {
+    return LookupLookup == PairSafety::Linearizable &&
+           LookupWrite == PairSafety::Linearizable;
+  }
+};
+
+/// Traits for each kind — the library's Figure 1.
+ContainerTraits containerTraits(ContainerKind Kind);
+
+/// Display name, matching the paper's container names.
+const char *containerKindName(ContainerKind Kind);
+
+/// "yes" / "weak" / "no" rendering of one taxonomy cell.
+const char *pairSafetyName(PairSafety S);
+
+/// All kinds, for enumeration by the autotuner and the taxonomy table.
+inline constexpr ContainerKind AllContainerKinds[] = {
+    ContainerKind::HashMap,
+    ContainerKind::TreeMap,
+    ContainerKind::ConcurrentHashMap,
+    ContainerKind::ConcurrentSkipListMap,
+    ContainerKind::CowArrayMap,
+    ContainerKind::SingletonCell,
+};
+
+} // namespace crs
+
+#endif // CRS_CONTAINERS_CONTAINERTRAITS_H

@@ -1,0 +1,80 @@
+//===- containers/SingletonCell.h - Single-entry container ----*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The container behind the paper's dotted edges (Figures 2 and 3): when
+/// the source node's key columns functionally determine an edge's columns,
+/// the edge's "container" holds at most one entry — a singleton tuple. It
+/// is non-concurrent (like a plain field); the lock placement must
+/// serialize access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_CONTAINERS_SINGLETONCELL_H
+#define CRS_CONTAINERS_SINGLETONCELL_H
+
+#include "support/Compiler.h"
+
+#include <optional>
+#include <utility>
+
+namespace crs {
+
+/// A map holding at most one (key, value) entry.
+template <typename K, typename V> class SingletonCell {
+  std::optional<std::pair<K, V>> Entry;
+
+public:
+  SingletonCell() = default;
+  SingletonCell(const SingletonCell &) = delete;
+  SingletonCell &operator=(const SingletonCell &) = delete;
+
+  bool lookup(const K &Key, V &Out) const {
+    if (!Entry || !(Entry->first == Key))
+      return false;
+    Out = Entry->second;
+    return true;
+  }
+
+  bool contains(const K &Key) const {
+    return Entry && Entry->first == Key;
+  }
+
+  /// Inserts or replaces. Writing a *different* key while one is present
+  /// violates the functional dependency that justified the singleton edge
+  /// and is rejected by assertion.
+  bool insertOrAssign(const K &Key, V Val) {
+    if (Entry) {
+      assert(Entry->first == Key &&
+             "singleton cell already holds a different key (FD violation)");
+      Entry->second = std::move(Val);
+      return false;
+    }
+    Entry.emplace(Key, std::move(Val));
+    return true;
+  }
+
+  bool erase(const K &Key) {
+    if (!Entry || !(Entry->first == Key))
+      return false;
+    Entry.reset();
+    return true;
+  }
+
+  template <typename Fn> void scan(Fn Visit) const {
+    if (Entry)
+      Visit(static_cast<const K &>(Entry->first),
+            static_cast<const V &>(Entry->second));
+  }
+
+  size_t size() const { return Entry ? 1 : 0; }
+  bool empty() const { return !Entry; }
+};
+
+} // namespace crs
+
+#endif // CRS_CONTAINERS_SINGLETONCELL_H

@@ -1,0 +1,52 @@
+//===- decomp/Dominators.cpp - Dominance on decomposition DAGs ----------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Dominance is what makes lock placements well-formed (§4.3): the lock
+/// placement ψ(uv) of a non-speculative edge must dominate the edge's
+/// source u, so that every query path from the root encounters the lock
+/// before the edge. Decomposition DAGs are tiny (a handful of nodes), so
+/// we use the classic iterative dominator-set dataflow rather than
+/// Lengauer-Tarjan.
+///
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Decomposition.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+bool Decomposition::dominates(NodeId Dom, NodeId N) const {
+  if (Dom == N)
+    return true;
+  // dom(root) = {root}; dom(n) = {n} ∪ ⋂_{p ∈ preds(n)} dom(p).
+  // Represent dominator sets as bitmasks (≤ 64 nodes, vastly more than
+  // any realistic decomposition).
+  assert(Nodes.size() <= 64 && "decomposition too large for dominator mask");
+  uint64_t All = Nodes.size() >= 64 ? ~0ULL : (1ULL << Nodes.size()) - 1;
+  std::vector<uint64_t> DomSet(Nodes.size(), All);
+  DomSet[root()] = 1ULL << root();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Node &Nd : Nodes) {
+      if (Nd.Id == root())
+        continue;
+      uint64_t Meet = All;
+      if (Nd.InEdges.empty())
+        Meet = 0; // unreachable except via root; validate() rejects this
+      for (EdgeId E : Nd.InEdges)
+        Meet &= DomSet[Edges[E].Src];
+      uint64_t New = Meet | (1ULL << Nd.Id);
+      if (New != DomSet[Nd.Id]) {
+        DomSet[Nd.Id] = New;
+        Changed = true;
+      }
+    }
+  }
+  return (DomSet[N] >> Dom) & 1;
+}

@@ -1,0 +1,114 @@
+//===- decomp/Shapes.cpp - The paper's decomposition shapes -------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Shapes.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+const char *crs::graphShapeName(GraphShape S) {
+  switch (S) {
+  case GraphShape::Stick:
+    return "stick";
+  case GraphShape::Split:
+    return "split";
+  case GraphShape::Diamond:
+    return "diamond";
+  }
+  crs_unreachable("unknown graph shape");
+}
+
+RelationSpec crs::makeGraphSpec() {
+  return RelationSpec({"src", "dst", "weight"},
+                      {{{"src", "dst"}, {"weight"}}});
+}
+
+Decomposition crs::makeGraphDecomposition(const RelationSpec &Spec,
+                                          GraphShape S,
+                                          GraphContainers Containers) {
+  ColumnSet Src = Spec.cols({"src"});
+  ColumnSet Dst = Spec.cols({"dst"});
+  ColumnSet Weight = Spec.cols({"weight"});
+  ColumnSet All = Spec.allColumns();
+  Decomposition D(Spec);
+
+  switch (S) {
+  case GraphShape::Stick: {
+    NodeId Rho = D.addNode("rho", ColumnSet::empty(), All);
+    NodeId U = D.addNode("u", Src, Dst | Weight);
+    NodeId V = D.addNode("v", Src | Dst, Weight);
+    NodeId W = D.addNode("w", All, ColumnSet::empty());
+    D.addEdge(Rho, U, Src, Containers.Level1);
+    D.addEdge(U, V, Dst, Containers.Level2);
+    D.addEdge(V, W, Weight, ContainerKind::SingletonCell);
+    break;
+  }
+  case GraphShape::Split: {
+    NodeId Rho = D.addNode("rho", ColumnSet::empty(), All);
+    NodeId U = D.addNode("u", Src, Dst | Weight);
+    NodeId V = D.addNode("v", Dst, Src | Weight);
+    NodeId W = D.addNode("w", Src | Dst, Weight);
+    NodeId X = D.addNode("x", All, ColumnSet::empty());
+    NodeId Y = D.addNode("y", Src | Dst, Weight);
+    NodeId Z = D.addNode("z", All, ColumnSet::empty());
+    D.addEdge(Rho, U, Src, Containers.Level1);
+    D.addEdge(Rho, V, Dst, Containers.Level1);
+    D.addEdge(U, W, Dst, Containers.Level2);
+    D.addEdge(V, Y, Src, Containers.Level2);
+    D.addEdge(W, X, Weight, ContainerKind::SingletonCell);
+    D.addEdge(Y, Z, Weight, ContainerKind::SingletonCell);
+    break;
+  }
+  case GraphShape::Diamond: {
+    NodeId Rho = D.addNode("rho", ColumnSet::empty(), All);
+    NodeId X = D.addNode("x", Src, Dst | Weight);
+    NodeId Y = D.addNode("y", Dst, Src | Weight);
+    NodeId Z = D.addNode("z", Src | Dst, Weight);
+    NodeId W = D.addNode("w", All, ColumnSet::empty());
+    D.addEdge(Rho, X, Src, Containers.Level1);
+    D.addEdge(Rho, Y, Dst, Containers.Level1);
+    D.addEdge(X, Z, Dst, Containers.Level2);
+    D.addEdge(Y, Z, Src, Containers.Level2);
+    D.addEdge(Z, W, Weight, ContainerKind::SingletonCell);
+    break;
+  }
+  }
+
+  [[maybe_unused]] ValidationResult R = D.validate();
+  assert(R.ok() && "built-in graph decomposition must be adequate");
+  return D;
+}
+
+RelationSpec crs::makeDCacheSpec() {
+  return RelationSpec({"parent", "name", "child"},
+                      {{{"parent", "name"}, {"child"}}});
+}
+
+Decomposition crs::makeDCacheDecomposition(const RelationSpec &Spec) {
+  ColumnSet Parent = Spec.cols({"parent"});
+  ColumnSet Name = Spec.cols({"name"});
+  ColumnSet Child = Spec.cols({"child"});
+  ColumnSet All = Spec.allColumns();
+
+  Decomposition D(Spec);
+  NodeId Rho = D.addNode("rho", ColumnSet::empty(), All);
+  NodeId X = D.addNode("x", Parent, Name | Child);
+  NodeId Y = D.addNode("y", Parent | Name, Child);
+  NodeId Z = D.addNode("z", All, ColumnSet::empty());
+  // The per-directory map of children (enables iterating a directory).
+  D.addEdge(Rho, X, Parent, ContainerKind::TreeMap);
+  D.addEdge(X, Y, Name, ContainerKind::TreeMap);
+  // The global (parent, name) -> child hashtable (enables fast lookup),
+  // matching the dashed ConcurrentHashMap edge in Fig. 2(a).
+  D.addEdge(Rho, Y, Parent | Name, ContainerKind::ConcurrentHashMap);
+  D.addEdge(Y, Z, Child, ContainerKind::SingletonCell);
+
+  [[maybe_unused]] ValidationResult R = D.validate();
+  assert(R.ok() && "dcache decomposition must be adequate");
+  return D;
+}

@@ -1,0 +1,70 @@
+//===- decomp/Shapes.h - The paper's decomposition shapes ------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructors for the concrete relational specifications and
+/// decomposition structures used throughout the paper:
+///
+///  * the directed-graph relation {src, dst, weight} with FD
+///    src, dst → weight (§2, §4.3, §6) and its three decompositions —
+///    "stick" (Fig. 3a), "split" (Fig. 3b), and "diamond" (Fig. 3c);
+///  * the filesystem directory-tree relation {parent, name, child} with
+///    FD parent, name → child modeled on the Linux dcache (Fig. 2).
+///
+/// Container kinds on edges default to the figures' choices but are
+/// parameters, because the autotuner (§6.1) enumerates alternatives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_DECOMP_SHAPES_H
+#define CRS_DECOMP_SHAPES_H
+
+#include "decomp/Decomposition.h"
+
+namespace crs {
+
+/// The structural skeletons of Figure 3.
+enum class GraphShape : uint8_t { Stick, Split, Diamond };
+
+const char *graphShapeName(GraphShape S);
+
+/// Returns the directed-graph relational specification
+/// ({src, dst, weight}, {src,dst → weight}).
+RelationSpec makeGraphSpec();
+
+/// Container choices for a graph decomposition. Level1 keys the first
+/// map level (src and/or dst from the root), Level2 the second (dst/src
+/// under a level-1 node). The final weight edges are always
+/// SingletonCell (justified by the FD).
+struct GraphContainers {
+  ContainerKind Level1 = ContainerKind::ConcurrentHashMap;
+  ContainerKind Level2 = ContainerKind::HashMap;
+};
+
+/// Builds one of the Figure 3 decompositions over \p Spec (which must be
+/// makeGraphSpec()-shaped).
+///
+///  * Stick:   ρ -{src}-> u -{dst}-> v -{weight}-> w
+///  * Split:   ρ -{src}-> u -{dst}-> w -{weight}-> x
+///             ρ -{dst}-> v -{src}-> y -{weight}-> z
+///  * Diamond: ρ -{src}-> x -{dst}-> z -{weight}-> w
+///             ρ -{dst}-> y -{src}-> z   (shared successor node z)
+Decomposition makeGraphDecomposition(const RelationSpec &Spec, GraphShape S,
+                                     GraphContainers Containers = {});
+
+/// Returns the directory-tree specification
+/// ({parent, name, child}, {parent,name → child}).
+RelationSpec makeDCacheSpec();
+
+/// Builds the Figure 2 dcache decomposition over \p Spec:
+///   ρ -{parent}-> x -{name}-> y -{child}-> z   (TreeMap levels)
+///   ρ -{parent, name}-> y                      (ConcurrentHashMap)
+Decomposition makeDCacheDecomposition(const RelationSpec &Spec);
+
+} // namespace crs
+
+#endif // CRS_DECOMP_SHAPES_H

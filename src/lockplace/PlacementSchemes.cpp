@@ -1,0 +1,62 @@
+//===- lockplace/PlacementSchemes.cpp - Canonical placements ------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockplace/PlacementSchemes.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+LockPlacement crs::makeCoarsePlacement(const Decomposition &D) {
+  LockPlacement P(D);
+  for (const auto &E : D.edges())
+    P.setEdge(E.Id, {D.root(), ColumnSet::empty(), false});
+  return P;
+}
+
+LockPlacement crs::makeFinePlacement(const Decomposition &D) {
+  LockPlacement P(D);
+  for (const auto &E : D.edges())
+    P.setEdge(E.Id, {E.Src, ColumnSet::empty(), false});
+  return P;
+}
+
+LockPlacement crs::makeStripedPlacement(const Decomposition &D,
+                                        uint32_t RootStripes,
+                                        uint32_t InnerStripes) {
+  LockPlacement P(D);
+  P.setNodeStripes(D.root(), RootStripes);
+  for (const auto &E : D.edges()) {
+    if (E.Src == D.root()) {
+      P.setEdge(E.Id, {D.root(), E.Cols, false});
+      continue;
+    }
+    P.setEdge(E.Id, {E.Src, InnerStripes > 1 ? E.Cols : ColumnSet::empty(),
+                     false});
+    if (InnerStripes > 1)
+      P.setNodeStripes(E.Src, InnerStripes);
+  }
+  return P;
+}
+
+LockPlacement crs::makeSpeculativePlacement(const Decomposition &D,
+                                            uint32_t RootStripes) {
+  LockPlacement P(D);
+  P.setNodeStripes(D.root(), RootStripes);
+  for (const auto &E : D.edges()) {
+    if (E.Src == D.root() &&
+        containerTraits(E.Kind).linearizableLookup() &&
+        containerTraits(E.Kind).concurrencySafe()) {
+      // Present entries locked at the target instance; absent entries
+      // striped at the root by the edge's columns (ψ4 of §4.5).
+      P.setEdge(E.Id, {D.root(), E.Cols, true});
+      continue;
+    }
+    P.setEdge(E.Id, {E.Src, ColumnSet::empty(), false});
+  }
+  return P;
+}

@@ -1,0 +1,46 @@
+//===- lockplace/PlacementSchemes.h - Canonical placements ------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructors for the canonical lock placements the paper discusses:
+/// the coarse single-root-lock placement ψ1, the fine per-source
+/// placement ψ2, the striped-root placement ψ3 (§4.4), and the
+/// speculative placement ψ4 (§4.5). The autotuner composes these per
+/// edge; these helpers build whole-decomposition instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_LOCKPLACE_PLACEMENTSCHEMES_H
+#define CRS_LOCKPLACE_PLACEMENTSCHEMES_H
+
+#include "lockplace/LockPlacement.h"
+
+namespace crs {
+
+/// ψ1: every edge protected by the single lock at the root (Fig. 3a).
+LockPlacement makeCoarsePlacement(const Decomposition &D);
+
+/// ψ2: every edge protected by a single lock at its source (Fig. 3b).
+LockPlacement makeFinePlacement(const Decomposition &D);
+
+/// ψ3: edges out of the root striped across \p RootStripes locks selected
+/// by the edge's own columns; all other edges fine-grained at their
+/// source (§4.4). Non-root-sourced edges of concurrency-safe containers
+/// can optionally also be striped at their source via \p InnerStripes.
+LockPlacement makeStripedPlacement(const Decomposition &D,
+                                   uint32_t RootStripes,
+                                   uint32_t InnerStripes = 1);
+
+/// ψ4: edges out of the root whose containers support it become
+/// speculative (present entries locked at their target instance; absent
+/// entries striped at the root); remaining edges fine-grained (§4.5).
+LockPlacement makeSpeculativePlacement(const Decomposition &D,
+                                       uint32_t RootStripes);
+
+} // namespace crs
+
+#endif // CRS_LOCKPLACE_PLACEMENTSCHEMES_H

@@ -1,0 +1,87 @@
+//===- plan/CostModel.cpp - Heuristic plan cost estimation --------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plan/CostModel.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+double crs::estimatedFanout(const Decomposition &D, EdgeId E,
+                            const CostParams &CP) {
+  if (E < CP.EdgeFanout.size() && CP.EdgeFanout[E] > 0.0)
+    return CP.EdgeFanout[E];
+  const auto &Edge = D.edge(E);
+  if (Edge.Kind == ContainerKind::SingletonCell)
+    return 1.0;
+  return Edge.Src == D.root() ? CP.RootFanout : CP.InnerFanout;
+}
+
+static double lookupCost(ContainerKind K, const CostParams &CP) {
+  switch (K) {
+  case ContainerKind::HashMap:
+  case ContainerKind::ConcurrentHashMap:
+    return CP.LookupHashCost;
+  case ContainerKind::TreeMap:
+  case ContainerKind::ConcurrentSkipListMap:
+  case ContainerKind::CowArrayMap:
+    return CP.LookupTreeCost;
+  case ContainerKind::SingletonCell:
+    return CP.LookupHashCost * 0.5;
+  }
+  crs_unreachable("unknown container kind");
+}
+
+double crs::estimatePlanCost(const Plan &P, const CostParams &CP) {
+  assert(P.Decomp && P.Placement && "cost of an unbound plan");
+  const Decomposition &D = *P.Decomp;
+  const LockPlacement &LP = *P.Placement;
+
+  // Cardinality (state-set size) per variable.
+  std::vector<double> Card(P.NumVars, 0.0);
+  Card[0] = 1.0;
+  double Cost = 0.0;
+
+  for (const PlanStmt &St : P.Stmts) {
+    switch (St.K) {
+    case PlanStmt::Kind::Lock: {
+      double Stripes = 0.0;
+      for (const StripeSel &Sel : St.Sels)
+        Stripes += Sel.AllStripes
+                       ? static_cast<double>(LP.nodeStripes(St.Node))
+                       : 1.0;
+      Cost += Card[St.InVar] * Stripes * CP.LockCost;
+      break;
+    }
+    case PlanStmt::Kind::Unlock:
+      break; // released in bulk; negligible
+    case PlanStmt::Kind::Lookup:
+      Cost += Card[St.InVar] * lookupCost(D.edge(St.Edge).Kind, CP);
+      Card[St.OutVar] = Card[St.InVar]; // at most one entry per state
+      break;
+    case PlanStmt::Kind::Scan: {
+      double F = estimatedFanout(D, St.Edge, CP);
+      Cost += Card[St.InVar] * F * CP.ScanEntryCost;
+      Card[St.OutVar] = Card[St.InVar] * F;
+      break;
+    }
+    case PlanStmt::Kind::SpecLookup:
+      Cost += Card[St.InVar] * (lookupCost(D.edge(St.Edge).Kind, CP) +
+                                CP.LockCost + CP.SpecPenalty);
+      Card[St.OutVar] = Card[St.InVar];
+      break;
+    case PlanStmt::Kind::SpecScan: {
+      double F = estimatedFanout(D, St.Edge, CP);
+      // Per-entry target lock on top of the scan itself.
+      Cost += Card[St.InVar] * F * (CP.ScanEntryCost + CP.LockCost);
+      Card[St.OutVar] = Card[St.InVar] * F;
+      break;
+    }
+    }
+  }
+  return Cost;
+}

@@ -1,0 +1,51 @@
+//===- plan/CostModel.h - Heuristic plan cost estimation --------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heuristic cost estimation function the query planner minimizes
+/// (§5.2, "Query Planner"). As in the prior work the paper builds on,
+/// costs are static heuristics: container operations have per-kind costs,
+/// scans multiply the running state cardinality by an estimated fanout,
+/// and taking all k stripes of a striped lock costs k lock operations —
+/// which is exactly the §4.4 trade-off (striping lowers contention but
+/// makes whole-container operations more expensive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_PLAN_COSTMODEL_H
+#define CRS_PLAN_COSTMODEL_H
+
+#include "plan/QueryIR.h"
+
+namespace crs {
+
+/// Tunable cost-model parameters.
+struct CostParams {
+  double LockCost = 1.0;       ///< acquiring one physical lock
+  double LookupHashCost = 1.0; ///< hash container lookup
+  double LookupTreeCost = 2.0; ///< ordered container lookup (log n)
+  double ScanEntryCost = 0.5;  ///< visiting one entry during a scan
+  double RootFanout = 256.0;   ///< expected entries in a root container
+  double InnerFanout = 16.0;   ///< expected entries in a nested container
+  double SpecPenalty = 0.5;    ///< extra verify work per speculative read
+  /// Measured average fanout per edge (indexed by EdgeId), e.g. from
+  /// ConcurrentRelation::collectStatistics(); overrides the static
+  /// Root/Inner defaults when non-empty. This is the profiling-driven
+  /// planning of the data representation synthesis line of work.
+  std::vector<double> EdgeFanout;
+};
+
+/// Estimated fanout of scanning \p E (1 for singleton edges).
+double estimatedFanout(const Decomposition &D, EdgeId E,
+                       const CostParams &CP);
+
+/// Estimated execution cost of \p P under \p CP.
+double estimatePlanCost(const Plan &P, const CostParams &CP);
+
+} // namespace crs
+
+#endif // CRS_PLAN_COSTMODEL_H

@@ -1,0 +1,78 @@
+//===- plan/PlanPrinter.cpp - Paper-style plan rendering ----------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plan/QueryIR.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+static std::string varName(PlanVar V) {
+  // a, b, c, ... like the paper's plans; wraps into v26, v27 if needed.
+  if (V < 26)
+    return std::string(1, static_cast<char>('a' + V));
+  return "v" + std::to_string(V);
+}
+
+std::string Plan::str() const {
+  assert(Decomp && "printing an empty plan");
+  const Decomposition &D = *Decomp;
+  std::string Out;
+  unsigned Line = 1;
+  auto Emit = [&](const std::string &S) {
+    Out += std::to_string(Line++) + ": " + S + "\n";
+  };
+
+  auto EdgeName = [&](EdgeId E) {
+    return D.node(D.edge(E).Src).Name + "->" + D.node(D.edge(E).Dst).Name;
+  };
+  auto SelStr = [&](const std::vector<StripeSel> &Sels) {
+    std::string S;
+    for (const StripeSel &Sel : Sels) {
+      if (!S.empty())
+        S += ",";
+      S += Sel.AllStripes ? "*" : D.spec().catalog().str(Sel.Cols);
+    }
+    return S.empty() ? std::string("*") : S;
+  };
+
+  for (const PlanStmt &St : Stmts) {
+    switch (St.K) {
+    case PlanStmt::Kind::Lock:
+      Emit("let _ = lock" +
+           std::string(St.Mode == LockMode::Exclusive ? "!" : "") + "(" +
+           varName(St.InVar) + ", " + D.node(St.Node).Name + " : " +
+           SelStr(St.Sels) +
+           std::string(St.SortElided ? ", presorted" : "") + ") in");
+      break;
+    case PlanStmt::Kind::Unlock:
+      Emit("let _ = unlock(" + varName(St.InVar) + ", " +
+           D.node(St.Node).Name + ") in");
+      break;
+    case PlanStmt::Kind::Lookup:
+      Emit("let " + varName(St.OutVar) + " = lookup(" + varName(St.InVar) +
+           ", " + EdgeName(St.Edge) + ") in");
+      break;
+    case PlanStmt::Kind::Scan:
+      Emit("let " + varName(St.OutVar) + " = scan(" + varName(St.InVar) +
+           ", " + EdgeName(St.Edge) + ") in");
+      break;
+    case PlanStmt::Kind::SpecLookup:
+      Emit("let " + varName(St.OutVar) + " = spec-lookup" +
+           std::string(St.Mode == LockMode::Exclusive ? "!" : "") + "(" +
+           varName(St.InVar) + ", " + EdgeName(St.Edge) + ") in");
+      break;
+    case PlanStmt::Kind::SpecScan:
+      Emit("let " + varName(St.OutVar) + " = spec-scan" +
+           std::string(St.Mode == LockMode::Exclusive ? "!" : "") + "(" +
+           varName(St.InVar) + ", " + EdgeName(St.Edge) + ") in");
+      break;
+    }
+  }
+  Emit(varName(ResultVar));
+  return Out;
+}

@@ -1,0 +1,193 @@
+//===- plan/PlanValidity.cpp - Static plan validity checking ------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plan/PlanValidity.h"
+
+#include "support/Compiler.h"
+
+#include <map>
+
+using namespace crs;
+
+namespace {
+
+/// Symbolic per-variable state: which columns and nodes are bound in
+/// the states the variable may hold.
+struct VarState {
+  ColumnSet BoundCols;
+  uint64_t BoundNodes = 0; // bitmask over NodeId
+  bool Defined = false;
+};
+
+/// What the symbolic executor knows about one locked node.
+struct HeldLock {
+  LockMode Mode;
+  bool AllStripes;
+  ColumnSet StripeColsUnion; // union of by-column selectors taken
+};
+
+} // namespace
+
+ValidationResult crs::checkPlanValidity(const Plan &P) {
+  ValidationResult R;
+  auto Err = [&](std::string Msg) { R.Errors.push_back(std::move(Msg)); };
+  if (!P.Decomp || !P.Placement) {
+    Err("plan lacks decomposition or placement");
+    return R;
+  }
+  const Decomposition &D = *P.Decomp;
+  const LockPlacement &LP = *P.Placement;
+  std::vector<uint32_t> Topo = D.topologicalIndex();
+
+  std::vector<VarState> Vars(P.NumVars);
+  Vars[0].Defined = true;
+  Vars[0].BoundCols = P.InputCols;
+  Vars[0].BoundNodes = 1ULL << D.root();
+
+  std::map<NodeId, HeldLock> Held;
+  bool Shrinking = false;
+  int LastLockTopo = -1;
+
+  auto NodeName = [&](NodeId N) { return D.node(N).Name; };
+  auto EdgeName = [&](EdgeId E) {
+    return NodeName(D.edge(E).Src) + "->" + NodeName(D.edge(E).Dst);
+  };
+
+  /// True if the held lock on the host covers reads/writes of edge E for
+  /// states with \p Bound columns in mode \p Need.
+  auto Covers = [&](EdgeId E, ColumnSet Bound, LockMode Need) {
+    const EdgePlacement &EP = LP.edgePlacement(E);
+    auto It = Held.find(EP.Host);
+    if (It == Held.end())
+      return false;
+    const HeldLock &H = It->second;
+    if (Need == LockMode::Exclusive && H.Mode != LockMode::Exclusive)
+      return false;
+    if (LP.nodeStripes(EP.Host) <= 1)
+      return true;
+    if (H.AllStripes)
+      return true;
+    // A by-columns selector covers both lookups and scan-joins: the
+    // logically-read entries agree with the state on the (bound) stripe
+    // columns, so they share the selected stripe.
+    return H.StripeColsUnion.containsAll(EP.StripeCols) &&
+           Bound.containsAll(EP.StripeCols);
+  };
+
+  unsigned Idx = 0;
+  for (const PlanStmt &St : P.Stmts) {
+    std::string Where = "stmt " + std::to_string(Idx++) + ": ";
+    switch (St.K) {
+    case PlanStmt::Kind::Lock: {
+      if (Shrinking)
+        Err(Where + "lock after unlock violates two-phase structure");
+      if (!Vars[St.InVar].Defined)
+        Err(Where + "lock consumes undefined variable");
+      if (!((Vars[St.InVar].BoundNodes >> St.Node) & 1))
+        Err(Where + "lock of node " + NodeName(St.Node) +
+            " not bound in input states");
+      int T = static_cast<int>(Topo[St.Node]);
+      if (T < LastLockTopo)
+        Err(Where + "lock of " + NodeName(St.Node) +
+            " violates topological lock order");
+      LastLockTopo = T;
+      HeldLock &H = Held[St.Node];
+      H.Mode = St.Mode;
+      for (const StripeSel &Sel : St.Sels) {
+        if (Sel.AllStripes) {
+          H.AllStripes = true;
+        } else {
+          if (!Vars[St.InVar].BoundCols.containsAll(Sel.Cols))
+            Err(Where + "stripe selector columns not bound at lock time");
+          H.StripeColsUnion |= Sel.Cols;
+        }
+      }
+      break;
+    }
+    case PlanStmt::Kind::Unlock:
+      Shrinking = true;
+      break;
+    case PlanStmt::Kind::Lookup:
+    case PlanStmt::Kind::Scan: {
+      if (Shrinking)
+        Err(Where + "read after unlock violates two-phase structure");
+      const auto &E = D.edge(St.Edge);
+      VarState &In = Vars[St.InVar];
+      if (!In.Defined)
+        Err(Where + "read consumes undefined variable");
+      if (!((In.BoundNodes >> E.Src) & 1))
+        Err(Where + "edge " + EdgeName(St.Edge) + " source not bound");
+      if (St.K == PlanStmt::Kind::Lookup && !In.BoundCols.containsAll(E.Cols))
+        Err(Where + "lookup on " + EdgeName(St.Edge) +
+            " requires bound key columns");
+      if (LP.edgePlacement(St.Edge).Speculative) {
+        // Reads of speculative edges in plain Lookup/Scan form are only
+        // valid under the mutation protocol: exclusive host lock held
+        // (which pins present entries), with the target locked by a
+        // subsequent Lock statement.
+        if (!Covers(St.Edge, In.BoundCols, LockMode::Exclusive))
+          Err(Where + "read of speculative edge " + EdgeName(St.Edge) +
+              " without exclusive host lock");
+      } else if (!Covers(St.Edge, In.BoundCols,
+                         P.ForMutation ? LockMode::Exclusive
+                                       : LockMode::Shared)) {
+        Err(Where + "read of edge " + EdgeName(St.Edge) +
+            " is not covered by its placed lock");
+      }
+      VarState &OutV = Vars[St.OutVar];
+      OutV.Defined = true;
+      OutV.BoundCols = In.BoundCols | E.Cols;
+      OutV.BoundNodes = In.BoundNodes | (1ULL << E.Dst);
+      break;
+    }
+    case PlanStmt::Kind::SpecLookup:
+    case PlanStmt::Kind::SpecScan: {
+      if (Shrinking)
+        Err(Where + "read after unlock violates two-phase structure");
+      const auto &E = D.edge(St.Edge);
+      VarState &In = Vars[St.InVar];
+      if (!In.Defined)
+        Err(Where + "speculative read consumes undefined variable");
+      if (!LP.edgePlacement(St.Edge).Speculative)
+        Err(Where + "speculative read of non-speculative edge " +
+            EdgeName(St.Edge));
+      if (!((In.BoundNodes >> E.Src) & 1))
+        Err(Where + "edge " + EdgeName(St.Edge) + " source not bound");
+      if (St.K == PlanStmt::Kind::SpecLookup &&
+          !In.BoundCols.containsAll(E.Cols))
+        Err(Where + "speculative lookup requires bound key columns");
+      if (St.K == PlanStmt::Kind::SpecScan &&
+          !Covers(St.Edge, In.BoundCols, St.Mode))
+        Err(Where + "speculative scan requires the all-stripes host lock");
+      VarState &OutV = Vars[St.OutVar];
+      OutV.Defined = true;
+      OutV.BoundCols = In.BoundCols | E.Cols;
+      OutV.BoundNodes = In.BoundNodes | (1ULL << E.Dst);
+      break;
+    }
+    }
+  }
+
+  const VarState &Res = Vars[P.ResultVar];
+  if (!Res.Defined) {
+    Err("plan result variable is undefined");
+    return R;
+  }
+  if (!Res.BoundCols.containsAll(P.OutputCols | P.InputCols))
+    Err("plan result does not bind the requested output columns");
+  // Soundness of the result: one bound node must witness the full
+  // combination of input and output columns; column values confirmed on
+  // disconnected branches do not certify a tuple of the relation.
+  ColumnSet Needed = P.OutputCols | P.InputCols;
+  bool Witnessed = false;
+  for (NodeId N = 0; N < D.numNodes(); ++N)
+    if (((Res.BoundNodes >> N) & 1) && D.node(N).KeyCols.containsAll(Needed))
+      Witnessed = true;
+  if (!Witnessed)
+    Err("no bound node witnesses the full output combination");
+  return R;
+}

@@ -1,0 +1,31 @@
+//===- plan/PlanValidity.h - Static plan validity checking ------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's plan validity conditions (§5.2): plans must be logically
+/// well-locked (every observation of an edge is covered by its placed
+/// lock in a sufficient mode), two-phase (all lock acquisitions precede
+/// all releases), and must acquire locks in the global lock order (§5.1).
+/// The checker symbolically executes a plan over (bound columns, bound
+/// nodes, held locks) and reports violations. The planner's output is
+/// checked by construction in debug builds and directly in the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_PLAN_PLANVALIDITY_H
+#define CRS_PLAN_PLANVALIDITY_H
+
+#include "plan/QueryIR.h"
+
+namespace crs {
+
+/// Checks well-lockedness, two-phasedness, and lock ordering of \p P.
+ValidationResult checkPlanValidity(const Plan &P);
+
+} // namespace crs
+
+#endif // CRS_PLAN_PLANVALIDITY_H

@@ -1,0 +1,357 @@
+//===- plan/Planner.cpp - The concurrent query planner ------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plan/Planner.h"
+
+#include "plan/PlanValidity.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+QueryPlanner::QueryPlanner(const Decomposition &D, const LockPlacement &P,
+                           CostParams CP)
+    : Decomp(&D), Placement(&P), Params(CP), TopoIdx(D.topologicalIndex()) {}
+
+std::optional<Plan> QueryPlanner::buildPlan(const std::vector<EdgeId> &Seq,
+                                            ColumnSet DomS,
+                                            ColumnSet OutputCols,
+                                            bool ForMutation) const {
+  const Decomposition &D = *Decomp;
+  const LockPlacement &LP = *Placement;
+  const LockMode Mode = ForMutation ? LockMode::Exclusive : LockMode::Shared;
+
+  Plan P;
+  P.Decomp = Decomp;
+  P.Placement = Placement;
+  P.InputCols = DomS;
+  P.OutputCols = OutputCols;
+  P.ForMutation = ForMutation;
+
+  PlanVar CurVar = 0;
+  ColumnSet Bound = DomS;
+  std::vector<bool> HostLocked(D.numNodes(), false);
+  int LastLockTopo = -1;
+  std::vector<NodeId> LockedOrder; // for cosmetic unlocks
+
+  // Sort-elision analysis (§5.2): the lock operator must sort node
+  // instances into lock order, unless the plan provably produces states
+  // already in that order. States are in order while the state set is a
+  // singleton (lookups only), and stay in order after ONE scan of a
+  // container with sorted iteration — the varying columns are then
+  // exactly that edge's columns, compared identically by tuple order
+  // and by the container. A second scan interleaves and loses it.
+  bool SingleState = true;   // current var holds at most one state
+  bool TuplesSorted = true;  // states are in tuple (lock) order
+  ColumnSet VaryingCols;     // columns that differ across states
+
+  // Position of each edge in the traversal, for host-lock lookahead.
+  std::vector<int> Position(D.numEdges(), -1);
+  for (unsigned I = 0; I < Seq.size(); ++I)
+    Position[Seq[I]] = static_cast<int>(I);
+
+  // Emits the Lock statement for host \p H (if not yet emitted),
+  // covering every traversed edge hosted at H. Returns false on a lock
+  // order violation (caller rejects the traversal order).
+  auto EmitHostLock = [&](NodeId H) -> bool {
+    if (HostLocked[H])
+      return true;
+    int T = static_cast<int>(TopoIdx[H]);
+    if (T < LastLockTopo)
+      return false;
+    PlanStmt L;
+    L.K = PlanStmt::Kind::Lock;
+    L.InVar = CurVar;
+    L.Node = H;
+    L.Mode = Mode;
+    // The instance keys of H project away columns outside A(H); order
+    // is preserved iff every varying column survives the projection.
+    L.SortElided = SingleState ||
+                   (TuplesSorted && D.node(H).KeyCols.containsAll(VaryingCols));
+    // Lookahead: one selector per traversed non-speculative edge hosted
+    // at H (speculative edges lock their absent-case host only under
+    // the mutation protocol).
+    for (EdgeId E : Seq) {
+      const EdgePlacement &EP = LP.edgePlacement(E);
+      if (EP.Host != H)
+        continue;
+      if (EP.Speculative && !ForMutation)
+        continue;
+      // A by-columns selector is sound whenever the stripe columns are
+      // bound when the lock is taken: the logically-read set of any
+      // later lookup or scan-join on this edge only contains entries
+      // agreeing with the query state on bound columns, so they all map
+      // to the selected stripe.
+      StripeSel Sel = StripeSel::all();
+      if (LP.nodeStripes(H) <= 1)
+        Sel = StripeSel::byCols(ColumnSet::empty());
+      else if (Bound.containsAll(EP.StripeCols))
+        Sel = StripeSel::byCols(EP.StripeCols);
+      if (std::find(L.Sels.begin(), L.Sels.end(), Sel) == L.Sels.end())
+        L.Sels.push_back(Sel);
+    }
+    if (L.Sels.empty())
+      L.Sels.push_back(StripeSel::byCols(ColumnSet::empty()));
+    P.Stmts.push_back(std::move(L));
+    HostLocked[H] = true;
+    LastLockTopo = T;
+    LockedOrder.push_back(H);
+    return true;
+  };
+
+  for (EdgeId E : Seq) {
+    const auto &Edge = D.edge(E);
+    const EdgePlacement &EP = LP.edgePlacement(E);
+    bool KeyBound = Bound.containsAll(Edge.Cols);
+
+    if (EP.Speculative && !ForMutation) {
+      // Reader protocol (§4.5): fused guess-verify statements.
+      if (KeyBound) {
+        PlanStmt S;
+        S.K = PlanStmt::Kind::SpecLookup;
+        S.InVar = CurVar;
+        S.OutVar = P.NumVars++;
+        S.Edge = E;
+        S.Mode = Mode;
+        P.Stmts.push_back(S);
+        CurVar = S.OutVar;
+      } else {
+        TuplesSorted = SingleState && containerTraits(Edge.Kind).SortedScan;
+        SingleState = false;
+        VaryingCols |= Edge.Cols;
+        // Scanning a speculative edge requires the all-stripes lock on
+        // the absent-case host first (pins the container), then the
+        // per-entry target locks are taken during the scan.
+        if (HostLocked[EP.Host]) {
+          // The host lock was emitted for other edges and may not cover
+          // all stripes; reject (rare) rather than retrofit.
+          return std::nullopt;
+        }
+        int T = static_cast<int>(TopoIdx[EP.Host]);
+        if (T < LastLockTopo)
+          return std::nullopt;
+        PlanStmt L;
+        L.K = PlanStmt::Kind::Lock;
+        L.InVar = CurVar;
+        L.Node = EP.Host;
+        L.Mode = Mode;
+        L.Sels.push_back(StripeSel::all());
+        P.Stmts.push_back(L);
+        HostLocked[EP.Host] = true;
+        LastLockTopo = T;
+        LockedOrder.push_back(EP.Host);
+        PlanStmt S;
+        S.K = PlanStmt::Kind::SpecScan;
+        S.InVar = CurVar;
+        S.OutVar = P.NumVars++;
+        S.Edge = E;
+        S.Mode = Mode;
+        P.Stmts.push_back(S);
+        CurVar = S.OutVar;
+      }
+    } else {
+      // Ordinary (or mutation-protocol speculative) edge: host lock,
+      // then lookup or scan.
+      if (!EmitHostLock(EP.Host))
+        return std::nullopt;
+      PlanStmt S;
+      S.K = KeyBound ? PlanStmt::Kind::Lookup : PlanStmt::Kind::Scan;
+      S.InVar = CurVar;
+      S.OutVar = P.NumVars++;
+      S.Edge = E;
+      P.Stmts.push_back(S);
+      CurVar = S.OutVar;
+      if (!KeyBound) {
+        // A scan fans out: one sorted scan of a single state keeps the
+        // states in tuple order; anything further loses it.
+        TuplesSorted = SingleState && containerTraits(Edge.Kind).SortedScan;
+        SingleState = false;
+        VaryingCols |= Edge.Cols;
+      }
+
+      if (EP.Speculative && ForMutation) {
+        // Mutation protocol (§4.5): with the absent-case host stripe
+        // held exclusively, present entries are pinned; lock the bound
+        // targets (deeper in the order, so blocking is safe).
+        int T = static_cast<int>(TopoIdx[Edge.Dst]);
+        if (T < LastLockTopo)
+          return std::nullopt;
+        PlanStmt L;
+        L.K = PlanStmt::Kind::Lock;
+        L.InVar = CurVar;
+        L.Node = Edge.Dst;
+        L.Mode = LockMode::Exclusive;
+        L.Sels.push_back(StripeSel::all());
+        P.Stmts.push_back(L);
+        HostLocked[Edge.Dst] = true;
+        LastLockTopo = T;
+        LockedOrder.push_back(Edge.Dst);
+      }
+    }
+    Bound |= Edge.Cols;
+  }
+
+  // Shrinking phase (cosmetic: the executor releases in bulk).
+  for (auto It = LockedOrder.rbegin(); It != LockedOrder.rend(); ++It) {
+    PlanStmt U;
+    U.K = PlanStmt::Kind::Unlock;
+    U.InVar = CurVar;
+    U.Node = *It;
+    P.Stmts.push_back(U);
+  }
+  P.ResultVar = CurVar;
+
+  assert(checkPlanValidity(P).ok() && "planner emitted an invalid plan");
+  return P;
+}
+
+void QueryPlanner::enumerateSeqs(ColumnSet Confirmed, ColumnSet Target,
+                                 uint64_t BoundNodes, uint64_t UsedEdges,
+                                 std::vector<EdgeId> &Seq,
+                                 std::vector<std::vector<EdgeId>> &Out) const {
+  const Decomposition &D = *Decomp;
+  // Sound termination: some *single* bound node must witness the whole
+  // target combination (its key columns cover dom(s) ∪ C). Confirming
+  // each column on a different branch would fabricate combinations that
+  // are not in the relation (the join fallacy).
+  for (NodeId N = 0; N < D.numNodes(); ++N)
+    if (((BoundNodes >> N) & 1) && D.node(N).KeyCols.containsAll(Target)) {
+      Out.push_back(Seq);
+      return;
+    }
+  for (const auto &E : D.edges()) {
+    if ((UsedEdges >> E.Id) & 1)
+      continue;
+    if (!((BoundNodes >> E.Src) & 1))
+      continue;
+    // Prune edges that bind no new node: re-traversing cannot help.
+    if ((BoundNodes >> E.Dst) & 1)
+      continue;
+    Seq.push_back(E.Id);
+    enumerateSeqs(Confirmed | E.Cols, Target, BoundNodes | (1ULL << E.Dst),
+                  UsedEdges | (1ULL << E.Id), Seq, Out);
+    Seq.pop_back();
+  }
+}
+
+std::vector<Plan> QueryPlanner::enumerateQueryPlans(ColumnSet DomS,
+                                                    ColumnSet C) const {
+  // Every column of dom(s) and C must be *confirmed* by a traversed edge
+  // (presence of the input key columns is an observation too — this is
+  // what makes membership queries sound).
+  ColumnSet Target = DomS | C;
+  std::vector<std::vector<EdgeId>> Seqs;
+  std::vector<EdgeId> Scratch;
+  enumerateSeqs(ColumnSet::empty(), Target, 1ULL << Decomp->root(), 0,
+                Scratch, Seqs);
+  std::vector<Plan> Plans;
+  for (const auto &Seq : Seqs)
+    if (auto P = buildPlan(Seq, DomS, C, /*ForMutation=*/false))
+      Plans.push_back(std::move(*P));
+  return Plans;
+}
+
+Plan QueryPlanner::planQuery(ColumnSet DomS, ColumnSet C) const {
+  std::vector<Plan> Plans = enumerateQueryPlans(DomS, C);
+  assert(!Plans.empty() && "no valid query plan exists");
+  const Plan *Best = &Plans[0];
+  double BestCost = estimatePlanCost(Plans[0], Params);
+  for (size_t I = 1; I < Plans.size(); ++I) {
+    double Cost = estimatePlanCost(Plans[I], Params);
+    if (Cost < BestCost ||
+        (Cost == BestCost && Plans[I].Stmts.size() < Best->Stmts.size())) {
+      Best = &Plans[I];
+      BestCost = Cost;
+    }
+  }
+  return *Best;
+}
+
+Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
+  // Mutation locate plans visit every node in topological order: read
+  // the node's incoming edges (their hosts are dominators, so their
+  // locks were emitted at earlier nodes), then emit one Lock statement
+  // for the node covering (a) every edge hosted there and (b) the
+  // present-target duty for speculative incoming edges (§4.5 writer
+  // protocol: with the absent-case host stripe held exclusively,
+  // entries are pinned, so the target lock may be taken at the target's
+  // own topological position). This keeps all Lock statements in the
+  // global order by construction, for any decomposition shape.
+  const Decomposition &D = *Decomp;
+  const LockPlacement &LP = *Placement;
+
+  Plan P;
+  P.Decomp = Decomp;
+  P.Placement = Placement;
+  P.InputCols = DomS;
+  P.OutputCols = D.spec().allColumns();
+  P.ForMutation = true;
+
+  PlanVar CurVar = 0;
+  ColumnSet Bound = DomS;
+  std::vector<NodeId> LockedOrder;
+
+  for (NodeId N : D.topologicalOrder()) {
+    // (a) Read every incoming edge (binds instances of N and joins in
+    // the edge columns). Hosts of these edges dominate their sources,
+    // so their Lock statements were emitted at earlier nodes.
+    for (EdgeId E : D.node(N).InEdges) {
+      PlanStmt S;
+      S.K = Bound.containsAll(D.edge(E).Cols) ? PlanStmt::Kind::Lookup
+                                              : PlanStmt::Kind::Scan;
+      S.InVar = CurVar;
+      S.OutVar = P.NumVars++;
+      S.Edge = E;
+      P.Stmts.push_back(S);
+      CurVar = S.OutVar;
+      Bound |= D.edge(E).Cols;
+    }
+
+    // (b) One Lock statement for this node: hosted-edge stripes plus
+    // the speculative present-target lock.
+    PlanStmt L;
+    L.K = PlanStmt::Kind::Lock;
+    L.InVar = CurVar;
+    L.Node = N;
+    L.Mode = LockMode::Exclusive;
+    for (const auto &Edge : D.edges()) {
+      const EdgePlacement &EP = LP.edgePlacement(Edge.Id);
+      if (EP.Host != N)
+        continue;
+      StripeSel Sel = StripeSel::all();
+      if (LP.nodeStripes(N) <= 1)
+        Sel = StripeSel::byCols(ColumnSet::empty());
+      else if (DomS.containsAll(EP.StripeCols))
+        Sel = StripeSel::byCols(EP.StripeCols);
+      if (std::find(L.Sels.begin(), L.Sels.end(), Sel) == L.Sels.end())
+        L.Sels.push_back(Sel);
+    }
+    for (EdgeId E : D.node(N).InEdges)
+      if (LP.edgePlacement(E).Speculative) {
+        StripeSel Sel = StripeSel::all();
+        if (std::find(L.Sels.begin(), L.Sels.end(), Sel) == L.Sels.end())
+          L.Sels.push_back(Sel);
+      }
+    if (L.Sels.empty())
+      continue; // nothing placed at this node
+    P.Stmts.push_back(std::move(L));
+    LockedOrder.push_back(N);
+  }
+
+  for (auto It = LockedOrder.rbegin(); It != LockedOrder.rend(); ++It) {
+    PlanStmt U;
+    U.K = PlanStmt::Kind::Unlock;
+    U.InVar = CurVar;
+    U.Node = *It;
+    P.Stmts.push_back(U);
+  }
+  P.ResultVar = CurVar;
+
+  assert(checkPlanValidity(P).ok() && "mutation plan must be valid");
+  return P;
+}

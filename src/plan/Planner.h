@@ -1,0 +1,79 @@
+//===- plan/Planner.h - The concurrent query planner ------------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent query planner (paper §5): compiles relational
+/// operations into valid plans tailored to a decomposition and lock
+/// placement. Following §5.2, the planner enumerates candidate plans —
+/// traversal orders over the decomposition's edges, with lock statements
+/// interleaved in the global lock order — and selects the cheapest under
+/// the heuristic cost model. Only two-phase plans are considered: a
+/// growing phase of lock/lookup/scan statements and a shrinking phase of
+/// unlocks, so every plan is trivially two-phase.
+///
+/// Mutations reuse the machinery (§5.2): `remove` compiles to a locate
+/// plan that walks *every* edge under exclusive locks; the write epilogue
+/// is interpreted by the runtime using the locate results. `insert` uses
+/// a dedicated topological walk (see runtime/ConcurrentRelation.cpp)
+/// whose lock schedule is derived from the same placement rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_PLAN_PLANNER_H
+#define CRS_PLAN_PLANNER_H
+
+#include "plan/CostModel.h"
+#include "plan/QueryIR.h"
+
+#include <optional>
+#include <vector>
+
+namespace crs {
+
+class QueryPlanner {
+public:
+  QueryPlanner(const Decomposition &D, const LockPlacement &P,
+               CostParams CP = {});
+
+  /// Compiles `query r s C` for inputs with dom(s) = \p DomS: enumerates
+  /// valid traversals, scores them, returns the cheapest plan.
+  Plan planQuery(ColumnSet DomS, ColumnSet C) const;
+
+  /// All valid candidate query plans (for tests and the planner bench).
+  std::vector<Plan> enumerateQueryPlans(ColumnSet DomS, ColumnSet C) const;
+
+  /// Compiles the locate phase of `remove r s` (s a key with
+  /// dom(s) = \p DomS): an exclusive-mode traversal covering every edge,
+  /// binding every node instance and every column of matching tuples.
+  Plan planRemoveLocate(ColumnSet DomS) const;
+
+  double cost(const Plan &P) const { return estimatePlanCost(P, Params); }
+
+  const CostParams &costParams() const { return Params; }
+
+private:
+  const Decomposition *Decomp;
+  const LockPlacement *Placement;
+  CostParams Params;
+  std::vector<uint32_t> TopoIdx;
+
+  /// Builds a plan from a traversal order; returns nullopt if lock
+  /// statements cannot be emitted in the global lock order for this
+  /// traversal.
+  std::optional<Plan> buildPlan(const std::vector<EdgeId> &Seq,
+                                ColumnSet DomS, ColumnSet OutputCols,
+                                bool ForMutation) const;
+
+  void enumerateSeqs(ColumnSet Confirmed, ColumnSet Target,
+                     uint64_t BoundNodes, uint64_t UsedEdges,
+                     std::vector<EdgeId> &Seq,
+                     std::vector<std::vector<EdgeId>> &Out) const;
+};
+
+} // namespace crs
+
+#endif // CRS_PLAN_PLANNER_H

@@ -1,0 +1,117 @@
+//===- plan/QueryIR.h - The concurrent query language -----------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent query language of paper §5.2 (Figure 4):
+///
+///   q ::= x | let x = q1 in q2 | lock(q, v) | unlock(q, v)
+///       | scan(q, uv) | lookup(q, uv)
+///
+/// We represent plans in a flattened let-normal form: a sequence of
+/// statements, each consuming a query-state-set variable and (for scans
+/// and lookups) producing a new one. Every expression evaluates to a set
+/// of query states (t, m): a tuple t of bound columns plus a mapping m
+/// from decomposition nodes to node instances (§5.2, "Query States").
+///
+/// Extensions beyond the paper's figure, needed to make lock acquisition
+/// executable:
+///  * lock statements carry stripe selectors (§4.4): either "all k
+///    stripes" (conservative, when the stripe columns are not yet bound)
+///    or "the stripe selected by hashing these bound columns";
+///  * speculative edges (§4.5) use fused SpecLookup / SpecScan statements
+///    implementing the guess-verify-retry protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_PLAN_QUERYIR_H
+#define CRS_PLAN_QUERYIR_H
+
+#include "decomp/Decomposition.h"
+#include "lockplace/LockPlacement.h"
+#include "sync/PhysicalLock.h"
+
+#include <string>
+#include <vector>
+
+namespace crs {
+
+/// Query-state-set variable index; variable 0 is the plan input: the
+/// singleton state (s, {ρ ↦ root instance}).
+using PlanVar = uint16_t;
+
+/// How a lock statement chooses stripes at each bound host instance.
+struct StripeSel {
+  bool AllStripes = true; ///< take every stripe, in index order
+  ColumnSet Cols;         ///< else hash these (bound) columns for one stripe
+
+  static StripeSel all() { return {true, ColumnSet::empty()}; }
+  static StripeSel byCols(ColumnSet C) { return {false, C}; }
+  bool operator==(const StripeSel &O) const {
+    return AllStripes == O.AllStripes && Cols == O.Cols;
+  }
+};
+
+/// One statement of a plan.
+struct PlanStmt {
+  enum class Kind : uint8_t {
+    /// Acquire physical locks on the instances of `Node` bound in the
+    /// states of `InVar`, stripes per `Sels`, mode `Mode`. Instances and
+    /// stripes are sorted into the global lock order before acquisition.
+    Lock,
+    /// Release — cosmetic under strict two-phase execution (the executor
+    /// releases everything at transaction end), kept for plan fidelity.
+    Unlock,
+    /// `OutVar = lookup(InVar, Edge)`: for each state, look up the key
+    /// π_cols(Edge)(t) in the source instance's container; join.
+    Lookup,
+    /// `OutVar = scan(InVar, Edge)`: natural join of the states with the
+    /// container's entries.
+    Scan,
+    /// Speculative lookup (§4.5): guess via an unlocked lookup, lock the
+    /// target (present) or the absent-case host stripe, verify; on a
+    /// wrong guess the whole transaction restarts.
+    SpecLookup,
+    /// Scan of a speculative edge with per-entry target locking; the
+    /// all-stripes host lock must already be held.
+    SpecScan,
+  };
+
+  Kind K;
+  PlanVar InVar = 0;
+  PlanVar OutVar = 0;                 ///< Lookup/Scan/Spec* result variable
+  NodeId Node = 0;                    ///< Lock/Unlock target node
+  EdgeId Edge = 0;                    ///< edge operand
+  LockMode Mode = LockMode::Shared;   ///< Lock/Spec* acquisition mode
+  std::vector<StripeSel> Sels;        ///< Lock stripe selectors
+  /// Sort elision (§5.2): the planner's static analysis proved the
+  /// input states already arrive in the global lock order (e.g. they
+  /// came from a scan of a sorted container), so the lock operator can
+  /// skip sorting its acquisition set.
+  bool SortElided = false;
+};
+
+/// A complete compiled plan for one relational operation (or for the
+/// locate phase of a mutation, §5.2: mutations sandwich generated write
+/// code between the growing and shrinking phases of a locate plan).
+struct Plan {
+  const Decomposition *Decomp = nullptr;
+  const LockPlacement *Placement = nullptr;
+  std::vector<PlanStmt> Stmts;
+  PlanVar NumVars = 1;
+  PlanVar ResultVar = 0;
+  ColumnSet InputCols;  ///< dom(s): columns bound by the operation input
+  ColumnSet OutputCols; ///< C for queries; all columns for mutations
+  bool ForMutation = false;
+
+  /// Renders the plan in the paper's let-binding style (§5.2 plans
+  /// (2)-(4)); implemented in PlanPrinter.cpp.
+  std::string str() const;
+};
+
+} // namespace crs
+
+#endif // CRS_PLAN_QUERYIR_H

@@ -1,0 +1,69 @@
+//===- rel/Column.cpp - Columns and column sets ------------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/Column.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+std::vector<ColumnId> ColumnSet::members() const {
+  std::vector<ColumnId> Out;
+  forEach([&](ColumnId C) { Out.push_back(C); });
+  return Out;
+}
+
+ColumnId ColumnCatalog::add(std::string Name) {
+  assert(!hasColumn(Name) && "duplicate column name");
+  assert(Names.size() < 64 && "at most 64 columns per specification");
+  Names.push_back(std::move(Name));
+  return static_cast<ColumnId>(Names.size() - 1);
+}
+
+ColumnId ColumnCatalog::id(const std::string &Name) const {
+  auto It = std::find(Names.begin(), Names.end(), Name);
+  assert(It != Names.end() && "unknown column name");
+  return static_cast<ColumnId>(It - Names.begin());
+}
+
+bool ColumnCatalog::hasColumn(const std::string &Name) const {
+  return std::find(Names.begin(), Names.end(), Name) != Names.end();
+}
+
+const std::string &ColumnCatalog::name(ColumnId C) const {
+  assert(C < Names.size() && "column id out of range");
+  return Names[C];
+}
+
+ColumnSet ColumnCatalog::allColumns() const {
+  if (Names.empty())
+    return ColumnSet::empty();
+  if (Names.size() >= 64)
+    return ColumnSet::fromBits(~0ULL);
+  return ColumnSet::fromBits((1ULL << Names.size()) - 1);
+}
+
+ColumnSet ColumnCatalog::setOf(std::initializer_list<const char *> Ns) const {
+  ColumnSet S;
+  for (const char *N : Ns)
+    S |= ColumnSet::of(id(N));
+  return S;
+}
+
+std::string ColumnCatalog::str(ColumnSet S) const {
+  std::string Out = "{";
+  bool First = true;
+  S.forEach([&](ColumnId C) {
+    if (!First)
+      Out += ", ";
+    Out += name(C);
+    First = false;
+  });
+  return Out + "}";
+}

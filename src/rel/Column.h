@@ -1,0 +1,105 @@
+//===- rel/Column.h - Columns and column sets -------------------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column names and sets of columns. A relational specification (paper §2)
+/// is a set of column names plus functional dependencies. Columns are
+/// interned per-specification into dense ids so ColumnSet can be a bitset;
+/// decompositions, lock placements, and the planner all manipulate column
+/// sets heavily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_REL_COLUMN_H
+#define CRS_REL_COLUMN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crs {
+
+/// Dense per-specification column identifier.
+using ColumnId = uint32_t;
+
+/// A set of columns, represented as a 64-bit mask (specifications are
+/// limited to 64 columns, which is far beyond any example in the paper).
+class ColumnSet {
+  uint64_t Bits = 0;
+
+  explicit ColumnSet(uint64_t B) : Bits(B) {}
+
+public:
+  ColumnSet() = default;
+
+  static ColumnSet empty() { return ColumnSet(); }
+  static ColumnSet of(ColumnId C) { return ColumnSet(1ULL << C); }
+  static ColumnSet fromBits(uint64_t B) { return ColumnSet(B); }
+
+  uint64_t bits() const { return Bits; }
+  bool isEmpty() const { return Bits == 0; }
+  bool contains(ColumnId C) const { return (Bits >> C) & 1; }
+  bool containsAll(ColumnSet S) const { return (Bits & S.Bits) == S.Bits; }
+  bool intersects(ColumnSet S) const { return (Bits & S.Bits) != 0; }
+  unsigned size() const { return __builtin_popcountll(Bits); }
+
+  ColumnSet operator|(ColumnSet S) const { return ColumnSet(Bits | S.Bits); }
+  ColumnSet operator&(ColumnSet S) const { return ColumnSet(Bits & S.Bits); }
+  /// Set difference.
+  ColumnSet operator-(ColumnSet S) const { return ColumnSet(Bits & ~S.Bits); }
+  ColumnSet &operator|=(ColumnSet S) {
+    Bits |= S.Bits;
+    return *this;
+  }
+  bool operator==(ColumnSet S) const { return Bits == S.Bits; }
+  bool operator!=(ColumnSet S) const { return Bits != S.Bits; }
+
+  /// Iterates member column ids in increasing order.
+  template <typename Fn> void forEach(Fn F) const {
+    uint64_t B = Bits;
+    while (B) {
+      ColumnId C = static_cast<ColumnId>(__builtin_ctzll(B));
+      F(C);
+      B &= B - 1;
+    }
+  }
+
+  /// Members as a sorted vector.
+  std::vector<ColumnId> members() const;
+};
+
+/// Maps column names to dense ids for one relational specification.
+class ColumnCatalog {
+public:
+  /// Adds a column; returns its id. Duplicate names are rejected by
+  /// assertion (specifications are small, static objects).
+  ColumnId add(std::string Name);
+
+  /// Id for an existing name; asserts the name exists.
+  ColumnId id(const std::string &Name) const;
+  /// Whether \p Name is a known column.
+  bool hasColumn(const std::string &Name) const;
+
+  const std::string &name(ColumnId C) const;
+  unsigned size() const { return static_cast<unsigned>(Names.size()); }
+
+  /// The set of all columns in the catalog.
+  ColumnSet allColumns() const;
+
+  /// Builds a set from names; asserts all names exist.
+  ColumnSet setOf(std::initializer_list<const char *> Names) const;
+
+  /// Renders a column set as "{a, b, c}".
+  std::string str(ColumnSet S) const;
+
+private:
+  std::vector<std::string> Names;
+};
+
+} // namespace crs
+
+#endif // CRS_REL_COLUMN_H

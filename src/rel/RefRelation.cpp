@@ -1,0 +1,64 @@
+//===- rel/RefRelation.cpp - Reference relation semantics --------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/RefRelation.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+bool RefRelation::insert(const Tuple &S, const Tuple &T) {
+  assert(!S.domain().intersects(T.domain()) &&
+         "insert requires s and t to have disjoint domains");
+  for (const Tuple &U : Tuples)
+    if (U.extends(S))
+      return false;
+  Tuple NewTuple = S.unionWith(T);
+  assert(NewTuple.domain() == Spec->allColumns() &&
+         "inserted tuple must be a valuation for all columns");
+  Tuples.push_back(std::move(NewTuple));
+  return true;
+}
+
+unsigned RefRelation::remove(const Tuple &S) {
+  auto NewEnd = std::remove_if(Tuples.begin(), Tuples.end(),
+                               [&](const Tuple &T) { return T.extends(S); });
+  unsigned Removed = static_cast<unsigned>(Tuples.end() - NewEnd);
+  Tuples.erase(NewEnd, Tuples.end());
+  return Removed;
+}
+
+std::vector<Tuple> RefRelation::query(const Tuple &S, ColumnSet C) const {
+  std::vector<Tuple> Out;
+  for (const Tuple &T : Tuples)
+    if (T.extends(S))
+      Out.push_back(T.project(C));
+  std::sort(Out.begin(), Out.end(), TupleLess());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::vector<Tuple> RefRelation::allTuples() const {
+  std::vector<Tuple> Out = Tuples;
+  std::sort(Out.begin(), Out.end(), TupleLess());
+  return Out;
+}
+
+bool RefRelation::satisfiesFds() const {
+  for (const auto &Fd : Spec->fds())
+    for (size_t I = 0; I < Tuples.size(); ++I)
+      for (size_t J = I + 1; J < Tuples.size(); ++J) {
+        const Tuple A = Tuples[I].project(Fd.Lhs);
+        if (Tuples[J].project(Fd.Lhs) != A)
+          continue;
+        if (Tuples[J].project(Fd.Rhs) != Tuples[I].project(Fd.Rhs))
+          return false;
+      }
+  return true;
+}

@@ -1,0 +1,68 @@
+//===- rel/RefRelation.h - Reference relation semantics ---------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable reference semantics of the four relational operations of
+/// paper §2 (empty / insert / remove / query), written directly against a
+/// set of tuples. This is the oracle the test suite compares synthesized
+/// representations against; it is intentionally simple and NOT thread-safe.
+///
+///   empty ()      = ref ∅
+///   remove r s    = r ← !r \ {t ∈ !r | t ⊇ s}
+///   query r s C   = π_C {t ∈ !r | t ⊇ s}
+///   insert r s t  = if ¬∃u. u ∈ !r ∧ u ⊇ s then r ← !r ∪ {s ∪ t}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_REL_REFRELATION_H
+#define CRS_REL_REFRELATION_H
+
+#include "rel/RelationSpec.h"
+#include "rel/Tuple.h"
+
+#include <vector>
+
+namespace crs {
+
+/// A relation as a plain set of tuples, with the paper's operation
+/// semantics. Used as the specification-level oracle in tests.
+class RefRelation {
+public:
+  explicit RefRelation(const RelationSpec &Spec) : Spec(&Spec) {}
+
+  /// insert r s t — inserts s ∪ t unless some existing tuple extends s.
+  /// Returns true if the tuple was inserted (the compare-and-set result
+  /// clients use to enforce functional dependencies, §2).
+  bool insert(const Tuple &S, const Tuple &T);
+
+  /// remove r s — removes all tuples extending s; returns the number
+  /// removed.
+  unsigned remove(const Tuple &S);
+
+  /// query r s C — projections onto C of all tuples extending s.
+  /// The result is deduplicated (relations are sets).
+  std::vector<Tuple> query(const Tuple &S, ColumnSet C) const;
+
+  /// All tuples (a copy, sorted, for comparisons in tests).
+  std::vector<Tuple> allTuples() const;
+
+  size_t size() const { return Tuples.size(); }
+  bool empty() const { return Tuples.empty(); }
+
+  /// Checks every FD of the spec against the current contents.
+  bool satisfiesFds() const;
+
+  const RelationSpec &spec() const { return *Spec; }
+
+private:
+  const RelationSpec *Spec;
+  std::vector<Tuple> Tuples; // unordered; small oracle sizes only
+};
+
+} // namespace crs
+
+#endif // CRS_REL_REFRELATION_H

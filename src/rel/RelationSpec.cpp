@@ -1,0 +1,88 @@
+//===- rel/RelationSpec.cpp - Relational specifications ----------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/RelationSpec.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+RelationSpec::RelationSpec(
+    std::vector<std::string> Columns,
+    std::vector<std::pair<std::vector<std::string>, std::vector<std::string>>>
+        FdNames) {
+  for (auto &Name : Columns)
+    Catalog.add(std::move(Name));
+  for (auto &[LhsNames, RhsNames] : FdNames) {
+    FunctionalDependency Fd;
+    for (const auto &N : LhsNames)
+      Fd.Lhs |= ColumnSet::of(Catalog.id(N));
+    for (const auto &N : RhsNames)
+      Fd.Rhs |= ColumnSet::of(Catalog.id(N));
+    Fds.push_back(Fd);
+  }
+}
+
+ColumnSet RelationSpec::closure(ColumnSet S) const {
+  ColumnSet Result = S;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Fd : Fds) {
+      if (!Result.containsAll(Fd.Lhs) || Result.containsAll(Fd.Rhs))
+        continue;
+      Result |= Fd.Rhs;
+      Changed = true;
+    }
+  }
+  return Result;
+}
+
+bool RelationSpec::determines(ColumnSet S, ColumnSet Target) const {
+  return closure(S).containsAll(Target);
+}
+
+bool RelationSpec::isKey(ColumnSet S) const {
+  return determines(S, allColumns());
+}
+
+std::vector<ColumnSet> RelationSpec::minimalKeys() const {
+  std::vector<ColumnSet> Keys;
+  uint64_t All = allColumns().bits();
+  // Enumerate subsets in increasing popcount by scanning all masks and
+  // filtering: catalogs are at most a handful of columns in practice.
+  assert(Catalog.size() <= 20 && "minimalKeys is exponential; spec too wide");
+  for (uint64_t Mask = 1; Mask <= All; ++Mask) {
+    ColumnSet S = ColumnSet::fromBits(Mask & All);
+    if (S.bits() != Mask)
+      continue;
+    if (!isKey(S))
+      continue;
+    bool Minimal = true;
+    S.forEach([&](ColumnId C) {
+      if (isKey(S - ColumnSet::of(C)))
+        Minimal = false;
+    });
+    if (!Minimal)
+      continue;
+    // Skip supersets of already-found keys (they cannot be minimal).
+    bool Superset = false;
+    for (ColumnSet K : Keys)
+      if (S.containsAll(K))
+        Superset = true;
+    if (!Superset)
+      Keys.push_back(S);
+  }
+  return Keys;
+}
+
+std::string RelationSpec::str() const {
+  std::string Out = "columns " + Catalog.str(allColumns());
+  for (const auto &Fd : Fds)
+    Out += ", " + Catalog.str(Fd.Lhs) + " -> " + Catalog.str(Fd.Rhs);
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- rel/RelationSpec.h - Relational specifications -----------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relational specifications (paper §2): a set of column names C together
+/// with a set of functional dependencies Δ. The specification is the
+/// contract between the client and the synthesized representation. This
+/// file also implements the standard FD theory (attribute-set closure,
+/// key tests) that adequacy checking (§4.1) and planning (§5) rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_REL_RELATIONSPEC_H
+#define CRS_REL_RELATIONSPEC_H
+
+#include "rel/Column.h"
+
+#include <string>
+#include <vector>
+
+namespace crs {
+
+/// One functional dependency `Lhs → Rhs`.
+struct FunctionalDependency {
+  ColumnSet Lhs;
+  ColumnSet Rhs;
+};
+
+/// Columns + functional dependencies. Immutable after construction.
+class RelationSpec {
+public:
+  /// Builds a spec; \p Fds use names resolved against \p Columns.
+  RelationSpec(std::vector<std::string> Columns,
+               std::vector<std::pair<std::vector<std::string>,
+                                     std::vector<std::string>>>
+                   Fds);
+
+  const ColumnCatalog &catalog() const { return Catalog; }
+  ColumnSet allColumns() const { return Catalog.allColumns(); }
+  const std::vector<FunctionalDependency> &fds() const { return Fds; }
+
+  /// Attribute-set closure of \p S under the spec's FDs (textbook
+  /// fixpoint algorithm).
+  ColumnSet closure(ColumnSet S) const;
+
+  /// True if \p S functionally determines \p Target.
+  bool determines(ColumnSet S, ColumnSet Target) const;
+
+  /// True if \p S is a key: it determines every column of the relation
+  /// (the paper's requirement on `remove` keys).
+  bool isKey(ColumnSet S) const;
+
+  /// All minimal keys, by exhaustive subset search (specs are tiny).
+  std::vector<ColumnSet> minimalKeys() const;
+
+  /// Convenience: id/set construction by name.
+  ColumnId col(const std::string &Name) const { return Catalog.id(Name); }
+  ColumnSet cols(std::initializer_list<const char *> Names) const {
+    return Catalog.setOf(Names);
+  }
+
+  /// Human-readable description of the spec.
+  std::string str() const;
+
+private:
+  ColumnCatalog Catalog;
+  std::vector<FunctionalDependency> Fds;
+};
+
+} // namespace crs
+
+#endif // CRS_REL_RELATIONSPEC_H

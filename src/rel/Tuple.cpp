@@ -1,0 +1,129 @@
+//===- rel/Tuple.cpp - Tuples over columns -----------------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/Tuple.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+Tuple Tuple::of(std::vector<std::pair<ColumnId, Value>> Es) {
+  std::sort(Es.begin(), Es.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  Tuple T;
+  for (auto &E : Es) {
+    assert(!T.Dom.contains(E.first) && "duplicate column in tuple");
+    T.Dom |= ColumnSet::of(E.first);
+  }
+  T.Entries = std::move(Es);
+  return T;
+}
+
+const Value &Tuple::get(ColumnId C) const {
+  assert(hasColumn(C) && "tuple lacks requested column");
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), C,
+      [](const auto &E, ColumnId Col) { return E.first < Col; });
+  return It->second;
+}
+
+void Tuple::set(ColumnId C, Value V) {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), C,
+      [](const auto &E, ColumnId Col) { return E.first < Col; });
+  if (It != Entries.end() && It->first == C) {
+    It->second = V;
+    return;
+  }
+  Entries.insert(It, {C, V});
+  Dom |= ColumnSet::of(C);
+}
+
+Tuple Tuple::project(ColumnSet Cols) const {
+  Tuple Out;
+  for (const auto &[C, V] : Entries) {
+    if (!Cols.contains(C))
+      continue;
+    Out.Entries.push_back({C, V});
+    Out.Dom |= ColumnSet::of(C);
+  }
+  return Out;
+}
+
+bool Tuple::extends(const Tuple &S) const {
+  if (!Dom.containsAll(S.domain()))
+    return false;
+  for (const auto &[C, V] : S.Entries)
+    if (get(C) != V)
+      return false;
+  return true;
+}
+
+bool Tuple::matches(const Tuple &S) const {
+  ColumnSet Common = Dom & S.domain();
+  if (Common.isEmpty())
+    return true;
+  bool Match = true;
+  Common.forEach([&](ColumnId C) {
+    if (get(C) != S.get(C))
+      Match = false;
+  });
+  return Match;
+}
+
+Tuple Tuple::unionWith(const Tuple &Other) const {
+  assert(matches(Other) && "union of conflicting tuples");
+  Tuple Out = *this;
+  for (const auto &[C, V] : Other.Entries)
+    if (!Out.hasColumn(C))
+      Out.set(C, V);
+  return Out;
+}
+
+bool Tuple::tryJoin(const Tuple &Other, Tuple &Out) const {
+  if (!matches(Other))
+    return false;
+  Out = unionWith(Other);
+  return true;
+}
+
+int Tuple::compare(const Tuple &Other) const {
+  size_t N = std::min(Entries.size(), Other.Entries.size());
+  for (size_t I = 0; I < N; ++I) {
+    if (Entries[I].first != Other.Entries[I].first)
+      return Entries[I].first < Other.Entries[I].first ? -1 : 1;
+    int C = Entries[I].second.compare(Other.Entries[I].second);
+    if (C != 0)
+      return C;
+  }
+  if (Entries.size() != Other.Entries.size())
+    return Entries.size() < Other.Entries.size() ? -1 : 1;
+  return 0;
+}
+
+uint64_t Tuple::hash() const {
+  uint64_t H = 0x243f6a8885a308d3ULL;
+  for (const auto &[C, V] : Entries) {
+    H = hashCombine(H, C);
+    H = hashCombine(H, V.hash());
+  }
+  return H;
+}
+
+std::string Tuple::str(const ColumnCatalog &Catalog) const {
+  std::string Out = "<";
+  bool First = true;
+  for (const auto &[C, V] : Entries) {
+    if (!First)
+      Out += ", ";
+    Out += Catalog.name(C) + ": " + V.str();
+    First = false;
+  }
+  return Out + ">";
+}

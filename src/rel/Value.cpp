@@ -1,0 +1,48 @@
+//===- rel/Value.cpp - Relation values --------------------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/Value.h"
+
+#include "support/Compiler.h"
+#include "support/Interner.h"
+
+using namespace crs;
+
+Value Value::ofString(std::string_view S) {
+  Value R;
+  R.TheKind = Kind::String;
+  R.IntVal = StringInterner::global().intern(S);
+  return R;
+}
+
+int64_t Value::asInt() const {
+  assert(isInt() && "asInt on a string value");
+  return IntVal;
+}
+
+std::string_view Value::asString() const {
+  assert(isString() && "asString on an integer value");
+  return StringInterner::global().lookup(
+      static_cast<StringInterner::Id>(IntVal));
+}
+
+int Value::compare(const Value &Other) const {
+  if (TheKind != Other.TheKind)
+    return TheKind == Kind::Int ? -1 : 1;
+  if (TheKind == Kind::Int)
+    return IntVal < Other.IntVal ? -1 : (IntVal > Other.IntVal ? 1 : 0);
+  // Compare interned strings by content so the order is intuitive; ids
+  // are insertion-ordered, not lexicographic.
+  std::string_view A = asString(), B = Other.asString();
+  return A < B ? -1 : (A > B ? 1 : 0);
+}
+
+std::string Value::str() const {
+  if (isInt())
+    return std::to_string(IntVal);
+  return "'" + std::string(asString()) + "'";
+}

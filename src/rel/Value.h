@@ -1,0 +1,80 @@
+//===- rel/Value.h - Relation values ----------------------------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relation values (paper §2): an untyped universe V including the
+/// integers. We support 64-bit integers and interned strings; both are
+/// word-sized, totally ordered, and hashable, which is what the container
+/// substrate and lock striping (§4.4) require of values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_REL_VALUE_H
+#define CRS_REL_VALUE_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace crs {
+
+/// A single relation value: either a 64-bit integer or an interned string.
+/// Values of different kinds are ordered integer-first (an arbitrary but
+/// total order, needed for sorted containers and the lexicographic lock
+/// order of §5.1).
+class Value {
+public:
+  enum class Kind : uint8_t { Int, String };
+
+  /// Default-constructs the integer 0.
+  Value() : TheKind(Kind::Int), IntVal(0) {}
+
+  static Value ofInt(int64_t V) {
+    Value R;
+    R.TheKind = Kind::Int;
+    R.IntVal = V;
+    return R;
+  }
+
+  /// Interns \p S in the process-global interner and wraps its id.
+  static Value ofString(std::string_view S);
+
+  Kind kind() const { return TheKind; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isString() const { return TheKind == Kind::String; }
+
+  int64_t asInt() const;
+  std::string_view asString() const;
+
+  /// Three-way comparison defining the total order on values.
+  int compare(const Value &Other) const;
+
+  bool operator==(const Value &Other) const {
+    return TheKind == Other.TheKind && IntVal == Other.IntVal;
+  }
+  bool operator!=(const Value &Other) const { return !(*this == Other); }
+  bool operator<(const Value &Other) const { return compare(Other) < 0; }
+
+  /// Deterministic hash, stable across runs (used for lock striping).
+  uint64_t hash() const {
+    return mix64(static_cast<uint64_t>(IntVal) ^
+                 (static_cast<uint64_t>(TheKind) << 62));
+  }
+
+  /// Human-readable rendering (strings are quoted).
+  std::string str() const;
+
+private:
+  Kind TheKind;
+  int64_t IntVal; // integer value, or interned string id
+};
+
+} // namespace crs
+
+#endif // CRS_REL_VALUE_H

@@ -1,0 +1,72 @@
+//===- runtime/AnyContainer.cpp - Type-erased edge containers -----------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AnyContainer.h"
+
+#include "containers/ConcurrentHashMap.h"
+#include "containers/ConcurrentSkipListMap.h"
+#include "containers/CowArrayMap.h"
+#include "containers/HashMap.h"
+#include "containers/SingletonCell.h"
+#include "containers/TreeMap.h"
+#include "support/Compiler.h"
+
+using namespace crs;
+
+namespace {
+
+/// CRTP-free adapter: wraps a concrete container template instance.
+template <typename Impl, ContainerKind K>
+class ContainerAdapter final : public AnyContainer {
+  Impl Map;
+
+public:
+  bool lookup(const Tuple &Key, NodeInstPtr &Out) const override {
+    return Map.lookup(Key, Out);
+  }
+  bool insertOrAssign(const Tuple &Key, NodeInstPtr Val) override {
+    return Map.insertOrAssign(Key, std::move(Val));
+  }
+  bool erase(const Tuple &Key) override { return Map.erase(Key); }
+  void scan(function_ref<bool(const Tuple &, const NodeInstPtr &)> Visit)
+      const override {
+    Map.scan([&](const Tuple &Key, const NodeInstPtr &Val) {
+      return Visit(Key, Val);
+    });
+  }
+  size_t size() const override { return Map.size(); }
+  ContainerKind kind() const override { return K; }
+};
+
+} // namespace
+
+std::unique_ptr<AnyContainer> AnyContainer::create(ContainerKind Kind) {
+  switch (Kind) {
+  case ContainerKind::HashMap:
+    return std::make_unique<ContainerAdapter<
+        HashMap<Tuple, NodeInstPtr, TupleHash>, ContainerKind::HashMap>>();
+  case ContainerKind::TreeMap:
+    return std::make_unique<ContainerAdapter<
+        TreeMap<Tuple, NodeInstPtr, TupleLess>, ContainerKind::TreeMap>>();
+  case ContainerKind::ConcurrentHashMap:
+    return std::make_unique<ContainerAdapter<
+        ConcurrentHashMap<Tuple, NodeInstPtr, TupleHash>,
+        ContainerKind::ConcurrentHashMap>>();
+  case ContainerKind::ConcurrentSkipListMap:
+    return std::make_unique<ContainerAdapter<
+        ConcurrentSkipListMap<Tuple, NodeInstPtr, TupleLess>,
+        ContainerKind::ConcurrentSkipListMap>>();
+  case ContainerKind::CowArrayMap:
+    return std::make_unique<ContainerAdapter<
+        CowArrayMap<Tuple, NodeInstPtr, TupleLess>,
+        ContainerKind::CowArrayMap>>();
+  case ContainerKind::SingletonCell:
+    return std::make_unique<ContainerAdapter<SingletonCell<Tuple, NodeInstPtr>,
+                                             ContainerKind::SingletonCell>>();
+  }
+  crs_unreachable("unknown container kind");
+}

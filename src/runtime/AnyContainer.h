@@ -1,0 +1,63 @@
+//===- runtime/AnyContainer.h - Type-erased edge containers ----*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decomposition edges are implemented by containers chosen at
+/// representation-construction time (ds(uv), §4.1). AnyContainer
+/// type-erases the container templates of src/containers instantiated
+/// with Tuple keys (the valuation of cols(uv)) and node-instance values,
+/// so the runtime can pick any kind per edge dynamically — exactly what
+/// the autotuner needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_RUNTIME_ANYCONTAINER_H
+#define CRS_RUNTIME_ANYCONTAINER_H
+
+#include "containers/ContainerTraits.h"
+#include "rel/Tuple.h"
+#include "support/FunctionRef.h"
+
+#include <memory>
+
+namespace crs {
+
+struct NodeInstance;
+using NodeInstPtr = std::shared_ptr<NodeInstance>;
+
+/// Abstract associative container from edge-column valuations to node
+/// instances. Thread-safety follows the wrapped kind's taxonomy entry
+/// (Figure 1); the lock placement is responsible for serializing access
+/// to non-concurrent kinds.
+class AnyContainer {
+public:
+  virtual ~AnyContainer() = default;
+
+  /// Returns true and sets \p Out if \p Key is present.
+  virtual bool lookup(const Tuple &Key, NodeInstPtr &Out) const = 0;
+
+  /// Inserts or replaces; returns true if newly inserted.
+  virtual bool insertOrAssign(const Tuple &Key, NodeInstPtr Val) = 0;
+
+  /// Removes; returns true if the key was present.
+  virtual bool erase(const Tuple &Key) = 0;
+
+  /// Visits entries (sorted-by-key iff the kind's traits say so); the
+  /// visitor returns false to stop early.
+  virtual void
+  scan(function_ref<bool(const Tuple &, const NodeInstPtr &)> Visit) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual ContainerKind kind() const = 0;
+
+  /// Factory: builds a container of the given kind.
+  static std::unique_ptr<AnyContainer> create(ContainerKind Kind);
+};
+
+} // namespace crs
+
+#endif // CRS_RUNTIME_ANYCONTAINER_H

@@ -1,0 +1,445 @@
+//===- runtime/ConcurrentRelation.cpp - The public relation API ---------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Operation protocols (see DESIGN.md for the full argument):
+///
+/// * query: compiled by the query planner (§5); executed with shared
+///   locks; speculative statements may request a transaction restart.
+///
+/// * remove: locate plan walking every edge under exclusive locks (§5.2),
+///   then a write epilogue erasing the matched tuple's entries bottom-up,
+///   cascading husk (empty-instance) cleanup.
+///
+/// * insert: a dedicated topological walk. At each existing node instance
+///   it acquires, exclusively and in global lock order, the stripes of
+///   every edge hosted there — the stripe chosen by the full new tuple
+///   when the edge's columns lie within dom(s), conservatively all
+///   stripes otherwise (the §4.4 rule: an insert must cover the absence
+///   check's reads, which may scan entries of sibling tuples). Targets
+///   resolved through speculative edges are locked too (§4.5 writer
+///   protocol). With all locks held it runs the s-driven absence check
+///   (insert is put-if-absent, §2), then creates the missing instances
+///   and container entries top-down, unifying shared nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ConcurrentRelation.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+using namespace crs;
+
+ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
+                                       CostParams CP)
+    : Config(std::move(Cfg)), BaseCostParams(CP),
+      Planner(*Config.Decomp, *Config.Placement, CP),
+      Executor(*Config.Decomp, *Config.Placement) {
+  [[maybe_unused]] ValidationResult DecompOk = Config.Decomp->validate();
+  assert(DecompOk.ok() && "decomposition must be adequate");
+  [[maybe_unused]] ValidationResult PlaceOk = Config.Placement->validate();
+  assert(PlaceOk.ok() && "lock placement must be well-formed");
+  [[maybe_unused]] ValidationResult SafeOk =
+      Config.Placement->validateContainerSafety();
+  assert(SafeOk.ok() && "container choices must match the placement");
+
+  const Decomposition &D = *Config.Decomp;
+  Root = NodeInstance::create(D, D.root(), Tuple(),
+                              Config.Placement->nodeStripes(D.root()));
+}
+
+std::shared_ptr<const Plan> ConcurrentRelation::queryPlanFor(ColumnSet DomS,
+                                                             ColumnSet C)
+    const {
+  std::lock_guard<std::mutex> Guard(PlanCacheMutex);
+  auto Key = std::make_pair(DomS.bits(), C.bits());
+  auto It = QueryPlans.find(Key);
+  if (It != QueryPlans.end())
+    return It->second;
+  auto P = std::make_shared<Plan>(Planner.planQuery(DomS, C));
+  QueryPlans.emplace(Key, P);
+  return P;
+}
+
+std::shared_ptr<const Plan>
+ConcurrentRelation::removePlanFor(ColumnSet DomS) const {
+  std::lock_guard<std::mutex> Guard(PlanCacheMutex);
+  auto It = RemovePlans.find(DomS.bits());
+  if (It != RemovePlans.end())
+    return It->second;
+  auto P = std::make_shared<Plan>(Planner.planRemoveLocate(DomS));
+  RemovePlans.emplace(DomS.bits(), P);
+  return P;
+}
+
+std::string ConcurrentRelation::explainQuery(ColumnSet DomS,
+                                             ColumnSet C) const {
+  return queryPlanFor(DomS, C)->str();
+}
+
+std::string ConcurrentRelation::explainRemove(ColumnSet DomS) const {
+  return removePlanFor(DomS)->str();
+}
+
+std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
+                                             ColumnSet C) const {
+  std::shared_ptr<const Plan> P = queryPlanFor(S.domain(), C);
+  for (unsigned Attempt = 0;; ++Attempt) {
+    LockSet Locks;
+    std::vector<QueryState> States;
+    if (Executor.run(*P, S, Root, Locks, States) == ExecStatus::Ok) {
+      std::vector<Tuple> Out;
+      Out.reserve(States.size());
+      for (const QueryState &St : States)
+        Out.push_back(St.T.project(C));
+      std::sort(Out.begin(), Out.end(), TupleLess());
+      Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+      return Out;
+    }
+    // Speculation failed (wrong guess or out-of-order conflict): release
+    // everything (LockSet destructor) and retry; yield under pressure.
+    Restarts.fetch_add(1, std::memory_order_relaxed);
+    if (Attempt >= 16)
+      std::this_thread::yield();
+  }
+}
+
+unsigned ConcurrentRelation::remove(const Tuple &S) {
+  assert(spec().isKey(S.domain()) &&
+         "remove requires s to be a key (paper §2)");
+  const Decomposition &D = *Config.Decomp;
+  std::shared_ptr<const Plan> P = removePlanFor(S.domain());
+
+  LockSet Locks;
+  std::vector<QueryState> States;
+  [[maybe_unused]] ExecStatus St = Executor.run(*P, S, Root, Locks, States);
+  assert(St == ExecStatus::Ok && "mutation locate plans never speculate");
+  if (States.empty())
+    return 0;
+  assert(States.size() == 1 && "key-matched remove found multiple tuples");
+
+  // Write epilogue: erase this tuple's entries bottom-up, cascading
+  // husk cleanup. A node instance belongs exclusively to the tuple when
+  // its key columns form a superkey; other instances are shared and
+  // their incoming entries survive until they empty out.
+  const QueryState &State = States.front();
+  const Tuple &Full = State.T;
+  std::vector<NodeId> Topo = D.topologicalOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    NodeId N = *It;
+    if (N == D.root())
+      continue;
+    const NodeInstPtr &Inst = State.Bound[N];
+    if (!Inst)
+      continue;
+    bool EraseIncoming = spec().isKey(D.node(N).KeyCols) ||
+                         Inst->allOutEmpty();
+    if (!EraseIncoming)
+      continue;
+    for (EdgeId E : D.node(N).InEdges) {
+      const NodeInstPtr &Parent = State.Bound[D.edge(E).Src];
+      assert(Parent && "parent of a bound instance must be bound");
+      Parent->containerFor(E).erase(Full.project(D.edge(E).Cols));
+    }
+  }
+  Count.fetch_sub(1, std::memory_order_relaxed);
+  // Shrinking phase: release while the locate states still pin the
+  // unlinked instances — their physical locks must outlive the unlock.
+  Locks.releaseAll();
+  return 1;
+}
+
+bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
+  assert(!S.domain().intersects(T.domain()) &&
+         "insert requires disjoint s and t domains (paper §2)");
+  Tuple Full = S.unionWith(T);
+  assert(Full.domain() == spec().allColumns() &&
+         "inserted tuple must value every column");
+  return insertImpl(S, Full);
+}
+
+/// One traversal step of the s-driven absence check: extends each state
+/// across edge \p E by lookup (key bound) or scan, joining against bound
+/// columns. Reads are covered by the insert walk's locks (see file
+/// comment).
+static void stepStates(const Decomposition &D, EdgeId E,
+                       std::vector<QueryState> &States) {
+  const auto &Edge = D.edge(E);
+  std::vector<QueryState> Out;
+  for (QueryState &State : States) {
+    const NodeInstPtr &Inst = State.Bound[Edge.Src];
+    if (!Inst)
+      continue;
+    const AnyContainer &Container = Inst->containerFor(E);
+    if (State.T.domain().containsAll(Edge.Cols)) {
+      NodeInstPtr Found;
+      if (!Container.lookup(State.T.project(Edge.Cols), Found))
+        continue;
+      QueryState NewState = std::move(State);
+      NewState.Bound[Edge.Dst] = std::move(Found);
+      Out.push_back(std::move(NewState));
+    } else {
+      Container.scan([&](const Tuple &Key, const NodeInstPtr &Val) {
+        Tuple Joined;
+        if (!State.T.tryJoin(Key, Joined))
+          return true;
+        QueryState NewState;
+        NewState.T = std::move(Joined);
+        NewState.Bound = State.Bound;
+        NewState.Bound[Edge.Dst] = Val;
+        Out.push_back(std::move(NewState));
+        return true;
+      });
+    }
+  }
+  States = std::move(Out);
+}
+
+bool ConcurrentRelation::insertImpl(const Tuple &S, const Tuple &Full) {
+  const Decomposition &D = *Config.Decomp;
+  const LockPlacement &LP = *Config.Placement;
+  std::vector<NodeId> Topo = D.topologicalOrder();
+  std::vector<uint32_t> TopoIdx = D.topologicalIndex();
+
+  LockSet Locks;
+  std::vector<NodeInstPtr> Inst(D.numNodes());
+  Inst[D.root()] = Root;
+
+  // Phase 1: topological walk — resolve existing instances with the full
+  // tuple and acquire every needed lock, exclusively, in global order.
+  for (NodeId N : Topo) {
+    if (N != D.root()) {
+      for (EdgeId E : D.node(N).InEdges) {
+        const auto &Edge = D.edge(E);
+        if (!Inst[Edge.Src])
+          continue;
+        NodeInstPtr Found;
+        if (!Inst[Edge.Src]->containerFor(E).lookup(
+                Full.project(Edge.Cols), Found)) {
+          continue;
+        }
+        assert((!Inst[N] || Inst[N].get() == Found.get()) &&
+               "inconsistent shared-node resolution");
+        Inst[N] = std::move(Found);
+      }
+    }
+    if (!Inst[N])
+      continue; // absent subtree: locks covered by the parent's edge lock
+
+    // Stripes needed at this instance: hosted edges (stripe by the full
+    // tuple when the edge will be read by lookup during the absence
+    // check, i.e. its columns lie within dom(s); all stripes otherwise)
+    // plus the present-target lock for speculative incoming edges.
+    bool All = false;
+    std::vector<uint32_t> Stripes;
+    for (const auto &Edge : D.edges()) {
+      const EdgePlacement &EP = LP.edgePlacement(Edge.Id);
+      if (EP.Host != N)
+        continue;
+      // A single stripe (selected by the full tuple) covers the edge
+      // when every stripe column in the edge's own columns is fixed by
+      // dom(s): the absence check's reads then stay on that stripe.
+      // Stripe columns within the source keys are pinned by the
+      // instance itself.
+      if (Inst[N]->NumStripes <= 1 ||
+          S.domain().containsAll(EP.StripeCols & Edge.Cols)) {
+        Stripes.push_back(static_cast<uint32_t>(
+            Full.project(EP.StripeCols).hash() % Inst[N]->NumStripes));
+      } else {
+        All = true;
+      }
+    }
+    for (EdgeId E : D.node(N).InEdges)
+      if (LP.edgePlacement(E).Speculative)
+        Stripes.push_back(0); // the present-entry lock (§4.5)
+    if (Stripes.empty() && !All)
+      continue;
+    if (All) {
+      Stripes.clear();
+      for (uint32_t I = 0; I < Inst[N]->NumStripes; ++I)
+        Stripes.push_back(I);
+    } else {
+      std::sort(Stripes.begin(), Stripes.end());
+      Stripes.erase(std::unique(Stripes.begin(), Stripes.end()),
+                    Stripes.end());
+    }
+    for (uint32_t I : Stripes)
+      Locks.acquire(Inst[N]->Stripes[I],
+                    LockOrderKey{TopoIdx[N], Inst[N]->Key, I},
+                    LockMode::Exclusive);
+    Locks.pinResource(Inst[N]);
+  }
+
+  // Phase 2: the put-if-absent check (§2) — does any tuple match s?
+  {
+    std::vector<QueryState> States;
+    QueryState Init;
+    Init.T = S;
+    Init.Bound.resize(D.numNodes());
+    Init.Bound[D.root()] = Root;
+    States.push_back(std::move(Init));
+    for (NodeId N : Topo) {
+      for (EdgeId E : D.node(N).OutEdges) {
+        stepStates(D, E, States);
+        if (States.empty())
+          break;
+      }
+      if (States.empty())
+        break;
+    }
+    if (!States.empty())
+      return false; // a matching tuple exists; locks release on return
+  }
+
+  // Phase 3: create missing instances (top-down) and all entries.
+  for (NodeId N : Topo) {
+    if (Inst[N])
+      continue;
+    Inst[N] = NodeInstance::create(D, N, Full.project(D.node(N).KeyCols),
+                                   LP.nodeStripes(N));
+    // A fresh instance reached through a speculative edge must be locked
+    // before the entry is published, or a guessing reader could observe
+    // the uncommitted insert (§4.5 writer protocol). The instance is not
+    // yet reachable, so the acquisition cannot block — take it through
+    // the try path, which is exempt from the global-order discipline.
+    for (EdgeId E : D.node(N).InEdges)
+      if (LP.edgePlacement(E).Speculative) {
+        [[maybe_unused]] AcquireResult R = Locks.tryAcquire(
+            Inst[N]->Stripes[0], LockOrderKey{TopoIdx[N], Inst[N]->Key, 0},
+            LockMode::Exclusive);
+        assert(R == AcquireResult::Ok &&
+               "lock on an unpublished instance cannot be contended");
+        Locks.pinResource(Inst[N]);
+      }
+  }
+  for (NodeId N : Topo)
+    for (EdgeId E : D.node(N).OutEdges)
+      Inst[N]->containerFor(E).insertOrAssign(
+          Full.project(D.edge(E).Cols), Inst[D.edge(E).Dst]);
+
+  Count.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<Tuple> ConcurrentRelation::scanAll() const {
+  return query(Tuple(), spec().allColumns());
+}
+
+/// Visits every live node instance exactly once (quiescent walk).
+static void forEachInstance(
+    const Decomposition &D, const NodeInstPtr &Root,
+    const std::function<void(NodeId, const NodeInstance &)> &Visit) {
+  std::vector<const NodeInstance *> Seen;
+  std::function<void(NodeId, const NodeInstPtr &)> Walk =
+      [&](NodeId N, const NodeInstPtr &Inst) {
+        if (std::find(Seen.begin(), Seen.end(), Inst.get()) != Seen.end())
+          return;
+        Seen.push_back(Inst.get());
+        Visit(N, *Inst);
+        for (EdgeId E : D.node(N).OutEdges)
+          Inst->containerFor(E).scan(
+              [&](const Tuple &, const NodeInstPtr &Child) {
+                Walk(D.edge(E).Dst, Child);
+                return true;
+              });
+      };
+  Walk(D.root(), Root);
+}
+
+RelationStatistics ConcurrentRelation::collectStatistics() const {
+  const Decomposition &D = *Config.Decomp;
+  RelationStatistics Stats;
+  Stats.Edges.resize(D.numEdges());
+  Stats.Nodes.resize(D.numNodes());
+  forEachInstance(D, Root, [&](NodeId N, const NodeInstance &Inst) {
+    ++Stats.NodeInstances;
+    NodeLockTraffic &Traffic = Stats.Nodes[N];
+    ++Traffic.Instances;
+    for (uint32_t I = 0; I < Inst.NumStripes; ++I) {
+      Traffic.Acquisitions += Inst.Stripes[I].acquisitions();
+      Traffic.Contentions += Inst.Stripes[I].contentions();
+    }
+    for (EdgeId E : D.node(N).OutEdges) {
+      EdgeOccupancy &Occ = Stats.Edges[E];
+      ++Occ.Containers;
+      Occ.Entries += Inst.containerFor(E).size();
+    }
+  });
+  return Stats;
+}
+
+void ConcurrentRelation::adaptPlans() {
+  RelationStatistics Stats = collectStatistics();
+  std::lock_guard<std::mutex> Guard(PlanCacheMutex);
+  Planner = QueryPlanner(*Config.Decomp, *Config.Placement,
+                         Stats.toCostParams(BaseCostParams));
+  QueryPlans.clear();
+  RemovePlans.clear();
+}
+
+ValidationResult ConcurrentRelation::verifyConsistency() const {
+  ValidationResult R;
+  const Decomposition &D = *Config.Decomp;
+
+  // Enumerate all root-to-leaf edge paths.
+  std::vector<std::vector<EdgeId>> Paths;
+  std::vector<EdgeId> Current;
+  std::function<void(NodeId)> Walk = [&](NodeId N) {
+    if (D.node(N).OutEdges.empty()) {
+      Paths.push_back(Current);
+      return;
+    }
+    for (EdgeId E : D.node(N).OutEdges) {
+      Current.push_back(E);
+      Walk(D.edge(E).Dst);
+      Current.pop_back();
+    }
+  };
+  Walk(D.root());
+
+  // Collect the tuple set along each path (unlocked: quiescence is the
+  // caller's obligation).
+  std::vector<std::vector<Tuple>> PathTuples;
+  for (const auto &Path : Paths) {
+    std::vector<QueryState> States;
+    QueryState Init;
+    Init.Bound.resize(D.numNodes());
+    Init.Bound[D.root()] = Root;
+    States.push_back(std::move(Init));
+    for (EdgeId E : Path)
+      stepStates(D, E, States);
+    std::vector<Tuple> Tuples;
+    for (const QueryState &St : States)
+      Tuples.push_back(St.T);
+    std::sort(Tuples.begin(), Tuples.end(), TupleLess());
+    PathTuples.push_back(std::move(Tuples));
+  }
+
+  for (size_t I = 1; I < PathTuples.size(); ++I)
+    if (PathTuples[I] != PathTuples[0])
+      R.Errors.push_back("path " + std::to_string(I) +
+                         " disagrees with path 0 on the represented relation");
+
+  if (!PathTuples.empty() && PathTuples[0].size() != size())
+    R.Errors.push_back("tuple count " + std::to_string(PathTuples[0].size()) +
+                       " disagrees with size() " + std::to_string(size()));
+
+  // Functional dependencies must hold over the represented relation.
+  if (!PathTuples.empty()) {
+    const auto &Tuples = PathTuples[0];
+    for (const auto &Fd : spec().fds())
+      for (size_t I = 0; I < Tuples.size(); ++I)
+        for (size_t J = I + 1; J < Tuples.size(); ++J)
+          if (Tuples[I].project(Fd.Lhs) == Tuples[J].project(Fd.Lhs) &&
+              Tuples[I].project(Fd.Rhs) != Tuples[J].project(Fd.Rhs))
+            R.Errors.push_back("functional dependency violated");
+  }
+  return R;
+}

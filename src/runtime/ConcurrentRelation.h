@@ -1,0 +1,134 @@
+//===- runtime/ConcurrentRelation.h - The public relation API --*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesized concurrent relation — the library's primary public
+/// type. Construct one from a relational specification, an adequate
+/// decomposition, and a well-formed lock placement; the relation then
+/// offers the paper's atomic operations (§2):
+///
+///   insert r s t — insert s ∪ t unless a tuple matching s exists
+///                  (generalized put-if-absent; returns whether it won);
+///   remove r s   — remove the tuple matching key s;
+///   query r s C  — project columns C of all tuples extending s.
+///
+/// Every operation is compiled (lazily, per operation signature) into a
+/// plan tailored to the decomposition and placement, executed under
+/// two-phase locking in the global lock order: operations are
+/// linearizable and deadlock-free by construction (§4.2, §5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_RUNTIME_CONCURRENTRELATION_H
+#define CRS_RUNTIME_CONCURRENTRELATION_H
+
+#include "plan/Planner.h"
+#include "runtime/Interpreter.h"
+#include "runtime/Statistics.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace crs {
+
+/// Bundles a specification, decomposition, and placement with shared
+/// ownership so representations can be built, named, and passed around
+/// (the autotuner enumerates hundreds of these).
+struct RepresentationConfig {
+  std::shared_ptr<const RelationSpec> Spec;
+  std::shared_ptr<const Decomposition> Decomp;
+  std::shared_ptr<const LockPlacement> Placement;
+  std::string Name;
+};
+
+/// A concurrent relation with a synthesized representation.
+class ConcurrentRelation {
+public:
+  /// Builds a relation over \p Config. Asserts (debug) that the
+  /// decomposition is adequate and the placement well-formed and
+  /// container-safe; use the validate() entry points to check
+  /// programmatically first.
+  explicit ConcurrentRelation(RepresentationConfig Config,
+                              CostParams CP = {});
+
+  ConcurrentRelation(const ConcurrentRelation &) = delete;
+  ConcurrentRelation &operator=(const ConcurrentRelation &) = delete;
+
+  /// insert r s t (§2): atomically, if no tuple matches \p S, inserts
+  /// S ∪ T and returns true; otherwise returns false. dom(S) and dom(T)
+  /// must be disjoint and jointly cover every column.
+  bool insert(const Tuple &S, const Tuple &T);
+
+  /// remove r s (§2): atomically removes tuples extending \p S; returns
+  /// the number removed. As in the paper's implementation, \p S must be
+  /// a key for the relation.
+  unsigned remove(const Tuple &S);
+
+  /// query r s C (§2): atomically returns π_C of all tuples extending
+  /// \p S (deduplicated).
+  std::vector<Tuple> query(const Tuple &S, ColumnSet C) const;
+
+  /// Number of tuples currently in the relation.
+  size_t size() const { return Count.load(std::memory_order_relaxed); }
+
+  const RepresentationConfig &config() const { return Config; }
+  const RelationSpec &spec() const { return *Config.Spec; }
+
+  /// The compiled plan text for a query signature (paper §5.2 style).
+  std::string explainQuery(ColumnSet DomS, ColumnSet C) const;
+  /// The compiled locate plan for remove with dom(s) = \p DomS.
+  std::string explainRemove(ColumnSet DomS) const;
+
+  /// Total speculative / out-of-order transaction restarts so far.
+  uint64_t restarts() const { return Restarts.load(std::memory_order_relaxed); }
+
+  /// Quiescent whole-structure check (tests): every root-to-leaf path
+  /// yields the same tuple set, FDs hold, instance keys are consistent.
+  /// Must not race with mutations.
+  ValidationResult verifyConsistency() const;
+
+  /// Quiescent statistics snapshot: per-edge container occupancy and
+  /// per-node lock traffic. Must not race with mutations.
+  RelationStatistics collectStatistics() const;
+
+  /// Statistics-driven replanning: recompiles future plans against the
+  /// measured per-edge fanouts (the profiling-driven planning of the
+  /// DRS line of work). Existing cached plans are discarded. Quiescent
+  /// only: concurrent operations may still use the old plans safely,
+  /// but the measurement itself must not race with mutations.
+  void adaptPlans();
+
+  /// All tuples, via a serializable full scan (test/debug convenience).
+  std::vector<Tuple> scanAll() const;
+
+private:
+  RepresentationConfig Config;
+  CostParams BaseCostParams;
+  QueryPlanner Planner;
+  PlanExecutor Executor;
+  NodeInstPtr Root;
+  std::atomic<size_t> Count{0};
+  mutable std::atomic<uint64_t> Restarts{0};
+
+  // Plans are compiled on first use per (dom(s), C) signature.
+  mutable std::mutex PlanCacheMutex;
+  mutable std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<const Plan>>
+      QueryPlans;
+  mutable std::map<uint64_t, std::shared_ptr<const Plan>> RemovePlans;
+
+  std::shared_ptr<const Plan> queryPlanFor(ColumnSet DomS, ColumnSet C) const;
+  std::shared_ptr<const Plan> removePlanFor(ColumnSet DomS) const;
+
+  // Insert is a dedicated topological walk (see .cpp for the protocol).
+  bool insertImpl(const Tuple &S, const Tuple &Full);
+};
+
+} // namespace crs
+
+#endif // CRS_RUNTIME_CONCURRENTRELATION_H

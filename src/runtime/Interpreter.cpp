@@ -1,0 +1,267 @@
+//===- runtime/Interpreter.cpp - Query plan execution -------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+PlanExecutor::PlanExecutor(const Decomposition &D, const LockPlacement &P)
+    : Decomp(&D), Placement(&P), TopoIdx(D.topologicalIndex()) {}
+
+LockOrderKey PlanExecutor::orderKey(NodeId Node, const NodeInstance &Inst,
+                                    uint32_t Stripe) const {
+  return {TopoIdx[Node], Inst.Key, Stripe};
+}
+
+/// Stripe index selected by hashing \p Cols of \p T over \p Count stripes.
+static uint32_t stripeIndex(const Tuple &T, ColumnSet Cols, uint32_t Count) {
+  if (Count <= 1)
+    return 0;
+  return static_cast<uint32_t>(T.project(Cols).hash() % Count);
+}
+
+ExecStatus PlanExecutor::execLock(const PlanStmt &St,
+                                  const std::vector<QueryState> &States,
+                                  LockSet &Locks) const {
+  struct Req {
+    LockOrderKey Key;
+    PhysicalLock *Lock;
+  };
+  std::vector<Req> Reqs;
+  for (const QueryState &State : States) {
+    const NodeInstPtr &Inst = State.Bound[St.Node];
+    if (!Inst)
+      continue;
+    for (const StripeSel &Sel : St.Sels) {
+      if (Sel.AllStripes) {
+        for (uint32_t I = 0; I < Inst->NumStripes; ++I)
+          Reqs.push_back({orderKey(St.Node, *Inst, I), &Inst->Stripes[I]});
+      } else {
+        assert(State.T.domain().containsAll(Sel.Cols) &&
+               "stripe selector columns unbound at lock time");
+        uint32_t I = stripeIndex(State.T, Sel.Cols, Inst->NumStripes);
+        Reqs.push_back({orderKey(St.Node, *Inst, I), &Inst->Stripes[I]});
+      }
+    }
+  }
+  // The lock operator sorts node instances into lock order before
+  // acquiring; the planner's §5.2 static analysis elides the sort when
+  // the states provably arrive pre-sorted (e.g. from a TreeMap scan).
+  auto InOrder = [](const Req &A, const Req &B) { return A.Key < B.Key; };
+  if (St.SortElided) {
+    assert(std::is_sorted(Reqs.begin(), Reqs.end(), InOrder) &&
+           "sort-elision analysis accepted unsorted lock input");
+  } else {
+    std::sort(Reqs.begin(), Reqs.end(), InOrder);
+  }
+  for (const Req &R : Reqs)
+    Locks.acquire(*R.Lock, R.Key, St.Mode);
+  // Keep the lock owners alive until the shrinking phase completes.
+  for (const QueryState &State : States)
+    if (const NodeInstPtr &Inst = State.Bound[St.Node])
+      Locks.pinResource(Inst);
+  return ExecStatus::Ok;
+}
+
+void PlanExecutor::execLookup(const PlanStmt &St,
+                              const std::vector<QueryState> &In,
+                              std::vector<QueryState> &Out) const {
+  const auto &E = Decomp->edge(St.Edge);
+  for (const QueryState &State : In) {
+    const NodeInstPtr &Inst = State.Bound[E.Src];
+    if (!Inst)
+      continue;
+    Tuple Key = State.T.project(E.Cols);
+    NodeInstPtr Found;
+    if (!Inst->containerFor(St.Edge).lookup(Key, Found))
+      continue;
+    if (State.Bound[E.Dst]) {
+      // Shared node reached along a second path (diamond): instances
+      // must agree or the heap is not a well-formed decomposition
+      // instance.
+      assert(State.Bound[E.Dst].get() == Found.get() &&
+             "inconsistent shared-node binding");
+      if (State.Bound[E.Dst].get() != Found.get())
+        continue;
+    }
+    QueryState NewState = State;
+    NewState.Bound[E.Dst] = std::move(Found);
+    Out.push_back(std::move(NewState));
+  }
+}
+
+void PlanExecutor::execScan(const PlanStmt &St,
+                            const std::vector<QueryState> &In,
+                            std::vector<QueryState> &Out) const {
+  const auto &E = Decomp->edge(St.Edge);
+  for (const QueryState &State : In) {
+    const NodeInstPtr &Inst = State.Bound[E.Src];
+    if (!Inst)
+      continue;
+    Inst->containerFor(St.Edge).scan(
+        [&](const Tuple &Key, const NodeInstPtr &Val) {
+          Tuple Joined;
+          if (!State.T.tryJoin(Key, Joined))
+            return true; // filtered out by already-bound columns
+          if (State.Bound[E.Dst] && State.Bound[E.Dst].get() != Val.get())
+            return true;
+          QueryState NewState;
+          NewState.T = std::move(Joined);
+          NewState.Bound = State.Bound;
+          NewState.Bound[E.Dst] = Val;
+          Out.push_back(std::move(NewState));
+          return true;
+        });
+  }
+}
+
+ExecStatus PlanExecutor::execSpecLookup(const PlanStmt &St,
+                                        const std::vector<QueryState> &In,
+                                        std::vector<QueryState> &Out,
+                                        LockSet &Locks) const {
+  const auto &E = Decomp->edge(St.Edge);
+  const EdgePlacement &EP = Placement->edgePlacement(St.Edge);
+  for (const QueryState &State : In) {
+    const NodeInstPtr &Inst = State.Bound[E.Src];
+    if (!Inst)
+      continue;
+    Tuple Key = State.T.project(E.Cols);
+    const AnyContainer &Container = Inst->containerFor(St.Edge);
+
+    // Guess via an unlocked read (safe: speculative placements require a
+    // concurrency-safe container with linearizable lookups, §4.5), lock
+    // the guessed location, then verify under the lock.
+    NodeInstPtr Guess;
+    bool Present = Container.lookup(Key, Guess);
+    if (Present) {
+      LockOrderKey OKey = orderKey(E.Dst, *Guess, 0);
+      if (Locks.inOrder(OKey)) {
+        Locks.acquire(Guess->Stripes[0], OKey, St.Mode);
+      } else if (Locks.tryAcquire(Guess->Stripes[0], OKey, St.Mode) !=
+                 AcquireResult::Ok) {
+        return ExecStatus::Restart;
+      }
+      Locks.pinResource(Guess);
+      NodeInstPtr Recheck;
+      if (!Container.lookup(Key, Recheck) || Recheck.get() != Guess.get())
+        return ExecStatus::Restart; // wrong guess: release all and retry
+      QueryState NewState = State;
+      NewState.Bound[E.Dst] = std::move(Guess);
+      Out.push_back(std::move(NewState));
+      continue;
+    }
+
+    // Absent: the logical lock lives at the (dominating) absent-case
+    // host, striped by the edge's stripe columns.
+    const NodeInstPtr &Host = State.Bound[EP.Host];
+    assert(Host && "speculative absent-case host instance unbound");
+    uint32_t Stripe = stripeIndex(State.T, EP.StripeCols, Host->NumStripes);
+    LockOrderKey OKey = orderKey(EP.Host, *Host, Stripe);
+    if (Locks.inOrder(OKey)) {
+      Locks.acquire(Host->Stripes[Stripe], OKey, St.Mode);
+    } else if (Locks.tryAcquire(Host->Stripes[Stripe], OKey, St.Mode) !=
+               AcquireResult::Ok) {
+      return ExecStatus::Restart;
+    }
+    Locks.pinResource(Host);
+    NodeInstPtr Recheck;
+    if (Container.lookup(Key, Recheck))
+      return ExecStatus::Restart; // appeared while guessing
+    // Verified absent under the absence lock: the state dies (no tuple),
+    // and the held lock protects this negative observation (2PL).
+  }
+  return ExecStatus::Ok;
+}
+
+ExecStatus PlanExecutor::execSpecScan(const PlanStmt &St,
+                                      const std::vector<QueryState> &In,
+                                      std::vector<QueryState> &Out,
+                                      LockSet &Locks) const {
+  const auto &E = Decomp->edge(St.Edge);
+  for (const QueryState &State : In) {
+    const NodeInstPtr &Inst = State.Bound[E.Src];
+    if (!Inst)
+      continue;
+    // The all-stripes host lock held by the preceding Lock statement
+    // excludes every writer of this edge, so entries are pinned; collect
+    // them, then lock targets in sorted (global) order.
+    struct Entry {
+      Tuple Key;
+      NodeInstPtr Val;
+    };
+    std::vector<Entry> Entries;
+    Inst->containerFor(St.Edge).scan(
+        [&](const Tuple &Key, const NodeInstPtr &Val) {
+          Entries.push_back({Key, Val});
+          return true;
+        });
+    std::sort(Entries.begin(), Entries.end(),
+              [](const Entry &A, const Entry &B) {
+                return A.Key.compare(B.Key) < 0;
+              });
+    for (Entry &En : Entries) {
+      Tuple Joined;
+      if (!State.T.tryJoin(En.Key, Joined))
+        continue;
+      Locks.acquire(En.Val->Stripes[0], orderKey(E.Dst, *En.Val, 0),
+                    St.Mode);
+      Locks.pinResource(En.Val);
+      QueryState NewState;
+      NewState.T = std::move(Joined);
+      NewState.Bound = State.Bound;
+      NewState.Bound[E.Dst] = En.Val;
+      Out.push_back(std::move(NewState));
+    }
+  }
+  return ExecStatus::Ok;
+}
+
+ExecStatus PlanExecutor::run(const Plan &Plan, const Tuple &Input,
+                             NodeInstPtr Root, LockSet &Locks,
+                             std::vector<QueryState> &Result) const {
+  std::vector<std::vector<QueryState>> Vars(Plan.NumVars);
+  QueryState Init;
+  Init.T = Input;
+  Init.Bound.resize(Decomp->numNodes());
+  Init.Bound[Decomp->root()] = std::move(Root);
+  Vars[0].push_back(std::move(Init));
+
+  for (const PlanStmt &St : Plan.Stmts) {
+    switch (St.K) {
+    case PlanStmt::Kind::Lock:
+      if (execLock(St, Vars[St.InVar], Locks) != ExecStatus::Ok)
+        return ExecStatus::Restart;
+      break;
+    case PlanStmt::Kind::Unlock:
+      // Strict two-phase execution: everything is released by the caller
+      // after the operation's writes and result extraction.
+      break;
+    case PlanStmt::Kind::Lookup:
+      execLookup(St, Vars[St.InVar], Vars[St.OutVar]);
+      break;
+    case PlanStmt::Kind::Scan:
+      execScan(St, Vars[St.InVar], Vars[St.OutVar]);
+      break;
+    case PlanStmt::Kind::SpecLookup:
+      if (execSpecLookup(St, Vars[St.InVar], Vars[St.OutVar], Locks) !=
+          ExecStatus::Ok)
+        return ExecStatus::Restart;
+      break;
+    case PlanStmt::Kind::SpecScan:
+      if (execSpecScan(St, Vars[St.InVar], Vars[St.OutVar], Locks) !=
+          ExecStatus::Ok)
+        return ExecStatus::Restart;
+      break;
+    }
+  }
+  Result = std::move(Vars[Plan.ResultVar]);
+  return ExecStatus::Ok;
+}

@@ -1,0 +1,82 @@
+//===- runtime/Interpreter.h - Query plan execution -------------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled plans (§5.2) against a decomposition instance. Each
+/// plan statement transforms a set of query states (t, m) — a tuple of
+/// bound columns plus bindings from decomposition nodes to node
+/// instances. Lock statements sort the physical locks they acquire into
+/// the global lock order (§5.1) before acquisition; speculative
+/// statements implement the guess-verify protocol of §4.5, restarting
+/// the transaction on a wrong guess or an out-of-order conflict (the
+/// try-lock/restart discipline that keeps speculation deadlock-free).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_RUNTIME_INTERPRETER_H
+#define CRS_RUNTIME_INTERPRETER_H
+
+#include "plan/QueryIR.h"
+#include "runtime/NodeInstance.h"
+#include "sync/LockSet.h"
+
+#include <vector>
+
+namespace crs {
+
+/// One query state (§5.2): bound columns plus node-instance bindings
+/// (indexed by NodeId; null = unbound).
+struct QueryState {
+  Tuple T;
+  std::vector<NodeInstPtr> Bound;
+};
+
+/// Outcome of executing a plan.
+enum class ExecStatus : uint8_t {
+  Ok,      ///< plan ran to completion; results valid
+  Restart, ///< speculation failed; release everything and re-execute
+};
+
+/// Stateless plan executor bound to one decomposition + placement.
+class PlanExecutor {
+public:
+  PlanExecutor(const Decomposition &D, const LockPlacement &P);
+
+  /// Runs \p Plan with input tuple \p Input (the operation's s) rooted at
+  /// \p Root. Acquired locks go into \p Locks and are *kept* on return
+  /// (strict two-phase: the caller releases after applying writes and
+  /// reading results). On Restart the caller must release and retry.
+  ExecStatus run(const Plan &Plan, const Tuple &Input, NodeInstPtr Root,
+                 LockSet &Locks, std::vector<QueryState> &Result) const;
+
+private:
+  const Decomposition *Decomp;
+  const LockPlacement *Placement;
+  std::vector<uint32_t> TopoIdx;
+
+  LockOrderKey orderKey(NodeId Node, const NodeInstance &Inst,
+                        uint32_t Stripe) const;
+
+  ExecStatus execLock(const PlanStmt &St,
+                      const std::vector<QueryState> &States,
+                      LockSet &Locks) const;
+  void execLookup(const PlanStmt &St, const std::vector<QueryState> &In,
+                  std::vector<QueryState> &Out) const;
+  void execScan(const PlanStmt &St, const std::vector<QueryState> &In,
+                std::vector<QueryState> &Out) const;
+  ExecStatus execSpecLookup(const PlanStmt &St,
+                            const std::vector<QueryState> &In,
+                            std::vector<QueryState> &Out,
+                            LockSet &Locks) const;
+  ExecStatus execSpecScan(const PlanStmt &St,
+                          const std::vector<QueryState> &In,
+                          std::vector<QueryState> &Out, LockSet &Locks) const;
+};
+
+} // namespace crs
+
+#endif // CRS_RUNTIME_INTERPRETER_H

@@ -1,0 +1,47 @@
+//===- runtime/NodeInstance.cpp - Decomposition instances ---------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/NodeInstance.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+NodeInstPtr NodeInstance::create(const Decomposition &D, NodeId Node,
+                                 Tuple Key, uint32_t StripeCount) {
+  auto Inst = std::make_shared<NodeInstance>();
+  Inst->StaticNode = &D.node(Node);
+  Inst->Key = std::move(Key);
+  assert(Inst->Key.domain() == Inst->StaticNode->KeyCols &&
+         "instance key must be a valuation of the node's key columns");
+  for (EdgeId E : Inst->StaticNode->OutEdges)
+    Inst->Out.push_back(AnyContainer::create(D.edge(E).Kind));
+  assert(StripeCount >= 1 && "every node instance carries >= 1 lock");
+  Inst->Stripes = std::make_unique<PhysicalLock[]>(StripeCount);
+  Inst->NumStripes = StripeCount;
+  return Inst;
+}
+
+AnyContainer &NodeInstance::containerFor(EdgeId E) {
+  const auto &OutEdges = StaticNode->OutEdges;
+  auto It = std::find(OutEdges.begin(), OutEdges.end(), E);
+  assert(It != OutEdges.end() && "edge does not leave this node");
+  return *Out[It - OutEdges.begin()];
+}
+
+const AnyContainer &NodeInstance::containerFor(EdgeId E) const {
+  return const_cast<NodeInstance *>(this)->containerFor(E);
+}
+
+bool NodeInstance::allOutEmpty() const {
+  for (const auto &C : Out)
+    if (C->size() != 0)
+      return false;
+  return true;
+}

@@ -1,0 +1,59 @@
+//===- runtime/NodeInstance.h - Decomposition instances ---------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime (dynamic) counterpart of a decomposition (§4.1): each node
+/// v: A ▷ B has a set of instances v_t, one per valuation t of A, each an
+/// object in memory holding one container per outgoing edge plus the
+/// physical locks the lock placement attaches to the node (§4.3, striped
+/// per §4.4). Instances are reference-counted: containers hold shared
+/// pointers, so concurrent speculative readers (§4.5) can never observe a
+/// freed instance even if it is concurrently unlinked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_RUNTIME_NODEINSTANCE_H
+#define CRS_RUNTIME_NODEINSTANCE_H
+
+#include "decomp/Decomposition.h"
+#include "runtime/AnyContainer.h"
+#include "sync/PhysicalLock.h"
+
+#include <memory>
+#include <vector>
+
+namespace crs {
+
+/// One node instance v_t.
+struct NodeInstance {
+  const Decomposition::Node *StaticNode = nullptr; ///< the node instantiated
+  Tuple Key;                             ///< the valuation t of v's key cols
+  /// One container per outgoing edge, parallel to StaticNode->OutEdges.
+  std::vector<std::unique_ptr<AnyContainer>> Out;
+  /// Physical locks attached to this instance (stripe count from the
+  /// lock placement's nodeStripes).
+  std::unique_ptr<PhysicalLock[]> Stripes;
+  uint32_t NumStripes = 0;
+
+  /// Builds an instance of \p Node keyed \p Key with containers per
+  /// \p D's edge kinds and \p StripeCount physical locks.
+  static NodeInstPtr create(const Decomposition &D, NodeId Node, Tuple Key,
+                            uint32_t StripeCount);
+
+  /// The container implementing outgoing edge \p E (must leave this
+  /// node).
+  AnyContainer &containerFor(EdgeId E);
+  const AnyContainer &containerFor(EdgeId E) const;
+
+  /// True if every outgoing container is empty (husk detection during
+  /// remove cleanup).
+  bool allOutEmpty() const;
+};
+
+} // namespace crs
+
+#endif // CRS_RUNTIME_NODEINSTANCE_H

@@ -1,0 +1,43 @@
+//===- support/Compiler.h - Compiler abstraction macros ---------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler abstraction macros used throughout the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SUPPORT_COMPILER_H
+#define CRS_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CRS_LIKELY(x) __builtin_expect(!!(x), 1)
+#define CRS_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define CRS_LIKELY(x) (x)
+#define CRS_UNLIKELY(x) (x)
+#endif
+
+namespace crs {
+
+/// Reports a fatal internal error and aborts. Used for states that should
+/// be impossible if the library's invariants hold.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "crs fatal: %s at %s:%u\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace crs
+
+/// Marks a point in the code that must never be reached.
+#define crs_unreachable(msg) ::crs::unreachableImpl(msg, __FILE__, __LINE__)
+
+#endif // CRS_SUPPORT_COMPILER_H

@@ -1,0 +1,58 @@
+//===- support/FunctionRef.h - Non-owning callable reference ----*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight non-owning reference to a callable, in the style of
+/// llvm::function_ref. Useful for callback parameters (e.g. container
+/// scan visitors) where storing the callable is unnecessary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SUPPORT_FUNCTIONREF_H
+#define CRS_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace crs {
+
+template <typename Fn> class function_ref;
+
+/// Non-owning reference to any callable with signature `Ret(Params...)`.
+/// The referenced callable must outlive the function_ref.
+template <typename Ret, typename... Params>
+class function_ref<Ret(Params...)> {
+  Ret (*Callback)(intptr_t Callable, Params... Ps) = nullptr;
+  intptr_t Callable = 0;
+
+  template <typename Callee>
+  static Ret callbackFn(intptr_t C, Params... Ps) {
+    return (*reinterpret_cast<Callee *>(C))(std::forward<Params>(Ps)...);
+  }
+
+public:
+  function_ref() = default;
+  function_ref(std::nullptr_t) {}
+
+  template <typename Callee>
+  function_ref(Callee &&C,
+               std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Callee>,
+                                                function_ref>> * = nullptr)
+      : Callback(callbackFn<std::remove_reference_t<Callee>>),
+        Callable(reinterpret_cast<intptr_t>(&C)) {}
+
+  Ret operator()(Params... Ps) const {
+    return Callback(Callable, std::forward<Params>(Ps)...);
+  }
+
+  explicit operator bool() const { return Callback; }
+};
+
+} // namespace crs
+
+#endif // CRS_SUPPORT_FUNCTIONREF_H

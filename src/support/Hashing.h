@@ -1,0 +1,52 @@
+//===- support/Hashing.h - Hash utilities -----------------------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic hashing helpers. The library needs hashes that are stable
+/// across runs (lock striping indices feed into reproducible experiments),
+/// so we avoid std::hash for anything that matters and use explicit mixers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SUPPORT_HASHING_H
+#define CRS_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace crs {
+
+/// Finalization mixer from MurmurHash3; good avalanche behaviour for
+/// 64-bit inputs.
+inline uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+/// Combines an existing hash with a new 64-bit value.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t V) {
+  return mix64(Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2)));
+}
+
+/// FNV-1a over a byte string; stable across platforms.
+inline uint64_t hashBytes(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+} // namespace crs
+
+#endif // CRS_SUPPORT_HASHING_H

@@ -1,0 +1,41 @@
+//===- support/Interner.cpp - Thread-safe string interning ----------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+StringInterner::Id StringInterner::intern(std::string_view S) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Ids.find(std::string(S));
+  if (It != Ids.end())
+    return It->second;
+  Id NewId = static_cast<Id>(Strings.size());
+  auto [Inserted, DidInsert] = Ids.emplace(std::string(S), NewId);
+  assert(DidInsert && "racing insert under lock is impossible");
+  (void)DidInsert;
+  Strings.push_back(&Inserted->first);
+  return NewId;
+}
+
+std::string_view StringInterner::lookup(Id I) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  assert(I < Strings.size() && "lookup of uninterned id");
+  return *Strings[I];
+}
+
+size_t StringInterner::size() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Strings.size();
+}
+
+StringInterner &StringInterner::global() {
+  static StringInterner G;
+  return G;
+}

@@ -1,0 +1,58 @@
+//===- support/Interner.h - Thread-safe string interning --------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String interning. Relation values (paper §2) are untyped and include
+/// strings (e.g. directory-entry names in the Fig. 2 dcache relation).
+/// Interning makes string values word-sized, so tuples stay cheap to hash,
+/// compare, and copy on the benchmark hot paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SUPPORT_INTERNER_H
+#define CRS_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace crs {
+
+/// A monotonically-growing, thread-safe map from strings to dense ids.
+/// Ids are stable for the lifetime of the interner; interned strings are
+/// never freed (interners are process-lifetime objects).
+class StringInterner {
+public:
+  using Id = uint32_t;
+
+  /// Returns the id for \p S, interning it if needed. Thread-safe.
+  Id intern(std::string_view S);
+
+  /// Returns the string for a previously interned id. Thread-safe
+  /// (entries are immutable once published).
+  std::string_view lookup(Id I) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const;
+
+  /// The process-wide interner used for relation Values.
+  static StringInterner &global();
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, Id> Ids;
+  // deque: stable addresses so lookup() can return views without the lock
+  // protecting against reallocation of the strings themselves.
+  std::deque<const std::string *> Strings;
+};
+
+} // namespace crs
+
+#endif // CRS_SUPPORT_INTERNER_H

@@ -1,0 +1,76 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic PRNGs used by workload generators and property
+/// tests. Benchmarks need per-thread generators that are cheap, seedable,
+/// and reproducible; std::mt19937 is overkill and slower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SUPPORT_RNG_H
+#define CRS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace crs {
+
+/// SplitMix64: tiny, statistically solid generator; also used to expand
+/// seeds for Xoshiro.
+class SplitMix64 {
+  uint64_t State;
+
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+};
+
+/// Xoshiro256** — the workhorse generator for benchmarks and stress tests.
+class Xoshiro256 {
+  uint64_t S[4];
+
+  static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : S)
+      Word = SM.next();
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero. Uses the
+  /// multiply-shift trick (Lemire) to avoid modulo bias for small bounds.
+  uint64_t nextBounded(uint64_t Bound) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+};
+
+} // namespace crs
+
+#endif // CRS_SUPPORT_RNG_H

@@ -1,0 +1,64 @@
+//===- support/Stats.cpp - Descriptive statistics --------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace crs;
+
+void OnlineStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double OnlineStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double crs::quantile(std::vector<double> Samples, double Q) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  if (Samples.size() == 1)
+    return Samples.front();
+  double Pos = Q * static_cast<double>(Samples.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Samples[Lo] * (1.0 - Frac) + Samples[Hi] * Frac;
+}
+
+double crs::meanOf(const std::vector<double> &Samples) {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = std::accumulate(Samples.begin(), Samples.end(), 0.0);
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double crs::meanOfLast(const std::vector<double> &Samples, size_t K) {
+  if (Samples.empty())
+    return 0.0;
+  size_t Start = Samples.size() > K ? Samples.size() - K : 0;
+  std::vector<double> Tail(Samples.begin() + static_cast<long>(Start),
+                           Samples.end());
+  return meanOf(Tail);
+}

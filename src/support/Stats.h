@@ -1,0 +1,56 @@
+//===- support/Stats.h - Descriptive statistics -----------------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online and batch descriptive statistics. The paper's methodology
+/// (§6.2) averages the last 5 of 8 benchmark repetitions; the harness
+/// uses these helpers to aggregate repeated runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SUPPORT_STATS_H
+#define CRS_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace crs {
+
+/// Welford-style online accumulator for mean and variance.
+class OnlineStats {
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return Mean; }
+  /// Sample variance (N-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return Min; }
+  double max() const { return Max; }
+};
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of \p Samples using linear
+/// interpolation. \p Samples is copied and sorted; empty input returns 0.
+double quantile(std::vector<double> Samples, double Q);
+
+/// Mean of the samples; 0 for empty input.
+double meanOf(const std::vector<double> &Samples);
+
+/// Mean of the last \p K samples (the paper discards JIT warmup runs and
+/// averages the remainder); if fewer than K samples exist, averages all.
+double meanOfLast(const std::vector<double> &Samples, size_t K);
+
+} // namespace crs
+
+#endif // CRS_SUPPORT_STATS_H

@@ -1,0 +1,58 @@
+//===- support/Table.cpp - Aligned text table printing ---------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace crs;
+
+Table::Table(std::vector<std::string> Header) : NumCols(Header.size()) {
+  Rows.push_back(std::move(Header));
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Cells.resize(NumCols);
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::fmt(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+std::string Table::fmt(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  return Buf;
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < NumCols; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < NumCols; ++I) {
+      OS << Row[I] << std::string(Widths[I] - Row[I].size(), ' ');
+      OS << (I + 1 == NumCols ? "" : "  ");
+    }
+    OS << '\n';
+  };
+
+  printRow(Rows.front());
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  OS << std::string(Total + 2 * (NumCols - 1), '-') << '\n';
+  for (size_t I = 1; I < Rows.size(); ++I)
+    printRow(Rows[I]);
+}

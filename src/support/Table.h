@@ -1,0 +1,49 @@
+//===- support/Table.h - Aligned text table printing ------------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table printer. Benchmark binaries use it to
+/// print the paper's tables and figure series in readable, diffable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SUPPORT_TABLE_H
+#define CRS_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crs {
+
+/// Accumulates rows of string cells and prints them with columns padded
+/// to the widest cell. The first row added is treated as the header.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Adds one row; rows shorter than the header are padded with "".
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formats a double with \p Precision fraction digits.
+  static std::string fmt(double V, int Precision = 2);
+  /// Formats an integer count.
+  static std::string fmt(uint64_t V);
+
+  /// Prints header, separator, and all rows.
+  void print(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+  size_t NumCols;
+};
+
+} // namespace crs
+
+#endif // CRS_SUPPORT_TABLE_H

@@ -1,0 +1,79 @@
+//===- sync/DeadlockDetector.cpp - Wait-for-graph cycle checking -------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/DeadlockDetector.h"
+
+using namespace crs;
+
+bool DeadlockDetector::wouldCycleLocked(AgentId Agent,
+                                        ResourceId Resource) const {
+  // Follow the chain: Agent waits for Resource; Resource's holders may
+  // themselves be waiting. A cycle exists if following waits-for edges
+  // from Resource's holders ever reaches Agent. BFS over agents.
+  std::set<AgentId> Visited;
+  std::vector<AgentId> Frontier;
+  auto HolderIt = Holders.find(Resource);
+  if (HolderIt == Holders.end())
+    return false;
+  for (AgentId H : HolderIt->second)
+    Frontier.push_back(H);
+  while (!Frontier.empty()) {
+    AgentId A = Frontier.back();
+    Frontier.pop_back();
+    if (A == Agent)
+      return true;
+    if (!Visited.insert(A).second)
+      continue;
+    auto WaitIt = WaitingFor.find(A);
+    if (WaitIt == WaitingFor.end())
+      continue;
+    auto NextHolders = Holders.find(WaitIt->second);
+    if (NextHolders == Holders.end())
+      continue;
+    for (AgentId H : NextHolders->second)
+      Frontier.push_back(H);
+  }
+  return false;
+}
+
+bool DeadlockDetector::onWait(AgentId Agent, ResourceId Resource) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (wouldCycleLocked(Agent, Resource)) {
+    ++Deadlocks;
+    return true;
+  }
+  WaitingFor[Agent] = Resource;
+  return false;
+}
+
+void DeadlockDetector::onAcquire(AgentId Agent, ResourceId Resource) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  WaitingFor.erase(Agent);
+  Holders[Resource].insert(Agent);
+}
+
+void DeadlockDetector::onRelease(AgentId Agent, ResourceId Resource) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Holders.find(Resource);
+  if (It == Holders.end())
+    return;
+  It->second.erase(Agent);
+  if (It->second.empty())
+    Holders.erase(It);
+}
+
+uint64_t DeadlockDetector::deadlocksDetected() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Deadlocks;
+}
+
+void DeadlockDetector::reset() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Holders.clear();
+  WaitingFor.clear();
+  Deadlocks = 0;
+}

@@ -1,0 +1,83 @@
+//===- sync/LockSet.cpp - Per-transaction lock bookkeeping -------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/LockSet.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+LockSet::~LockSet() { releaseAll(); }
+
+LockSet::Entry *LockSet::findEntry(const PhysicalLock &Lock) {
+  for (Entry &E : Held)
+    if (E.Lock == &Lock)
+      return &E;
+  return nullptr;
+}
+
+const LockSet::Entry *LockSet::findEntry(const PhysicalLock &Lock) const {
+  return const_cast<LockSet *>(this)->findEntry(Lock);
+}
+
+void LockSet::acquire(PhysicalLock &Lock, const LockOrderKey &Key,
+                      LockMode Mode) {
+  if (Entry *E = findEntry(Lock)) {
+    // Mode upgrades would be a planning bug: plans acquire every lock in
+    // its final mode (queries all-shared, mutations all-exclusive).
+    assert((E->Mode == Mode || E->Mode == LockMode::Exclusive) &&
+           "shared->exclusive upgrade is not allowed");
+    (void)E;
+    return;
+  }
+  assert(inOrder(Key) &&
+         "blocking acquisition violates the global lock order");
+  Lock.lock(Mode);
+  Held.push_back({&Lock, Mode});
+  if (!HasMaxKey || MaxKey < Key) {
+    MaxKey = Key;
+    HasMaxKey = true;
+  }
+}
+
+AcquireResult LockSet::tryAcquire(PhysicalLock &Lock, const LockOrderKey &Key,
+                                  LockMode Mode) {
+  if (Entry *E = findEntry(Lock)) {
+    assert((E->Mode == Mode || E->Mode == LockMode::Exclusive) &&
+           "shared->exclusive upgrade is not allowed");
+    (void)E;
+    return AcquireResult::Ok;
+  }
+  if (!Lock.tryLock(Mode))
+    return AcquireResult::WouldBlock;
+  Held.push_back({&Lock, Mode});
+  if (!HasMaxKey || MaxKey < Key) {
+    MaxKey = Key;
+    HasMaxKey = true;
+  }
+  return AcquireResult::Ok;
+}
+
+bool LockSet::holds(const PhysicalLock &Lock) const {
+  return findEntry(Lock) != nullptr;
+}
+
+bool LockSet::holdsAtLeast(const PhysicalLock &Lock, LockMode Mode) const {
+  const Entry *E = findEntry(Lock);
+  if (!E)
+    return false;
+  return E->Mode == LockMode::Exclusive || Mode == LockMode::Shared;
+}
+
+void LockSet::releaseAll() {
+  for (auto It = Held.rbegin(); It != Held.rend(); ++It)
+    It->Lock->unlock(It->Mode);
+  Held.clear();
+  // Only now may the lock owners die: every unlock above has returned.
+  Pins.clear();
+  HasMaxKey = false;
+}

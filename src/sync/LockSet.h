@@ -1,0 +1,129 @@
+//===- sync/LockSet.h - Per-transaction lock bookkeeping --------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transactions acquire physical locks during a growing phase and release
+/// them during a shrinking phase (two-phase locking, paper §4.2). LockSet
+/// tracks the locks one transaction holds: it deduplicates repeated
+/// acquisitions of the same physical lock (many logical locks map onto one
+/// physical lock under coarse placements), enforces the global lock order
+/// of §5.1 in debug builds, and releases everything in reverse order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SYNC_LOCKSET_H
+#define CRS_SYNC_LOCKSET_H
+
+#include "rel/Tuple.h"
+#include "sync/PhysicalLock.h"
+
+#include <memory>
+#include <vector>
+
+namespace crs {
+
+/// The global total order on physical locks (paper §5.1): first a
+/// topological index of the decomposition node the lock is attached to,
+/// then the node instance's key tuple lexicographically, then the stripe
+/// number within the instance.
+struct LockOrderKey {
+  uint32_t NodeTopoIndex = 0;
+  Tuple InstanceKey;
+  uint32_t Stripe = 0;
+
+  int compare(const LockOrderKey &Other) const {
+    if (NodeTopoIndex != Other.NodeTopoIndex)
+      return NodeTopoIndex < Other.NodeTopoIndex ? -1 : 1;
+    if (int C = InstanceKey.compare(Other.InstanceKey))
+      return C;
+    if (Stripe != Other.Stripe)
+      return Stripe < Other.Stripe ? -1 : 1;
+    return 0;
+  }
+  bool operator<(const LockOrderKey &Other) const {
+    return compare(Other) < 0;
+  }
+};
+
+/// Result of an acquisition attempt.
+enum class AcquireResult : uint8_t {
+  Ok,        ///< lock held (newly acquired or already held)
+  WouldBlock ///< try-acquisition failed; caller must restart the txn
+};
+
+/// The set of physical locks one transaction currently holds.
+/// Not thread-safe: one LockSet per in-flight transaction.
+class LockSet {
+public:
+  LockSet() = default;
+  ~LockSet();
+  LockSet(const LockSet &) = delete;
+  LockSet &operator=(const LockSet &) = delete;
+
+  /// Blocking acquisition in global-order position \p Key. If the lock is
+  /// already held in a mode at least as strong, this is a no-op. Asserts
+  /// (debug) that \p Key does not precede the strongest key held so far —
+  /// the planner must emit locks in order.
+  void acquire(PhysicalLock &Lock, const LockOrderKey &Key, LockMode Mode);
+
+  /// Non-blocking acquisition for out-of-order speculative locks (§4.5).
+  /// On WouldBlock the caller must releaseAll() and restart; this is what
+  /// keeps speculative placements deadlock-free.
+  AcquireResult tryAcquire(PhysicalLock &Lock, const LockOrderKey &Key,
+                           LockMode Mode);
+
+  /// True if this transaction already holds \p Lock (in any mode).
+  bool holds(const PhysicalLock &Lock) const;
+
+  /// True if this transaction holds \p Lock in a mode at least \p Mode.
+  bool holdsAtLeast(const PhysicalLock &Lock, LockMode Mode) const;
+
+  /// Pins a resource (typically the node instance owning a just-acquired
+  /// physical lock) for the lifetime of the held locks. POSIX forbids
+  /// destroying a lock while an unlock of it is still in flight; a
+  /// transaction woken by our unlock may otherwise free the instance
+  /// before our releaseAll() finishes touching it. Pins are dropped only
+  /// after every unlock has returned.
+  void pinResource(std::shared_ptr<const void> Resource) {
+    Pins.push_back(std::move(Resource));
+  }
+
+  /// Releases every held lock in reverse acquisition order (the shrinking
+  /// phase), then drops the resource pins and clears the set.
+  void releaseAll();
+
+  size_t heldCount() const { return Held.size(); }
+
+  /// Number of times this set hit WouldBlock (restart pressure metric).
+  uint64_t restarts() const { return Restarts; }
+  void noteRestart() { ++Restarts; }
+
+  /// True if acquiring a lock at \p Key would respect the global order
+  /// given what this transaction already holds. Speculative acquisitions
+  /// (§4.5) use this to choose between blocking and try-lock paths.
+  bool inOrder(const LockOrderKey &Key) const {
+    return !HasMaxKey || !(Key < MaxKey);
+  }
+
+private:
+  struct Entry {
+    PhysicalLock *Lock;
+    LockMode Mode;
+  };
+  std::vector<Entry> Held;
+  std::vector<std::shared_ptr<const void>> Pins;
+  uint64_t Restarts = 0;
+  bool HasMaxKey = false;
+  LockOrderKey MaxKey;
+
+  Entry *findEntry(const PhysicalLock &Lock);
+  const Entry *findEntry(const PhysicalLock &Lock) const;
+};
+
+} // namespace crs
+
+#endif // CRS_SYNC_LOCKSET_H

@@ -1,0 +1,76 @@
+//===- workload/GraphWorkload.cpp - The §6.2 graph benchmark ------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/GraphWorkload.h"
+
+#include "support/Compiler.h"
+
+using namespace crs;
+
+std::string OpMix::str() const {
+  return std::to_string(FindSuccessors) + "-" +
+         std::to_string(FindPredecessors) + "-" + std::to_string(InsertEdge) +
+         "-" + std::to_string(RemoveEdge);
+}
+
+RelationGraphTarget::RelationGraphTarget(ConcurrentRelation &R) : Rel(&R) {
+  const ColumnCatalog &Cat = R.spec().catalog();
+  SrcCol = Cat.id("src");
+  DstCol = Cat.id("dst");
+  WeightCol = Cat.id("weight");
+  SuccCols = ColumnSet::of(DstCol) | ColumnSet::of(WeightCol);
+  PredCols = ColumnSet::of(SrcCol) | ColumnSet::of(WeightCol);
+}
+
+void RelationGraphTarget::findSuccessors(int64_t Src) {
+  Rel->query(Tuple::of({{SrcCol, Value::ofInt(Src)}}), SuccCols);
+}
+
+void RelationGraphTarget::findPredecessors(int64_t Dst) {
+  Rel->query(Tuple::of({{DstCol, Value::ofInt(Dst)}}), PredCols);
+}
+
+bool RelationGraphTarget::insertEdge(int64_t Src, int64_t Dst,
+                                     int64_t Weight) {
+  return Rel->insert(
+      Tuple::of({{SrcCol, Value::ofInt(Src)}, {DstCol, Value::ofInt(Dst)}}),
+      Tuple::of({{WeightCol, Value::ofInt(Weight)}}));
+}
+
+bool RelationGraphTarget::removeEdge(int64_t Src, int64_t Dst) {
+  return Rel->remove(Tuple::of({{SrcCol, Value::ofInt(Src)},
+                                {DstCol, Value::ofInt(Dst)}})) > 0;
+}
+
+void crs::runRandomOp(GraphTarget &Target, const OpMix &Mix,
+                      const KeySpace &Keys, Xoshiro256 &Rng) {
+  unsigned Total = Mix.FindSuccessors + Mix.FindPredecessors +
+                   Mix.InsertEdge + Mix.RemoveEdge;
+  assert(Total > 0 && "operation mix must be nonempty");
+  uint64_t Draw = Rng.nextBounded(Total);
+  int64_t Src = static_cast<int64_t>(
+      Rng.nextBounded(static_cast<uint64_t>(Keys.NumNodes)));
+  int64_t Dst = static_cast<int64_t>(
+      Rng.nextBounded(static_cast<uint64_t>(Keys.NumNodes)));
+  if (Draw < Mix.FindSuccessors) {
+    Target.findSuccessors(Src);
+    return;
+  }
+  Draw -= Mix.FindSuccessors;
+  if (Draw < Mix.FindPredecessors) {
+    Target.findPredecessors(Dst);
+    return;
+  }
+  Draw -= Mix.FindPredecessors;
+  if (Draw < Mix.InsertEdge) {
+    int64_t Weight = static_cast<int64_t>(
+        Rng.nextBounded(static_cast<uint64_t>(Keys.WeightRange)));
+    Target.insertEdge(Src, Dst, Weight);
+    return;
+  }
+  Target.removeEdge(Src, Dst);
+}

@@ -1,0 +1,109 @@
+//===- workload/GraphWorkload.h - The §6.2 graph benchmark -----*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's synthetic graph benchmark (§6.2), modeled after the
+/// methodology of Herlihy et al. for comparing concurrent maps: k
+/// identical threads perform randomly chosen operations on one shared
+/// directed-graph relation, starting from empty. The four operations are
+/// find-successors, find-predecessors, insert-edge (compare-and-set via
+/// the relational insert), and remove-edge; a workload is a distribution
+/// x-y-z-w over them. Throughput is total operations per second.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_WORKLOAD_GRAPHWORKLOAD_H
+#define CRS_WORKLOAD_GRAPHWORKLOAD_H
+
+#include "baseline/HandcodedGraph.h"
+#include "runtime/ConcurrentRelation.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <string>
+
+namespace crs {
+
+/// An operation mix x-y-z-w (percentages of successors / predecessors /
+/// inserts / removes), as in Figure 5's panel labels.
+struct OpMix {
+  unsigned FindSuccessors = 0;
+  unsigned FindPredecessors = 0;
+  unsigned InsertEdge = 0;
+  unsigned RemoveEdge = 0;
+
+  std::string str() const;
+};
+
+/// The four Figure 5 workloads.
+inline constexpr OpMix Fig5Workloads[] = {
+    {70, 0, 20, 10},
+    {35, 35, 20, 10},
+    {0, 0, 50, 50},
+    {45, 45, 9, 1},
+};
+
+/// Key-space parameters for generated operations.
+struct KeySpace {
+  int64_t NumNodes = 512;        ///< src/dst drawn from [0, NumNodes)
+  int64_t WeightRange = 1 << 20; ///< weights drawn from [0, WeightRange)
+};
+
+/// Abstract graph under test: adapts either a synthesized relation or
+/// the handcoded baseline to the benchmark loop.
+class GraphTarget {
+public:
+  virtual ~GraphTarget() = default;
+  virtual void findSuccessors(int64_t Src) = 0;
+  virtual void findPredecessors(int64_t Dst) = 0;
+  virtual bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) = 0;
+  virtual bool removeEdge(int64_t Src, int64_t Dst) = 0;
+  virtual size_t size() const = 0;
+};
+
+/// GraphTarget over a synthesized ConcurrentRelation (spec of
+/// makeGraphSpec() shape).
+class RelationGraphTarget : public GraphTarget {
+public:
+  explicit RelationGraphTarget(ConcurrentRelation &R);
+  void findSuccessors(int64_t Src) override;
+  void findPredecessors(int64_t Dst) override;
+  bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) override;
+  bool removeEdge(int64_t Src, int64_t Dst) override;
+  size_t size() const override { return Rel->size(); }
+
+private:
+  ConcurrentRelation *Rel;
+  ColumnId SrcCol, DstCol, WeightCol;
+  ColumnSet SuccCols, PredCols;
+};
+
+/// GraphTarget over the handcoded baseline.
+class HandcodedGraphTarget : public GraphTarget {
+public:
+  explicit HandcodedGraphTarget(HandcodedGraph &G) : Graph(&G) {}
+  void findSuccessors(int64_t Src) override { Graph->successors(Src); }
+  void findPredecessors(int64_t Dst) override { Graph->predecessors(Dst); }
+  bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) override {
+    return Graph->insertEdge(Src, Dst, Weight);
+  }
+  bool removeEdge(int64_t Src, int64_t Dst) override {
+    return Graph->removeEdge(Src, Dst);
+  }
+  size_t size() const override { return Graph->size(); }
+
+private:
+  HandcodedGraph *Graph;
+};
+
+/// Executes one randomly drawn operation against \p Target.
+void runRandomOp(GraphTarget &Target, const OpMix &Mix, const KeySpace &Keys,
+                 Xoshiro256 &Rng);
+
+} // namespace crs
+
+#endif // CRS_WORKLOAD_GRAPHWORKLOAD_H

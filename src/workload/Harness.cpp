@@ -1,0 +1,65 @@
+//===- workload/Harness.cpp - Throughput measurement harness ------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Harness.h"
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace crs;
+
+ThroughputResult crs::runThroughput(
+    const std::function<std::unique_ptr<GraphTarget>()> &MakeTarget,
+    const OpMix &Mix, const KeySpace &Keys, const HarnessParams &Params) {
+  std::vector<double> Kept;
+  ThroughputResult Result;
+
+  for (unsigned Run = 0; Run < Params.Repeats; ++Run) {
+    std::unique_ptr<GraphTarget> Target = MakeTarget();
+
+    std::atomic<unsigned> Ready{0};
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Threads;
+    Threads.reserve(Params.NumThreads);
+    for (unsigned T = 0; T < Params.NumThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        Xoshiro256 Rng(Params.Seed * 0x9e3779b9 + Run * 7919 + T);
+        Ready.fetch_add(1, std::memory_order_release);
+        while (!Go.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        for (uint64_t I = 0; I < Params.OpsPerThread; ++I)
+          runRandomOp(*Target, Mix, Keys, Rng);
+      });
+    }
+    while (Ready.load(std::memory_order_acquire) != Params.NumThreads)
+      std::this_thread::yield();
+
+    auto Start = std::chrono::steady_clock::now();
+    Go.store(true, std::memory_order_release);
+    for (auto &Th : Threads)
+      Th.join();
+    auto End = std::chrono::steady_clock::now();
+
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    uint64_t Ops = Params.OpsPerThread * Params.NumThreads;
+    if (Run >= Params.DiscardRuns)
+      Kept.push_back(static_cast<double>(Ops) / Seconds);
+    Result.TotalOps += Ops;
+    Result.FinalSize = Target->size();
+  }
+
+  OnlineStats Stats;
+  for (double K : Kept)
+    Stats.add(K);
+  Result.OpsPerSec = Stats.mean();
+  Result.StdDev = Stats.stddev();
+  return Result;
+}

@@ -1,0 +1,55 @@
+//===- workload/Harness.h - Throughput measurement harness ------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The throughput-scalability harness of §6.2: k identical threads each
+/// execute N randomly chosen operations against one shared target,
+/// started together behind a barrier; throughput is total operations per
+/// wall-clock second. Following the paper's methodology, runs can be
+/// repeated with the first few discarded (their JIT warmup; our cache
+/// warmup) and the remainder averaged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_WORKLOAD_HARNESS_H
+#define CRS_WORKLOAD_HARNESS_H
+
+#include "workload/GraphWorkload.h"
+
+#include <functional>
+
+namespace crs {
+
+/// Parameters of one throughput measurement.
+struct HarnessParams {
+  unsigned NumThreads = 1;
+  uint64_t OpsPerThread = 100000;
+  uint64_t Seed = 42;
+  unsigned Repeats = 1;       ///< total runs (paper: 8)
+  unsigned DiscardRuns = 0;   ///< initial runs to discard (paper: 3)
+};
+
+/// Result of a throughput measurement.
+struct ThroughputResult {
+  double OpsPerSec = 0;      ///< mean over kept runs
+  double StdDev = 0;         ///< over kept runs
+  uint64_t TotalOps = 0;
+  size_t FinalSize = 0;      ///< relation size after the last run
+};
+
+/// Runs the §6.2 benchmark loop: builds a fresh target per repeat via
+/// \p MakeTarget (which must also reset the underlying structure),
+/// hammers it with \p Mix from \p Params.NumThreads threads, and
+/// aggregates kept-run throughput.
+ThroughputResult
+runThroughput(const std::function<std::unique_ptr<GraphTarget>()> &MakeTarget,
+              const OpMix &Mix, const KeySpace &Keys,
+              const HarnessParams &Params);
+
+} // namespace crs
+
+#endif // CRS_WORKLOAD_HARNESS_H

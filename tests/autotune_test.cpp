@@ -1,0 +1,119 @@
+//===- tests/autotune_test.cpp - Autotuner tests ------------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Autotuner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace crs;
+
+namespace {
+
+TEST(Enumerator, ProducesHundredsOfLegalVariants) {
+  // §6.1/§6.2: the paper's autotuner generated 448 variants over the
+  // same option menu; our legal-variant count lands in the same range.
+  std::vector<GraphVariant> Variants = enumerateGraphVariants(1024);
+  EXPECT_GT(Variants.size(), 150u);
+  EXPECT_LT(Variants.size(), 800u);
+
+  // All distinct, all legal.
+  std::set<std::string> Names;
+  for (const GraphVariant &V : Variants) {
+    EXPECT_TRUE(Names.insert(V.str()).second) << "duplicate " << V.str();
+    RepresentationConfig C = makeGraphRepresentation(V);
+    ASSERT_TRUE(C.Placement) << V.str();
+    EXPECT_TRUE(C.Decomp->validate().ok());
+    EXPECT_TRUE(C.Placement->validate().ok());
+    EXPECT_TRUE(C.Placement->validateContainerSafety().ok());
+  }
+}
+
+TEST(Enumerator, FiltersIllegalCombinations) {
+  // A non-concurrent container under a striped (concurrent) placement
+  // must be filtered out.
+  GraphVariant Bad{GraphShape::Split, PlacementSchemeKind::Striped, 1024,
+                   ContainerKind::HashMap, ContainerKind::HashMap};
+  EXPECT_FALSE(makeGraphRepresentation(Bad).Placement);
+
+  // Speculation on a container without linearizable lookups: illegal.
+  GraphVariant BadSpec{GraphShape::Split, PlacementSchemeKind::Speculative,
+                       1024, ContainerKind::TreeMap, ContainerKind::HashMap};
+  EXPECT_FALSE(makeGraphRepresentation(BadSpec).Placement);
+
+  // The legal twin.
+  GraphVariant Good{GraphShape::Split, PlacementSchemeKind::Striped, 1024,
+                    ContainerKind::ConcurrentHashMap, ContainerKind::HashMap};
+  EXPECT_TRUE(makeGraphRepresentation(Good).Placement);
+}
+
+TEST(Enumerator, VariantNamesAreDescriptive) {
+  GraphVariant V{GraphShape::Diamond, PlacementSchemeKind::Striped, 1024,
+                 ContainerKind::ConcurrentSkipListMap, ContainerKind::HashMap};
+  std::string S = V.str();
+  EXPECT_NE(S.find("diamond"), std::string::npos);
+  EXPECT_NE(S.find("striped(1024)"), std::string::npos);
+  EXPECT_NE(S.find("ConcurrentSkipListMap"), std::string::npos);
+}
+
+TEST(Figure5Menu, AllTwelveRepresentationsBuild) {
+  auto Reps = figure5Representations();
+  ASSERT_EQ(Reps.size(), 12u);
+  std::set<std::string> Expected{"Stick 1",   "Stick 2",   "Stick 3",
+                                 "Stick 4",   "Split 1",   "Split 2",
+                                 "Split 3",   "Split 4",   "Split 5",
+                                 "Diamond 0", "Diamond 1", "Diamond 2"};
+  for (auto &[Name, Config] : Reps) {
+    EXPECT_TRUE(Expected.count(Name)) << Name;
+    ASSERT_TRUE(Config.Placement) << Name;
+    EXPECT_TRUE(Config.Decomp->validate().ok()) << Name;
+    EXPECT_TRUE(Config.Placement->validate().ok()) << Name;
+    EXPECT_TRUE(Config.Placement->validateContainerSafety().ok()) << Name;
+  }
+}
+
+TEST(Figure5Menu, Split2HasHybridLocking) {
+  auto Reps = figure5Representations();
+  const RepresentationConfig *Split2 = nullptr;
+  for (auto &[Name, Config] : Reps)
+    if (Name == "Split 2")
+      Split2 = &Config;
+  ASSERT_NE(Split2, nullptr);
+  const LockPlacement &P = *Split2->Placement;
+  // Left root edge striped by src (concurrent); right root edge pinned
+  // to a constant stripe (serialized).
+  EXPECT_TRUE(P.allowsConcurrentAccess(0));
+  EXPECT_FALSE(P.allowsConcurrentAccess(1));
+}
+
+TEST(Autotune, RanksVariantsOnTrainingWorkload) {
+  using CK = ContainerKind;
+  using PS = PlacementSchemeKind;
+  // A tiny menu with a predictable outcome is enough to exercise the
+  // tuner loop: measurement, ranking, callback.
+  std::vector<GraphVariant> Menu{
+      {GraphShape::Stick, PS::Coarse, 1, CK::HashMap, CK::TreeMap},
+      {GraphShape::Split, PS::Striped, 64, CK::ConcurrentHashMap,
+       CK::TreeMap},
+  };
+  HarnessParams Params;
+  Params.NumThreads = 2;
+  Params.OpsPerThread = 1500;
+  KeySpace Keys{64, 1024};
+  int Callbacks = 0;
+  auto Results = autotune(Menu, Fig5Workloads[1], Keys, Params,
+                          [&](const TuneResult &) { ++Callbacks; });
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Callbacks, 2);
+  EXPECT_GE(Results[0].OpsPerSec, Results[1].OpsPerSec);
+  // 35-35-20-10 punishes the stick's O(|E|) predecessor scans: the
+  // split must win the ranking.
+  EXPECT_EQ(Results[0].Variant.Shape, GraphShape::Split);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- tests/baseline_workload_test.cpp - Baseline & harness tests ------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/HandcodedGraph.h"
+#include "rel/RefRelation.h"
+#include "decomp/Shapes.h"
+#include "workload/Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+// ----------------------------------------------------- HandcodedGraph
+
+TEST(HandcodedGraph, PutIfAbsentSemantics) {
+  HandcodedGraph G;
+  EXPECT_TRUE(G.insertEdge(1, 2, 42));
+  EXPECT_FALSE(G.insertEdge(1, 2, 101)); // FD preserved
+  int64_t W = -1;
+  ASSERT_TRUE(G.lookupWeight(1, 2, W));
+  EXPECT_EQ(W, 42);
+  EXPECT_EQ(G.size(), 1u);
+  EXPECT_TRUE(G.removeEdge(1, 2));
+  EXPECT_FALSE(G.removeEdge(1, 2));
+  EXPECT_EQ(G.size(), 0u);
+}
+
+TEST(HandcodedGraph, SuccessorsAndPredecessorsSorted) {
+  HandcodedGraph G;
+  G.insertEdge(1, 3, 30);
+  G.insertEdge(1, 2, 20);
+  G.insertEdge(4, 2, 40);
+  auto Succ = G.successors(1);
+  ASSERT_EQ(Succ.size(), 2u);
+  EXPECT_EQ(Succ[0].first, 2); // TreeMap scan: sorted by dst
+  EXPECT_EQ(Succ[1].first, 3);
+  auto Pred = G.predecessors(2);
+  ASSERT_EQ(Pred.size(), 2u);
+  EXPECT_EQ(Pred[0].first, 1);
+  EXPECT_EQ(Pred[1].first, 4);
+  EXPECT_TRUE(G.successors(9).empty());
+}
+
+TEST(HandcodedGraph, MatchesReferenceSemantics) {
+  HandcodedGraph G;
+  RelationSpec Spec = makeGraphSpec();
+  RefRelation Ref(Spec);
+  Xoshiro256 Rng(21);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t S = static_cast<int64_t>(Rng.nextBounded(8));
+    int64_t D = static_cast<int64_t>(Rng.nextBounded(8));
+    int64_t W = static_cast<int64_t>(Rng.nextBounded(50));
+    Tuple Key = Tuple::of({{Spec.col("src"), Value::ofInt(S)},
+                           {Spec.col("dst"), Value::ofInt(D)}});
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      ASSERT_EQ(G.insertEdge(S, D, W),
+                Ref.insert(Key, Tuple::of({{Spec.col("weight"),
+                                            Value::ofInt(W)}})));
+      break;
+    case 1:
+      ASSERT_EQ(G.removeEdge(S, D), Ref.remove(Key) > 0);
+      break;
+    default: {
+      auto Mine = G.successors(S);
+      auto Want = Ref.query(Tuple::of({{Spec.col("src"), Value::ofInt(S)}}),
+                            Spec.cols({"dst", "weight"}));
+      ASSERT_EQ(Mine.size(), Want.size());
+      break;
+    }
+    }
+    ASSERT_EQ(G.size(), Ref.size());
+  }
+}
+
+TEST(HandcodedGraph, ConcurrentInsertRemoveKeepsBothIndexes) {
+  HandcodedGraph G;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&G, T] {
+      for (int64_t I = 0; I < 300; ++I) {
+        G.insertEdge(T, I, I);
+        if (I % 2)
+          G.removeEdge(T, I);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(G.size(), 4u * 150u);
+  // Forward and reverse indexes agree.
+  size_t FwdTotal = 0, RevTotal = 0;
+  for (int64_t N = 0; N < 4; ++N)
+    FwdTotal += G.successors(N).size();
+  for (int64_t N = 0; N < 300; ++N)
+    RevTotal += G.predecessors(N).size();
+  EXPECT_EQ(FwdTotal, G.size());
+  EXPECT_EQ(RevTotal, G.size());
+}
+
+// ------------------------------------------------------------ workload
+
+TEST(OpMix, LabelsMatchFigure5) {
+  EXPECT_EQ(Fig5Workloads[0].str(), "70-0-20-10");
+  EXPECT_EQ(Fig5Workloads[1].str(), "35-35-20-10");
+  EXPECT_EQ(Fig5Workloads[2].str(), "0-0-50-50");
+  EXPECT_EQ(Fig5Workloads[3].str(), "45-45-9-1");
+}
+
+TEST(Workload, RandomOpsRespectKeySpace) {
+  HandcodedGraph G;
+  HandcodedGraphTarget Target(G);
+  KeySpace Keys{16, 100};
+  Xoshiro256 Rng(5);
+  for (int I = 0; I < 2000; ++I)
+    runRandomOp(Target, Fig5Workloads[2], Keys, Rng);
+  // Only inserts/removes in 0-0-50-50; all keys within range.
+  auto AllWithin = [&] {
+    for (int64_t S = 0; S < Keys.NumNodes; ++S)
+      for (auto &[D, W] : G.successors(S))
+        if (D < 0 || D >= Keys.NumNodes || W < 0 || W >= 100)
+          return false;
+    return true;
+  };
+  EXPECT_TRUE(AllWithin());
+  EXPECT_GT(G.size(), 0u);
+}
+
+TEST(Harness, MeasuresAndResets) {
+  HarnessParams Params;
+  Params.NumThreads = 2;
+  Params.OpsPerThread = 3000;
+  Params.Repeats = 3;
+  Params.DiscardRuns = 1;
+  KeySpace Keys{32, 1000};
+  int Built = 0;
+  ThroughputResult R = runThroughput(
+      [&]() -> std::unique_ptr<GraphTarget> {
+        ++Built;
+        struct Owning : HandcodedGraphTarget {
+          std::unique_ptr<HandcodedGraph> G;
+          explicit Owning(std::unique_ptr<HandcodedGraph> Gr)
+              : HandcodedGraphTarget(*Gr), G(std::move(Gr)) {}
+        };
+        return std::make_unique<Owning>(std::make_unique<HandcodedGraph>());
+      },
+      Fig5Workloads[0], Keys, Params);
+  EXPECT_EQ(Built, 3);
+  EXPECT_GT(R.OpsPerSec, 0.0);
+  EXPECT_EQ(R.TotalOps, 3u * 2u * 3000u);
+  EXPECT_GT(R.FinalSize, 0u);
+}
+
+} // namespace

@@ -1,0 +1,272 @@
+//===- tests/concurrency_test.cpp - Serializability & deadlock freedom --------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's correctness-by-construction claims under real
+/// concurrency: serializable relational operations (§4.2) and deadlock
+/// freedom (§5.1) across coarse, fine, striped, and speculative
+/// placements on all three decomposition structures. Strategies:
+///
+///  * quiescent-state validation: after a concurrent stress run, every
+///    root-to-leaf path represents the same relation and the functional
+///    dependency holds — a serializability witness for the final state;
+///  * put-if-absent races: conflicting inserts of one key have exactly
+///    one winner, and the surviving weight is the winner's (§2's
+///    compare-and-set contract);
+///  * atomicity of reads: a tuple is never observed half-written;
+///  * deadlock freedom: high-contention mixed workloads run to
+///    completion (a deadlock would hang the test).
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Autotuner.h"
+#include "runtime/ConcurrentRelation.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+struct ConfigCase {
+  const char *Name;
+  GraphVariant Variant;
+};
+
+std::vector<ConfigCase> stressConfigs() {
+  using CK = ContainerKind;
+  using PS = PlacementSchemeKind;
+  return {
+      {"stick_coarse", {GraphShape::Stick, PS::Coarse, 1, CK::HashMap,
+                        CK::TreeMap}},
+      {"stick_striped", {GraphShape::Stick, PS::Striped, 64,
+                         CK::ConcurrentHashMap, CK::TreeMap}},
+      {"split_fine", {GraphShape::Split, PS::Fine, 1, CK::HashMap,
+                      CK::HashMap}},
+      {"split_striped", {GraphShape::Split, PS::Striped, 64,
+                         CK::ConcurrentHashMap, CK::TreeMap}},
+      {"split_skiplist", {GraphShape::Split, PS::Striped, 64,
+                          CK::ConcurrentSkipListMap, CK::HashMap}},
+      {"split_speculative", {GraphShape::Split, PS::Speculative, 64,
+                             CK::ConcurrentHashMap, CK::HashMap}},
+      {"diamond_striped", {GraphShape::Diamond, PS::Striped, 64,
+                           CK::ConcurrentHashMap, CK::HashMap}},
+      {"diamond_speculative", {GraphShape::Diamond, PS::Speculative, 64,
+                               CK::ConcurrentHashMap, CK::HashMap}},
+  };
+}
+
+class ConcurrencyTest : public ::testing::TestWithParam<ConfigCase> {};
+
+Tuple key(const RelationSpec &Spec, int64_t S, int64_t D) {
+  return Tuple::of({{Spec.col("src"), Value::ofInt(S)},
+                    {Spec.col("dst"), Value::ofInt(D)}});
+}
+
+Tuple weight(const RelationSpec &Spec, int64_t W) {
+  return Tuple::of({{Spec.col("weight"), Value::ofInt(W)}});
+}
+
+TEST_P(ConcurrencyTest, MixedStressLeavesConsistentState) {
+  RepresentationConfig Config = makeGraphRepresentation(GetParam().Variant);
+  ASSERT_TRUE(Config.Placement) << GetParam().Variant.str();
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+
+  constexpr unsigned NumThreads = 4;
+  constexpr int OpsPerThread = 2500;
+  constexpr int64_t KeyRange = 12; // small: force contention
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(1000 + T);
+      for (int I = 0; I < OpsPerThread; ++I) {
+        int64_t S = static_cast<int64_t>(Rng.nextBounded(KeyRange));
+        int64_t D = static_cast<int64_t>(Rng.nextBounded(KeyRange));
+        switch (Rng.nextBounded(4)) {
+        case 0:
+          R.insert(key(Spec, S, D),
+                   weight(Spec, static_cast<int64_t>(Rng.nextBounded(100))));
+          break;
+        case 1:
+          R.remove(key(Spec, S, D));
+          break;
+        case 2:
+          R.query(Tuple::of({{Spec.col("src"), Value::ofInt(S)}}),
+                  Spec.cols({"dst", "weight"}));
+          break;
+        default:
+          R.query(Tuple::of({{Spec.col("dst"), Value::ofInt(D)}}),
+                  Spec.cols({"src", "weight"}));
+          break;
+        }
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  // Quiescent validation: all paths agree, FDs hold, size is right.
+  ValidationResult V = R.verifyConsistency();
+  EXPECT_TRUE(V.ok()) << GetParam().Name << ":\n" << V.str();
+}
+
+TEST_P(ConcurrencyTest, PutIfAbsentHasExactlyOneWinner) {
+  RepresentationConfig Config = makeGraphRepresentation(GetParam().Variant);
+  ASSERT_TRUE(Config.Placement);
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+
+  constexpr unsigned NumThreads = 6;
+  constexpr int64_t NumKeys = 40;
+  std::atomic<int> Wins[NumKeys] = {};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      for (int64_t K = 0; K < NumKeys; ++K)
+        // Every thread offers its own id as the weight.
+        if (R.insert(key(Spec, K, K + 1), weight(Spec, T)))
+          Wins[K].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  for (int64_t K = 0; K < NumKeys; ++K)
+    EXPECT_EQ(Wins[K].load(), 1) << "key " << K;
+  EXPECT_EQ(R.size(), static_cast<size_t>(NumKeys));
+  // FD intact: each key has exactly one weight, 0 <= w < NumThreads.
+  for (int64_t K = 0; K < NumKeys; ++K) {
+    auto Q = R.query(key(Spec, K, K + 1), Spec.cols({"weight"}));
+    ASSERT_EQ(Q.size(), 1u);
+    int64_t W = Q[0].get(Spec.col("weight")).asInt();
+    EXPECT_GE(W, 0);
+    EXPECT_LT(W, static_cast<int64_t>(NumThreads));
+  }
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST_P(ConcurrencyTest, ReadsAreNeverTorn) {
+  // Writers cycle one key between present (with a thread-specific
+  // weight) and absent; readers must always see either a complete tuple
+  // with a legal weight or nothing.
+  RepresentationConfig Config = makeGraphRepresentation(GetParam().Variant);
+  ASSERT_TRUE(Config.Placement);
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Violations{0};
+  std::vector<std::thread> Writers;
+  for (int T = 0; T < 2; ++T)
+    Writers.emplace_back([&, T] {
+      for (int I = 0; I < 1500; ++I) {
+        R.insert(key(Spec, 5, 6), weight(Spec, 100 + T));
+        R.remove(key(Spec, 5, 6));
+      }
+    });
+  std::thread Reader([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      auto Q = R.query(Tuple::of({{Spec.col("src"), Value::ofInt(5)}}),
+                       Spec.cols({"dst", "weight"}));
+      for (const Tuple &T : Q) {
+        if (!T.hasColumn(Spec.col("dst")) ||
+            !T.hasColumn(Spec.col("weight"))) {
+          Violations.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        int64_t W = T.get(Spec.col("weight")).asInt();
+        if (T.get(Spec.col("dst")).asInt() != 6 || (W != 100 && W != 101))
+          Violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (auto &W : Writers)
+    W.join();
+  Stop.store(true, std::memory_order_release);
+  Reader.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST_P(ConcurrencyTest, DisjointPartitionsAllSurvive) {
+  // Each thread owns a src partition; after the run every inserted edge
+  // must be present — lost updates would betray a serializability hole.
+  RepresentationConfig Config = makeGraphRepresentation(GetParam().Variant);
+  ASSERT_TRUE(Config.Placement);
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+
+  constexpr unsigned NumThreads = 4;
+  constexpr int64_t PerThread = 150;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int64_t I = 0; I < PerThread; ++I)
+        ASSERT_TRUE(R.insert(key(Spec, T, I), weight(Spec, I * 3)));
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  EXPECT_EQ(R.size(), NumThreads * PerThread);
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    auto Q = R.query(Tuple::of({{Spec.col("src"), Value::ofInt(T)}}),
+                     Spec.cols({"dst", "weight"}));
+    EXPECT_EQ(Q.size(), static_cast<size_t>(PerThread));
+  }
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placements, ConcurrencyTest, ::testing::ValuesIn(stressConfigs()),
+    [](const ::testing::TestParamInfo<ConfigCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(SpeculativeRestarts, CounterAdvancesUnderContention) {
+  // Speculation must stay correct when guesses go stale; the restart
+  // counter is the observable sign the protocol exercised that path.
+  RepresentationConfig Config = makeGraphRepresentation(
+      {GraphShape::Split, PlacementSchemeKind::Speculative, 8,
+       ContainerKind::ConcurrentHashMap, ContainerKind::HashMap});
+  ASSERT_TRUE(Config.Placement);
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    Xoshiro256 Rng(3);
+    for (int I = 0; I < 4000; ++I) {
+      int64_t S = static_cast<int64_t>(Rng.nextBounded(4));
+      int64_t D = static_cast<int64_t>(Rng.nextBounded(4));
+      if (Rng.nextBounded(2))
+        R.insert(key(Spec, S, D), weight(Spec, I));
+      else
+        R.remove(key(Spec, S, D));
+    }
+    Stop.store(true, std::memory_order_release);
+  });
+  std::thread ReaderThread([&] {
+    Xoshiro256 Rng(4);
+    while (!Stop.load(std::memory_order_acquire))
+      R.query(Tuple::of({{Spec.col("src"),
+                          Value::ofInt((int64_t)Rng.nextBounded(4))}}),
+              Spec.cols({"dst", "weight"}));
+  });
+  Writer.join();
+  ReaderThread.join();
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+  // Restarts are workload-dependent; we only require the run finished
+  // and stayed consistent. Report for the curious:
+  SUCCEED() << "restarts: " << R.restarts();
+}
+
+} // namespace

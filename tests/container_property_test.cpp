@@ -1,0 +1,156 @@
+//===- tests/container_property_test.cpp - Kind-parameterized sweeps ----------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property sweeps over every container kind through the type-erased
+/// AnyContainer interface the runtime uses: map semantics against a
+/// model, scan ordering promised by the traits, idempotence properties,
+/// and churn behaviour. One parameterized suite, instantiated per kind.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AnyContainer.h"
+#include "runtime/NodeInstance.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace crs;
+
+namespace {
+
+/// Map container kinds (everything except the single-entry cell).
+const ContainerKind MapKinds[] = {
+    ContainerKind::HashMap,
+    ContainerKind::TreeMap,
+    ContainerKind::ConcurrentHashMap,
+    ContainerKind::ConcurrentSkipListMap,
+    ContainerKind::CowArrayMap,
+};
+
+Tuple keyOf(int64_t K) { return Tuple::of({{0, Value::ofInt(K)}}); }
+
+class ContainerProperty : public ::testing::TestWithParam<ContainerKind> {};
+
+TEST_P(ContainerProperty, AgreesWithModelUnderRandomOps) {
+  std::unique_ptr<AnyContainer> C = AnyContainer::create(GetParam());
+  std::map<int64_t, NodeInstance *> Model;
+  std::map<int64_t, NodeInstPtr> Owned;
+  Xoshiro256 Rng(0xC0FFEE ^ static_cast<uint64_t>(GetParam()));
+
+  for (int Step = 0; Step < 2500; ++Step) {
+    int64_t K = static_cast<int64_t>(Rng.nextBounded(48));
+    switch (Rng.nextBounded(4)) {
+    case 0: {
+      NodeInstPtr V = std::make_shared<NodeInstance>();
+      bool A = C->insertOrAssign(keyOf(K), V);
+      bool B = Model.emplace(K, V.get()).second;
+      if (!B)
+        Model[K] = V.get();
+      Owned[K] = V;
+      ASSERT_EQ(A, B) << "insert step " << Step;
+      break;
+    }
+    case 1: {
+      ASSERT_EQ(C->erase(keyOf(K)), Model.erase(K) > 0)
+          << "erase step " << Step;
+      break;
+    }
+    case 2: {
+      NodeInstPtr Out;
+      bool A = C->lookup(keyOf(K), Out);
+      auto It = Model.find(K);
+      ASSERT_EQ(A, It != Model.end()) << "lookup step " << Step;
+      if (A)
+        ASSERT_EQ(Out.get(), It->second);
+      break;
+    }
+    default: {
+      std::map<int64_t, const NodeInstance *> Seen;
+      C->scan([&](const Tuple &Key, const NodeInstPtr &Val) {
+        Seen.emplace(Key.get(0).asInt(), Val.get());
+        return true;
+      });
+      ASSERT_EQ(Seen.size(), Model.size()) << "scan step " << Step;
+      for (auto &[MK, MV] : Model)
+        ASSERT_EQ(Seen.at(MK), MV);
+      break;
+    }
+    }
+    ASSERT_EQ(C->size(), Model.size());
+  }
+}
+
+TEST_P(ContainerProperty, ScanOrderMatchesTraits) {
+  std::unique_ptr<AnyContainer> C = AnyContainer::create(GetParam());
+  Xoshiro256 Rng(77);
+  for (int I = 0; I < 300; ++I)
+    C->insertOrAssign(keyOf(static_cast<int64_t>(Rng.nextBounded(100000))),
+                      std::make_shared<NodeInstance>());
+  bool Sorted = true;
+  int64_t Prev = INT64_MIN;
+  size_t Seen = 0;
+  C->scan([&](const Tuple &Key, const NodeInstPtr &) {
+    int64_t K = Key.get(0).asInt();
+    if (K <= Prev)
+      Sorted = false;
+    Prev = K;
+    ++Seen;
+    return true;
+  });
+  EXPECT_EQ(Seen, C->size());
+  if (containerTraits(GetParam()).SortedScan)
+    EXPECT_TRUE(Sorted) << containerKindName(GetParam());
+}
+
+TEST_P(ContainerProperty, EraseToEmptyAndReuse) {
+  std::unique_ptr<AnyContainer> C = AnyContainer::create(GetParam());
+  for (int Round = 0; Round < 5; ++Round) {
+    for (int64_t K = 0; K < 64; ++K)
+      ASSERT_TRUE(C->insertOrAssign(keyOf(K),
+                                    std::make_shared<NodeInstance>()));
+    ASSERT_EQ(C->size(), 64u);
+    for (int64_t K = 63; K >= 0; --K)
+      ASSERT_TRUE(C->erase(keyOf(K)));
+    ASSERT_EQ(C->size(), 0u);
+    NodeInstPtr Out;
+    ASSERT_FALSE(C->lookup(keyOf(0), Out));
+  }
+}
+
+TEST_P(ContainerProperty, ValuesKeepOwnersAlive) {
+  // The runtime relies on containers holding shared ownership: an
+  // instance reachable through an entry must not die.
+  std::unique_ptr<AnyContainer> C = AnyContainer::create(GetParam());
+  std::weak_ptr<NodeInstance> Weak;
+  {
+    NodeInstPtr V = std::make_shared<NodeInstance>();
+    Weak = V;
+    C->insertOrAssign(keyOf(7), std::move(V));
+  }
+  EXPECT_FALSE(Weak.expired());
+  C->erase(keyOf(7));
+  EXPECT_TRUE(Weak.expired());
+}
+
+TEST_P(ContainerProperty, EarlyStopVisitsPrefixOnly) {
+  std::unique_ptr<AnyContainer> C = AnyContainer::create(GetParam());
+  for (int64_t K = 0; K < 100; ++K)
+    C->insertOrAssign(keyOf(K), std::make_shared<NodeInstance>());
+  int Visits = 0;
+  C->scan([&](const Tuple &, const NodeInstPtr &) { return ++Visits < 7; });
+  EXPECT_EQ(Visits, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMapKinds, ContainerProperty, ::testing::ValuesIn(MapKinds),
+    [](const ::testing::TestParamInfo<ContainerKind> &Info) {
+      return containerKindName(Info.param);
+    });
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/decomp_test.cpp - Decomposition & adequacy tests -----------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Shapes.h"
+
+#include <gtest/gtest.h>
+
+using namespace crs;
+
+namespace {
+
+TEST(Shapes, AllGraphShapesAreAdequate) {
+  RelationSpec Spec = makeGraphSpec();
+  for (GraphShape S :
+       {GraphShape::Stick, GraphShape::Split, GraphShape::Diamond}) {
+    Decomposition D = makeGraphDecomposition(Spec, S);
+    EXPECT_TRUE(D.validate().ok()) << graphShapeName(S) << ": "
+                                   << D.validate().str();
+  }
+}
+
+TEST(Shapes, ShapeStructure) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition Stick = makeGraphDecomposition(Spec, GraphShape::Stick);
+  EXPECT_EQ(Stick.numNodes(), 4u);
+  EXPECT_EQ(Stick.numEdges(), 3u);
+  Decomposition Split = makeGraphDecomposition(Spec, GraphShape::Split);
+  EXPECT_EQ(Split.numNodes(), 7u);
+  EXPECT_EQ(Split.numEdges(), 6u);
+  Decomposition Diamond = makeGraphDecomposition(Spec, GraphShape::Diamond);
+  EXPECT_EQ(Diamond.numNodes(), 5u);
+  EXPECT_EQ(Diamond.numEdges(), 5u);
+  // The diamond shares node z: it has two incoming edges.
+  unsigned Shared = 0;
+  for (const auto &N : Diamond.nodes())
+    if (N.InEdges.size() == 2)
+      ++Shared;
+  EXPECT_EQ(Shared, 1u);
+}
+
+TEST(Shapes, DCacheMatchesFigure2) {
+  RelationSpec Spec = makeDCacheSpec();
+  Decomposition D = makeDCacheDecomposition(Spec);
+  EXPECT_TRUE(D.validate().ok()) << D.validate().str();
+  EXPECT_EQ(D.numNodes(), 4u);
+  EXPECT_EQ(D.numEdges(), 4u);
+  // Node y (the dentry) is shared: reachable via the per-directory
+  // TreeMap path and the global hashtable edge.
+  const auto &Y = D.node(2);
+  EXPECT_EQ(Y.InEdges.size(), 2u);
+}
+
+TEST(Adequacy, RejectsWrongRootType) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D(Spec);
+  // Root residual missing 'weight'.
+  D.addNode("rho", ColumnSet::empty(), Spec.cols({"src", "dst"}));
+  EXPECT_FALSE(D.validate().ok());
+}
+
+TEST(Adequacy, RejectsLeafWithResidual) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D(Spec);
+  NodeId Rho = D.addNode("rho", ColumnSet::empty(), Spec.allColumns());
+  NodeId U = D.addNode("u", Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  D.addEdge(Rho, U, Spec.cols({"src"}), ContainerKind::HashMap);
+  // u has residual {dst, weight} but no outgoing edges.
+  ValidationResult R = D.validate();
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("residual"), std::string::npos);
+}
+
+TEST(Adequacy, RejectsTypeMismatchOnEdge) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D(Spec);
+  NodeId Rho = D.addNode("rho", ColumnSet::empty(), Spec.allColumns());
+  // Wrong: target keys should be {src}, residual {dst, weight}.
+  NodeId U = D.addNode("u", Spec.cols({"dst"}), Spec.cols({"weight"}));
+  D.addEdge(Rho, U, Spec.cols({"src"}), ContainerKind::HashMap);
+  EXPECT_FALSE(D.validate().ok());
+}
+
+TEST(Adequacy, RejectsUnjustifiedSingleton) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D(Spec);
+  NodeId Rho = D.addNode("rho", ColumnSet::empty(), Spec.allColumns());
+  NodeId U = D.addNode("u", Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  // {src} alone does not determine {dst}: a singleton cell cannot hold
+  // the adjacency set.
+  D.addEdge(Rho, U, Spec.cols({"src"}), ContainerKind::HashMap);
+  NodeId V = D.addNode("v", Spec.cols({"src", "dst"}), Spec.cols({"weight"}));
+  D.addEdge(U, V, Spec.cols({"dst"}), ContainerKind::SingletonCell);
+  NodeId W = D.addNode("w", Spec.allColumns(), ColumnSet::empty());
+  D.addEdge(V, W, Spec.cols({"weight"}), ContainerKind::SingletonCell);
+  ValidationResult R = D.validate();
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("SingletonCell"), std::string::npos);
+}
+
+TEST(Adequacy, RejectsEmptyEdgeColumns) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D(Spec);
+  NodeId Rho = D.addNode("rho", ColumnSet::empty(), Spec.allColumns());
+  NodeId U = D.addNode("u", ColumnSet::empty(), Spec.allColumns());
+  D.addEdge(Rho, U, ColumnSet::empty(), ContainerKind::HashMap);
+  EXPECT_FALSE(D.validate().ok());
+}
+
+TEST(Adequacy, RejectsCycle) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D(Spec);
+  NodeId Rho = D.addNode("rho", ColumnSet::empty(), Spec.allColumns());
+  NodeId U = D.addNode("u", Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  D.addEdge(Rho, U, Spec.cols({"src"}), ContainerKind::HashMap);
+  // Nonsense back edge creating a cycle.
+  D.addEdge(U, Rho, Spec.cols({"dst"}), ContainerKind::HashMap);
+  ValidationResult R = D.validate();
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("cycle"), std::string::npos);
+}
+
+TEST(Topology, TopologicalOrderRespectsEdges) {
+  RelationSpec Spec = makeGraphSpec();
+  for (GraphShape S :
+       {GraphShape::Stick, GraphShape::Split, GraphShape::Diamond}) {
+    Decomposition D = makeGraphDecomposition(Spec, S);
+    std::vector<uint32_t> Idx = D.topologicalIndex();
+    for (const auto &E : D.edges())
+      EXPECT_LT(Idx[E.Src], Idx[E.Dst]) << graphShapeName(S);
+    EXPECT_EQ(Idx[D.root()], 0u);
+  }
+}
+
+TEST(Dominators, DiamondDominance) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D = makeGraphDecomposition(Spec, GraphShape::Diamond);
+  // Nodes: 0=rho, 1=x, 2=y, 3=z, 4=w.
+  EXPECT_TRUE(D.dominates(0, 3));  // root dominates everything
+  EXPECT_FALSE(D.dominates(1, 3)); // z reachable around x (via y)
+  EXPECT_FALSE(D.dominates(2, 3));
+  EXPECT_TRUE(D.dominates(3, 4)); // w only reachable through z
+  EXPECT_TRUE(D.dominates(3, 3)); // reflexive
+  EXPECT_FALSE(D.dominates(3, 1));
+}
+
+TEST(Dominators, StickChainDominance) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D = makeGraphDecomposition(Spec, GraphShape::Stick);
+  for (NodeId N = 0; N < D.numNodes(); ++N)
+    for (NodeId M = N; M < D.numNodes(); ++M)
+      EXPECT_TRUE(D.dominates(N, M)); // a chain: everything dominates below
+  EXPECT_FALSE(D.dominates(2, 1));
+}
+
+TEST(Rendering, DotAndSummary) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D = makeGraphDecomposition(Spec, GraphShape::Diamond);
+  std::string Dot = D.toDot();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dotted"), std::string::npos); // singleton edge
+  std::string Summary = D.str();
+  EXPECT_NE(Summary.find("rho"), std::string::npos);
+  EXPECT_NE(Summary.find("SingletonCell"), std::string::npos);
+}
+
+TEST(Rendering, EdgeMaySingletonFollowsFds) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D = makeGraphDecomposition(Spec, GraphShape::Stick);
+  // Edge 2 (v -> w, {weight}) is justified by src,dst -> weight.
+  EXPECT_TRUE(D.edgeMaySingleton(2));
+  // Edge 1 (u -> v, {dst}) is not: {src} does not determine {dst}.
+  EXPECT_FALSE(D.edgeMaySingleton(1));
+}
+
+} // namespace

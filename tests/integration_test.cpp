@@ -1,0 +1,218 @@
+//===- tests/integration_test.cpp - Cross-module integration scenarios --------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end scenarios spanning the whole pipeline on non-default
+/// combinations: speculative placements on the dcache relation (string
+/// keys through the §4.5 protocol), copy-on-write containers inside a
+/// synthesized representation, statistics-driven replanning under load,
+/// and the wider-schema scheduler decomposition from the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lockplace/PlacementSchemes.h"
+#include "decomp/Shapes.h"
+#include "rel/RefRelation.h"
+#include "runtime/ConcurrentRelation.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+TEST(Integration, DCacheUnderSpeculativePlacement) {
+  // The Fig. 2 relation with the §4.5 placement: the global
+  // (parent, name) hashtable edge becomes speculative — path lookups
+  // lock only the dentry they hit.
+  auto Spec = std::make_shared<RelationSpec>(makeDCacheSpec());
+  auto D = std::make_shared<Decomposition>(makeDCacheDecomposition(*Spec));
+  auto P = std::make_shared<LockPlacement>(
+      makeSpeculativePlacement(*D, 64));
+  ASSERT_TRUE(P->validate().ok()) << P->validate().str();
+  ASSERT_TRUE(P->validateContainerSafety().ok());
+  // The ConcurrentHashMap edge ρ->y must have been made speculative.
+  bool AnySpec = false;
+  for (const auto &E : D->edges())
+    AnySpec |= P->edgePlacement(E.Id).Speculative;
+  ASSERT_TRUE(AnySpec);
+
+  ConcurrentRelation R({Spec, D, P, "dcache/spec"});
+  RefRelation Ref(*Spec);
+  Xoshiro256 Rng(5150);
+  const char *Names[] = {"etc", "usr", "var", "home", "tmp", "opt"};
+  for (int Step = 0; Step < 500; ++Step) {
+    int64_t Parent = static_cast<int64_t>(Rng.nextBounded(5));
+    const char *Name = Names[Rng.nextBounded(6)];
+    Tuple Key = Tuple::of({{Spec->col("parent"), Value::ofInt(Parent)},
+                           {Spec->col("name"), Value::ofString(Name)}});
+    switch (Rng.nextBounded(4)) {
+    case 0: {
+      Tuple Child = Tuple::of(
+          {{Spec->col("child"),
+            Value::ofInt(static_cast<int64_t>(Rng.nextBounded(50)))}});
+      ASSERT_EQ(R.insert(Key, Child), Ref.insert(Key, Child));
+      break;
+    }
+    case 1:
+      ASSERT_EQ(R.remove(Key), Ref.remove(Key));
+      break;
+    case 2:
+      // Path lookup: exercises SpecLookup with a composite string key.
+      ASSERT_EQ(R.query(Key, Spec->cols({"child"})),
+                Ref.query(Key, Spec->cols({"child"})));
+      break;
+    default:
+      ASSERT_EQ(R.query(Tuple::of({{Spec->col("parent"),
+                                    Value::ofInt(Parent)}}),
+                        Spec->cols({"name", "child"})),
+                Ref.query(Tuple::of({{Spec->col("parent"),
+                                      Value::ofInt(Parent)}}),
+                          Spec->cols({"name", "child"})));
+      break;
+    }
+  }
+  EXPECT_EQ(R.scanAll(), Ref.allTuples());
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Integration, DCacheSpeculativeConcurrentPathLookups) {
+  auto Spec = std::make_shared<RelationSpec>(makeDCacheSpec());
+  auto D = std::make_shared<Decomposition>(makeDCacheDecomposition(*Spec));
+  auto P = std::make_shared<LockPlacement>(
+      makeSpeculativePlacement(*D, 64));
+  ConcurrentRelation R({Spec, D, P, "dcache/spec"});
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(T);
+      for (int I = 0; I < 800; ++I) {
+        int64_t Parent = static_cast<int64_t>(Rng.nextBounded(4));
+        std::string Name = "f" + std::to_string(Rng.nextBounded(8));
+        Tuple Key =
+            Tuple::of({{Spec->col("parent"), Value::ofInt(Parent)},
+                       {Spec->col("name"), Value::ofString(Name)}});
+        switch (Rng.nextBounded(3)) {
+        case 0:
+          R.insert(Key, Tuple::of({{Spec->col("child"),
+                                    Value::ofInt(T * 100 + I)}}));
+          break;
+        case 1:
+          R.remove(Key);
+          break;
+        default:
+          R.query(Key, Spec->cols({"child"}));
+          break;
+        }
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Integration, CowContainersInsideARepresentation) {
+  // Copy-on-write array maps as the second level: read-mostly
+  // adjacency sets with snapshot scans.
+  auto Spec = std::make_shared<RelationSpec>(makeGraphSpec());
+  auto D = std::make_shared<Decomposition>(makeGraphDecomposition(
+      *Spec, GraphShape::Split,
+      {ContainerKind::ConcurrentHashMap, ContainerKind::CowArrayMap}));
+  auto P = std::make_shared<LockPlacement>(makeStripedPlacement(*D, 64));
+  ASSERT_TRUE(P->validateContainerSafety().ok());
+  ConcurrentRelation R({Spec, D, P, "split/cow"});
+  RefRelation Ref(*Spec);
+  Xoshiro256 Rng(808);
+  for (int I = 0; I < 400; ++I) {
+    int64_t S = static_cast<int64_t>(Rng.nextBounded(6));
+    int64_t Dst = static_cast<int64_t>(Rng.nextBounded(6));
+    Tuple Key = Tuple::of({{Spec->col("src"), Value::ofInt(S)},
+                           {Spec->col("dst"), Value::ofInt(Dst)}});
+    if (Rng.nextBounded(3) == 0) {
+      ASSERT_EQ(R.remove(Key), Ref.remove(Key));
+    } else {
+      Tuple W = Tuple::of({{Spec->col("weight"), Value::ofInt(I)}});
+      ASSERT_EQ(R.insert(Key, W), Ref.insert(Key, W));
+    }
+  }
+  EXPECT_EQ(R.scanAll(), Ref.allTuples());
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(Integration, AdaptPlansMidWorkload) {
+  auto Spec = std::make_shared<RelationSpec>(makeGraphSpec());
+  auto D = std::make_shared<Decomposition>(
+      makeGraphDecomposition(*Spec, GraphShape::Split));
+  auto P = std::make_shared<LockPlacement>(makeStripedPlacement(*D, 64));
+  ConcurrentRelation R({Spec, D, P, "split/adaptive"});
+  RefRelation Ref(*Spec);
+  Xoshiro256 Rng(33);
+
+  auto Burst = [&](int N) {
+    for (int I = 0; I < N; ++I) {
+      int64_t S = static_cast<int64_t>(Rng.nextBounded(10));
+      int64_t Dst = static_cast<int64_t>(Rng.nextBounded(10));
+      Tuple Key = Tuple::of({{Spec->col("src"), Value::ofInt(S)},
+                             {Spec->col("dst"), Value::ofInt(Dst)}});
+      switch (Rng.nextBounded(3)) {
+      case 0: {
+        Tuple W = Tuple::of({{Spec->col("weight"), Value::ofInt(I)}});
+        ASSERT_EQ(R.insert(Key, W), Ref.insert(Key, W));
+        break;
+      }
+      case 1:
+        ASSERT_EQ(R.remove(Key), Ref.remove(Key));
+        break;
+      default:
+        ASSERT_EQ(R.query(Tuple::of({{Spec->col("dst"),
+                                      Value::ofInt(Dst)}}),
+                          Spec->cols({"src", "weight"})),
+                  Ref.query(Tuple::of({{Spec->col("dst"),
+                                        Value::ofInt(Dst)}}),
+                            Spec->cols({"src", "weight"})));
+        break;
+      }
+    }
+  };
+  Burst(200);
+  R.adaptPlans(); // replan against measured occupancy
+  Burst(200);
+  R.adaptPlans();
+  Burst(200);
+  EXPECT_EQ(R.scanAll(), Ref.allTuples());
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(Integration, HuskCleanupKeepsInstancesBounded) {
+  // Insert/remove churn on one key space must not leak node instances
+  // (husk cleanup in the remove epilogue).
+  auto Spec = std::make_shared<RelationSpec>(makeGraphSpec());
+  auto D = std::make_shared<Decomposition>(
+      makeGraphDecomposition(*Spec, GraphShape::Split));
+  auto P = std::make_shared<LockPlacement>(makeFinePlacement(*D));
+  ConcurrentRelation R({Spec, D, P, "split/churn"});
+  const RelationSpec &S = *Spec;
+  for (int Round = 0; Round < 50; ++Round) {
+    for (int64_t I = 0; I < 8; ++I)
+      R.insert(Tuple::of({{S.col("src"), Value::ofInt(I)},
+                          {S.col("dst"), Value::ofInt(I + 1)}}),
+               Tuple::of({{S.col("weight"), Value::ofInt(Round)}}));
+    for (int64_t I = 0; I < 8; ++I)
+      R.remove(Tuple::of({{S.col("src"), Value::ofInt(I)},
+                          {S.col("dst"), Value::ofInt(I + 1)}}));
+  }
+  EXPECT_EQ(R.size(), 0u);
+  RelationStatistics Stats = R.collectStatistics();
+  // Only the root instance should remain reachable.
+  EXPECT_EQ(Stats.NodeInstances, 1u) << "husk instances leaked";
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+//===- tests/planner_extras_test.cpp - Sort elision & witness soundness -------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the planner's §5.2 sort-elision static analysis and for the
+/// witness-node soundness criterion (a regression test for the join
+/// fallacy found by the synthesis fuzzer: confirming each queried column
+/// on a *different* branch of the decomposition fabricates tuples).
+///
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Shapes.h"
+#include "lockplace/PlacementSchemes.h"
+#include "plan/PlanValidity.h"
+#include "plan/Planner.h"
+#include "rel/RefRelation.h"
+#include "runtime/ConcurrentRelation.h"
+
+#include <gtest/gtest.h>
+
+using namespace crs;
+
+namespace {
+
+// ------------------------------------------------------- sort elision
+
+/// Locates the first Lock statement following a Scan in \p P.
+const PlanStmt *lockAfterScan(const Plan &P) {
+  bool SeenScan = false;
+  for (const auto &St : P.Stmts) {
+    if (St.K == PlanStmt::Kind::Scan)
+      SeenScan = true;
+    else if (SeenScan && St.K == PlanStmt::Kind::Lock)
+      return &St;
+  }
+  return nullptr;
+}
+
+TEST(SortElision, TreeMapScanElidesLockSort) {
+  // The paper's §5.2 example: under the fine placement, iterating the
+  // dcache via ρx (a TreeMap) yields states in sorted order, which
+  // coincides with the lock order — the lock on x can skip sorting.
+  RelationSpec Spec = makeDCacheSpec();
+  Decomposition D = makeDCacheDecomposition(Spec);
+  LockPlacement P = makeFinePlacement(D);
+  QueryPlanner Planner(D, P);
+
+  // Find the tree-path plan: scans of exactly ρx (edge 0), xy (edge 1),
+  // and yz (edge 3) — the paper's plan (4) traversal.
+  auto Plans = Planner.enumerateQueryPlans(ColumnSet::empty(),
+                                           Spec.allColumns());
+  const Plan *TreePlan = nullptr;
+  for (const Plan &Candidate : Plans) {
+    std::vector<EdgeId> Scanned;
+    for (const auto &St : Candidate.Stmts)
+      if (St.K == PlanStmt::Kind::Scan)
+        Scanned.push_back(St.Edge);
+    if (Scanned == std::vector<EdgeId>{0, 1, 3})
+      TreePlan = &Candidate;
+  }
+  ASSERT_NE(TreePlan, nullptr);
+  const PlanStmt *L = lockAfterScan(*TreePlan);
+  ASSERT_NE(L, nullptr);
+  EXPECT_TRUE(L->SortElided) << TreePlan->str();
+  EXPECT_NE(TreePlan->str().find("presorted"), std::string::npos);
+}
+
+TEST(SortElision, HashMapScanRequiresLockSort) {
+  // Same shape but with hash containers: iteration order is arbitrary,
+  // so the post-scan lock must sort.
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D = makeGraphDecomposition(
+      Spec, GraphShape::Stick,
+      {ContainerKind::HashMap, ContainerKind::HashMap});
+  LockPlacement P = makeFinePlacement(D);
+  QueryPlanner Planner(D, P);
+  Plan Full = Planner.planQuery(ColumnSet::empty(), Spec.allColumns());
+  const PlanStmt *L = lockAfterScan(Full);
+  ASSERT_NE(L, nullptr);
+  EXPECT_FALSE(L->SortElided) << Full.str();
+}
+
+TEST(SortElision, LookupOnlyPlansAreTriviallySorted) {
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D = makeGraphDecomposition(Spec, GraphShape::Stick);
+  LockPlacement P = makeFinePlacement(D);
+  QueryPlanner Planner(D, P);
+  // Keyed by the full key: singleton state throughout.
+  Plan Pt = Planner.planQuery(Spec.cols({"src", "dst"}),
+                              Spec.cols({"weight"}));
+  for (const auto &St : Pt.Stmts)
+    if (St.K == PlanStmt::Kind::Lock)
+      EXPECT_TRUE(St.SortElided) << Pt.str();
+}
+
+TEST(SortElision, ElidedPlansExecuteCorrectly) {
+  // End-to-end: a representation whose plans exercise the no-sort path
+  // still matches the reference semantics (the executor asserts
+  // is_sorted in debug builds).
+  RelationSpec SpecV = makeGraphSpec();
+  auto Spec = std::make_shared<RelationSpec>(SpecV);
+  auto D = std::make_shared<Decomposition>(makeGraphDecomposition(
+      *Spec, GraphShape::Stick,
+      {ContainerKind::TreeMap, ContainerKind::TreeMap}));
+  auto P = std::make_shared<LockPlacement>(makeFinePlacement(*D));
+  ConcurrentRelation R({Spec, D, P, "stick/tree"});
+  RefRelation Ref(*Spec);
+  for (int64_t S = 0; S < 6; ++S)
+    for (int64_t Dst = 0; Dst < 6; ++Dst) {
+      Tuple Key = Tuple::of({{Spec->col("src"), Value::ofInt(S)},
+                             {Spec->col("dst"), Value::ofInt(Dst)}});
+      Tuple W = Tuple::of({{Spec->col("weight"), Value::ofInt(S + Dst)}});
+      R.insert(Key, W);
+      Ref.insert(Key, W);
+    }
+  // Predecessor query: scan-heavy on a stick, locks after scans.
+  for (int64_t Dst = 0; Dst < 6; ++Dst) {
+    Tuple S = Tuple::of({{Spec->col("dst"), Value::ofInt(Dst)}});
+    EXPECT_EQ(R.query(S, Spec->cols({"src", "weight"})),
+              Ref.query(S, Spec->cols({"src", "weight"})));
+  }
+  EXPECT_EQ(R.scanAll(), Ref.allTuples());
+}
+
+// ------------------------------------------------ witness soundness
+
+/// The decomposition shape that exposed the join fallacy: two branches
+/// from the root, one keyed {c0}, the other keyed {c1, c2}.
+Decomposition makeForkedDecomposition(const RelationSpec &Spec) {
+  ColumnSet C0 = Spec.cols({"c0"});
+  ColumnSet C1 = Spec.cols({"c1"});
+  ColumnSet C2 = Spec.cols({"c2"});
+  Decomposition D(Spec);
+  NodeId Root = D.addNode("n0", ColumnSet::empty(), Spec.allColumns());
+  NodeId N1 = D.addNode("n1", C0, C1 | C2);
+  NodeId N2 = D.addNode("n2", C0 | C1, C2);
+  NodeId N3 = D.addNode("n3", Spec.allColumns(), ColumnSet::empty());
+  NodeId N4 = D.addNode("n4", C1 | C2, C0);
+  NodeId N5 = D.addNode("n5", Spec.allColumns(), ColumnSet::empty());
+  D.addEdge(Root, N1, C0, ContainerKind::ConcurrentHashMap);
+  D.addEdge(N1, N2, C1, ContainerKind::CowArrayMap);
+  D.addEdge(N2, N3, C2, ContainerKind::TreeMap);
+  D.addEdge(Root, N4, C1 | C2, ContainerKind::ConcurrentSkipListMap);
+  D.addEdge(N4, N5, C0, ContainerKind::TreeMap);
+  return D;
+}
+
+TEST(WitnessSoundness, ForkedDecompositionQueriesCorrectly) {
+  RelationSpec SpecV({"c0", "c1", "c2"}, {{{"c0", "c2"}, {"c1"}}});
+  auto Spec = std::make_shared<RelationSpec>(SpecV);
+  auto D = std::make_shared<Decomposition>(makeForkedDecomposition(*Spec));
+  ASSERT_TRUE(D->validate().ok()) << D->validate().str();
+  auto P = std::make_shared<LockPlacement>(
+      makeStripedPlacement(*D, 16));
+  ASSERT_TRUE(P->validate().ok());
+  ASSERT_TRUE(P->validateContainerSafety().ok());
+
+  ConcurrentRelation R({Spec, D, P, "forked"});
+  RefRelation Ref(*Spec);
+  ColumnSet Key = Spec->cols({"c0", "c2"});
+  // Tuples chosen so the broken plan shape (confirm c0 on one branch,
+  // (c1,c2) on the other) would fabricate combinations.
+  auto Ins = [&](int64_t A, int64_t B, int64_t C) {
+    Tuple S = Tuple::of({{Spec->col("c0"), Value::ofInt(A)},
+                         {Spec->col("c2"), Value::ofInt(C)}});
+    Tuple T = Tuple::of({{Spec->col("c1"), Value::ofInt(B)}});
+    EXPECT_EQ(R.insert(S, T), Ref.insert(S, T));
+  };
+  Ins(0, 10, 100);
+  Ins(1, 11, 101);
+  Ins(2, 12, 102);
+
+  // dom(s)={c0}, C={c1,c2}: exactly the failing signature.
+  for (int64_t A = 0; A < 4; ++A) {
+    Tuple S = Tuple::of({{Spec->col("c0"), Value::ofInt(A)}});
+    EXPECT_EQ(R.query(S, Spec->cols({"c1", "c2"})),
+              Ref.query(S, Spec->cols({"c1", "c2"})))
+        << "c0=" << A;
+  }
+  // ... and all other single-column signatures.
+  Spec->allColumns().forEach([&](ColumnId Col) {
+    for (int64_t V = 0; V < 110; V += 7) {
+      Tuple S = Tuple::of({{Col, Value::ofInt(V)}});
+      ColumnSet Out = Spec->allColumns() - ColumnSet::of(Col);
+      EXPECT_EQ(R.query(S, Out), Ref.query(S, Out));
+    }
+  });
+}
+
+TEST(WitnessSoundness, ValidityCheckerRejectsDisconnectedWitness) {
+  RelationSpec SpecV({"c0", "c1", "c2"}, {{{"c0", "c2"}, {"c1"}}});
+  Decomposition D = makeForkedDecomposition(SpecV);
+  LockPlacement P = makeFinePlacement(D);
+
+  // Hand-build the fallacious plan: scan the {c1,c2} branch, then
+  // "confirm" c0 with a lookup on the other branch, and stop without
+  // reaching a witnessing node.
+  Plan Bad;
+  Bad.Decomp = &D;
+  Bad.Placement = &P;
+  Bad.InputCols = SpecV.cols({"c0"});
+  Bad.OutputCols = SpecV.cols({"c1", "c2"});
+  auto Lock = [&](NodeId N) {
+    PlanStmt L;
+    L.K = PlanStmt::Kind::Lock;
+    L.Node = N;
+    L.InVar = 0;
+    L.Sels.push_back(StripeSel::all());
+    Bad.Stmts.push_back(L);
+  };
+  Lock(0);
+  PlanStmt Scan;
+  Scan.K = PlanStmt::Kind::Scan;
+  Scan.InVar = 0;
+  Scan.OutVar = 1;
+  Scan.Edge = 3; // n0 -{c1,c2}-> n4
+  Bad.Stmts.push_back(Scan);
+  PlanStmt Lk;
+  Lk.K = PlanStmt::Kind::Lookup;
+  Lk.InVar = 1;
+  Lk.OutVar = 2;
+  Lk.Edge = 0; // n0 -{c0}-> n1 — the disconnected "confirmation"
+  Bad.Stmts.push_back(Lk);
+  Bad.NumVars = 3;
+  Bad.ResultVar = 2;
+
+  ValidationResult R = checkPlanValidity(Bad);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("witness"), std::string::npos) << R.str();
+}
+
+TEST(WitnessSoundness, PlannerPlansAlwaysEndAtAWitness) {
+  RelationSpec SpecV({"c0", "c1", "c2"}, {{{"c0", "c2"}, {"c1"}}});
+  Decomposition D = makeForkedDecomposition(SpecV);
+  LockPlacement P = makeFinePlacement(D);
+  QueryPlanner Planner(D, P);
+  ColumnSet All = SpecV.allColumns();
+  All.forEach([&](ColumnId Col) {
+    ColumnSet DomS = ColumnSet::of(Col);
+    for (const Plan &Plan : Planner.enumerateQueryPlans(DomS, All - DomS))
+      EXPECT_TRUE(checkPlanValidity(Plan).ok()) << Plan.str();
+  });
+}
+
+} // namespace

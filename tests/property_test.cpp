@@ -1,0 +1,285 @@
+//===- tests/property_test.cpp - Randomized synthesis-space fuzzing -----------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-based coverage of the synthesis space: generate random
+/// relational specifications, random *adequate* decompositions over them
+/// (trees with occasional DAG sharing, random container kinds, random
+/// multi-column edges), and random legal lock placements; then check
+///
+///  * the generated decomposition passes the adequacy checker (the
+///    generator and checker agree on §4.1);
+///  * every compiled plan passes the static validity checker;
+///  * randomized operation sequences behave exactly like the §2
+///    reference semantics (differential testing vs RefRelation);
+///  * a short concurrent shake leaves the representation consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lockplace/PlacementSchemes.h"
+#include "plan/PlanValidity.h"
+#include "rel/RefRelation.h"
+#include "runtime/ConcurrentRelation.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+/// Picks a random nonempty subset of \p Pool.
+ColumnSet randomSubset(Xoshiro256 &Rng, ColumnSet Pool) {
+  std::vector<ColumnId> Members = Pool.members();
+  ColumnSet Out;
+  while (Out.isEmpty())
+    for (ColumnId C : Members)
+      if (Rng.nextBounded(2))
+        Out |= ColumnSet::of(C);
+  return Out;
+}
+
+/// Generates a random specification with 3-5 columns and a random key.
+std::shared_ptr<RelationSpec> randomSpec(Xoshiro256 &Rng) {
+  unsigned NumCols = 3 + static_cast<unsigned>(Rng.nextBounded(3));
+  std::vector<std::string> Names;
+  for (unsigned I = 0; I < NumCols; ++I)
+    Names.push_back("c" + std::to_string(I));
+  // Key = random proper nonempty subset; FD key -> rest.
+  std::vector<std::string> KeyNames, RestNames;
+  do {
+    KeyNames.clear();
+    RestNames.clear();
+    for (unsigned I = 0; I < NumCols; ++I)
+      (Rng.nextBounded(2) ? KeyNames : RestNames).push_back(Names[I]);
+  } while (KeyNames.empty() || RestNames.empty());
+  return std::make_shared<RelationSpec>(
+      Names, std::vector<std::pair<std::vector<std::string>,
+                                   std::vector<std::string>>>{
+                 {KeyNames, RestNames}});
+}
+
+/// Recursively builds a random adequate decomposition. Nodes are
+/// memoized by type (A ▷ B) and occasionally reused, producing DAG
+/// sharing like the paper's diamond.
+class RandomDecompBuilder {
+public:
+  RandomDecompBuilder(Decomposition &D, const RelationSpec &Spec,
+                      Xoshiro256 &Rng)
+      : D(D), Spec(Spec), Rng(Rng) {}
+
+  NodeId build(ColumnSet A, ColumnSet B) {
+    auto CacheKey = std::make_pair(A.bits(), B.bits());
+    auto It = Cache.find(CacheKey);
+    if (It != Cache.end() && Rng.nextBounded(2))
+      return It->second; // share an existing node (diamond-style)
+    NodeId N = D.addNode("n" + std::to_string(D.numNodes()), A, B);
+    Cache[CacheKey] = N;
+    if (B.isEmpty())
+      return N;
+
+    unsigned Fanout =
+        (D.numNodes() < 24 && B.size() > 1 && Rng.nextBounded(3) == 0) ? 2
+                                                                       : 1;
+    for (unsigned I = 0; I < Fanout; ++I) {
+      ColumnSet Cols = D.numNodes() >= 24 ? B : randomSubset(Rng, B);
+      NodeId Child = build(A | Cols, B - Cols);
+      D.addEdge(N, Child, Cols, pickKind(A, Cols));
+    }
+    return N;
+  }
+
+private:
+  ContainerKind pickKind(ColumnSet A, ColumnSet Cols) {
+    if (Spec.determines(A, Cols) && Rng.nextBounded(2))
+      return ContainerKind::SingletonCell;
+    static const ContainerKind Menu[] = {
+        ContainerKind::HashMap, ContainerKind::TreeMap,
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap, ContainerKind::CowArrayMap};
+    return Menu[Rng.nextBounded(5)];
+  }
+
+  Decomposition &D;
+  const RelationSpec &Spec;
+  Xoshiro256 &Rng;
+  std::map<std::pair<uint64_t, uint64_t>, NodeId> Cache;
+};
+
+/// Picks a random placement scheme and fixes up container kinds so the
+/// combination is legal (edges left concurrent by the placement get a
+/// concurrency-safe container).
+std::shared_ptr<LockPlacement> randomPlacement(Decomposition &D,
+                                               Xoshiro256 &Rng) {
+  unsigned Scheme = static_cast<unsigned>(Rng.nextBounded(4));
+  uint32_t Stripes = Rng.nextBounded(2) ? 4 : 16;
+  // Speculation and striping need concurrency-safe containers on the
+  // affected (root-sourced) edges.
+  if (Scheme >= 2)
+    for (const auto &E : D.edges())
+      if (E.Src == D.root() && E.Kind != ContainerKind::SingletonCell &&
+          !containerTraits(E.Kind).concurrencySafe())
+        D.setEdgeKind(E.Id, Rng.nextBounded(2)
+                                ? ContainerKind::ConcurrentHashMap
+                                : ContainerKind::ConcurrentSkipListMap);
+  std::shared_ptr<LockPlacement> P;
+  switch (Scheme) {
+  case 0:
+    P = std::make_shared<LockPlacement>(makeCoarsePlacement(D));
+    break;
+  case 1:
+    P = std::make_shared<LockPlacement>(makeFinePlacement(D));
+    break;
+  case 2:
+    P = std::make_shared<LockPlacement>(makeStripedPlacement(D, Stripes));
+    break;
+  default:
+    P = std::make_shared<LockPlacement>(
+        makeSpeculativePlacement(D, Stripes));
+    break;
+  }
+  // Root-sourced singleton edges under a striped scheme would be left
+  // concurrent; pin them to a constant stripe.
+  for (const auto &E : D.edges())
+    if (P->allowsConcurrentAccess(E.Id) &&
+        !containerTraits(E.Kind).concurrencySafe())
+      P->setEdge(E.Id, {E.Src, ColumnSet::empty(), false});
+  return P;
+}
+
+/// Random value for a column: a small int or (sometimes) a string.
+Value randomValue(Xoshiro256 &Rng) {
+  if (Rng.nextBounded(4) == 0) {
+    static const char *Strings[] = {"red", "green", "blue", "teal"};
+    return Value::ofString(Strings[Rng.nextBounded(4)]);
+  }
+  return Value::ofInt(static_cast<int64_t>(Rng.nextBounded(4)));
+}
+
+Tuple randomTupleFor(Xoshiro256 &Rng, ColumnSet Cols) {
+  Tuple T;
+  Cols.forEach([&](ColumnId C) { T.set(C, randomValue(Rng)); });
+  return T;
+}
+
+class SynthesisFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisFuzz, RandomRepresentationMatchesReference) {
+  Xoshiro256 Rng(424242 + GetParam() * 7919);
+  auto Spec = randomSpec(Rng);
+  auto Decomp = std::make_shared<Decomposition>(*Spec);
+  RandomDecompBuilder Builder(*Decomp, *Spec, Rng);
+  Builder.build(ColumnSet::empty(), Spec->allColumns());
+
+  // The generator must always produce adequate decompositions.
+  ValidationResult Adequate = Decomp->validate();
+  ASSERT_TRUE(Adequate.ok()) << Decomp->str() << "\n" << Adequate.str();
+
+  auto Placement = randomPlacement(*Decomp, Rng);
+  ASSERT_TRUE(Placement->validate().ok())
+      << Decomp->str() << "\n" << Placement->str() << "\n"
+      << Placement->validate().str();
+  ASSERT_TRUE(Placement->validateContainerSafety().ok())
+      << Decomp->str() << "\n" << Placement->str() << "\n"
+      << Placement->validateContainerSafety().str();
+
+  // Every query plan the planner can produce is statically valid.
+  QueryPlanner Planner(*Decomp, *Placement);
+  ColumnSet All = Spec->allColumns();
+  All.forEach([&](ColumnId C) {
+    for (const Plan &P :
+         Planner.enumerateQueryPlans(ColumnSet::of(C), All - ColumnSet::of(C)))
+      ASSERT_TRUE(checkPlanValidity(P).ok())
+          << Decomp->str() << "\n" << Placement->str() << "\n" << P.str();
+  });
+
+  // Differential test against the §2 reference semantics.
+  ConcurrentRelation R({Spec, Decomp, Placement, "fuzz"});
+  RefRelation Ref(*Spec);
+  ColumnSet Key = Spec->minimalKeys().front();
+  ColumnSet Rest = All - Key;
+
+  for (int Step = 0; Step < 250; ++Step) {
+    switch (Rng.nextBounded(4)) {
+    case 0: {
+      Tuple S = randomTupleFor(Rng, Key);
+      Tuple T = randomTupleFor(Rng, Rest);
+      ASSERT_EQ(R.insert(S, T), Ref.insert(S, T)) << "step " << Step;
+      break;
+    }
+    case 1: {
+      Tuple S = randomTupleFor(Rng, Key);
+      ASSERT_EQ(R.remove(S), Ref.remove(S)) << "step " << Step;
+      break;
+    }
+    default: {
+      // Random query signature: any nonempty dom(s), any output set.
+      ColumnSet DomS = randomSubset(Rng, All);
+      ColumnSet C = randomSubset(Rng, All);
+      Tuple S = randomTupleFor(Rng, DomS);
+      ASSERT_EQ(R.query(S, C), Ref.query(S, C))
+          << "step " << Step << " dom(s)=" << Spec->catalog().str(DomS)
+          << " C=" << Spec->catalog().str(C) << "\n"
+          << Decomp->str() << "\n" << Placement->str();
+      break;
+    }
+    }
+    ASSERT_EQ(R.size(), Ref.size()) << "step " << Step;
+  }
+  EXPECT_EQ(R.scanAll(), Ref.allTuples());
+  EXPECT_TRUE(R.verifyConsistency().ok())
+      << Decomp->str() << "\n" << R.verifyConsistency().str();
+}
+
+TEST_P(SynthesisFuzz, RandomRepresentationSurvivesConcurrentShake) {
+  Xoshiro256 Rng(917 + GetParam() * 104729);
+  auto Spec = randomSpec(Rng);
+  auto Decomp = std::make_shared<Decomposition>(*Spec);
+  RandomDecompBuilder Builder(*Decomp, *Spec, Rng);
+  Builder.build(ColumnSet::empty(), Spec->allColumns());
+  ASSERT_TRUE(Decomp->validate().ok());
+  auto Placement = randomPlacement(*Decomp, Rng);
+  ASSERT_TRUE(Placement->validate().ok());
+  ASSERT_TRUE(Placement->validateContainerSafety().ok());
+
+  ConcurrentRelation R({Spec, Decomp, Placement, "fuzz-conc"});
+  ColumnSet All = Spec->allColumns();
+  ColumnSet Key = Spec->minimalKeys().front();
+  ColumnSet Rest = All - Key;
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 3; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 TRng(GetParam() * 31 + T);
+      for (int I = 0; I < 400; ++I) {
+        switch (TRng.nextBounded(4)) {
+        case 0:
+          R.insert(randomTupleFor(TRng, Key), randomTupleFor(TRng, Rest));
+          break;
+        case 1:
+          R.remove(randomTupleFor(TRng, Key));
+          break;
+        default: {
+          ColumnSet DomS = randomSubset(TRng, All);
+          R.query(randomTupleFor(TRng, DomS), All - DomS);
+          break;
+        }
+        }
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_TRUE(R.verifyConsistency().ok())
+      << Decomp->str() << "\n" << Placement->str() << "\n"
+      << R.verifyConsistency().str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisFuzz, ::testing::Range(0, 24));
+
+} // namespace

@@ -1,0 +1,247 @@
+//===- tests/runtime_test.cpp - ConcurrentRelation vs the §2 semantics -------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sequential correctness of synthesized representations: every
+/// representation (all Figure 5 variants plus the dcache decomposition
+/// under several placements) must implement exactly the reference
+/// semantics of §2, checked operation-by-operation against RefRelation
+/// on randomized workloads, plus structural consistency invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Autotuner.h"
+#include "decomp/Shapes.h"
+#include "lockplace/PlacementSchemes.h"
+#include "rel/RefRelation.h"
+#include "runtime/ConcurrentRelation.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace crs;
+
+namespace {
+
+Tuple graphKey(const RelationSpec &Spec, int64_t Src, int64_t Dst) {
+  return Tuple::of({{Spec.col("src"), Value::ofInt(Src)},
+                    {Spec.col("dst"), Value::ofInt(Dst)}});
+}
+
+Tuple graphWeight(const RelationSpec &Spec, int64_t W) {
+  return Tuple::of({{Spec.col("weight"), Value::ofInt(W)}});
+}
+
+class GraphRepresentationTest
+    : public ::testing::TestWithParam<std::pair<std::string, int>> {};
+
+/// Builds the representation named by the parameter from the Figure 5
+/// menu.
+RepresentationConfig namedConfig(const std::string &Name) {
+  for (auto &[N, C] : figure5Representations())
+    if (N == Name)
+      return C;
+  ADD_FAILURE() << "unknown representation " << Name;
+  return {};
+}
+
+std::vector<std::pair<std::string, int>> allNamedReps() {
+  std::vector<std::pair<std::string, int>> Out;
+  int I = 0;
+  for (auto &[N, C] : figure5Representations())
+    Out.push_back({N, I++});
+  return Out;
+}
+
+TEST_P(GraphRepresentationTest, BasicInsertQueryRemove) {
+  RepresentationConfig Config = namedConfig(GetParam().first);
+  ASSERT_TRUE(Config.Placement);
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+
+  EXPECT_TRUE(R.insert(graphKey(Spec, 1, 2), graphWeight(Spec, 42)));
+  EXPECT_EQ(R.size(), 1u);
+
+  // §2: a second insert with the same key leaves the relation unchanged.
+  EXPECT_FALSE(R.insert(graphKey(Spec, 1, 2), graphWeight(Spec, 101)));
+  EXPECT_EQ(R.size(), 1u);
+
+  auto Successors = R.query(
+      Tuple::of({{Spec.col("src"), Value::ofInt(1)}}),
+      Spec.cols({"dst", "weight"}));
+  ASSERT_EQ(Successors.size(), 1u);
+  EXPECT_EQ(Successors[0].get(Spec.col("dst")).asInt(), 2);
+  EXPECT_EQ(Successors[0].get(Spec.col("weight")).asInt(), 42);
+
+  auto Predecessors = R.query(
+      Tuple::of({{Spec.col("dst"), Value::ofInt(2)}}),
+      Spec.cols({"src", "weight"}));
+  ASSERT_EQ(Predecessors.size(), 1u);
+  EXPECT_EQ(Predecessors[0].get(Spec.col("src")).asInt(), 1);
+
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+
+  EXPECT_EQ(R.remove(graphKey(Spec, 1, 2)), 1u);
+  EXPECT_EQ(R.size(), 0u);
+  EXPECT_EQ(R.remove(graphKey(Spec, 1, 2)), 0u);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST_P(GraphRepresentationTest, RandomOpsMatchReferenceSemantics) {
+  RepresentationConfig Config = namedConfig(GetParam().first);
+  ASSERT_TRUE(Config.Placement);
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+  RefRelation Ref(Spec);
+  Xoshiro256 Rng(1234 + GetParam().second);
+
+  const int64_t KeyRange = 8;
+  for (int Step = 0; Step < 400; ++Step) {
+    int64_t Src = static_cast<int64_t>(Rng.nextBounded(KeyRange));
+    int64_t Dst = static_cast<int64_t>(Rng.nextBounded(KeyRange));
+    int64_t W = static_cast<int64_t>(Rng.nextBounded(100));
+    switch (Rng.nextBounded(4)) {
+    case 0: { // insert
+      bool A = R.insert(graphKey(Spec, Src, Dst), graphWeight(Spec, W));
+      bool B = Ref.insert(graphKey(Spec, Src, Dst), graphWeight(Spec, W));
+      ASSERT_EQ(A, B) << "insert result diverged at step " << Step;
+      break;
+    }
+    case 1: { // remove
+      unsigned A = R.remove(graphKey(Spec, Src, Dst));
+      unsigned B = Ref.remove(graphKey(Spec, Src, Dst));
+      ASSERT_EQ(A, B) << "remove count diverged at step " << Step;
+      break;
+    }
+    case 2: { // successors query
+      auto A = R.query(Tuple::of({{Spec.col("src"), Value::ofInt(Src)}}),
+                       Spec.cols({"dst", "weight"}));
+      auto B = Ref.query(Tuple::of({{Spec.col("src"), Value::ofInt(Src)}}),
+                         Spec.cols({"dst", "weight"}));
+      ASSERT_EQ(A, B) << "successors diverged at step " << Step;
+      break;
+    }
+    default: { // predecessors query
+      auto A = R.query(Tuple::of({{Spec.col("dst"), Value::ofInt(Dst)}}),
+                       Spec.cols({"src", "weight"}));
+      auto B = Ref.query(Tuple::of({{Spec.col("dst"), Value::ofInt(Dst)}}),
+                         Spec.cols({"src", "weight"}));
+      ASSERT_EQ(A, B) << "predecessors diverged at step " << Step;
+      break;
+    }
+    }
+    ASSERT_EQ(R.size(), Ref.size());
+  }
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+  // Full contents agree.
+  EXPECT_EQ(R.scanAll(), Ref.allTuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure5, GraphRepresentationTest, ::testing::ValuesIn(allNamedReps()),
+    [](const ::testing::TestParamInfo<std::pair<std::string, int>> &Info) {
+      std::string Name = Info.param.first;
+      for (char &C : Name)
+        if (C == ' ')
+          C = '_';
+      return Name;
+    });
+
+TEST(DCacheRuntime, Figure2Relation) {
+  auto Spec = std::make_shared<RelationSpec>(makeDCacheSpec());
+  auto D = std::make_shared<Decomposition>(makeDCacheDecomposition(*Spec));
+  auto P = std::make_shared<LockPlacement>(makeFinePlacement(*D));
+  ConcurrentRelation R({Spec, D, P, "dcache/fine"});
+
+  auto Entry = [&](int64_t Parent, const char *Name, int64_t Child) {
+    return std::make_pair(
+        Tuple::of({{Spec->col("parent"), Value::ofInt(Parent)},
+                   {Spec->col("name"), Value::ofString(Name)}}),
+        Tuple::of({{Spec->col("child"), Value::ofInt(Child)}}));
+  };
+
+  // The Figure 2(b) instance.
+  auto E1 = Entry(1, "a", 2);
+  auto E2 = Entry(2, "b", 3);
+  auto E3 = Entry(2, "c", 4);
+  EXPECT_TRUE(R.insert(E1.first, E1.second));
+  EXPECT_TRUE(R.insert(E2.first, E2.second));
+  EXPECT_TRUE(R.insert(E3.first, E3.second));
+  EXPECT_EQ(R.size(), 3u);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+
+  // Directory listing of parent 2 (iterate children of a directory).
+  auto Listing = R.query(Tuple::of({{Spec->col("parent"), Value::ofInt(2)}}),
+                         Spec->cols({"name", "child"}));
+  ASSERT_EQ(Listing.size(), 2u);
+
+  // Path lookup via the (parent, name) hashtable edge.
+  auto Hit = R.query(E2.first, Spec->cols({"child"}));
+  ASSERT_EQ(Hit.size(), 1u);
+  EXPECT_EQ(Hit[0].get(Spec->col("child")).asInt(), 3);
+
+  // Unmount-style removal.
+  EXPECT_EQ(R.remove(E2.first), 1u);
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(DCacheRuntime, RandomOpsAgainstReference) {
+  auto Spec = std::make_shared<RelationSpec>(makeDCacheSpec());
+  auto D = std::make_shared<Decomposition>(makeDCacheDecomposition(*Spec));
+  for (bool Coarse : {true, false}) {
+    auto P = std::make_shared<LockPlacement>(
+        Coarse ? makeCoarsePlacement(*D) : makeFinePlacement(*D));
+    ConcurrentRelation R({Spec, D, P, "dcache"});
+    RefRelation Ref(*Spec);
+    Xoshiro256 Rng(99);
+    const char *Names[] = {"a", "b", "c", "d"};
+    for (int Step = 0; Step < 300; ++Step) {
+      int64_t Parent = static_cast<int64_t>(Rng.nextBounded(4));
+      const char *Name = Names[Rng.nextBounded(4)];
+      int64_t Child = static_cast<int64_t>(Rng.nextBounded(6));
+      Tuple Key = Tuple::of({{Spec->col("parent"), Value::ofInt(Parent)},
+                             {Spec->col("name"), Value::ofString(Name)}});
+      switch (Rng.nextBounded(3)) {
+      case 0:
+        ASSERT_EQ(
+            R.insert(Key, Tuple::of({{Spec->col("child"),
+                                      Value::ofInt(Child)}})),
+            Ref.insert(Key, Tuple::of({{Spec->col("child"),
+                                        Value::ofInt(Child)}})));
+        break;
+      case 1:
+        ASSERT_EQ(R.remove(Key), Ref.remove(Key));
+        break;
+      default:
+        ASSERT_EQ(R.query(Tuple::of({{Spec->col("parent"),
+                                      Value::ofInt(Parent)}}),
+                          Spec->cols({"name", "child"})),
+                  Ref.query(Tuple::of({{Spec->col("parent"),
+                                        Value::ofInt(Parent)}}),
+                            Spec->cols({"name", "child"})));
+        break;
+      }
+    }
+    EXPECT_EQ(R.scanAll(), Ref.allTuples());
+    EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+  }
+}
+
+TEST(RuntimeExplain, PlansArePrintable) {
+  RepresentationConfig Config = namedConfig("Split 4");
+  ASSERT_TRUE(Config.Placement);
+  ConcurrentRelation R(Config);
+  const RelationSpec &Spec = *Config.Spec;
+  std::string Q =
+      R.explainQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  EXPECT_NE(Q.find("lookup"), std::string::npos) << Q;
+  EXPECT_NE(Q.find("lock"), std::string::npos) << Q;
+  std::string Rm = R.explainRemove(Spec.cols({"src", "dst"}));
+  EXPECT_NE(Rm.find("lock!"), std::string::npos) << Rm;
+}
+
+} // namespace

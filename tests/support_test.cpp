@@ -1,0 +1,170 @@
+//===- tests/support_test.cpp - Support utilities tests -----------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FunctionRef.h"
+#include "support/Hashing.h"
+#include "support/Interner.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+TEST(Hashing, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  uint64_t Base = mix64(0x1234567890abcdefULL);
+  int TotalFlips = 0;
+  for (int Bit = 0; Bit < 64; ++Bit) {
+    uint64_t Flipped = mix64(0x1234567890abcdefULL ^ (1ULL << Bit));
+    TotalFlips += __builtin_popcountll(Base ^ Flipped);
+  }
+  double Avg = TotalFlips / 64.0;
+  EXPECT_GT(Avg, 24.0);
+  EXPECT_LT(Avg, 40.0);
+}
+
+TEST(Hashing, BytesDeterministic) {
+  EXPECT_EQ(hashBytes("abc"), hashBytes("abc"));
+  EXPECT_NE(hashBytes("abc"), hashBytes("abd"));
+  EXPECT_NE(hashBytes(""), hashBytes(std::string_view("\0", 1)));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 A(7), B(7), C(8);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t X = A.next();
+    EXPECT_EQ(X, B.next());
+    (void)C.next();
+  }
+  Xoshiro256 D(7);
+  Xoshiro256 E(8);
+  EXPECT_NE(D.next(), E.next());
+}
+
+TEST(Rng, BoundedIsInRangeAndRoughlyUniform) {
+  Xoshiro256 R(42);
+  std::vector<int> Counts(10, 0);
+  for (int I = 0; I < 100000; ++I) {
+    uint64_t V = R.nextBounded(10);
+    ASSERT_LT(V, 10u);
+    ++Counts[V];
+  }
+  for (int C : Counts) {
+    EXPECT_GT(C, 9000);
+    EXPECT_LT(C, 11000);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 R(1);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+  }
+}
+
+TEST(Stats, OnlineMeanVariance) {
+  OnlineStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 4.5714, 1e-3); // sample variance
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> V{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Stats, MeanOfLastMatchesPaperMethodology) {
+  // The paper keeps the last 5 of 8 runs.
+  std::vector<double> Runs{100, 100, 100, 10, 10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(meanOfLast(Runs, 5), 10.0);
+  EXPECT_DOUBLE_EQ(meanOfLast(Runs, 100), meanOf(Runs));
+}
+
+TEST(Interner, IdsStableAndShared) {
+  StringInterner I;
+  auto A = I.intern("foo");
+  auto B = I.intern("bar");
+  auto C = I.intern("foo");
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(I.lookup(A), "foo");
+  EXPECT_EQ(I.lookup(B), "bar");
+  EXPECT_EQ(I.size(), 2u);
+}
+
+TEST(Interner, ThreadSafety) {
+  StringInterner I;
+  std::vector<std::thread> Threads;
+  std::vector<std::vector<StringInterner::Id>> Ids(4);
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&I, &Ids, T] {
+      for (int K = 0; K < 200; ++K)
+        Ids[T].push_back(I.intern("key" + std::to_string(K)));
+    });
+  for (auto &T : Threads)
+    T.join();
+  // All threads must agree on every id.
+  for (int T = 1; T < 4; ++T)
+    EXPECT_EQ(Ids[T], Ids[0]);
+  EXPECT_EQ(I.size(), 200u);
+}
+
+TEST(FunctionRef, WrapsLambdasWithoutOwnership) {
+  int Calls = 0;
+  auto Lambda = [&Calls](int X) {
+    ++Calls;
+    return X * 2;
+  };
+  function_ref<int(int)> F = Lambda;
+  EXPECT_EQ(F(21), 42);
+  EXPECT_EQ(Calls, 1);
+  function_ref<int(int)> Null;
+  EXPECT_FALSE(Null);
+  EXPECT_TRUE(F);
+}
+
+TEST(Table, AlignedOutput) {
+  Table T({"name", "value"});
+  T.addRow({"alpha", Table::fmt(uint64_t(12))});
+  T.addRow({"b", Table::fmt(3.14159, 2)});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("alpha"), std::string::npos);
+  EXPECT_NE(S.find("3.14"), std::string::npos);
+  EXPECT_NE(S.find("---"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 3u); // header + 2
+}
+
+TEST(Table, PadsShortRows) {
+  Table T({"a", "b", "c"});
+  T.addRow({"only"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find("only"), std::string::npos);
+}
+
+} // namespace

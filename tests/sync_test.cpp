@@ -1,0 +1,185 @@
+//===- tests/sync_test.cpp - Synchronization substrate tests ------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/DeadlockDetector.h"
+#include "sync/LockSet.h"
+#include "sync/PhysicalLock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+// ----------------------------------------------------------- PhysicalLock
+
+TEST(PhysicalLock, SharedHoldersCoexist) {
+  PhysicalLock L;
+  L.lock(LockMode::Shared);
+  EXPECT_TRUE(L.tryLock(LockMode::Shared));
+  EXPECT_FALSE(L.tryLock(LockMode::Exclusive));
+  L.unlock(LockMode::Shared);
+  L.unlock(LockMode::Shared);
+  EXPECT_TRUE(L.tryLock(LockMode::Exclusive));
+  L.unlock(LockMode::Exclusive);
+}
+
+TEST(PhysicalLock, ExclusiveExcludesAll) {
+  PhysicalLock L;
+  L.lock(LockMode::Exclusive);
+  EXPECT_FALSE(L.tryLock(LockMode::Shared));
+  EXPECT_FALSE(L.tryLock(LockMode::Exclusive));
+  L.unlock(LockMode::Exclusive);
+}
+
+TEST(PhysicalLock, ContentionCounters) {
+  PhysicalLock L;
+  EXPECT_EQ(L.acquisitions(), 0u);
+  L.lock(LockMode::Exclusive);
+  std::atomic<bool> Blocked{false};
+  std::thread T([&] {
+    Blocked.store(true, std::memory_order_release);
+    L.lock(LockMode::Shared); // must block until main unlocks
+    L.unlock(LockMode::Shared);
+  });
+  while (!Blocked.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  L.unlock(LockMode::Exclusive);
+  T.join();
+  EXPECT_EQ(L.acquisitions(), 2u);
+  EXPECT_GE(L.contentions(), 1u);
+}
+
+// ---------------------------------------------------------------- LockSet
+
+LockOrderKey key(uint32_t Topo, int64_t K, uint32_t Stripe) {
+  return {Topo, Tuple::of({{0, Value::ofInt(K)}}), Stripe};
+}
+
+TEST(LockOrderKey, TotalOrder) {
+  EXPECT_LT(key(0, 5, 3), key(1, 0, 0)); // node order first
+  EXPECT_LT(key(1, 4, 9), key(1, 5, 0)); // then instance key
+  EXPECT_LT(key(1, 5, 0), key(1, 5, 1)); // then stripe
+  EXPECT_EQ(key(2, 7, 1).compare(key(2, 7, 1)), 0);
+}
+
+TEST(LockSet, DeduplicatesRepeatedAcquisition) {
+  PhysicalLock L;
+  LockSet S;
+  S.acquire(L, key(0, 0, 0), LockMode::Exclusive);
+  // Many logical locks can map to one physical lock under a coarse
+  // placement; re-acquisition is a no-op.
+  S.acquire(L, key(1, 0, 0), LockMode::Exclusive);
+  EXPECT_EQ(S.heldCount(), 1u);
+  EXPECT_TRUE(S.holds(L));
+  EXPECT_EQ(L.acquisitions(), 1u);
+  S.releaseAll();
+  EXPECT_FALSE(S.holds(L));
+  EXPECT_TRUE(L.tryLock(LockMode::Exclusive));
+  L.unlock(LockMode::Exclusive);
+}
+
+TEST(LockSet, HoldsAtLeastModes) {
+  PhysicalLock A, B;
+  LockSet S;
+  S.acquire(A, key(0, 0, 0), LockMode::Shared);
+  S.acquire(B, key(0, 1, 0), LockMode::Exclusive);
+  EXPECT_TRUE(S.holdsAtLeast(A, LockMode::Shared));
+  EXPECT_FALSE(S.holdsAtLeast(A, LockMode::Exclusive));
+  EXPECT_TRUE(S.holdsAtLeast(B, LockMode::Shared));
+  EXPECT_TRUE(S.holdsAtLeast(B, LockMode::Exclusive));
+}
+
+TEST(LockSet, TryAcquireWouldBlock) {
+  PhysicalLock L;
+  L.lock(LockMode::Exclusive); // someone else holds it
+  LockSet S;
+  EXPECT_EQ(S.tryAcquire(L, key(0, 0, 0), LockMode::Shared),
+            AcquireResult::WouldBlock);
+  EXPECT_EQ(S.heldCount(), 0u);
+  L.unlock(LockMode::Exclusive);
+  EXPECT_EQ(S.tryAcquire(L, key(0, 0, 0), LockMode::Shared),
+            AcquireResult::Ok);
+  S.releaseAll();
+}
+
+TEST(LockSet, InOrderTracking) {
+  PhysicalLock A, B;
+  LockSet S;
+  EXPECT_TRUE(S.inOrder(key(0, 0, 0)));
+  S.acquire(A, key(2, 0, 0), LockMode::Shared);
+  EXPECT_FALSE(S.inOrder(key(1, 0, 0)));
+  EXPECT_TRUE(S.inOrder(key(2, 0, 1)));
+  // Out-of-order acquisitions must go through tryAcquire.
+  EXPECT_EQ(S.tryAcquire(B, key(1, 0, 0), LockMode::Shared),
+            AcquireResult::Ok);
+  S.releaseAll();
+  EXPECT_TRUE(S.inOrder(key(0, 0, 0))); // reset with the set
+}
+
+TEST(LockSet, ReleaseAllOnDestruction) {
+  PhysicalLock L;
+  {
+    LockSet S;
+    S.acquire(L, key(0, 0, 0), LockMode::Exclusive);
+  }
+  EXPECT_TRUE(L.tryLock(LockMode::Exclusive));
+  L.unlock(LockMode::Exclusive);
+}
+
+// ------------------------------------------------------ DeadlockDetector
+
+TEST(DeadlockDetector, DetectsTwoPartyCycle) {
+  DeadlockDetector Det;
+  // T1 holds R1, T2 holds R2; T1 waits for R2, then T2 waiting for R1
+  // closes the cycle.
+  Det.onAcquire(1, 101);
+  Det.onAcquire(2, 102);
+  EXPECT_FALSE(Det.onWait(1, 102));
+  EXPECT_TRUE(Det.onWait(2, 101));
+  EXPECT_EQ(Det.deadlocksDetected(), 1u);
+}
+
+TEST(DeadlockDetector, OrderedAcquisitionNeverCycles) {
+  DeadlockDetector Det;
+  // Both agents take resources in ascending order: no cycle possible.
+  Det.onAcquire(1, 1);
+  EXPECT_FALSE(Det.onWait(2, 1)); // T2 waits for R1
+  Det.onRelease(1, 1);
+  Det.onAcquire(2, 1);
+  EXPECT_FALSE(Det.onWait(1, 2));
+  Det.onAcquire(1, 2);
+  EXPECT_EQ(Det.deadlocksDetected(), 0u);
+}
+
+TEST(DeadlockDetector, ThreePartyCycle) {
+  DeadlockDetector Det;
+  Det.onAcquire(1, 10);
+  Det.onAcquire(2, 20);
+  Det.onAcquire(3, 30);
+  EXPECT_FALSE(Det.onWait(1, 20));
+  EXPECT_FALSE(Det.onWait(2, 30));
+  EXPECT_TRUE(Det.onWait(3, 10));
+}
+
+TEST(DeadlockDetector, SharedHoldersTracked) {
+  DeadlockDetector Det;
+  Det.onAcquire(1, 10);
+  Det.onAcquire(2, 10); // shared holders of R10
+  Det.onAcquire(2, 20);
+  EXPECT_FALSE(Det.onWait(3, 10));
+  Det.onRelease(1, 10);
+  Det.onRelease(2, 10);
+  Det.reset();
+  EXPECT_EQ(Det.deadlocksDetected(), 0u);
+}
+
+} // namespace
