@@ -72,16 +72,24 @@ int main() {
     std::vector<std::string> Header{"series"};
     for (unsigned T : Threads)
       Header.push_back(std::to_string(T) + "T");
+    // Executor health at the highest thread count: restarts per op
+    // (speculation / out-of-order pressure) and plan-cache hit rate
+    // (should sit at ~100% once signatures are warm) — the metrics that
+    // make executor and plan-cache changes comparable across PRs.
+    Header.push_back("rst/op");
+    Header.push_back("pc-hit%");
     Table Panel(Header);
 
     for (auto &[Name, Config] : Representations) {
       std::vector<std::string> Row{Name};
+      ThroughputResult Last;
       for (unsigned T : Threads) {
-        ThroughputResult R = runThroughput(
-            [&] { return makeRelationTarget(Config); }, Mix, Keys,
-            benchParams(T));
-        Row.push_back(Table::fmt(R.OpsPerSec, 0));
+        Last = runThroughput([&] { return makeRelationTarget(Config); }, Mix,
+                             Keys, benchParams(T));
+        Row.push_back(Table::fmt(Last.OpsPerSec, 0));
       }
+      Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
+      Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
       Panel.addRow(Row);
       std::printf(".");
       std::fflush(stdout);
@@ -94,6 +102,8 @@ int main() {
                                          Mix, Keys, benchParams(T));
       Row.push_back(Table::fmt(R.OpsPerSec, 0));
     }
+    Row.push_back("-");
+    Row.push_back("-");
     Panel.addRow(Row);
 
     std::printf("\n");

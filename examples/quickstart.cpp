@@ -86,6 +86,11 @@ int main() {
               Graph.explainQuery(Spec.cols({"src"}),
                                  Spec.cols({"dst", "weight"}))
                   .c_str());
+  //    Mutations compile to the same IR: the insert plan below carries
+  //    its topological lock schedule, the put-if-absent guard, and the
+  //    write statements.
+  std::printf("compiled insert plan:\n%s\n",
+              Graph.explainInsert(Spec.cols({"src", "dst"})).c_str());
 
   // 6. Remove and verify.
   Graph.remove(Key(1, 2));

@@ -33,8 +33,11 @@ namespace {
 /// Builds the scheduler decomposition:
 ///   path 1: ρ -{state}-> byState -{pid}-> proc1 -{prio}-> leaf1
 ///   path 2: ρ -{pid}-> proc2 -{state, prio}-> leaf2
-/// The state index uses a TreeMap of ConcurrentHashMaps (few states,
-/// many pids per state); the pid index is a ConcurrentHashMap.
+/// The state index uses a concurrent skip list of ConcurrentHashMaps
+/// (few states, many pids per state) — the striped root placement
+/// below permits concurrent access to root containers, so the §6.1
+/// container-safety rule demands concurrency-safe kinds there; a plain
+/// TreeMap would be rejected. The pid index is a ConcurrentHashMap.
 Decomposition makeSchedulerDecomposition(const RelationSpec &Spec) {
   ColumnSet Pid = Spec.cols({"pid"});
   ColumnSet State = Spec.cols({"state"});
@@ -46,7 +49,7 @@ Decomposition makeSchedulerDecomposition(const RelationSpec &Spec) {
   NodeId Leaf1 = D.addNode("leaf1", Spec.allColumns(), ColumnSet::empty());
   NodeId Proc2 = D.addNode("proc2", Pid, State | Prio);
   NodeId Leaf2 = D.addNode("leaf2", Spec.allColumns(), ColumnSet::empty());
-  D.addEdge(Rho, ByState, State, ContainerKind::TreeMap);
+  D.addEdge(Rho, ByState, State, ContainerKind::ConcurrentSkipListMap);
   D.addEdge(ByState, Proc1, Pid, ContainerKind::ConcurrentHashMap);
   D.addEdge(Proc1, Leaf1, Prio, ContainerKind::SingletonCell);
   D.addEdge(Rho, Proc2, Pid, ContainerKind::ConcurrentHashMap);

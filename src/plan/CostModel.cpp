@@ -51,7 +51,7 @@ double crs::estimatePlanCost(const Plan &P, const CostParams &CP) {
     case PlanStmt::Kind::Lock: {
       double Stripes = 0.0;
       for (const StripeSel &Sel : St.Sels)
-        Stripes += Sel.AllStripes
+        Stripes += Sel.allStripes()
                        ? static_cast<double>(LP.nodeStripes(St.Node))
                        : 1.0;
       Cost += Card[St.InVar] * Stripes * CP.LockCost;
@@ -81,6 +81,28 @@ double crs::estimatePlanCost(const Plan &P, const CostParams &CP) {
       Card[St.OutVar] = Card[St.InVar] * F;
       break;
     }
+    case PlanStmt::Kind::Probe:
+      // A total lookup: same container work as Lookup, never filters.
+      Cost += Card[St.InVar] * lookupCost(D.edge(St.Edge).Kind, CP);
+      Card[St.OutVar] = Card[St.InVar];
+      break;
+    case PlanStmt::Kind::Restrict:
+      Card[St.OutVar] = Card[St.InVar];
+      break;
+    case PlanStmt::Kind::GuardAbsent:
+      break; // an emptiness test; negligible
+    case PlanStmt::Kind::CreateNode:
+      Cost += Card[St.InVar] * CP.CreateNodeCost;
+      Card[St.OutVar] = Card[St.InVar];
+      break;
+    case PlanStmt::Kind::InsertEdge:
+      Cost += Card[St.InVar] * CP.InsertEntryCost;
+      break;
+    case PlanStmt::Kind::EraseEdge:
+      Cost += Card[St.InVar] * CP.EraseEntryCost;
+      break;
+    case PlanStmt::Kind::UpdateCount:
+      break; // one relaxed atomic add
     }
   }
   return Cost;

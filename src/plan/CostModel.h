@@ -32,6 +32,9 @@ struct CostParams {
   double RootFanout = 256.0;   ///< expected entries in a root container
   double InnerFanout = 16.0;   ///< expected entries in a nested container
   double SpecPenalty = 0.5;    ///< extra verify work per speculative read
+  double InsertEntryCost = 1.5; ///< adding one container entry
+  double EraseEntryCost = 1.5;  ///< removing one container entry
+  double CreateNodeCost = 4.0;  ///< allocating one node instance (+locks)
   /// Measured average fanout per edge (indexed by EdgeId), e.g. from
   /// ConcurrentRelation::collectStatistics(); overrides the static
   /// Root/Inner defaults when non-empty. This is the profiling-driven

@@ -35,7 +35,17 @@ std::string Plan::str() const {
     for (const StripeSel &Sel : Sels) {
       if (!S.empty())
         S += ",";
-      S += Sel.AllStripes ? "*" : D.spec().catalog().str(Sel.Cols);
+      switch (Sel.M) {
+      case StripeSel::Mode::All:
+        S += "*";
+        break;
+      case StripeSel::Mode::ByCols:
+        S += D.spec().catalog().str(Sel.Cols);
+        break;
+      case StripeSel::Mode::First:
+        S += "#0"; // the §4.5 present-target stripe
+        break;
+      }
     }
     return S.empty() ? std::string("*") : S;
   };
@@ -70,6 +80,35 @@ std::string Plan::str() const {
       Emit("let " + varName(St.OutVar) + " = spec-scan" +
            std::string(St.Mode == LockMode::Exclusive ? "!" : "") + "(" +
            varName(St.InVar) + ", " + EdgeName(St.Edge) + ") in");
+      break;
+    case PlanStmt::Kind::Probe:
+      Emit("let " + varName(St.OutVar) + " = probe(" + varName(St.InVar) +
+           ", " + EdgeName(St.Edge) + ") in");
+      break;
+    case PlanStmt::Kind::Restrict:
+      Emit("let " + varName(St.OutVar) + " = restrict(" + varName(St.InVar) +
+           ", " + D.spec().catalog().str(St.Cols) + ") in");
+      break;
+    case PlanStmt::Kind::GuardAbsent:
+      Emit("let _ = guard-absent(" + varName(St.InVar) + ") in");
+      break;
+    case PlanStmt::Kind::CreateNode:
+      Emit("let " + varName(St.OutVar) + " = create(" + varName(St.InVar) +
+           ", " + D.node(St.Node).Name + ") in");
+      break;
+    case PlanStmt::Kind::InsertEdge:
+      Emit("let _ = insert-entry(" + varName(St.InVar) + ", " +
+           EdgeName(St.Edge) + ") in");
+      break;
+    case PlanStmt::Kind::EraseEdge:
+      Emit("let _ = erase-entry(" + varName(St.InVar) + ", " +
+           EdgeName(St.Edge) +
+           std::string(St.OnlyIfHusk ? ", husk-only" : "") + ") in");
+      break;
+    case PlanStmt::Kind::UpdateCount:
+      Emit("let _ = adjust-count(" + varName(St.InVar) + ", " +
+           std::string(St.Delta > 0 ? "+" : "") + std::to_string(St.Delta) +
+           ") in");
       break;
     }
   }

@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 
 #include <map>
+#include <set>
 
 using namespace crs;
 
@@ -26,7 +27,8 @@ struct VarState {
 /// What the symbolic executor knows about one locked node.
 struct HeldLock {
   LockMode Mode;
-  bool AllStripes;
+  bool AllStripes = false;
+  bool FirstStripe = false;  // the §4.5 present-target duty
   ColumnSet StripeColsUnion; // union of by-column selectors taken
 };
 
@@ -52,6 +54,15 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
   bool Shrinking = false;
   int LastLockTopo = -1;
 
+  // Write-statement bookkeeping (insert/remove plans).
+  bool GuardSeen = false;
+  unsigned GuardCount = 0;
+  std::set<NodeId> CreatedNodes;
+  std::set<EdgeId> InsertedEdges;
+  std::set<EdgeId> ErasedEdges;
+  int CountDelta = 0;
+  unsigned CountStmts = 0;
+
   auto NodeName = [&](NodeId N) { return D.node(N).Name; };
   auto EdgeName = [&](EdgeId E) {
     return NodeName(D.edge(E).Src) + "->" + NodeName(D.edge(E).Dst);
@@ -71,16 +82,41 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
       return true;
     if (H.AllStripes)
       return true;
+    if (!H.StripeColsUnion.containsAll(EP.StripeCols))
+      return false;
     // A by-columns selector covers both lookups and scan-joins: the
     // logically-read entries agree with the state on the (bound) stripe
     // columns, so they share the selected stripe.
-    return H.StripeColsUnion.containsAll(EP.StripeCols) &&
-           Bound.containsAll(EP.StripeCols);
+    if (Bound.containsAll(EP.StripeCols))
+      return true;
+    // Mutation plans select stripes by the full operation tuple; stripe
+    // columns outside the edge's own columns lie within the source
+    // node's key columns (placement well-formedness) and are pinned by
+    // the instance the traversal reached, so only the overlap with the
+    // edge's columns needs binding — the insert lock-schedule rule.
+    if (P.ForMutation && Bound.containsAll(EP.StripeCols & D.edge(E).Cols))
+      return true;
+    return false;
+  };
+
+  auto IsWrite = [](PlanStmt::Kind K) {
+    return K == PlanStmt::Kind::CreateNode ||
+           K == PlanStmt::Kind::InsertEdge ||
+           K == PlanStmt::Kind::EraseEdge ||
+           K == PlanStmt::Kind::UpdateCount;
   };
 
   unsigned Idx = 0;
   for (const PlanStmt &St : P.Stmts) {
     std::string Where = "stmt " + std::to_string(Idx++) + ": ";
+    if (IsWrite(St.K)) {
+      if (Shrinking)
+        Err(Where + "write after unlock violates two-phase structure");
+      if (P.Op == PlanOp::Query || P.Op == PlanOp::RemoveLocate)
+        Err(Where + "write statement in a read-only plan");
+      if (P.Op == PlanOp::Insert && !GuardSeen)
+        Err(Where + "insert write precedes the put-if-absent guard");
+    }
     switch (St.K) {
     case PlanStmt::Kind::Lock: {
       if (Shrinking)
@@ -98,12 +134,18 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
       HeldLock &H = Held[St.Node];
       H.Mode = St.Mode;
       for (const StripeSel &Sel : St.Sels) {
-        if (Sel.AllStripes) {
+        switch (Sel.M) {
+        case StripeSel::Mode::All:
           H.AllStripes = true;
-        } else {
+          break;
+        case StripeSel::Mode::ByCols:
           if (!Vars[St.InVar].BoundCols.containsAll(Sel.Cols))
             Err(Where + "stripe selector columns not bound at lock time");
           H.StripeColsUnion |= Sel.Cols;
+          break;
+        case StripeSel::Mode::First:
+          H.FirstStripe = true;
+          break;
         }
       }
       break;
@@ -128,7 +170,7 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
         // Reads of speculative edges in plain Lookup/Scan form are only
         // valid under the mutation protocol: exclusive host lock held
         // (which pins present entries), with the target locked by a
-        // subsequent Lock statement.
+        // Lock statement at the target's own topological position.
         if (!Covers(St.Edge, In.BoundCols, LockMode::Exclusive))
           Err(Where + "read of speculative edge " + EdgeName(St.Edge) +
               " without exclusive host lock");
@@ -169,6 +211,162 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
       OutV.BoundNodes = In.BoundNodes | (1ULL << E.Dst);
       break;
     }
+    case PlanStmt::Kind::Probe: {
+      if (Shrinking)
+        Err(Where + "read after unlock violates two-phase structure");
+      const auto &E = D.edge(St.Edge);
+      VarState &In = Vars[St.InVar];
+      if (!In.Defined)
+        Err(Where + "probe consumes undefined variable");
+      if (!((In.BoundNodes >> E.Src) & 1))
+        Err(Where + "probe of " + EdgeName(St.Edge) + " source never bound");
+      if (!In.BoundCols.containsAll(E.Cols))
+        Err(Where + "probe of " + EdgeName(St.Edge) +
+            " requires bound key columns");
+      if (!Covers(St.Edge, In.BoundCols, LockMode::Exclusive))
+        Err(Where + "probe of " + EdgeName(St.Edge) +
+            " not covered by an exclusive host lock");
+      VarState &OutV = Vars[St.OutVar];
+      OutV.Defined = true;
+      OutV.BoundCols = In.BoundCols | E.Cols;
+      OutV.BoundNodes = In.BoundNodes | (1ULL << E.Dst);
+      break;
+    }
+    case PlanStmt::Kind::Restrict: {
+      VarState &In = Vars[St.InVar];
+      if (!In.Defined)
+        Err(Where + "restrict consumes undefined variable");
+      if (!In.BoundCols.containsAll(St.Cols))
+        Err(Where + "restrict to columns not bound in input states");
+      VarState &OutV = Vars[St.OutVar];
+      OutV.Defined = true;
+      OutV.BoundCols = St.Cols;
+      OutV.BoundNodes = 1ULL << D.root();
+      break;
+    }
+    case PlanStmt::Kind::GuardAbsent:
+      if (!Vars[St.InVar].Defined)
+        Err(Where + "guard consumes undefined variable");
+      if (Shrinking)
+        Err(Where + "guard after unlock violates two-phase structure");
+      GuardSeen = true;
+      ++GuardCount;
+      break;
+    case PlanStmt::Kind::CreateNode: {
+      VarState &In = Vars[St.InVar];
+      if (!In.Defined)
+        Err(Where + "create consumes undefined variable");
+      if (St.Node == D.root())
+        Err(Where + "create of the root node");
+      if (!In.BoundCols.containsAll(D.node(St.Node).KeyCols))
+        Err(Where + "create of " + NodeName(St.Node) +
+            " with unbound key columns");
+      // The §4.5 pre-publication lock is taken through the try path,
+      // exempt from the global-order discipline: the fresh instance is
+      // unreachable, so the acquisition cannot block or deadlock.
+      CreatedNodes.insert(St.Node);
+      VarState &OutV = Vars[St.OutVar];
+      OutV.Defined = true;
+      OutV.BoundCols = In.BoundCols;
+      OutV.BoundNodes = In.BoundNodes | (1ULL << St.Node);
+      break;
+    }
+    case PlanStmt::Kind::InsertEdge: {
+      const auto &E = D.edge(St.Edge);
+      VarState &In = Vars[St.InVar];
+      if (!In.Defined)
+        Err(Where + "insert-entry consumes undefined variable");
+      if (!((In.BoundNodes >> E.Src) & 1) || !((In.BoundNodes >> E.Dst) & 1))
+        Err(Where + "insert-entry on " + EdgeName(St.Edge) +
+            " with unbound endpoints");
+      if (!In.BoundCols.containsAll(E.Cols))
+        Err(Where + "insert-entry on " + EdgeName(St.Edge) +
+            " with unbound key columns");
+      if (!Covers(St.Edge, In.BoundCols, LockMode::Exclusive))
+        Err(Where + "insert-entry on " + EdgeName(St.Edge) +
+            " not covered by an exclusive host lock");
+      InsertedEdges.insert(St.Edge);
+      break;
+    }
+    case PlanStmt::Kind::EraseEdge: {
+      const auto &E = D.edge(St.Edge);
+      VarState &In = Vars[St.InVar];
+      if (!In.Defined)
+        Err(Where + "erase-entry consumes undefined variable");
+      if (!((In.BoundNodes >> E.Src) & 1) || !((In.BoundNodes >> E.Dst) & 1))
+        Err(Where + "erase-entry on " + EdgeName(St.Edge) +
+            " with unbound endpoints");
+      if (!In.BoundCols.containsAll(E.Cols))
+        Err(Where + "erase-entry on " + EdgeName(St.Edge) +
+            " with unbound key columns");
+      if (!Covers(St.Edge, In.BoundCols, LockMode::Exclusive))
+        Err(Where + "erase-entry on " + EdgeName(St.Edge) +
+            " not covered by an exclusive host lock");
+      ErasedEdges.insert(St.Edge);
+      break;
+    }
+    case PlanStmt::Kind::UpdateCount:
+      if (!Vars[St.InVar].Defined)
+        Err(Where + "count adjustment consumes undefined variable");
+      if (St.Delta == 0)
+        Err(Where + "count adjustment of zero");
+      CountDelta += St.Delta;
+      ++CountStmts;
+      break;
+    }
+  }
+
+  // Per-operation completeness: a mutation plan must write every edge it
+  // is responsible for, or the paths of the decomposition would diverge
+  // on the represented relation.
+  switch (P.Op) {
+  case PlanOp::Query:
+  case PlanOp::RemoveLocate:
+    break;
+  case PlanOp::Insert: {
+    if (GuardCount != 1)
+      Err("insert plan needs exactly one put-if-absent guard");
+    if (CountStmts != 1 || CountDelta != 1)
+      Err("insert plan must adjust the count by exactly +1");
+    if (!ErasedEdges.empty())
+      Err("insert plan erases entries");
+    for (NodeId N = 0; N < D.numNodes(); ++N)
+      if (N != D.root() && !CreatedNodes.count(N))
+        Err("insert plan never creates node " + NodeName(N));
+    for (EdgeId E = 0; E < D.numEdges(); ++E)
+      if (!InsertedEdges.count(E))
+        Err("insert plan never writes edge " + EdgeName(E));
+    break;
+  }
+  case PlanOp::Remove: {
+    if (GuardCount != 0)
+      Err("remove plan has a put-if-absent guard");
+    if (CountStmts != 1 || CountDelta != -1)
+      Err("remove plan must adjust the count by exactly -1");
+    if (!InsertedEdges.empty() || !CreatedNodes.empty())
+      Err("remove plan creates instances or entries");
+    for (EdgeId E = 0; E < D.numEdges(); ++E)
+      if (!ErasedEdges.count(E))
+        Err("remove plan never erases edge " + EdgeName(E));
+    break;
+  }
+  }
+
+  // The §4.5 writer protocol: a mutation touching a speculative edge
+  // must hold the present-target lock (stripe 0 of the target instance,
+  // or all of its stripes) so concurrent guessing readers either see
+  // the committed state or restart.
+  if (P.Op == PlanOp::Insert || P.Op == PlanOp::Remove ||
+      P.Op == PlanOp::RemoveLocate) {
+    for (const auto &E : D.edges()) {
+      if (!LP.edgePlacement(E.Id).Speculative)
+        continue;
+      auto It = Held.find(E.Dst);
+      if (It == Held.end() ||
+          !(It->second.FirstStripe || It->second.AllStripes))
+        Err("mutation plan never takes the present-target lock of "
+            "speculative edge " +
+            EdgeName(E.Id));
     }
   }
 

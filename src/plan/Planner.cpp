@@ -272,6 +272,39 @@ Plan QueryPlanner::planQuery(ColumnSet DomS, ColumnSet C) const {
   return *Best;
 }
 
+/// Builds the Lock statement a mutation plan takes at node \p N: one
+/// selector per edge hosted there — a single by-columns stripe when
+/// \p SingleStripeOk accepts the edge, all stripes otherwise — plus
+/// \p SpecSel for the §4.5 present-target duty of speculative incoming
+/// edges. Returns false when nothing is placed at \p N (no statement
+/// to emit). The caller sets InVar.
+template <typename Pred>
+static bool buildMutationLock(const Decomposition &D, const LockPlacement &LP,
+                              NodeId N, const Pred &SingleStripeOk,
+                              StripeSel SpecSel, PlanStmt &L) {
+  L = PlanStmt();
+  L.K = PlanStmt::Kind::Lock;
+  L.Node = N;
+  L.Mode = LockMode::Exclusive;
+  for (const auto &Edge : D.edges()) {
+    const EdgePlacement &EP = LP.edgePlacement(Edge.Id);
+    if (EP.Host != N)
+      continue;
+    StripeSel Sel = StripeSel::all();
+    if (LP.nodeStripes(N) <= 1)
+      Sel = StripeSel::byCols(ColumnSet::empty());
+    else if (SingleStripeOk(Edge))
+      Sel = StripeSel::byCols(EP.StripeCols);
+    if (std::find(L.Sels.begin(), L.Sels.end(), Sel) == L.Sels.end())
+      L.Sels.push_back(Sel);
+  }
+  for (EdgeId E : D.node(N).InEdges)
+    if (LP.edgePlacement(E).Speculative &&
+        std::find(L.Sels.begin(), L.Sels.end(), SpecSel) == L.Sels.end())
+      L.Sels.push_back(SpecSel);
+  return !L.Sels.empty();
+}
+
 Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
   // Mutation locate plans visit every node in topological order: read
   // the node's incoming edges (their hosts are dominators, so their
@@ -290,6 +323,7 @@ Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
   P.Placement = Placement;
   P.InputCols = DomS;
   P.OutputCols = D.spec().allColumns();
+  P.Op = PlanOp::RemoveLocate;
   P.ForMutation = true;
 
   PlanVar CurVar = 0;
@@ -312,33 +346,19 @@ Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
       Bound |= D.edge(E).Cols;
     }
 
-    // (b) One Lock statement for this node: hosted-edge stripes plus
-    // the speculative present-target lock.
+    // (b) One Lock statement for this node: hosted-edge stripes (single
+    // stripe when dom(s) binds the stripe columns) plus the speculative
+    // present-target lock (conservatively all stripes here — the locate
+    // traversal reads the target's entries too).
     PlanStmt L;
-    L.K = PlanStmt::Kind::Lock;
-    L.InVar = CurVar;
-    L.Node = N;
-    L.Mode = LockMode::Exclusive;
-    for (const auto &Edge : D.edges()) {
-      const EdgePlacement &EP = LP.edgePlacement(Edge.Id);
-      if (EP.Host != N)
-        continue;
-      StripeSel Sel = StripeSel::all();
-      if (LP.nodeStripes(N) <= 1)
-        Sel = StripeSel::byCols(ColumnSet::empty());
-      else if (DomS.containsAll(EP.StripeCols))
-        Sel = StripeSel::byCols(EP.StripeCols);
-      if (std::find(L.Sels.begin(), L.Sels.end(), Sel) == L.Sels.end())
-        L.Sels.push_back(Sel);
-    }
-    for (EdgeId E : D.node(N).InEdges)
-      if (LP.edgePlacement(E).Speculative) {
-        StripeSel Sel = StripeSel::all();
-        if (std::find(L.Sels.begin(), L.Sels.end(), Sel) == L.Sels.end())
-          L.Sels.push_back(Sel);
-      }
-    if (L.Sels.empty())
+    if (!buildMutationLock(
+            D, LP, N,
+            [&](const Decomposition::Edge &Edge) {
+              return DomS.containsAll(LP.edgePlacement(Edge.Id).StripeCols);
+            },
+            StripeSel::all(), L))
       continue; // nothing placed at this node
+    L.InVar = CurVar;
     P.Stmts.push_back(std::move(L));
     LockedOrder.push_back(N);
   }
@@ -353,5 +373,172 @@ Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
   P.ResultVar = CurVar;
 
   assert(checkPlanValidity(P).ok() && "mutation plan must be valid");
+  return P;
+}
+
+Plan QueryPlanner::planRemove(ColumnSet DomS) const {
+  // The locate traversal, with the write epilogue spliced in front of
+  // the cosmetic unlocks: erase the matched tuple's entries bottom-up
+  // (reverse topological order), cascading husk cleanup — a node
+  // instance belongs exclusively to the tuple when its key columns form
+  // a superkey; other instances are shared and their incoming entries
+  // survive until they empty out. Then the count adjustment.
+  const Decomposition &D = *Decomp;
+  Plan P = planRemoveLocate(DomS);
+  P.Op = PlanOp::Remove;
+
+  std::vector<PlanStmt> Unlocks;
+  while (!P.Stmts.empty() && P.Stmts.back().K == PlanStmt::Kind::Unlock) {
+    Unlocks.push_back(P.Stmts.back());
+    P.Stmts.pop_back();
+  }
+  std::reverse(Unlocks.begin(), Unlocks.end());
+
+  std::vector<NodeId> Topo = D.topologicalOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    NodeId N = *It;
+    if (N == D.root())
+      continue;
+    bool Owned = D.spec().isKey(D.node(N).KeyCols);
+    for (EdgeId E : D.node(N).InEdges) {
+      PlanStmt S;
+      S.K = PlanStmt::Kind::EraseEdge;
+      S.InVar = P.ResultVar;
+      S.Edge = E;
+      S.OnlyIfHusk = !Owned;
+      P.Stmts.push_back(std::move(S));
+    }
+  }
+  PlanStmt C;
+  C.K = PlanStmt::Kind::UpdateCount;
+  C.InVar = P.ResultVar;
+  C.Delta = -1;
+  P.Stmts.push_back(C);
+  for (PlanStmt &U : Unlocks)
+    P.Stmts.push_back(std::move(U));
+
+  assert(checkPlanValidity(P).ok() && "remove plan must be valid");
+  return P;
+}
+
+Plan QueryPlanner::planInsert(ColumnSet DomS) const {
+  const Decomposition &D = *Decomp;
+  const LockPlacement &LP = *Placement;
+  ColumnSet All = D.spec().allColumns();
+
+  Plan P;
+  P.Decomp = Decomp;
+  P.Placement = Placement;
+  P.InputCols = All; // the plan executes over the full tuple s ∪ t
+  P.OutputCols = All;
+  P.Op = PlanOp::Insert;
+  P.ForMutation = true;
+
+  std::vector<NodeId> Topo = D.topologicalOrder();
+  PlanVar CurVar = 0;
+  std::vector<NodeId> LockedOrder;
+
+  // Phase 1 (growing): resolve existing instances with the full tuple
+  // (Probe: total lookups — absent subtrees stay unbound and are
+  // created in phase 3) and acquire, exclusively and in the global
+  // topological lock order, the stripes of every edge hosted at each
+  // resolved instance, plus the §4.5 present-target lock for
+  // speculative incoming edges.
+  for (NodeId N : Topo) {
+    for (EdgeId E : D.node(N).InEdges) {
+      PlanStmt S;
+      S.K = PlanStmt::Kind::Probe;
+      S.InVar = CurVar;
+      S.OutVar = P.NumVars++;
+      S.Edge = E;
+      P.Stmts.push_back(S);
+      CurVar = S.OutVar;
+    }
+    // A single stripe (selected by the full tuple) covers a hosted edge
+    // when every stripe column within the edge's own columns is fixed
+    // by dom(s): the absence check's reads then stay on that stripe
+    // (stripe columns within the source keys are pinned by the instance
+    // itself). Otherwise all stripes, conservatively — the absence
+    // check may scan entries of sibling tuples (§4.4). Speculative
+    // in-edges need only stripe 0 of the (fully resolved) target.
+    PlanStmt L;
+    if (!buildMutationLock(
+            D, LP, N,
+            [&](const Decomposition::Edge &Edge) {
+              return DomS.containsAll(
+                  LP.edgePlacement(Edge.Id).StripeCols & Edge.Cols);
+            },
+            StripeSel::first(), L))
+      continue; // nothing placed at this node
+    L.InVar = CurVar;
+    P.Stmts.push_back(std::move(L));
+    LockedOrder.push_back(N);
+  }
+
+  // Phase 2: the put-if-absent membership check (§2), driven by s alone
+  // — restart from the root with the input restricted to dom(s), then
+  // confirm (or refute) a matching tuple across every edge.
+  PlanStmt R;
+  R.K = PlanStmt::Kind::Restrict;
+  R.InVar = 0;
+  R.OutVar = P.NumVars++;
+  R.Cols = DomS;
+  P.Stmts.push_back(R);
+  PlanVar CheckVar = R.OutVar;
+  ColumnSet Bound = DomS;
+  for (NodeId N : Topo)
+    for (EdgeId E : D.node(N).OutEdges) {
+      PlanStmt S;
+      S.K = Bound.containsAll(D.edge(E).Cols) ? PlanStmt::Kind::Lookup
+                                              : PlanStmt::Kind::Scan;
+      S.InVar = CheckVar;
+      S.OutVar = P.NumVars++;
+      S.Edge = E;
+      P.Stmts.push_back(S);
+      CheckVar = S.OutVar;
+      Bound |= D.edge(E).Cols;
+    }
+  PlanStmt G;
+  G.K = PlanStmt::Kind::GuardAbsent;
+  G.InVar = CheckVar;
+  P.Stmts.push_back(G);
+
+  // Phase 3: create missing instances (top-down), then every entry,
+  // unifying shared nodes through the single binding per state.
+  for (NodeId N : Topo) {
+    if (N == D.root())
+      continue;
+    PlanStmt C;
+    C.K = PlanStmt::Kind::CreateNode;
+    C.InVar = CurVar;
+    C.OutVar = P.NumVars++;
+    C.Node = N;
+    P.Stmts.push_back(C);
+    CurVar = C.OutVar;
+  }
+  for (NodeId N : Topo)
+    for (EdgeId E : D.node(N).OutEdges) {
+      PlanStmt W;
+      W.K = PlanStmt::Kind::InsertEdge;
+      W.InVar = CurVar;
+      W.Edge = E;
+      P.Stmts.push_back(W);
+    }
+  PlanStmt C;
+  C.K = PlanStmt::Kind::UpdateCount;
+  C.InVar = CurVar;
+  C.Delta = 1;
+  P.Stmts.push_back(C);
+
+  for (auto It = LockedOrder.rbegin(); It != LockedOrder.rend(); ++It) {
+    PlanStmt U;
+    U.K = PlanStmt::Kind::Unlock;
+    U.InVar = CurVar;
+    U.Node = *It;
+    P.Stmts.push_back(U);
+  }
+  P.ResultVar = CurVar;
+
+  assert(checkPlanValidity(P).ok() && "insert plan must be valid");
   return P;
 }

@@ -16,10 +16,13 @@
 /// unlocks, so every plan is trivially two-phase.
 ///
 /// Mutations reuse the machinery (§5.2): `remove` compiles to a locate
-/// plan that walks *every* edge under exclusive locks; the write epilogue
-/// is interpreted by the runtime using the locate results. `insert` uses
-/// a dedicated topological walk (see runtime/ConcurrentRelation.cpp)
-/// whose lock schedule is derived from the same placement rules.
+/// plan that walks *every* edge under exclusive locks, followed by a
+/// write epilogue of EraseEdge statements cascading husk cleanup.
+/// `insert` compiles to a topological resolve-and-lock schedule (Probe +
+/// Lock statements), the s-driven put-if-absent membership check behind
+/// a Restrict/GuardAbsent pair, and a CreateNode/InsertEdge write phase
+/// — the whole operation is plan IR, validated and explainable like any
+/// query.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +53,20 @@ public:
   /// dom(s) = \p DomS): an exclusive-mode traversal covering every edge,
   /// binding every node instance and every column of matching tuples.
   Plan planRemoveLocate(ColumnSet DomS) const;
+
+  /// Compiles the full `remove r s` plan: the locate traversal plus the
+  /// write epilogue — EraseEdge statements in reverse topological order
+  /// (husk-gated for shared nodes) and the count adjustment.
+  Plan planRemove(ColumnSet DomS) const;
+
+  /// Compiles the full `insert r s t` plan for inputs with
+  /// dom(s) = \p DomS. The plan executes over the *full* tuple s ∪ t:
+  /// a topological Probe/Lock schedule resolving existing instances and
+  /// acquiring every needed stripe exclusively in the global order, the
+  /// put-if-absent membership check (Restrict to dom(s), then
+  /// lookup/scan every edge, then GuardAbsent), and the write phase
+  /// (CreateNode top-down, InsertEdge for every edge, UpdateCount).
+  Plan planInsert(ColumnSet DomS) const;
 
   double cost(const Plan &P) const { return estimatePlanCost(P, Params); }
 

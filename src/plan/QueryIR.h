@@ -45,13 +45,21 @@ using PlanVar = uint16_t;
 
 /// How a lock statement chooses stripes at each bound host instance.
 struct StripeSel {
-  bool AllStripes = true; ///< take every stripe, in index order
-  ColumnSet Cols;         ///< else hash these (bound) columns for one stripe
+  enum class Mode : uint8_t {
+    All,    ///< take every stripe, in index order
+    ByCols, ///< hash these (bound) columns for one stripe
+    First,  ///< stripe 0: the §4.5 present-target lock of a speculative
+            ///< edge, taken at the target instance by the writer protocol
+  };
+  Mode M = Mode::All;
+  ColumnSet Cols; ///< ByCols only
 
-  static StripeSel all() { return {true, ColumnSet::empty()}; }
-  static StripeSel byCols(ColumnSet C) { return {false, C}; }
+  bool allStripes() const { return M == Mode::All; }
+  static StripeSel all() { return {Mode::All, ColumnSet::empty()}; }
+  static StripeSel byCols(ColumnSet C) { return {Mode::ByCols, C}; }
+  static StripeSel first() { return {Mode::First, ColumnSet::empty()}; }
   bool operator==(const StripeSel &O) const {
-    return AllStripes == O.AllStripes && Cols == O.Cols;
+    return M == O.M && Cols == O.Cols;
   }
 };
 
@@ -78,20 +86,67 @@ struct PlanStmt {
     /// Scan of a speculative edge with per-entry target locking; the
     /// all-stripes host lock must already be held.
     SpecScan,
+
+    // -- Write statements (§5.2, "mutations sandwich generated write
+    //    code inside a locate plan"). These make insert/remove plans
+    //    first-class IR instead of interpreted epilogues.
+
+    /// `OutVar = probe(InVar, Edge)`: the resolution step of an insert's
+    /// locate phase. Like Lookup, but total: a state whose source
+    /// instance is unbound, or whose key is absent, passes through
+    /// unchanged (the subtree will be created by a later CreateNode).
+    /// Reads are covered by the exclusive host locks of the insert's
+    /// topological lock schedule.
+    Probe,
+    /// `OutVar = restrict(InVar, Cols)`: projects each state's tuple to
+    /// `Cols` (= dom(s)) and resets its bindings to the root — the seed
+    /// of insert's s-driven put-if-absent membership check.
+    Restrict,
+    /// Aborts the plan with ExecStatus::Found when `InVar` is non-empty:
+    /// a tuple matching s exists, so insert returns false (§2). Write
+    /// statements are only valid after this guard.
+    GuardAbsent,
+    /// For each state with `Node` unbound: create a fresh instance keyed
+    /// by the state tuple's projection onto the node's key columns and
+    /// bind it (OutVar). Fresh instances reachable through speculative
+    /// in-edges are pre-locked via the try path (§4.5 writer protocol:
+    /// unpublished, so acquisition cannot block).
+    CreateNode,
+    /// Adds the entry π_cols(Edge)(t) ↦ m(dst) to the source instance's
+    /// container, for each state.
+    InsertEdge,
+    /// Removes the entry π_cols(Edge)(t) from the source instance's
+    /// container. With OnlyIfHusk, only when the target instance has
+    /// become an empty husk (shared nodes survive until they empty out).
+    EraseEdge,
+    /// Adjusts the relation's tuple count by Delta per state of InVar
+    /// (so a remove whose locate matched nothing adjusts by 0).
+    UpdateCount,
   };
 
   Kind K;
   PlanVar InVar = 0;
   PlanVar OutVar = 0;                 ///< Lookup/Scan/Spec* result variable
-  NodeId Node = 0;                    ///< Lock/Unlock target node
+  NodeId Node = 0;                    ///< Lock/Unlock/CreateNode target node
   EdgeId Edge = 0;                    ///< edge operand
   LockMode Mode = LockMode::Shared;   ///< Lock/Spec* acquisition mode
   std::vector<StripeSel> Sels;        ///< Lock stripe selectors
+  ColumnSet Cols;                     ///< Restrict projection columns
+  int32_t Delta = 0;                  ///< UpdateCount adjustment
+  bool OnlyIfHusk = false;            ///< EraseEdge husk-cleanup gate
   /// Sort elision (§5.2): the planner's static analysis proved the
   /// input states already arrive in the global lock order (e.g. they
   /// came from a scan of a sorted container), so the lock operator can
   /// skip sorting its acquisition set.
   bool SortElided = false;
+};
+
+/// The relational operation a plan compiles.
+enum class PlanOp : uint8_t {
+  Query,        ///< query r s C
+  RemoveLocate, ///< the locate phase of remove alone (tests, explain)
+  Remove,       ///< remove r s: locate + erase epilogue + count
+  Insert,       ///< insert r s t: resolve/lock + absence guard + writes
 };
 
 /// A complete compiled plan for one relational operation (or for the
@@ -103,8 +158,9 @@ struct Plan {
   std::vector<PlanStmt> Stmts;
   PlanVar NumVars = 1;
   PlanVar ResultVar = 0;
-  ColumnSet InputCols;  ///< dom(s): columns bound by the operation input
+  ColumnSet InputCols;  ///< columns bound by the execution input tuple
   ColumnSet OutputCols; ///< C for queries; all columns for mutations
+  PlanOp Op = PlanOp::Query;
   bool ForMutation = false;
 
   /// Renders the plan in the paper's let-binding style (§5.2 plans

@@ -10,20 +10,22 @@
 /// * query: compiled by the query planner (§5); executed with shared
 ///   locks; speculative statements may request a transaction restart.
 ///
-/// * remove: locate plan walking every edge under exclusive locks (§5.2),
-///   then a write epilogue erasing the matched tuple's entries bottom-up,
-///   cascading husk (empty-instance) cleanup.
+/// * remove: one plan — the locate traversal walking every edge under
+///   exclusive locks (§5.2) followed by EraseEdge statements removing
+///   the matched tuple's entries bottom-up with cascading husk
+///   (empty-instance) cleanup, and the count adjustment.
 ///
-/// * insert: a dedicated topological walk. At each existing node instance
-///   it acquires, exclusively and in global lock order, the stripes of
-///   every edge hosted there — the stripe chosen by the full new tuple
-///   when the edge's columns lie within dom(s), conservatively all
-///   stripes otherwise (the §4.4 rule: an insert must cover the absence
-///   check's reads, which may scan entries of sibling tuples). Targets
-///   resolved through speculative edges are locked too (§4.5 writer
-///   protocol). With all locks held it runs the s-driven absence check
-///   (insert is put-if-absent, §2), then creates the missing instances
-///   and container entries top-down, unifying shared nodes.
+/// * insert: one plan — a topological Probe/Lock schedule resolving
+///   existing instances with the full tuple and acquiring every needed
+///   stripe exclusively in global lock order (including the §4.5
+///   present-target duty of speculative edges), the s-driven
+///   put-if-absent membership check behind a Restrict/GuardAbsent pair
+///   (§2), and a CreateNode/InsertEdge write phase unifying shared
+///   nodes.
+///
+/// All three execute through the same PlanExecutor on planner-emitted,
+/// validity-checked IR, using a reusable per-thread ExecContext; plans
+/// come from a sharded wait-free-read cache.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,28 +57,56 @@ ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
                               Config.Placement->nodeStripes(D.root()));
 }
 
-std::shared_ptr<const Plan> ConcurrentRelation::queryPlanFor(ColumnSet DomS,
-                                                             ColumnSet C)
-    const {
-  std::lock_guard<std::mutex> Guard(PlanCacheMutex);
-  auto Key = std::make_pair(DomS.bits(), C.bits());
-  auto It = QueryPlans.find(Key);
-  if (It != QueryPlans.end())
-    return It->second;
-  auto P = std::make_shared<Plan>(Planner.planQuery(DomS, C));
-  QueryPlans.emplace(Key, P);
-  return P;
+// The reusable per-thread execution context (§5.2 executor state): flat
+// frames, an instance pool pinning bound instances through the
+// shrinking phase, and one LockSet. Operations reset it after releasing
+// their locks, so capacity is recycled across the thread's operations.
+static ExecContext &threadContext() {
+  static thread_local ExecContext Ctx;
+  return Ctx;
 }
 
-std::shared_ptr<const Plan>
-ConcurrentRelation::removePlanFor(ColumnSet DomS) const {
-  std::lock_guard<std::mutex> Guard(PlanCacheMutex);
-  auto It = RemovePlans.find(DomS.bits());
-  if (It != RemovePlans.end())
-    return It->second;
-  auto P = std::make_shared<Plan>(Planner.planRemoveLocate(DomS));
-  RemovePlans.emplace(DomS.bits(), P);
-  return P;
+namespace {
+/// Releases the context's locks and recycles its frames at scope exit.
+/// The context is long-lived (thread-local), so unlike the seed's
+/// stack-local LockSet it has no destructor running per operation —
+/// without this guard, an exception between run() and the explicit
+/// release (e.g. bad_alloc building the result vector) would leave the
+/// locks held forever. Release-then-reset order matters: the pool must
+/// pin instances until every unlock has returned.
+struct OpScope {
+  ExecContext &Ctx;
+  explicit OpScope(ExecContext &C) : Ctx(C) {}
+  ~OpScope() { finish(); }
+  /// Idempotent early release for the happy path (shortens hold time
+  /// before result post-processing).
+  void finish() {
+    Ctx.Locks.releaseAll();
+    Ctx.reset();
+  }
+};
+} // namespace
+
+const Plan *ConcurrentRelation::queryPlanFor(ColumnSet DomS,
+                                             ColumnSet C) const {
+  return Plans.getOrCompile(PlanOp::Query, DomS.bits(), C.bits(), [&] {
+    std::lock_guard<std::mutex> Guard(PlannerMutex);
+    return Planner.planQuery(DomS, C);
+  });
+}
+
+const Plan *ConcurrentRelation::removePlanFor(ColumnSet DomS) const {
+  return Plans.getOrCompile(PlanOp::Remove, DomS.bits(), 0, [&] {
+    std::lock_guard<std::mutex> Guard(PlannerMutex);
+    return Planner.planRemove(DomS);
+  });
+}
+
+const Plan *ConcurrentRelation::insertPlanFor(ColumnSet DomS) const {
+  return Plans.getOrCompile(PlanOp::Insert, DomS.bits(), 0, [&] {
+    std::lock_guard<std::mutex> Guard(PlannerMutex);
+    return Planner.planInsert(DomS);
+  });
 }
 
 std::string ConcurrentRelation::explainQuery(ColumnSet DomS,
@@ -88,23 +118,32 @@ std::string ConcurrentRelation::explainRemove(ColumnSet DomS) const {
   return removePlanFor(DomS)->str();
 }
 
+std::string ConcurrentRelation::explainInsert(ColumnSet DomS) const {
+  return insertPlanFor(DomS)->str();
+}
+
 std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
                                              ColumnSet C) const {
-  std::shared_ptr<const Plan> P = queryPlanFor(S.domain(), C);
+  const Plan *P = queryPlanFor(S.domain(), C);
+  ExecContext &Ctx = threadContext();
   for (unsigned Attempt = 0;; ++Attempt) {
-    LockSet Locks;
-    std::vector<QueryState> States;
-    if (Executor.run(*P, S, Root, Locks, States) == ExecStatus::Ok) {
+    OpScope Scope(Ctx);
+    if (Executor.run(*P, S, Root, Ctx) == ExecStatus::Ok) {
+      uint32_t N = Ctx.numStates(P->ResultVar);
       std::vector<Tuple> Out;
-      Out.reserve(States.size());
-      for (const QueryState &St : States)
-        Out.push_back(St.T.project(C));
+      Out.reserve(N);
+      for (uint32_t I = 0; I < N; ++I)
+        Out.push_back(Ctx.stateTuple(P->ResultVar, I).project(C));
+      // Shrinking phase: release while the context still pins the read
+      // instances, then recycle the frames.
+      Scope.finish();
       std::sort(Out.begin(), Out.end(), TupleLess());
       Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
       return Out;
     }
     // Speculation failed (wrong guess or out-of-order conflict): release
-    // everything (LockSet destructor) and retry; yield under pressure.
+    // everything (OpScope) and retry; yield under pressure.
+    Scope.finish();
     Restarts.fetch_add(1, std::memory_order_relaxed);
     if (Attempt >= 16)
       std::this_thread::yield();
@@ -114,46 +153,17 @@ std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
 unsigned ConcurrentRelation::remove(const Tuple &S) {
   assert(spec().isKey(S.domain()) &&
          "remove requires s to be a key (paper §2)");
-  const Decomposition &D = *Config.Decomp;
-  std::shared_ptr<const Plan> P = removePlanFor(S.domain());
-
-  LockSet Locks;
-  std::vector<QueryState> States;
-  [[maybe_unused]] ExecStatus St = Executor.run(*P, S, Root, Locks, States);
-  assert(St == ExecStatus::Ok && "mutation locate plans never speculate");
-  if (States.empty())
-    return 0;
-  assert(States.size() == 1 && "key-matched remove found multiple tuples");
-
-  // Write epilogue: erase this tuple's entries bottom-up, cascading
-  // husk cleanup. A node instance belongs exclusively to the tuple when
-  // its key columns form a superkey; other instances are shared and
-  // their incoming entries survive until they empty out.
-  const QueryState &State = States.front();
-  const Tuple &Full = State.T;
-  std::vector<NodeId> Topo = D.topologicalOrder();
-  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
-    NodeId N = *It;
-    if (N == D.root())
-      continue;
-    const NodeInstPtr &Inst = State.Bound[N];
-    if (!Inst)
-      continue;
-    bool EraseIncoming = spec().isKey(D.node(N).KeyCols) ||
-                         Inst->allOutEmpty();
-    if (!EraseIncoming)
-      continue;
-    for (EdgeId E : D.node(N).InEdges) {
-      const NodeInstPtr &Parent = State.Bound[D.edge(E).Src];
-      assert(Parent && "parent of a bound instance must be bound");
-      Parent->containerFor(E).erase(Full.project(D.edge(E).Cols));
-    }
-  }
-  Count.fetch_sub(1, std::memory_order_relaxed);
-  // Shrinking phase: release while the locate states still pin the
+  const Plan *P = removePlanFor(S.domain());
+  ExecContext &Ctx = threadContext();
+  Ctx.Count = &Count;
+  OpScope Scope(Ctx);
+  [[maybe_unused]] ExecStatus St = Executor.run(*P, S, Root, Ctx);
+  assert(St == ExecStatus::Ok && "mutation plans never speculate");
+  uint32_t Matched = Ctx.numStates(P->ResultVar);
+  assert(Matched <= 1 && "key-matched remove found multiple tuples");
+  // Shrinking phase (OpScope): release while the context still pins the
   // unlinked instances — their physical locks must outlive the unlock.
-  Locks.releaseAll();
-  return 1;
+  return Matched;
 }
 
 bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
@@ -162,18 +172,32 @@ bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
   Tuple Full = S.unionWith(T);
   assert(Full.domain() == spec().allColumns() &&
          "inserted tuple must value every column");
-  return insertImpl(S, Full);
+  const Plan *P = insertPlanFor(S.domain());
+  ExecContext &Ctx = threadContext();
+  Ctx.Count = &Count;
+  OpScope Scope(Ctx);
+  ExecStatus St = Executor.run(*P, Full, Root, Ctx);
+  // Insert plans never speculate (the §4.5 writer protocol takes
+  // blocking, in-order locks), so like remove there is no retry loop.
+  assert(St != ExecStatus::Restart && "mutation plans never speculate");
+  return St == ExecStatus::Ok; // Found: a tuple matching s exists
 }
 
-/// One traversal step of the s-driven absence check: extends each state
-/// across edge \p E by lookup (key bound) or scan, joining against bound
-/// columns. Reads are covered by the insert walk's locks (see file
-/// comment).
+/// One quiescent traversal step (consistency checking): extends each
+/// walk state across edge \p E by lookup (key bound) or scan, joining
+/// against bound columns.
+namespace {
+struct WalkState {
+  Tuple T;
+  std::vector<NodeInstPtr> Bound;
+};
+} // namespace
+
 static void stepStates(const Decomposition &D, EdgeId E,
-                       std::vector<QueryState> &States) {
+                       std::vector<WalkState> &States) {
   const auto &Edge = D.edge(E);
-  std::vector<QueryState> Out;
-  for (QueryState &State : States) {
+  std::vector<WalkState> Out;
+  for (WalkState &State : States) {
     const NodeInstPtr &Inst = State.Bound[Edge.Src];
     if (!Inst)
       continue;
@@ -182,7 +206,7 @@ static void stepStates(const Decomposition &D, EdgeId E,
       NodeInstPtr Found;
       if (!Container.lookup(State.T.project(Edge.Cols), Found))
         continue;
-      QueryState NewState = std::move(State);
+      WalkState NewState = std::move(State);
       NewState.Bound[Edge.Dst] = std::move(Found);
       Out.push_back(std::move(NewState));
     } else {
@@ -190,7 +214,7 @@ static void stepStates(const Decomposition &D, EdgeId E,
         Tuple Joined;
         if (!State.T.tryJoin(Key, Joined))
           return true;
-        QueryState NewState;
+        WalkState NewState;
         NewState.T = std::move(Joined);
         NewState.Bound = State.Bound;
         NewState.Bound[Edge.Dst] = Val;
@@ -200,132 +224,6 @@ static void stepStates(const Decomposition &D, EdgeId E,
     }
   }
   States = std::move(Out);
-}
-
-bool ConcurrentRelation::insertImpl(const Tuple &S, const Tuple &Full) {
-  const Decomposition &D = *Config.Decomp;
-  const LockPlacement &LP = *Config.Placement;
-  std::vector<NodeId> Topo = D.topologicalOrder();
-  std::vector<uint32_t> TopoIdx = D.topologicalIndex();
-
-  LockSet Locks;
-  std::vector<NodeInstPtr> Inst(D.numNodes());
-  Inst[D.root()] = Root;
-
-  // Phase 1: topological walk — resolve existing instances with the full
-  // tuple and acquire every needed lock, exclusively, in global order.
-  for (NodeId N : Topo) {
-    if (N != D.root()) {
-      for (EdgeId E : D.node(N).InEdges) {
-        const auto &Edge = D.edge(E);
-        if (!Inst[Edge.Src])
-          continue;
-        NodeInstPtr Found;
-        if (!Inst[Edge.Src]->containerFor(E).lookup(
-                Full.project(Edge.Cols), Found)) {
-          continue;
-        }
-        assert((!Inst[N] || Inst[N].get() == Found.get()) &&
-               "inconsistent shared-node resolution");
-        Inst[N] = std::move(Found);
-      }
-    }
-    if (!Inst[N])
-      continue; // absent subtree: locks covered by the parent's edge lock
-
-    // Stripes needed at this instance: hosted edges (stripe by the full
-    // tuple when the edge will be read by lookup during the absence
-    // check, i.e. its columns lie within dom(s); all stripes otherwise)
-    // plus the present-target lock for speculative incoming edges.
-    bool All = false;
-    std::vector<uint32_t> Stripes;
-    for (const auto &Edge : D.edges()) {
-      const EdgePlacement &EP = LP.edgePlacement(Edge.Id);
-      if (EP.Host != N)
-        continue;
-      // A single stripe (selected by the full tuple) covers the edge
-      // when every stripe column in the edge's own columns is fixed by
-      // dom(s): the absence check's reads then stay on that stripe.
-      // Stripe columns within the source keys are pinned by the
-      // instance itself.
-      if (Inst[N]->NumStripes <= 1 ||
-          S.domain().containsAll(EP.StripeCols & Edge.Cols)) {
-        Stripes.push_back(static_cast<uint32_t>(
-            Full.project(EP.StripeCols).hash() % Inst[N]->NumStripes));
-      } else {
-        All = true;
-      }
-    }
-    for (EdgeId E : D.node(N).InEdges)
-      if (LP.edgePlacement(E).Speculative)
-        Stripes.push_back(0); // the present-entry lock (§4.5)
-    if (Stripes.empty() && !All)
-      continue;
-    if (All) {
-      Stripes.clear();
-      for (uint32_t I = 0; I < Inst[N]->NumStripes; ++I)
-        Stripes.push_back(I);
-    } else {
-      std::sort(Stripes.begin(), Stripes.end());
-      Stripes.erase(std::unique(Stripes.begin(), Stripes.end()),
-                    Stripes.end());
-    }
-    for (uint32_t I : Stripes)
-      Locks.acquire(Inst[N]->Stripes[I],
-                    LockOrderKey{TopoIdx[N], Inst[N]->Key, I},
-                    LockMode::Exclusive);
-    Locks.pinResource(Inst[N]);
-  }
-
-  // Phase 2: the put-if-absent check (§2) — does any tuple match s?
-  {
-    std::vector<QueryState> States;
-    QueryState Init;
-    Init.T = S;
-    Init.Bound.resize(D.numNodes());
-    Init.Bound[D.root()] = Root;
-    States.push_back(std::move(Init));
-    for (NodeId N : Topo) {
-      for (EdgeId E : D.node(N).OutEdges) {
-        stepStates(D, E, States);
-        if (States.empty())
-          break;
-      }
-      if (States.empty())
-        break;
-    }
-    if (!States.empty())
-      return false; // a matching tuple exists; locks release on return
-  }
-
-  // Phase 3: create missing instances (top-down) and all entries.
-  for (NodeId N : Topo) {
-    if (Inst[N])
-      continue;
-    Inst[N] = NodeInstance::create(D, N, Full.project(D.node(N).KeyCols),
-                                   LP.nodeStripes(N));
-    // A fresh instance reached through a speculative edge must be locked
-    // before the entry is published, or a guessing reader could observe
-    // the uncommitted insert (§4.5 writer protocol). The instance is not
-    // yet reachable, so the acquisition cannot block — take it through
-    // the try path, which is exempt from the global-order discipline.
-    for (EdgeId E : D.node(N).InEdges)
-      if (LP.edgePlacement(E).Speculative) {
-        [[maybe_unused]] AcquireResult R = Locks.tryAcquire(
-            Inst[N]->Stripes[0], LockOrderKey{TopoIdx[N], Inst[N]->Key, 0},
-            LockMode::Exclusive);
-        assert(R == AcquireResult::Ok &&
-               "lock on an unpublished instance cannot be contended");
-        Locks.pinResource(Inst[N]);
-      }
-  }
-  for (NodeId N : Topo)
-    for (EdgeId E : D.node(N).OutEdges)
-      Inst[N]->containerFor(E).insertOrAssign(
-          Full.project(D.edge(E).Cols), Inst[D.edge(E).Dst]);
-
-  Count.fetch_add(1, std::memory_order_relaxed);
-  return true;
 }
 
 std::vector<Tuple> ConcurrentRelation::scanAll() const {
@@ -376,12 +274,21 @@ RelationStatistics ConcurrentRelation::collectStatistics() const {
 }
 
 void ConcurrentRelation::adaptPlans() {
+  // The measurement itself is quiescent-only (header contract), but
+  // concurrent operations may keep using old plans safely: the swap is
+  // serialized against cold compiles by PlannerMutex (released before
+  // clear(), which takes the shard mutexes — no order inversion), and
+  // PlanCache::clear() retires snapshots instead of freeing them, so
+  // in-flight wait-free lookups never touch freed memory. A compile
+  // that raced ahead with the old planner either publishes before the
+  // clear (wiped with the rest) or runs after the swap (new planner).
   RelationStatistics Stats = collectStatistics();
-  std::lock_guard<std::mutex> Guard(PlanCacheMutex);
-  Planner = QueryPlanner(*Config.Decomp, *Config.Placement,
-                         Stats.toCostParams(BaseCostParams));
-  QueryPlans.clear();
-  RemovePlans.clear();
+  {
+    std::lock_guard<std::mutex> Guard(PlannerMutex);
+    Planner = QueryPlanner(*Config.Decomp, *Config.Placement,
+                           Stats.toCostParams(BaseCostParams));
+  }
+  Plans.clear();
 }
 
 ValidationResult ConcurrentRelation::verifyConsistency() const {
@@ -408,15 +315,15 @@ ValidationResult ConcurrentRelation::verifyConsistency() const {
   // caller's obligation).
   std::vector<std::vector<Tuple>> PathTuples;
   for (const auto &Path : Paths) {
-    std::vector<QueryState> States;
-    QueryState Init;
+    std::vector<WalkState> States;
+    WalkState Init;
     Init.Bound.resize(D.numNodes());
     Init.Bound[D.root()] = Root;
     States.push_back(std::move(Init));
     for (EdgeId E : Path)
       stepStates(D, E, States);
     std::vector<Tuple> Tuples;
-    for (const QueryState &St : States)
+    for (const WalkState &St : States)
       Tuples.push_back(St.T);
     std::sort(Tuples.begin(), Tuples.end(), TupleLess());
     PathTuples.push_back(std::move(Tuples));

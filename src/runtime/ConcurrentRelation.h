@@ -28,10 +28,10 @@
 
 #include "plan/Planner.h"
 #include "runtime/Interpreter.h"
+#include "runtime/PlanCache.h"
 #include "runtime/Statistics.h"
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <mutex>
 
@@ -82,11 +82,21 @@ public:
 
   /// The compiled plan text for a query signature (paper §5.2 style).
   std::string explainQuery(ColumnSet DomS, ColumnSet C) const;
-  /// The compiled locate plan for remove with dom(s) = \p DomS.
+  /// The compiled remove plan (locate + write epilogue) for dom(s) = \p
+  /// DomS.
   std::string explainRemove(ColumnSet DomS) const;
+  /// The compiled insert plan (resolve/lock schedule + put-if-absent
+  /// guard + write phase) for dom(s) = \p DomS.
+  std::string explainInsert(ColumnSet DomS) const;
 
   /// Total speculative / out-of-order transaction restarts so far.
   uint64_t restarts() const { return Restarts.load(std::memory_order_relaxed); }
+
+  /// Plan-cache compilation count (hot-path health: a warmed relation
+  /// stops missing entirely — hits are deliberately not counted, since
+  /// a per-lookup counter would put a shared write on every operation;
+  /// derive hit rate as 1 − misses/ops from your own op count).
+  uint64_t planCacheMisses() const { return Plans.misses(); }
 
   /// Quiescent whole-structure check (tests): every root-to-leaf path
   /// yields the same tuple set, FDs hold, instance keys are consistent.
@@ -110,23 +120,24 @@ public:
 private:
   RepresentationConfig Config;
   CostParams BaseCostParams;
+  /// Guards Planner against the adaptPlans swap. Taken only on the cold
+  /// compile path and by adaptPlans itself — never on a warm lookup —
+  /// and always *inside* a PlanCache shard mutex (adaptPlans releases
+  /// it before clearing the cache, so the order never inverts).
+  mutable std::mutex PlannerMutex;
   QueryPlanner Planner;
   PlanExecutor Executor;
   NodeInstPtr Root;
   std::atomic<size_t> Count{0};
   mutable std::atomic<uint64_t> Restarts{0};
 
-  // Plans are compiled on first use per (dom(s), C) signature.
-  mutable std::mutex PlanCacheMutex;
-  mutable std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<const Plan>>
-      QueryPlans;
-  mutable std::map<uint64_t, std::shared_ptr<const Plan>> RemovePlans;
+  // Plans are compiled on first use per (op, dom(s), C) signature;
+  // lookups are wait-free (sharded immutable-snapshot cache).
+  mutable PlanCache Plans;
 
-  std::shared_ptr<const Plan> queryPlanFor(ColumnSet DomS, ColumnSet C) const;
-  std::shared_ptr<const Plan> removePlanFor(ColumnSet DomS) const;
-
-  // Insert is a dedicated topological walk (see .cpp for the protocol).
-  bool insertImpl(const Tuple &S, const Tuple &Full);
+  const Plan *queryPlanFor(ColumnSet DomS, ColumnSet C) const;
+  const Plan *removePlanFor(ColumnSet DomS) const;
+  const Plan *insertPlanFor(ColumnSet DomS) const;
 };
 
 } // namespace crs

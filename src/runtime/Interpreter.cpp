@@ -13,6 +13,53 @@
 
 using namespace crs;
 
+//===----------------------------------------------------------------------===//
+// ExecContext
+//===----------------------------------------------------------------------===//
+
+void ExecContext::reset() {
+  assert(Locks.heldCount() == 0 && "reset with locks still held");
+  Tuples.clear();
+  Bind.clear();
+  Pool.clear();
+  Vars.clear();
+}
+
+void ExecContext::begin(uint32_t NumNodes, PlanVar NumVars,
+                        const Tuple &Input, NodeInstPtr Root,
+                        NodeId RootNode) {
+  reset();
+  Stride = NumNodes;
+  Vars.assign(NumVars, {});
+  uint32_t RootIdx = intern(std::move(Root));
+  Tuples.push_back(Input);
+  Bind.assign(Stride, NoBinding);
+  Bind[RootNode] = RootIdx;
+  Vars[0] = {0, 1};
+}
+
+uint32_t ExecContext::pushStateCopy(uint32_t Src) {
+  return pushStateJoined(Tuples[Src], Src);
+}
+
+uint32_t ExecContext::pushStateJoined(Tuple T, uint32_t Src) {
+  Tuples.push_back(std::move(T));
+  size_t SrcOff = size_t(Src) * Stride;
+  Bind.resize(Bind.size() + Stride);
+  std::copy_n(Bind.data() + SrcOff, Stride, Bind.data() + Bind.size() - Stride);
+  return numAllStates() - 1;
+}
+
+uint32_t ExecContext::pushStateBlank(Tuple T) {
+  Tuples.push_back(std::move(T));
+  Bind.resize(Bind.size() + Stride, NoBinding);
+  return numAllStates() - 1;
+}
+
+//===----------------------------------------------------------------------===//
+// PlanExecutor
+//===----------------------------------------------------------------------===//
+
 PlanExecutor::PlanExecutor(const Decomposition &D, const LockPlacement &P)
     : Decomp(&D), Placement(&P), TopoIdx(D.topologicalIndex()) {}
 
@@ -28,27 +75,35 @@ static uint32_t stripeIndex(const Tuple &T, ColumnSet Cols, uint32_t Count) {
   return static_cast<uint32_t>(T.project(Cols).hash() % Count);
 }
 
-ExecStatus PlanExecutor::execLock(const PlanStmt &St,
-                                  const std::vector<QueryState> &States,
-                                  LockSet &Locks) const {
+ExecStatus PlanExecutor::execLock(const PlanStmt &St, ExecContext &Ctx) const {
   struct Req {
     LockOrderKey Key;
     PhysicalLock *Lock;
   };
   std::vector<Req> Reqs;
-  for (const QueryState &State : States) {
-    const NodeInstPtr &Inst = State.Bound[St.Node];
-    if (!Inst)
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    uint32_t Idx = Ctx.bindIdx(S, St.Node);
+    if (Idx == ExecContext::NoBinding)
       continue;
+    NodeInstance &Inst = *Ctx.Pool[Idx];
     for (const StripeSel &Sel : St.Sels) {
-      if (Sel.AllStripes) {
-        for (uint32_t I = 0; I < Inst->NumStripes; ++I)
-          Reqs.push_back({orderKey(St.Node, *Inst, I), &Inst->Stripes[I]});
-      } else {
-        assert(State.T.domain().containsAll(Sel.Cols) &&
+      switch (Sel.M) {
+      case StripeSel::Mode::All:
+        for (uint32_t K = 0; K < Inst.NumStripes; ++K)
+          Reqs.push_back({orderKey(St.Node, Inst, K), &Inst.Stripes[K]});
+        break;
+      case StripeSel::Mode::ByCols: {
+        assert(Ctx.Tuples[S].domain().containsAll(Sel.Cols) &&
                "stripe selector columns unbound at lock time");
-        uint32_t I = stripeIndex(State.T, Sel.Cols, Inst->NumStripes);
-        Reqs.push_back({orderKey(St.Node, *Inst, I), &Inst->Stripes[I]});
+        uint32_t K = stripeIndex(Ctx.Tuples[S], Sel.Cols, Inst.NumStripes);
+        Reqs.push_back({orderKey(St.Node, Inst, K), &Inst.Stripes[K]});
+        break;
+      }
+      case StripeSel::Mode::First:
+        Reqs.push_back({orderKey(St.Node, Inst, 0), &Inst.Stripes[0]});
+        break;
       }
     }
   }
@@ -62,79 +117,84 @@ ExecStatus PlanExecutor::execLock(const PlanStmt &St,
   } else {
     std::sort(Reqs.begin(), Reqs.end(), InOrder);
   }
-  for (const Req &R : Reqs)
-    Locks.acquire(*R.Lock, R.Key, St.Mode);
-  // Keep the lock owners alive until the shrinking phase completes.
-  for (const QueryState &State : States)
-    if (const NodeInstPtr &Inst = State.Bound[St.Node])
-      Locks.pinResource(Inst);
+  for (const Req &Q : Reqs)
+    Ctx.Locks.acquire(*Q.Lock, Q.Key, St.Mode);
   return ExecStatus::Ok;
 }
 
-void PlanExecutor::execLookup(const PlanStmt &St,
-                              const std::vector<QueryState> &In,
-                              std::vector<QueryState> &Out) const {
+void PlanExecutor::execLookup(const PlanStmt &St, ExecContext &Ctx) const {
   const auto &E = Decomp->edge(St.Edge);
-  for (const QueryState &State : In) {
-    const NodeInstPtr &Inst = State.Bound[E.Src];
-    if (!Inst)
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  uint32_t OutFirst = Ctx.numAllStates();
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    uint32_t SrcIdx = Ctx.bindIdx(S, E.Src);
+    if (SrcIdx == ExecContext::NoBinding)
       continue;
-    Tuple Key = State.T.project(E.Cols);
+    Tuple Key = Ctx.Tuples[S].project(E.Cols);
     NodeInstPtr Found;
-    if (!Inst->containerFor(St.Edge).lookup(Key, Found))
+    if (!Ctx.Pool[SrcIdx]->containerFor(St.Edge).lookup(Key, Found))
       continue;
-    if (State.Bound[E.Dst]) {
+    uint32_t DstIdx = Ctx.bindIdx(S, E.Dst);
+    if (DstIdx != ExecContext::NoBinding) {
       // Shared node reached along a second path (diamond): instances
       // must agree or the heap is not a well-formed decomposition
       // instance.
-      assert(State.Bound[E.Dst].get() == Found.get() &&
+      assert(Ctx.Pool[DstIdx].get() == Found.get() &&
              "inconsistent shared-node binding");
-      if (State.Bound[E.Dst].get() != Found.get())
+      if (Ctx.Pool[DstIdx].get() != Found.get())
         continue;
     }
-    QueryState NewState = State;
-    NewState.Bound[E.Dst] = std::move(Found);
-    Out.push_back(std::move(NewState));
+    uint32_t NS = Ctx.pushStateCopy(S);
+    Ctx.setBind(NS, E.Dst, Ctx.intern(std::move(Found)));
   }
+  Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
 }
 
-void PlanExecutor::execScan(const PlanStmt &St,
-                            const std::vector<QueryState> &In,
-                            std::vector<QueryState> &Out) const {
+void PlanExecutor::execScan(const PlanStmt &St, ExecContext &Ctx) const {
   const auto &E = Decomp->edge(St.Edge);
-  for (const QueryState &State : In) {
-    const NodeInstPtr &Inst = State.Bound[E.Src];
-    if (!Inst)
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  uint32_t OutFirst = Ctx.numAllStates();
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    uint32_t SrcIdx = Ctx.bindIdx(S, E.Src);
+    if (SrcIdx == ExecContext::NoBinding)
       continue;
-    Inst->containerFor(St.Edge).scan(
+    // The arenas may reallocate as the scan appends states: keep stable
+    // copies of what the visitor reads (the instance itself is heap
+    // storage, so its container reference stays valid).
+    Tuple InT = Ctx.Tuples[S];
+    uint32_t DstIdx = Ctx.bindIdx(S, E.Dst);
+    NodeInstPtr SrcInst = Ctx.Pool[SrcIdx];
+    SrcInst->containerFor(St.Edge).scan(
         [&](const Tuple &Key, const NodeInstPtr &Val) {
           Tuple Joined;
-          if (!State.T.tryJoin(Key, Joined))
+          if (!InT.tryJoin(Key, Joined))
             return true; // filtered out by already-bound columns
-          if (State.Bound[E.Dst] && State.Bound[E.Dst].get() != Val.get())
+          if (DstIdx != ExecContext::NoBinding &&
+              Ctx.Pool[DstIdx].get() != Val.get())
             return true;
-          QueryState NewState;
-          NewState.T = std::move(Joined);
-          NewState.Bound = State.Bound;
-          NewState.Bound[E.Dst] = Val;
-          Out.push_back(std::move(NewState));
+          uint32_t NS = Ctx.pushStateJoined(std::move(Joined), S);
+          Ctx.setBind(NS, E.Dst, Ctx.intern(Val));
           return true;
         });
   }
+  Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
 }
 
 ExecStatus PlanExecutor::execSpecLookup(const PlanStmt &St,
-                                        const std::vector<QueryState> &In,
-                                        std::vector<QueryState> &Out,
-                                        LockSet &Locks) const {
+                                        ExecContext &Ctx) const {
   const auto &E = Decomp->edge(St.Edge);
   const EdgePlacement &EP = Placement->edgePlacement(St.Edge);
-  for (const QueryState &State : In) {
-    const NodeInstPtr &Inst = State.Bound[E.Src];
-    if (!Inst)
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  uint32_t OutFirst = Ctx.numAllStates();
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    uint32_t SrcIdx = Ctx.bindIdx(S, E.Src);
+    if (SrcIdx == ExecContext::NoBinding)
       continue;
-    Tuple Key = State.T.project(E.Cols);
-    const AnyContainer &Container = Inst->containerFor(St.Edge);
+    Tuple Key = Ctx.Tuples[S].project(E.Cols);
+    const AnyContainer &Container = Ctx.Pool[SrcIdx]->containerFor(St.Edge);
 
     // Guess via an unlocked read (safe: speculative placements require a
     // concurrency-safe container with linearizable lookups, §4.5), lock
@@ -142,53 +202,59 @@ ExecStatus PlanExecutor::execSpecLookup(const PlanStmt &St,
     NodeInstPtr Guess;
     bool Present = Container.lookup(Key, Guess);
     if (Present) {
+      // Pool the guess *before* locking it: the pool must keep the
+      // instance (and its physical lock) alive through releaseAll even
+      // when the verify fails and the transaction restarts.
+      uint32_t GuessIdx = Ctx.intern(Guess);
       LockOrderKey OKey = orderKey(E.Dst, *Guess, 0);
-      if (Locks.inOrder(OKey)) {
-        Locks.acquire(Guess->Stripes[0], OKey, St.Mode);
-      } else if (Locks.tryAcquire(Guess->Stripes[0], OKey, St.Mode) !=
+      if (Ctx.Locks.inOrder(OKey)) {
+        Ctx.Locks.acquire(Guess->Stripes[0], OKey, St.Mode);
+      } else if (Ctx.Locks.tryAcquire(Guess->Stripes[0], OKey, St.Mode) !=
                  AcquireResult::Ok) {
         return ExecStatus::Restart;
       }
-      Locks.pinResource(Guess);
       NodeInstPtr Recheck;
       if (!Container.lookup(Key, Recheck) || Recheck.get() != Guess.get())
         return ExecStatus::Restart; // wrong guess: release all and retry
-      QueryState NewState = State;
-      NewState.Bound[E.Dst] = std::move(Guess);
-      Out.push_back(std::move(NewState));
+      uint32_t NS = Ctx.pushStateCopy(S);
+      Ctx.setBind(NS, E.Dst, GuessIdx);
       continue;
     }
 
     // Absent: the logical lock lives at the (dominating) absent-case
     // host, striped by the edge's stripe columns.
-    const NodeInstPtr &Host = State.Bound[EP.Host];
-    assert(Host && "speculative absent-case host instance unbound");
-    uint32_t Stripe = stripeIndex(State.T, EP.StripeCols, Host->NumStripes);
-    LockOrderKey OKey = orderKey(EP.Host, *Host, Stripe);
-    if (Locks.inOrder(OKey)) {
-      Locks.acquire(Host->Stripes[Stripe], OKey, St.Mode);
-    } else if (Locks.tryAcquire(Host->Stripes[Stripe], OKey, St.Mode) !=
+    uint32_t HostIdx = Ctx.bindIdx(S, EP.Host);
+    assert(HostIdx != ExecContext::NoBinding &&
+           "speculative absent-case host instance unbound");
+    NodeInstance &Host = *Ctx.Pool[HostIdx];
+    uint32_t Stripe = stripeIndex(Ctx.Tuples[S], EP.StripeCols,
+                                  Host.NumStripes);
+    LockOrderKey OKey = orderKey(EP.Host, Host, Stripe);
+    if (Ctx.Locks.inOrder(OKey)) {
+      Ctx.Locks.acquire(Host.Stripes[Stripe], OKey, St.Mode);
+    } else if (Ctx.Locks.tryAcquire(Host.Stripes[Stripe], OKey, St.Mode) !=
                AcquireResult::Ok) {
       return ExecStatus::Restart;
     }
-    Locks.pinResource(Host);
     NodeInstPtr Recheck;
     if (Container.lookup(Key, Recheck))
       return ExecStatus::Restart; // appeared while guessing
     // Verified absent under the absence lock: the state dies (no tuple),
     // and the held lock protects this negative observation (2PL).
   }
+  Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
   return ExecStatus::Ok;
 }
 
 ExecStatus PlanExecutor::execSpecScan(const PlanStmt &St,
-                                      const std::vector<QueryState> &In,
-                                      std::vector<QueryState> &Out,
-                                      LockSet &Locks) const {
+                                      ExecContext &Ctx) const {
   const auto &E = Decomp->edge(St.Edge);
-  for (const QueryState &State : In) {
-    const NodeInstPtr &Inst = State.Bound[E.Src];
-    if (!Inst)
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  uint32_t OutFirst = Ctx.numAllStates();
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    uint32_t SrcIdx = Ctx.bindIdx(S, E.Src);
+    if (SrcIdx == ExecContext::NoBinding)
       continue;
     // The all-stripes host lock held by the preceding Lock statement
     // excludes every writer of this edge, so entries are pinned; collect
@@ -198,7 +264,7 @@ ExecStatus PlanExecutor::execSpecScan(const PlanStmt &St,
       NodeInstPtr Val;
     };
     std::vector<Entry> Entries;
-    Inst->containerFor(St.Edge).scan(
+    Ctx.Pool[SrcIdx]->containerFor(St.Edge).scan(
         [&](const Tuple &Key, const NodeInstPtr &Val) {
           Entries.push_back({Key, Val});
           return true;
@@ -207,37 +273,138 @@ ExecStatus PlanExecutor::execSpecScan(const PlanStmt &St,
               [](const Entry &A, const Entry &B) {
                 return A.Key.compare(B.Key) < 0;
               });
+    Tuple InT = Ctx.Tuples[S];
     for (Entry &En : Entries) {
       Tuple Joined;
-      if (!State.T.tryJoin(En.Key, Joined))
+      if (!InT.tryJoin(En.Key, Joined))
         continue;
-      Locks.acquire(En.Val->Stripes[0], orderKey(E.Dst, *En.Val, 0),
-                    St.Mode);
-      Locks.pinResource(En.Val);
-      QueryState NewState;
-      NewState.T = std::move(Joined);
-      NewState.Bound = State.Bound;
-      NewState.Bound[E.Dst] = En.Val;
-      Out.push_back(std::move(NewState));
+      Ctx.Locks.acquire(En.Val->Stripes[0], orderKey(E.Dst, *En.Val, 0),
+                        St.Mode);
+      uint32_t NS = Ctx.pushStateJoined(std::move(Joined), S);
+      Ctx.setBind(NS, E.Dst, Ctx.intern(En.Val));
     }
   }
+  Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
   return ExecStatus::Ok;
 }
 
+void PlanExecutor::execProbe(const PlanStmt &St, ExecContext &Ctx) const {
+  const auto &E = Decomp->edge(St.Edge);
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  uint32_t OutFirst = Ctx.numAllStates();
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    // Total: every state passes through, bound or not.
+    uint32_t NS = Ctx.pushStateCopy(S);
+    uint32_t SrcIdx = Ctx.bindIdx(NS, E.Src);
+    if (SrcIdx == ExecContext::NoBinding)
+      continue; // absent subtree: created later
+    Tuple Key = Ctx.Tuples[NS].project(E.Cols);
+    NodeInstPtr Found;
+    if (!Ctx.Pool[SrcIdx]->containerFor(St.Edge).lookup(Key, Found))
+      continue;
+    [[maybe_unused]] uint32_t DstIdx = Ctx.bindIdx(NS, E.Dst);
+    assert((DstIdx == ExecContext::NoBinding ||
+            Ctx.Pool[DstIdx].get() == Found.get()) &&
+           "inconsistent shared-node resolution");
+    Ctx.setBind(NS, E.Dst, Ctx.intern(std::move(Found)));
+  }
+  Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
+}
+
+void PlanExecutor::execRestrict(const PlanStmt &St, ExecContext &Ctx) const {
+  NodeId Root = Decomp->root();
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  uint32_t OutFirst = Ctx.numAllStates();
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    Tuple T = Ctx.Tuples[S].project(St.Cols);
+    uint32_t RootIdx = Ctx.bindIdx(S, Root);
+    uint32_t NS = Ctx.pushStateBlank(std::move(T));
+    Ctx.setBind(NS, Root, RootIdx);
+  }
+  Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
+}
+
+void PlanExecutor::execCreateNode(const PlanStmt &St, ExecContext &Ctx) const {
+  const auto &Node = Decomp->node(St.Node);
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  uint32_t OutFirst = Ctx.numAllStates();
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t NS = Ctx.pushStateCopy(R.First + I);
+    if (Ctx.bindIdx(NS, St.Node) != ExecContext::NoBinding)
+      continue; // resolved in the locate phase
+    NodeInstPtr Inst =
+        NodeInstance::create(*Decomp, St.Node,
+                             Ctx.Tuples[NS].project(Node.KeyCols),
+                             Placement->nodeStripes(St.Node));
+    // A fresh instance reached through a speculative edge must be locked
+    // before any entry is published, or a guessing reader could observe
+    // the uncommitted insert (§4.5 writer protocol). The instance is not
+    // yet reachable, so the acquisition cannot block — take it through
+    // the try path, which is exempt from the global-order discipline.
+    for (EdgeId E : Node.InEdges)
+      if (Placement->edgePlacement(E).Speculative) {
+        [[maybe_unused]] AcquireResult A = Ctx.Locks.tryAcquire(
+            Inst->Stripes[0], orderKey(St.Node, *Inst, 0),
+            LockMode::Exclusive);
+        assert(A == AcquireResult::Ok &&
+               "lock on an unpublished instance cannot be contended");
+      }
+    Ctx.setBind(NS, St.Node, Ctx.intern(std::move(Inst)));
+  }
+  Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
+}
+
+void PlanExecutor::execInsertEdge(const PlanStmt &St, ExecContext &Ctx) const {
+  const auto &E = Decomp->edge(St.Edge);
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    uint32_t SrcIdx = Ctx.bindIdx(S, E.Src);
+    uint32_t DstIdx = Ctx.bindIdx(S, E.Dst);
+    assert(SrcIdx != ExecContext::NoBinding &&
+           DstIdx != ExecContext::NoBinding &&
+           "insert-entry with unbound endpoints");
+    if (SrcIdx == ExecContext::NoBinding || DstIdx == ExecContext::NoBinding)
+      continue;
+    Ctx.Pool[SrcIdx]->containerFor(St.Edge).insertOrAssign(
+        Ctx.Tuples[S].project(E.Cols), Ctx.Pool[DstIdx]);
+  }
+}
+
+void PlanExecutor::execEraseEdge(const PlanStmt &St, ExecContext &Ctx) const {
+  const auto &E = Decomp->edge(St.Edge);
+  ExecContext::VarRange R = Ctx.Vars[St.InVar];
+  for (uint32_t I = 0; I < R.Count; ++I) {
+    uint32_t S = R.First + I;
+    uint32_t DstIdx = Ctx.bindIdx(S, E.Dst);
+    if (DstIdx == ExecContext::NoBinding)
+      continue;
+    // Husk gate: a shared instance keeps its incoming entries until its
+    // own containers have emptied out (deeper erase statements ran
+    // first — reverse topological statement order).
+    if (St.OnlyIfHusk && !Ctx.Pool[DstIdx]->allOutEmpty())
+      continue;
+    uint32_t SrcIdx = Ctx.bindIdx(S, E.Src);
+    assert(SrcIdx != ExecContext::NoBinding &&
+           "parent of a bound instance must be bound");
+    if (SrcIdx == ExecContext::NoBinding)
+      continue;
+    Ctx.Pool[SrcIdx]->containerFor(St.Edge).erase(
+        Ctx.Tuples[S].project(E.Cols));
+  }
+}
+
 ExecStatus PlanExecutor::run(const Plan &Plan, const Tuple &Input,
-                             NodeInstPtr Root, LockSet &Locks,
-                             std::vector<QueryState> &Result) const {
-  std::vector<std::vector<QueryState>> Vars(Plan.NumVars);
-  QueryState Init;
-  Init.T = Input;
-  Init.Bound.resize(Decomp->numNodes());
-  Init.Bound[Decomp->root()] = std::move(Root);
-  Vars[0].push_back(std::move(Init));
+                             NodeInstPtr Root, ExecContext &Ctx) const {
+  Ctx.begin(Decomp->numNodes(), Plan.NumVars, Input, std::move(Root),
+            Decomp->root());
 
   for (const PlanStmt &St : Plan.Stmts) {
     switch (St.K) {
     case PlanStmt::Kind::Lock:
-      if (execLock(St, Vars[St.InVar], Locks) != ExecStatus::Ok)
+      if (execLock(St, Ctx) != ExecStatus::Ok)
         return ExecStatus::Restart;
       break;
     case PlanStmt::Kind::Unlock:
@@ -245,23 +412,51 @@ ExecStatus PlanExecutor::run(const Plan &Plan, const Tuple &Input,
       // after the operation's writes and result extraction.
       break;
     case PlanStmt::Kind::Lookup:
-      execLookup(St, Vars[St.InVar], Vars[St.OutVar]);
+      execLookup(St, Ctx);
       break;
     case PlanStmt::Kind::Scan:
-      execScan(St, Vars[St.InVar], Vars[St.OutVar]);
+      execScan(St, Ctx);
       break;
     case PlanStmt::Kind::SpecLookup:
-      if (execSpecLookup(St, Vars[St.InVar], Vars[St.OutVar], Locks) !=
-          ExecStatus::Ok)
+      if (execSpecLookup(St, Ctx) != ExecStatus::Ok)
         return ExecStatus::Restart;
       break;
     case PlanStmt::Kind::SpecScan:
-      if (execSpecScan(St, Vars[St.InVar], Vars[St.OutVar], Locks) !=
-          ExecStatus::Ok)
+      if (execSpecScan(St, Ctx) != ExecStatus::Ok)
         return ExecStatus::Restart;
       break;
+    case PlanStmt::Kind::Probe:
+      execProbe(St, Ctx);
+      break;
+    case PlanStmt::Kind::Restrict:
+      execRestrict(St, Ctx);
+      break;
+    case PlanStmt::Kind::GuardAbsent:
+      if (Ctx.numStates(St.InVar) != 0)
+        return ExecStatus::Found; // a tuple matching s exists (§2)
+      break;
+    case PlanStmt::Kind::CreateNode:
+      execCreateNode(St, Ctx);
+      break;
+    case PlanStmt::Kind::InsertEdge:
+      execInsertEdge(St, Ctx);
+      break;
+    case PlanStmt::Kind::EraseEdge:
+      execEraseEdge(St, Ctx);
+      break;
+    case PlanStmt::Kind::UpdateCount: {
+      uint32_t N = Ctx.numStates(St.InVar);
+      if (Ctx.Count && N != 0) {
+        if (St.Delta >= 0)
+          Ctx.Count->fetch_add(size_t(St.Delta) * N,
+                               std::memory_order_relaxed);
+        else
+          Ctx.Count->fetch_sub(size_t(-St.Delta) * N,
+                               std::memory_order_relaxed);
+      }
+      break;
+    }
     }
   }
-  Result = std::move(Vars[Plan.ResultVar]);
   return ExecStatus::Ok;
 }

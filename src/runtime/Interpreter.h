@@ -6,13 +6,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Executes compiled plans (§5.2) against a decomposition instance. Each
-/// plan statement transforms a set of query states (t, m) — a tuple of
-/// bound columns plus bindings from decomposition nodes to node
-/// instances. Lock statements sort the physical locks they acquire into
-/// the global lock order (§5.1) before acquisition; speculative
-/// statements implement the guess-verify protocol of §4.5, restarting
-/// the transaction on a wrong guess or an out-of-order conflict (the
+/// Executes compiled plans (§5.2) against a decomposition instance — both
+/// the read statements (lock/lookup/scan/spec*) and the write statements
+/// of mutation plans (probe/create/insert-entry/erase-entry), so insert,
+/// remove, and query all run through one executor on planner-emitted IR.
+///
+/// Execution state lives in a reusable per-thread ExecContext with flat
+/// frames: every query state (t, m) of §5.2 is one tuple plus a
+/// fixed-stride row of *indices* into an instance pool, appended to
+/// arena-style arrays that keep their capacity across operations. Plan
+/// variables are contiguous ranges over the arena (plans are in SSA
+/// form: each variable is produced by exactly one statement), so a
+/// statement is a linear pass over its input range — no per-statement
+/// vector-of-struct churn and no shared_ptr refcount traffic per copied
+/// binding.
+///
+/// Lock statements sort the physical locks they acquire into the global
+/// lock order (§5.1) before acquisition; speculative statements
+/// implement the guess-verify protocol of §4.5, restarting the
+/// transaction on a wrong guess or an out-of-order conflict (the
 /// try-lock/restart discipline that keeps speculation deadlock-free).
 ///
 //===----------------------------------------------------------------------===//
@@ -24,21 +36,79 @@
 #include "runtime/NodeInstance.h"
 #include "sync/LockSet.h"
 
+#include <atomic>
 #include <vector>
 
 namespace crs {
-
-/// One query state (§5.2): bound columns plus node-instance bindings
-/// (indexed by NodeId; null = unbound).
-struct QueryState {
-  Tuple T;
-  std::vector<NodeInstPtr> Bound;
-};
 
 /// Outcome of executing a plan.
 enum class ExecStatus : uint8_t {
   Ok,      ///< plan ran to completion; results valid
   Restart, ///< speculation failed; release everything and re-execute
+  Found,   ///< a put-if-absent guard tripped: a tuple matching s exists
+};
+
+/// Reusable per-thread execution state. One operation at a time: run the
+/// plan, read the results, release the locks, then reset(). The instance
+/// pool keeps every bound node instance alive until reset() — this is
+/// what lets the shrinking phase unlock stripes of instances the plan
+/// just unlinked (POSIX forbids destroying a lock mid-unlock), so
+/// reset() must only be called *after* Locks.releaseAll().
+class ExecContext {
+public:
+  static constexpr uint32_t NoBinding = UINT32_MAX;
+
+  LockSet Locks;
+
+  /// Relation tuple counter adjusted by UpdateCount statements.
+  std::atomic<size_t> *Count = nullptr;
+
+  /// Drops all states, bindings, and pooled instances, keeping arena
+  /// capacity. Precondition: no locks held.
+  void reset();
+
+  uint32_t numStates(PlanVar V) const { return Vars[V].Count; }
+  const Tuple &stateTuple(PlanVar V, uint32_t I) const {
+    return Tuples[Vars[V].First + I];
+  }
+
+private:
+  friend class PlanExecutor;
+
+  struct VarRange {
+    uint32_t First = 0;
+    uint32_t Count = 0;
+  };
+
+  std::vector<Tuple> Tuples;     ///< arena: one tuple per state
+  std::vector<uint32_t> Bind;    ///< arena: Stride pool indices per state
+  std::vector<NodeInstPtr> Pool; ///< bound instances; pins them for the op
+  std::vector<VarRange> Vars;
+  uint32_t Stride = 0;
+
+  /// Starts a fresh operation: state 0 = (Input, {root ↦ Root}).
+  void begin(uint32_t NumNodes, PlanVar NumVars, const Tuple &Input,
+             NodeInstPtr Root, NodeId RootNode);
+
+  uint32_t numAllStates() const {
+    return static_cast<uint32_t>(Tuples.size());
+  }
+  uint32_t bindIdx(uint32_t State, NodeId N) const {
+    return Bind[size_t(State) * Stride + N];
+  }
+  void setBind(uint32_t State, NodeId N, uint32_t PoolIdx) {
+    Bind[size_t(State) * Stride + N] = PoolIdx;
+  }
+  uint32_t intern(NodeInstPtr P) {
+    Pool.push_back(std::move(P));
+    return static_cast<uint32_t>(Pool.size() - 1);
+  }
+  /// Appends a state copying \p Src's tuple and binding row.
+  uint32_t pushStateCopy(uint32_t Src);
+  /// Appends a state with tuple \p T and \p Src's binding row.
+  uint32_t pushStateJoined(Tuple T, uint32_t Src);
+  /// Appends a state with tuple \p T and an all-unbound row.
+  uint32_t pushStateBlank(Tuple T);
 };
 
 /// Stateless plan executor bound to one decomposition + placement.
@@ -46,12 +116,15 @@ class PlanExecutor {
 public:
   PlanExecutor(const Decomposition &D, const LockPlacement &P);
 
-  /// Runs \p Plan with input tuple \p Input (the operation's s) rooted at
-  /// \p Root. Acquired locks go into \p Locks and are *kept* on return
-  /// (strict two-phase: the caller releases after applying writes and
-  /// reading results). On Restart the caller must release and retry.
+  /// Runs \p Plan with input tuple \p Input (the operation's s — or
+  /// s ∪ t for insert plans) rooted at \p Root. Acquired locks go into
+  /// \p Ctx.Locks and are *kept* on return (strict two-phase: the caller
+  /// releases after reading results, then resets the context). On
+  /// Restart the caller must release and retry; on Found (insert) a
+  /// tuple matching s already exists and no writes were applied.
+  /// Results are the states of Plan.ResultVar, read via Ctx.
   ExecStatus run(const Plan &Plan, const Tuple &Input, NodeInstPtr Root,
-                 LockSet &Locks, std::vector<QueryState> &Result) const;
+                 ExecContext &Ctx) const;
 
 private:
   const Decomposition *Decomp;
@@ -61,20 +134,16 @@ private:
   LockOrderKey orderKey(NodeId Node, const NodeInstance &Inst,
                         uint32_t Stripe) const;
 
-  ExecStatus execLock(const PlanStmt &St,
-                      const std::vector<QueryState> &States,
-                      LockSet &Locks) const;
-  void execLookup(const PlanStmt &St, const std::vector<QueryState> &In,
-                  std::vector<QueryState> &Out) const;
-  void execScan(const PlanStmt &St, const std::vector<QueryState> &In,
-                std::vector<QueryState> &Out) const;
-  ExecStatus execSpecLookup(const PlanStmt &St,
-                            const std::vector<QueryState> &In,
-                            std::vector<QueryState> &Out,
-                            LockSet &Locks) const;
-  ExecStatus execSpecScan(const PlanStmt &St,
-                          const std::vector<QueryState> &In,
-                          std::vector<QueryState> &Out, LockSet &Locks) const;
+  ExecStatus execLock(const PlanStmt &St, ExecContext &Ctx) const;
+  void execLookup(const PlanStmt &St, ExecContext &Ctx) const;
+  void execScan(const PlanStmt &St, ExecContext &Ctx) const;
+  ExecStatus execSpecLookup(const PlanStmt &St, ExecContext &Ctx) const;
+  ExecStatus execSpecScan(const PlanStmt &St, ExecContext &Ctx) const;
+  void execProbe(const PlanStmt &St, ExecContext &Ctx) const;
+  void execRestrict(const PlanStmt &St, ExecContext &Ctx) const;
+  void execCreateNode(const PlanStmt &St, ExecContext &Ctx) const;
+  void execInsertEdge(const PlanStmt &St, ExecContext &Ctx) const;
+  void execEraseEdge(const PlanStmt &St, ExecContext &Ctx) const;
 };
 
 } // namespace crs

@@ -1,0 +1,164 @@
+//===- runtime/PlanCache.h - Sharded compiled-plan cache --------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache of compiled plans, keyed by operation signature
+/// (op kind, dom(s), output columns). Every relational operation starts
+/// with a plan lookup, so this sits on the hot path of *all* traffic;
+/// a single mutex-protected map serializes every thread on one cache
+/// line (the classic scalability bug of perfbook's lock chapter). Here
+/// lookups are wait-free and *write nothing shared* — not even a hit
+/// counter: each shard publishes an immutable snapshot vector through
+/// one atomic pointer (acquire load, no CAS, no lock, no RMW), so warm
+/// traffic keeps every line in shared state in every core's cache.
+/// Compilation is rare; writers copy the snapshot under a per-shard
+/// mutex, count the miss there, and publish the new version with a
+/// release store. Superseded snapshots are retired, not freed, making
+/// reader access safe without hazard pointers — the deliberate cost is
+/// memory linear in compilations (a few entries plus the superseded
+/// Plans per publication, reclaimed only at destruction), which stays
+/// trivial because signatures are few and replans operator-paced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_RUNTIME_PLANCACHE_H
+#define CRS_RUNTIME_PLANCACHE_H
+
+#include "plan/QueryIR.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace crs {
+
+class PlanCache {
+public:
+  using PlanPtr = std::shared_ptr<const Plan>;
+
+  PlanCache() = default;
+  PlanCache(const PlanCache &) = delete;
+  PlanCache &operator=(const PlanCache &) = delete;
+  ~PlanCache() = default; // Retired lists free every snapshot
+
+  /// Wait-free lookup; null if the signature has not been compiled.
+  /// Deliberately writes nothing — no hit counter, and the plan comes
+  /// back as a raw pointer rather than a shared_ptr copy, because a
+  /// refcount RMW on the plan's control block would be one more shared
+  /// cache line bouncing per operation. The pointer is lifetime-safe by
+  /// construction: snapshots (and the plans they own) are retired, not
+  /// freed, until the cache is destroyed. Misses are counted where the
+  /// (rare) compilation happens; callers that want a hit rate derive it
+  /// as 1 − misses/lookups from their own op counts.
+  const Plan *find(PlanOp Op, uint64_t DomBits, uint64_t OutBits) const {
+    const Shard &Sh = shardFor(Op, DomBits, OutBits);
+    if (const PlanPtr *P = lookupIn(Sh.Snap.load(std::memory_order_acquire),
+                                    Op, DomBits, OutBits))
+      return P->get();
+    return nullptr;
+  }
+
+  /// Lookup, compiling via \p Fn and publishing on a cold signature.
+  /// Concurrent racers on the same cold signature serialize only on the
+  /// shard mutex, and only until the first publication wins.
+  template <typename CompileFn>
+  const Plan *getOrCompile(PlanOp Op, uint64_t DomBits, uint64_t OutBits,
+                           CompileFn &&Fn) const {
+    if (const Plan *P = find(Op, DomBits, OutBits))
+      return P;
+    Shard &Sh = shardFor(Op, DomBits, OutBits);
+    std::lock_guard<std::mutex> Guard(Sh.M);
+    // Re-check: another thread may have published while we waited.
+    const Snapshot *Snap = Sh.Snap.load(std::memory_order_relaxed);
+    if (const PlanPtr *P = lookupIn(Snap, Op, DomBits, OutBits))
+      return P->get();
+    Sh.Misses.fetch_add(1, std::memory_order_relaxed);
+    PlanPtr P = std::make_shared<const Plan>(Fn());
+    auto Next = std::make_unique<Snapshot>();
+    if (Snap)
+      *Next = *Snap;
+    Next->push_back({{DomBits, OutBits, Op}, P});
+    // Transfer ownership to the retired list *before* publishing: if
+    // the push_back throws, nothing was published; once published, the
+    // snapshot lives until the cache is destroyed, so readers caught
+    // mid-walk on a superseded snapshot are always safe.
+    const Snapshot *Raw = Next.get();
+    Sh.Retired.push_back(std::move(Next));
+    Sh.Snap.store(Raw, std::memory_order_release);
+    return P.get(); // owned by the just-retired snapshot
+  }
+
+  /// Drops every published plan (replanning). Safe against concurrent
+  /// wait-free readers: superseded snapshots are retired, not freed —
+  /// their memory (bounded by signatures-compiled × replans, a handful
+  /// of entries each) is reclaimed only on destruction.
+  void clear() {
+    for (Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Guard(Sh.M);
+      Sh.Snap.store(nullptr, std::memory_order_release);
+    }
+  }
+
+  /// Number of lookups that led to a compilation (signature cold, or
+  /// re-warmed after clear()). Everything else was a wait-free hit.
+  uint64_t misses() const {
+    uint64_t N = 0;
+    for (const Shard &Sh : Shards)
+      N += Sh.Misses.load(std::memory_order_relaxed);
+    return N;
+  }
+
+private:
+  struct SigKey {
+    uint64_t Dom;
+    uint64_t Out;
+    PlanOp Op;
+  };
+  using Snapshot = std::vector<std::pair<SigKey, PlanPtr>>;
+
+  static constexpr unsigned NumShards = 16;
+
+  struct Shard {
+    /// The published snapshot gets a cache line to itself: the hot read
+    /// path must only ever load this line (kept in every core's cache
+    /// in shared state), never write it.
+    alignas(64) std::atomic<const Snapshot *> Snap{nullptr};
+    /// Written only under M, on the compile path.
+    alignas(64) mutable std::atomic<uint64_t> Misses{0};
+    std::mutex M; // writers only
+    std::vector<std::unique_ptr<Snapshot>> Retired;
+  };
+
+  static const PlanPtr *lookupIn(const Snapshot *Snap, PlanOp Op,
+                                 uint64_t Dom, uint64_t Out) {
+    if (Snap)
+      for (const auto &E : *Snap)
+        if (E.first.Op == Op && E.first.Dom == Dom && E.first.Out == Out)
+          return &E.second;
+    return nullptr;
+  }
+
+  static uint64_t mix(PlanOp Op, uint64_t A, uint64_t B) {
+    uint64_t H = A * 0x9e3779b97f4a7c15ULL ^ (B + 0xbf58476d1ce4e5b9ULL) ^
+                 (uint64_t(Op) << 56);
+    H ^= H >> 31;
+    H *= 0x94d049bb133111ebULL;
+    H ^= H >> 29;
+    return H;
+  }
+  Shard &shardFor(PlanOp Op, uint64_t A, uint64_t B) const {
+    return Shards[mix(Op, A, B) % NumShards];
+  }
+
+  mutable Shard Shards[NumShards];
+};
+
+} // namespace crs
+
+#endif // CRS_RUNTIME_PLANCACHE_H

@@ -77,7 +77,5 @@ void LockSet::releaseAll() {
   for (auto It = Held.rbegin(); It != Held.rend(); ++It)
     It->Lock->unlock(It->Mode);
   Held.clear();
-  // Only now may the lock owners die: every unlock above has returned.
-  Pins.clear();
   HasMaxKey = false;
 }

@@ -82,18 +82,12 @@ public:
   /// True if this transaction holds \p Lock in a mode at least \p Mode.
   bool holdsAtLeast(const PhysicalLock &Lock, LockMode Mode) const;
 
-  /// Pins a resource (typically the node instance owning a just-acquired
-  /// physical lock) for the lifetime of the held locks. POSIX forbids
-  /// destroying a lock while an unlock of it is still in flight; a
-  /// transaction woken by our unlock may otherwise free the instance
-  /// before our releaseAll() finishes touching it. Pins are dropped only
-  /// after every unlock has returned.
-  void pinResource(std::shared_ptr<const void> Resource) {
-    Pins.push_back(std::move(Resource));
-  }
-
-  /// Releases every held lock in reverse acquisition order (the shrinking
-  /// phase), then drops the resource pins and clears the set.
+  /// Releases every held lock in reverse acquisition order (the
+  /// shrinking phase) and clears the set. Lock-owner lifetime is the
+  /// caller's duty: POSIX forbids destroying a lock while an unlock of
+  /// it is in flight, so whoever owns the locked instances must keep
+  /// them alive until this returns (the executor's ExecContext pool
+  /// pins them until its post-release reset()).
   void releaseAll();
 
   size_t heldCount() const { return Held.size(); }
@@ -115,7 +109,6 @@ private:
     LockMode Mode;
   };
   std::vector<Entry> Held;
-  std::vector<std::shared_ptr<const void>> Pins;
   uint64_t Restarts = 0;
   bool HasMaxKey = false;
   LockOrderKey MaxKey;

@@ -63,6 +63,10 @@ public:
   virtual bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) = 0;
   virtual bool removeEdge(int64_t Src, int64_t Dst) = 0;
   virtual size_t size() const = 0;
+  /// Executor-health metrics (zero for targets without them): total
+  /// transaction restarts, and plan-cache compilations (misses).
+  virtual uint64_t restarts() const { return 0; }
+  virtual uint64_t planCacheMisses() const { return 0; }
 };
 
 /// GraphTarget over a synthesized ConcurrentRelation (spec of
@@ -75,6 +79,10 @@ public:
   bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) override;
   bool removeEdge(int64_t Src, int64_t Dst) override;
   size_t size() const override { return Rel->size(); }
+  uint64_t restarts() const override { return Rel->restarts(); }
+  uint64_t planCacheMisses() const override {
+    return Rel->planCacheMisses();
+  }
 
 private:
   ConcurrentRelation *Rel;

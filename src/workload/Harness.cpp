@@ -9,6 +9,7 @@
 
 #include "support/Stats.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -54,6 +55,17 @@ ThroughputResult crs::runThroughput(
       Kept.push_back(static_cast<double>(Ops) / Seconds);
     Result.TotalOps += Ops;
     Result.FinalSize = Target->size();
+    Result.RestartsPerOp =
+        Ops ? static_cast<double>(Target->restarts()) /
+                  static_cast<double>(Ops)
+            : 0.0;
+    // Each operation performs exactly one plan lookup; hits are not
+    // counted on the wait-free path, so the rate is derived.
+    uint64_t Misses = Target->planCacheMisses();
+    Result.PlanCacheHitRate =
+        Ops ? 1.0 - std::min<double>(1.0, static_cast<double>(Misses) /
+                                              static_cast<double>(Ops))
+            : 0.0;
   }
 
   OnlineStats Stats;

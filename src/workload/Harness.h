@@ -39,6 +39,11 @@ struct ThroughputResult {
   double StdDev = 0;         ///< over kept runs
   uint64_t TotalOps = 0;
   size_t FinalSize = 0;      ///< relation size after the last run
+  /// Executor health over the last run: speculative/out-of-order
+  /// restarts per operation, and the plan-cache hit rate (1.0 once
+  /// every signature is warm).
+  double RestartsPerOp = 0;
+  double PlanCacheHitRate = 0;
 };
 
 /// Runs the §6.2 benchmark loop: builds a fresh target per repeat via

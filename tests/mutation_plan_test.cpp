@@ -1,0 +1,176 @@
+//===- tests/mutation_plan_test.cpp - Insert/remove plans as IR --------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Mutations as first-class plan IR (§5.2): the planner emits full
+/// insert/remove plans — topological lock schedules, put-if-absent
+/// guard, write statements — that pass the validity checker on every
+/// shape and placement, cover every edge, and render through explain.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Autotuner.h"
+#include "decomp/Shapes.h"
+#include "lockplace/PlacementSchemes.h"
+#include "plan/PlanValidity.h"
+#include "plan/Planner.h"
+#include "runtime/ConcurrentRelation.h"
+
+#include <gtest/gtest.h>
+
+using namespace crs;
+
+namespace {
+
+unsigned countKind(const Plan &P, PlanStmt::Kind K) {
+  unsigned N = 0;
+  for (const auto &St : P.Stmts)
+    if (St.K == K)
+      ++N;
+  return N;
+}
+
+std::vector<std::pair<Decomposition, LockPlacement>> allCases() {
+  static RelationSpec GraphSpec = makeGraphSpec();
+  static RelationSpec DSpec = makeDCacheSpec();
+  std::vector<std::pair<Decomposition, LockPlacement>> Cases;
+  for (GraphShape S :
+       {GraphShape::Stick, GraphShape::Split, GraphShape::Diamond}) {
+    Decomposition D = makeGraphDecomposition(
+        GraphSpec, S,
+        {ContainerKind::ConcurrentHashMap, ContainerKind::ConcurrentHashMap});
+    Cases.push_back({D, makeCoarsePlacement(D)});
+    Cases.push_back({D, makeFinePlacement(D)});
+    Cases.push_back({D, makeStripedPlacement(D, 16)});
+    Cases.push_back({D, makeSpeculativePlacement(D, 16)});
+  }
+  {
+    Decomposition D = makeDCacheDecomposition(DSpec);
+    Cases.push_back({D, makeCoarsePlacement(D)});
+    Cases.push_back({D, makeFinePlacement(D)});
+  }
+  return Cases;
+}
+
+TEST(MutationPlans, InsertPlansValidAndCompleteEverywhere) {
+  for (const auto &[D, P] : allCases()) {
+    QueryPlanner Planner(D, P);
+    for (ColumnSet DomKey : D.spec().minimalKeys()) {
+      Plan In = Planner.planInsert(DomKey);
+      ValidationResult R = checkPlanValidity(In);
+      EXPECT_TRUE(R.ok()) << D.str() << "\n" << P.str() << "\n"
+                          << In.str() << R.str();
+      EXPECT_EQ(In.Op, PlanOp::Insert);
+      EXPECT_TRUE(In.ForMutation);
+      // Exactly one guard, one count bump, every edge written, every
+      // non-root node creatable, every in-edge resolvable.
+      EXPECT_EQ(countKind(In, PlanStmt::Kind::GuardAbsent), 1u);
+      EXPECT_EQ(countKind(In, PlanStmt::Kind::UpdateCount), 1u);
+      EXPECT_EQ(countKind(In, PlanStmt::Kind::InsertEdge), D.numEdges());
+      EXPECT_EQ(countKind(In, PlanStmt::Kind::CreateNode), D.numNodes() - 1);
+      EXPECT_EQ(countKind(In, PlanStmt::Kind::Probe), D.numEdges());
+      // The write phase sits strictly after the guard.
+      bool Guarded = false;
+      for (const auto &St : In.Stmts) {
+        if (St.K == PlanStmt::Kind::GuardAbsent)
+          Guarded = true;
+        if (St.K == PlanStmt::Kind::CreateNode ||
+            St.K == PlanStmt::Kind::InsertEdge)
+          EXPECT_TRUE(Guarded);
+      }
+    }
+  }
+}
+
+TEST(MutationPlans, RemovePlansEraseEveryEdgeEverywhere) {
+  for (const auto &[D, P] : allCases()) {
+    QueryPlanner Planner(D, P);
+    for (ColumnSet DomKey : D.spec().minimalKeys()) {
+      Plan Rm = Planner.planRemove(DomKey);
+      ValidationResult R = checkPlanValidity(Rm);
+      EXPECT_TRUE(R.ok()) << D.str() << "\n" << P.str() << "\n"
+                          << Rm.str() << R.str();
+      EXPECT_EQ(Rm.Op, PlanOp::Remove);
+      EXPECT_EQ(countKind(Rm, PlanStmt::Kind::EraseEdge), D.numEdges());
+      EXPECT_EQ(countKind(Rm, PlanStmt::Kind::UpdateCount), 1u);
+      // The locate prefix is exactly the standalone locate plan.
+      Plan Locate = Planner.planRemoveLocate(DomKey);
+      EXPECT_EQ(countKind(Rm, PlanStmt::Kind::Lookup),
+                countKind(Locate, PlanStmt::Kind::Lookup));
+      EXPECT_EQ(countKind(Rm, PlanStmt::Kind::Scan),
+                countKind(Locate, PlanStmt::Kind::Scan));
+    }
+  }
+}
+
+TEST(MutationPlans, SharedNodesAreHuskGated) {
+  // In the dcache decomposition some nodes are keyed by non-key column
+  // sets (e.g. {parent} alone): their instances are shared across
+  // tuples, so their erase statements must be husk-gated, while nodes
+  // keyed by a relation key are owned and erased unconditionally.
+  RelationSpec Spec = makeDCacheSpec();
+  Decomposition D = makeDCacheDecomposition(Spec);
+  LockPlacement P = makeFinePlacement(D);
+  QueryPlanner Planner(D, P);
+  Plan Rm = Planner.planRemove(*Spec.minimalKeys().begin());
+  bool SawGated = false, SawUngated = false;
+  for (const auto &St : Rm.Stmts)
+    if (St.K == PlanStmt::Kind::EraseEdge)
+      (St.OnlyIfHusk ? SawGated : SawUngated) = true;
+  EXPECT_TRUE(SawGated) << Rm.str();
+  EXPECT_TRUE(SawUngated) << Rm.str();
+}
+
+TEST(MutationPlans, ExplainInsertRendersWriteStatements) {
+  RepresentationConfig Config;
+  for (auto &[N, C] : figure5Representations())
+    if (N == "Split 4")
+      Config = C;
+  ASSERT_TRUE(Config.Placement);
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+  std::string S = R.explainInsert(Spec.cols({"src", "dst"}));
+  EXPECT_NE(S.find("probe("), std::string::npos) << S;
+  EXPECT_NE(S.find("lock!("), std::string::npos) << S;
+  EXPECT_NE(S.find("restrict("), std::string::npos) << S;
+  EXPECT_NE(S.find("guard-absent("), std::string::npos) << S;
+  EXPECT_NE(S.find("create("), std::string::npos) << S;
+  EXPECT_NE(S.find("insert-entry("), std::string::npos) << S;
+  EXPECT_NE(S.find("adjust-count("), std::string::npos) << S;
+  std::string Rm = R.explainRemove(Spec.cols({"src", "dst"}));
+  EXPECT_NE(Rm.find("erase-entry("), std::string::npos) << Rm;
+  EXPECT_NE(Rm.find("adjust-count("), std::string::npos) << Rm;
+}
+
+TEST(MutationPlans, ValidityRejectsIncompleteWrites) {
+  // Dropping one InsertEdge from a valid insert plan must fail the
+  // every-edge coverage check.
+  RelationSpec Spec = makeGraphSpec();
+  Decomposition D = makeGraphDecomposition(Spec, GraphShape::Split);
+  LockPlacement P = makeFinePlacement(D);
+  QueryPlanner Planner(D, P);
+  Plan In = Planner.planInsert(Spec.cols({"src", "dst"}));
+  Plan Bad = In;
+  for (auto It = Bad.Stmts.begin(); It != Bad.Stmts.end(); ++It)
+    if (It->K == PlanStmt::Kind::InsertEdge) {
+      Bad.Stmts.erase(It);
+      break;
+    }
+  ValidationResult R = checkPlanValidity(Bad);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("never writes"), std::string::npos) << R.str();
+
+  // A write smuggled before the guard must be rejected too.
+  Plan Early = In;
+  for (size_t I = 0; I < Early.Stmts.size(); ++I)
+    if (Early.Stmts[I].K == PlanStmt::Kind::GuardAbsent) {
+      std::swap(Early.Stmts[I], Early.Stmts[I + 1]);
+      break;
+    }
+  EXPECT_FALSE(checkPlanValidity(Early).ok());
+}
+
+} // namespace
