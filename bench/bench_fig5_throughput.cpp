@@ -43,6 +43,28 @@ std::unique_ptr<GraphTarget> makeRelationTarget(
       std::make_unique<ConcurrentRelation>(Config));
 }
 
+std::unique_ptr<GraphTarget> makePreparedTarget(
+    const RepresentationConfig &Config) {
+  struct Owning : PreparedRelationTarget {
+    std::unique_ptr<ConcurrentRelation> Rel;
+    explicit Owning(std::unique_ptr<ConcurrentRelation> R)
+        : PreparedRelationTarget(*R), Rel(std::move(R)) {}
+  };
+  return std::make_unique<Owning>(
+      std::make_unique<ConcurrentRelation>(Config));
+}
+
+std::unique_ptr<GraphTarget> makeBatchedTarget(
+    const RepresentationConfig &Config) {
+  struct Owning : BatchedRelationTarget {
+    std::unique_ptr<ConcurrentRelation> Rel;
+    explicit Owning(std::unique_ptr<ConcurrentRelation> R)
+        : BatchedRelationTarget(*R), Rel(std::move(R)) {}
+  };
+  return std::make_unique<Owning>(
+      std::make_unique<ConcurrentRelation>(Config));
+}
+
 std::unique_ptr<GraphTarget> makeHandcodedTarget() {
   struct Owning : HandcodedGraphTarget {
     std::unique_ptr<HandcodedGraph> G;
@@ -106,6 +128,63 @@ int main() {
     Row.push_back("-");
     Panel.addRow(Row);
 
+    std::printf("\n");
+    Panel.print(std::cout);
+    std::printf("\n");
+  }
+
+  // API-mode comparison: one representation (Split 4, the paper's
+  // handcoded mirror — falls back to the first series), three client
+  // APIs on identical mixes. Legacy pays per-call tuple construction,
+  // signature hashing, and result materialization; prepared binds slot
+  // frames and streams results; batched additionally groups compatible
+  // ops per thread through executeBatch.
+  const auto *ApiConfig = &Representations.front();
+  for (const auto &R : Representations)
+    if (R.first == "Split 4")
+      ApiConfig = &R;
+  std::printf("=== API-mode comparison (%s): legacy vs prepared vs "
+              "batched ===\n\n",
+              ApiConfig->first.c_str());
+  using TargetFactory = std::function<std::unique_ptr<GraphTarget>()>;
+  const RepresentationConfig &AC = ApiConfig->second;
+  std::vector<std::pair<std::string, TargetFactory>> Modes = {
+      {"legacy", [&] { return makeRelationTarget(AC); }},
+      {"prepared", [&] { return makePreparedTarget(AC); }},
+      {"batched", [&] { return makeBatchedTarget(AC); }},
+  };
+  // The API delta is percent-level, so the comparison gets more ops and
+  // an extra kept repetition than the quick sweep's defaults.
+  auto ApiParams = [&](unsigned T) {
+    HarnessParams P = benchParams(T);
+    if (!benchFull()) {
+      P.OpsPerThread *= 8;
+      P.Repeats = 3;
+      P.DiscardRuns = 1;
+    }
+    return P;
+  };
+  for (const OpMix &Mix : Fig5Workloads) {
+    std::printf("--- Operation Distribution: %s ---\n", Mix.str().c_str());
+    std::vector<std::string> Header{"api"};
+    for (unsigned T : Threads)
+      Header.push_back(std::to_string(T) + "T");
+    Header.push_back("rst/op");
+    Header.push_back("pc-hit%");
+    Table Panel(Header);
+    for (auto &[Name, Make] : Modes) {
+      std::vector<std::string> Row{Name};
+      ThroughputResult Last;
+      for (unsigned T : Threads) {
+        Last = runThroughput(Make, Mix, Keys, ApiParams(T));
+        Row.push_back(Table::fmt(Last.OpsPerSec, 0));
+      }
+      Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
+      Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
+      Panel.addRow(Row);
+      std::printf(".");
+      std::fflush(stdout);
+    }
     std::printf("\n");
     Panel.print(std::cout);
     std::printf("\n");

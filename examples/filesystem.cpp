@@ -21,7 +21,7 @@
 
 #include "decomp/Shapes.h"
 #include "lockplace/PlacementSchemes.h"
-#include "runtime/ConcurrentRelation.h"
+#include "runtime/PreparedOp.h"
 
 #include <cstdio>
 #include <string>
@@ -32,46 +32,56 @@ using namespace crs;
 namespace {
 
 /// A thin filesystem-flavoured facade over the synthesized relation.
+/// Every dcache operation has a fixed signature, so the facade prepares
+/// each one once at mount time and the hot paths are pure slot binds —
+/// the pattern a real path-walk cache would use.
 class DirectoryTree {
 public:
   explicit DirectoryTree(RepresentationConfig Config)
-      : Rel(std::move(Config)), Spec(&Rel.spec()) {}
+      : Rel(std::move(Config)), Spec(&Rel.spec()),
+        Link(Rel.prepareInsert(Spec->cols({"parent", "name"}))),
+        Unlink(Rel.prepareRemove(Spec->cols({"parent", "name"}))),
+        Find(Rel.prepareQuery(Spec->cols({"parent", "name"}),
+                              Spec->cols({"child"}))),
+        List(Rel.prepareQuery(Spec->cols({"parent"}),
+                              Spec->cols({"name", "child"}))) {}
 
   bool link(int64_t Parent, const std::string &Name, int64_t Child) {
-    return Rel.insert(
-        Tuple::of({{Spec->col("parent"), Value::ofInt(Parent)},
-                   {Spec->col("name"), Value::ofString(Name)}}),
-        Tuple::of({{Spec->col("child"), Value::ofInt(Child)}}));
+    // Slot order is ascending column order: parent, name, child.
+    return Link.bind(0, Value::ofInt(Parent))
+        .bind(1, Value::ofString(Name))
+        .bind(2, Value::ofInt(Child))
+        .execute();
   }
 
   bool unlink(int64_t Parent, const std::string &Name) {
-    return Rel.remove(Tuple::of({{Spec->col("parent"),
-                                  Value::ofInt(Parent)},
-                                 {Spec->col("name"),
-                                  Value::ofString(Name)}})) > 0;
+    return Unlink.bind(0, Value::ofInt(Parent))
+               .bind(1, Value::ofString(Name))
+               .execute() > 0;
   }
 
-  /// Path-component lookup: the hashtable edge makes this one probe.
+  /// Path-component lookup: the hashtable edge makes this one probe;
+  /// the streamed result avoids materializing a vector for what is by
+  /// construction (FD parent, name -> child) at most one match.
   bool lookup(int64_t Parent, const std::string &Name, int64_t &Child) {
-    auto R = Rel.query(Tuple::of({{Spec->col("parent"),
-                                   Value::ofInt(Parent)},
-                                  {Spec->col("name"),
-                                   Value::ofString(Name)}}),
-                       Spec->cols({"child"}));
-    if (R.empty())
-      return false;
-    Child = R.front().get(Spec->col("child")).asInt();
-    return true;
+    bool Found = false;
+    Find.bind(0, Value::ofInt(Parent)).bind(1, Value::ofString(Name));
+    Find.forEach([&](const Tuple &T) {
+      Child = T.get(Spec->col("child")).asInt();
+      Found = true;
+    });
+    return Found;
   }
 
-  /// Ordered directory listing via the per-directory TreeMap edge.
+  /// Ordered directory listing via the per-directory TreeMap edge,
+  /// streamed straight into the caller-shaped vector.
   std::vector<std::pair<std::string, int64_t>> list(int64_t Parent) {
     std::vector<std::pair<std::string, int64_t>> Out;
-    for (const Tuple &T :
-         Rel.query(Tuple::of({{Spec->col("parent"), Value::ofInt(Parent)}}),
-                   Spec->cols({"name", "child"})))
+    List.bind(0, Value::ofInt(Parent));
+    List.forEach([&](const Tuple &T) {
       Out.push_back({std::string(T.get(Spec->col("name")).asString()),
                      T.get(Spec->col("child")).asInt()});
+    });
     return Out;
   }
 
@@ -81,6 +91,9 @@ public:
 private:
   ConcurrentRelation Rel;
   const RelationSpec *Spec;
+  PreparedInsert Link;
+  PreparedRemove Unlink;
+  PreparedQuery Find, List;
 };
 
 } // namespace

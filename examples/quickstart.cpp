@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "autotune/Autotuner.h"
-#include "runtime/ConcurrentRelation.h"
+#include "runtime/PreparedOp.h"
 
 #include <cstdio>
 #include <thread>
@@ -47,37 +47,60 @@ int main() {
     return Tuple::of({{Spec.col("weight"), Value::ofInt(W)}});
   };
 
+  //    The legacy Tuple-based call builds two tuples, hashes the
+  //    operation signature into the plan cache, and re-interns columns
+  //    on every call:
   Graph.insert(Key(1, 2), Weight(42));
-  Graph.insert(Key(1, 3), Weight(7));
-  Graph.insert(Key(2, 3), Weight(9));
-  bool Lost = Graph.insert(Key(1, 2), Weight(101)); // duplicate key
+  //    The prepared equivalent pays all of that once, at prepare time;
+  //    each execution is slot binds into a per-thread frame plus plan
+  //    execution. Slots follow ascending column order: src, dst, weight.
+  PreparedInsert AddEdge = Graph.prepareInsert(Spec.cols({"src", "dst"}));
+  auto Add = [&](int64_t S, int64_t D, int64_t W) {
+    return AddEdge.bind(0, Value::ofInt(S))
+        .bind(1, Value::ofInt(D))
+        .bind(2, Value::ofInt(W))
+        .execute();
+  };
+  Add(1, 3, 7);
+  Add(2, 3, 9);
+  bool Lost = Add(1, 2, 101); // duplicate (src, dst) key
   std::printf("re-insert of (1,2) %s (relation unchanged)\n",
               Lost ? "won?!" : "was refused");
 
   // 3. Concurrent use: the synthesized operations are serializable and
-  //    deadlock-free by construction; just call them from any thread.
+  //    deadlock-free by construction; a prepared handle is shared
+  //    across threads (each thread binds its own frame).
   std::thread Th([&] {
     for (int64_t I = 0; I < 100; ++I)
-      Graph.insert(Key(7, I), Weight(I));
+      Add(7, I, I);
   });
   for (int64_t I = 0; I < 100; ++I)
-    Graph.insert(Key(8, I), Weight(I));
+    Add(8, I, I);
   Th.join();
   std::printf("size after concurrent inserts: %zu\n\n", Graph.size());
 
   // 4. Queries: query r s C returns the C-columns of tuples matching s.
-  auto Successors = Graph.query(
-      Tuple::of({{Spec.col("src"), Value::ofInt(1)}}),
-      Spec.cols({"dst", "weight"}));
+  //    execute() materializes the deduplicated projection, like the
+  //    legacy Graph.query(...); forEach streams matches with no result
+  //    vector at all — ideal for counting and aggregation.
+  PreparedQuery Successors =
+      Graph.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  Successors.bind(0, Value::ofInt(1));
   std::printf("successors of node 1:\n");
-  for (const Tuple &T : Successors)
+  for (const Tuple &T : Successors.execute())
     std::printf("  %s\n", T.str(Spec.catalog()).c_str());
+  int64_t TotalWeight = 0;
+  Successors.forEach([&](const Tuple &T) {
+    TotalWeight += T.get(Spec.col("weight")).asInt();
+  });
+  std::printf("  (streamed total weight: %lld)\n",
+              static_cast<long long>(TotalWeight));
 
-  auto Predecessors = Graph.query(
-      Tuple::of({{Spec.col("dst"), Value::ofInt(3)}}),
-      Spec.cols({"src", "weight"}));
+  PreparedQuery Predecessors =
+      Graph.prepareQuery(Spec.cols({"dst"}), Spec.cols({"src", "weight"}));
+  Predecessors.bind(0, Value::ofInt(3));
   std::printf("predecessors of node 3:\n");
-  for (const Tuple &T : Predecessors)
+  for (const Tuple &T : Predecessors.execute())
     std::printf("  %s\n", T.str(Spec.catalog()).c_str());
 
   // 5. Look under the hood: the compiled plan for find-successors, in
@@ -93,7 +116,8 @@ int main() {
               Graph.explainInsert(Spec.cols({"src", "dst"})).c_str());
 
   // 6. Remove and verify.
-  Graph.remove(Key(1, 2));
+  PreparedRemove DropEdge = Graph.prepareRemove(Spec.cols({"src", "dst"}));
+  DropEdge.bind(0, Value::ofInt(1)).bind(1, Value::ofInt(2)).execute();
   ValidationResult V = Graph.verifyConsistency();
   std::printf("consistency after remove: %s\n", V.ok() ? "ok" : "BROKEN");
   return V.ok() ? 0 : 1;

@@ -20,7 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lockplace/PlacementSchemes.h"
-#include "runtime/ConcurrentRelation.h"
+#include "runtime/PreparedOp.h"
 
 #include <cstdio>
 #include <thread>
@@ -80,32 +80,37 @@ int main() {
   ConcurrentRelation Procs({Spec, Decomp, Placement, "scheduler"});
 
   const int64_t StateReady = 0, StateRunning = 1, StateBlocked = 2;
-  auto Pid = [&](int64_t P) {
-    return Tuple::of({{Spec->col("pid"), Value::ofInt(P)}});
-  };
-  auto Attrs = [&](int64_t State, int64_t Prio) {
-    return Tuple::of({{Spec->col("state"), Value::ofInt(State)},
-                      {Spec->col("prio"), Value::ofInt(Prio)}});
+
+  // The scheduler's hot paths as prepared handles: plans resolved once,
+  // per-call work reduced to positional binds into per-thread frames.
+  // Slot order is ascending column order — pid, state, prio.
+  PreparedInsert Spawn = Procs.prepareInsert(Spec->cols({"pid"}));
+  PreparedRemove Despawn = Procs.prepareRemove(Spec->cols({"pid"}));
+  PreparedQuery ByState =
+      Procs.prepareQuery(Spec->cols({"state"}), Spec->cols({"pid", "prio"}));
+  auto Put = [&](int64_t P, int64_t State, int64_t Prio) {
+    return Spawn.bind(0, Value::ofInt(P))
+        .bind(1, Value::ofInt(State))
+        .bind(2, Value::ofInt(Prio))
+        .execute();
   };
 
   // Spawn processes from several "CPU" threads; pids are partitioned,
-  // inserts are put-if-absent so double-spawn is impossible.
+  // inserts are put-if-absent so double-spawn is impossible. The handle
+  // is shared — each CPU thread binds its own argument frame.
   std::vector<std::thread> Cpus;
   for (int Cpu = 0; Cpu < 4; ++Cpu)
     Cpus.emplace_back([&, Cpu] {
-      for (int64_t I = 0; I < 64; ++I) {
-        int64_t P = Cpu * 1000 + I;
-        Procs.insert(Pid(P), Attrs(I % 3, I % 8));
-      }
+      for (int64_t I = 0; I < 64; ++I)
+        Put(Cpu * 1000 + I, I % 3, I % 8);
     });
   for (auto &T : Cpus)
     T.join();
   std::printf("process table holds %zu processes\n", Procs.size());
 
   // Run-queue scan: all READY pids, by the state index.
-  auto Ready = Procs.query(
-      Tuple::of({{Spec->col("state"), Value::ofInt(StateReady)}}),
-      Spec->cols({"pid", "prio"}));
+  ByState.bind(0, Value::ofInt(StateReady));
+  auto Ready = ByState.execute();
   std::printf("ready queue has %zu processes\n", Ready.size());
 
   // A context switch = remove + insert under the pid key (the relation
@@ -113,20 +118,33 @@ int main() {
   if (!Ready.empty()) {
     int64_t Victim = Ready.front().get(Spec->col("pid")).asInt();
     int64_t Prio = Ready.front().get(Spec->col("prio")).asInt();
-    Procs.remove(Pid(Victim));
-    Procs.insert(Pid(Victim), Attrs(StateRunning, Prio));
+    Despawn.bind(0, Value::ofInt(Victim)).execute();
+    Put(Victim, StateRunning, Prio);
     std::printf("dispatched pid %lld\n", static_cast<long long>(Victim));
   }
 
-  // Block everything currently running.
-  for (const Tuple &T : Procs.query(
-           Tuple::of({{Spec->col("state"), Value::ofInt(StateRunning)}}),
-           Spec->cols({"pid", "prio"}))) {
-    int64_t P = T.get(Spec->col("pid")).asInt();
-    int64_t Prio = T.get(Spec->col("prio")).asInt();
-    Procs.remove(Pid(P));
-    Procs.insert(Pid(P), Attrs(StateBlocked, Prio));
+  // Block everything currently running. The streamed scan must not
+  // mutate from inside the visitor (one execution context per thread),
+  // so collect the runners first, then batch the state flips — each
+  // remove and re-insert stays individually atomic.
+  std::vector<std::pair<int64_t, int64_t>> Running;
+  ByState.bind(0, Value::ofInt(StateRunning));
+  ByState.forEach([&](const Tuple &T) {
+    Running.push_back({T.get(Spec->col("pid")).asInt(),
+                       T.get(Spec->col("prio")).asInt()});
+  });
+  // Two batches, not one: a batch may reorder its operations, so the
+  // removes (all independent of each other) land before any re-insert
+  // of the same pid.
+  std::vector<BoundOp> Drops, Reinserts;
+  for (auto &[P, Prio] : Running) {
+    Drops.push_back(BoundOp::remove(Despawn, {Value::ofInt(P)}));
+    Reinserts.push_back(BoundOp::insert(Spawn, {Value::ofInt(P),
+                                                Value::ofInt(StateBlocked),
+                                                Value::ofInt(Prio)}));
   }
+  executeBatch(Drops);
+  executeBatch(Reinserts);
   std::printf("blocked former runners; table still has %zu processes\n",
               Procs.size());
 

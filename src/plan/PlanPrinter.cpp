@@ -22,6 +22,13 @@ std::string Plan::str() const {
   assert(Decomp && "printing an empty plan");
   const Decomposition &D = *Decomp;
   std::string Out;
+  // Plan identity header: the positional bind-slot layout prepared
+  // handles bind into, and the recompilation epoch the plan was
+  // stamped with.
+  Out += "-- bind slots: [";
+  for (size_t I = 0; I < BindSlots.size(); ++I)
+    Out += (I ? ", " : "") + D.spec().catalog().name(BindSlots[I]);
+  Out += "]  epoch " + std::to_string(Epoch) + "\n";
   unsigned Line = 1;
   auto Emit = [&](const std::string &S) {
     Out += std::to_string(Line++) + ": " + S + "\n";

@@ -30,6 +30,7 @@ std::optional<Plan> QueryPlanner::buildPlan(const std::vector<EdgeId> &Seq,
   P.Decomp = Decomp;
   P.Placement = Placement;
   P.InputCols = DomS;
+  P.BindSlots = DomS.members();
   P.OutputCols = OutputCols;
   P.ForMutation = ForMutation;
 
@@ -322,6 +323,7 @@ Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
   P.Decomp = Decomp;
   P.Placement = Placement;
   P.InputCols = DomS;
+  P.BindSlots = DomS.members();
   P.OutputCols = D.spec().allColumns();
   P.Op = PlanOp::RemoveLocate;
   P.ForMutation = true;
@@ -430,6 +432,7 @@ Plan QueryPlanner::planInsert(ColumnSet DomS) const {
   P.Decomp = Decomp;
   P.Placement = Placement;
   P.InputCols = All; // the plan executes over the full tuple s ∪ t
+  P.BindSlots = All.members();
   P.OutputCols = All;
   P.Op = PlanOp::Insert;
   P.ForMutation = true;

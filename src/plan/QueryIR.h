@@ -162,6 +162,15 @@ struct Plan {
   ColumnSet OutputCols; ///< C for queries; all columns for mutations
   PlanOp Op = PlanOp::Query;
   bool ForMutation = false;
+  /// Positional bind-slot layout: slot i of a prepared operation binds
+  /// column BindSlots[i] of the execution input tuple (InputCols in
+  /// ascending column-id order). Emitted by the planner so prepared
+  /// handles can bind by position without tuple construction.
+  std::vector<ColumnId> BindSlots;
+  /// The owning relation's recompilation epoch at compile time (plan
+  /// identity): bumped by adaptPlans(), compared by prepared handles to
+  /// detect that their bound plan has been superseded.
+  uint64_t Epoch = 0;
 
   /// Renders the plan in the paper's let-binding style (§5.2 plans
   /// (2)-(4)); implemented in PlanPrinter.cpp.

@@ -45,6 +45,30 @@ void Tuple::set(ColumnId C, Value V) {
   Dom |= ColumnSet::of(C);
 }
 
+void Tuple::rebind(const ColumnId *Cols, const Value *Vals, size_t N) {
+  if (Entries.size() == N) {
+    bool SameLayout = true;
+    for (size_t I = 0; I < N; ++I)
+      if (Entries[I].first != Cols[I]) {
+        SameLayout = false;
+        break;
+      }
+    if (SameLayout) { // warm path: overwrite values in place
+      for (size_t I = 0; I < N; ++I)
+        Entries[I].second = Vals[I];
+      return;
+    }
+  }
+  Entries.clear();
+  Dom = ColumnSet::empty();
+  for (size_t I = 0; I < N; ++I) {
+    assert((I == 0 || Cols[I - 1] < Cols[I]) &&
+           "bind-slot layout must be strictly ascending");
+    Entries.push_back({Cols[I], Vals[I]});
+    Dom |= ColumnSet::of(Cols[I]);
+  }
+}
+
 Tuple Tuple::project(ColumnSet Cols) const {
   Tuple Out;
   for (const auto &[C, V] : Entries) {
@@ -91,6 +115,36 @@ bool Tuple::tryJoin(const Tuple &Other, Tuple &Out) const {
     return false;
   Out = unionWith(Other);
   return true;
+}
+
+void Tuple::assignUnion(const Tuple &A, const Tuple &B) {
+  assert(this != &A && this != &B && "assignUnion operands must not alias");
+  assert(A.matches(B) && "union of conflicting tuples");
+  Entries.clear();
+  auto IA = A.Entries.begin(), EA = A.Entries.end();
+  auto IB = B.Entries.begin(), EB = B.Entries.end();
+  while (IA != EA || IB != EB) {
+    if (IB == EB || (IA != EA && IA->first <= IB->first)) {
+      if (IB != EB && IA->first == IB->first)
+        ++IB; // agreeing common column: take A's value
+      Entries.push_back(*IA++);
+    } else {
+      Entries.push_back(*IB++);
+    }
+  }
+  Dom = A.Dom | B.Dom;
+}
+
+void Tuple::assignProject(const Tuple &A, ColumnSet C) {
+  assert(this != &A && "assignProject operand must not alias");
+  Entries.clear();
+  Dom = ColumnSet::empty();
+  for (const auto &[Col, V] : A.Entries) {
+    if (!C.contains(Col))
+      continue;
+    Entries.push_back({Col, V});
+    Dom |= ColumnSet::of(Col);
+  }
 }
 
 int Tuple::compare(const Tuple &Other) const {

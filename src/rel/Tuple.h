@@ -51,6 +51,14 @@ public:
   /// Adds or replaces the binding of column \p C.
   void set(ColumnId C, Value V);
 
+  /// Rebinds the whole tuple in place to columns \p Cols (strictly
+  /// ascending — a plan's bind-slot layout) with values \p Vals. When
+  /// the tuple already has exactly this domain, the values are
+  /// overwritten with no allocation; this is the prepared-operation hot
+  /// path, where a per-thread scratch tuple is rebound with the same
+  /// layout on every execution.
+  void rebind(const ColumnId *Cols, const Value *Vals, size_t N);
+
   /// Projection onto \p Cols (the paper's π_C t); columns of Cols missing
   /// from the tuple are simply absent in the result.
   Tuple project(ColumnSet Cols) const;
@@ -69,6 +77,17 @@ public:
   /// Natural-join compatibility plus merge: if the tuples agree on common
   /// columns, sets \p Out to their union and returns true.
   bool tryJoin(const Tuple &Other, Tuple &Out) const;
+
+  /// In-place assignment forms of unionWith/project, merging into this
+  /// tuple's existing storage (no allocation once the capacity is warm —
+  /// the executor's recycled state arena). Neither operand may alias
+  /// *this.
+  /// @{
+  /// *this = A ∪ B. Requires A.matches(B); common columns take A's value.
+  void assignUnion(const Tuple &A, const Tuple &B);
+  /// *this = π_C(A).
+  void assignProject(const Tuple &A, ColumnSet C);
+  /// @}
 
   /// Lexicographic three-way comparison by (column, value) sequence.
   /// Within one decomposition node all instances share a domain, so this

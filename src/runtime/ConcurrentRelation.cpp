@@ -25,7 +25,11 @@
 ///
 /// All three execute through the same PlanExecutor on planner-emitted,
 /// validity-checked IR, using a reusable per-thread ExecContext; plans
-/// come from a sharded wait-free-read cache.
+/// come from a sharded wait-free-read cache. The legacy Tuple-based
+/// methods and the prepared handles (runtime/PreparedOp.h) are both
+/// thin wrappers over the shared run*Plan paths below — the prepared
+/// path just arrives with its plan pre-resolved and its input rebound
+/// in the thread's scratch tuple.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,56 +61,82 @@ ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
                               Config.Placement->nodeStripes(D.root()));
 }
 
-// The reusable per-thread execution context (§5.2 executor state): flat
-// frames, an instance pool pinning bound instances through the
-// shrinking phase, and one LockSet. Operations reset it after releasing
-// their locks, so capacity is recycled across the thread's operations.
-static ExecContext &threadContext() {
-  static thread_local ExecContext Ctx;
-  return Ctx;
-}
-
 namespace {
 /// Releases the context's locks and recycles its frames at scope exit.
 /// The context is long-lived (thread-local), so unlike the seed's
 /// stack-local LockSet it has no destructor running per operation —
 /// without this guard, an exception between run() and the explicit
-/// release (e.g. bad_alloc building the result vector) would leave the
-/// locks held forever. Release-then-reset order matters: the pool must
-/// pin instances until every unlock has returned.
+/// release (e.g. bad_alloc building the result vector, or a throwing
+/// forEach visitor) would leave the locks held forever. Marks the
+/// context busy for its lifetime, so re-entrant operations from result
+/// visitors fail fast in debug builds. Release-then-reset order
+/// matters: the pool must pin instances until every unlock has
+/// returned.
 struct OpScope {
   ExecContext &Ctx;
-  explicit OpScope(ExecContext &C) : Ctx(C) {}
+  explicit OpScope(ExecContext &C) : Ctx(C) {
+    assert(!Ctx.Busy &&
+           "re-entrant relation operation on this thread (a prepared "
+           "forEach visitor must not call back into a relation)");
+    Ctx.Busy = true;
+  }
   ~OpScope() { finish(); }
   /// Idempotent early release for the happy path (shortens hold time
   /// before result post-processing).
   void finish() {
     Ctx.Locks.releaseAll();
     Ctx.reset();
+    Ctx.Busy = false;
   }
 };
 } // namespace
 
+// Compile lambdas stamp the plan with the recompilation epoch observed
+// under PlannerMutex: adaptPlans() swaps the planner while holding the
+// same mutex and bumps the epoch only afterwards, so a plan stamped
+// with the new epoch was necessarily produced by the new planner.
 const Plan *ConcurrentRelation::queryPlanFor(ColumnSet DomS,
                                              ColumnSet C) const {
   return Plans.getOrCompile(PlanOp::Query, DomS.bits(), C.bits(), [&] {
     std::lock_guard<std::mutex> Guard(PlannerMutex);
-    return Planner.planQuery(DomS, C);
+    Plan P = Planner.planQuery(DomS, C);
+    P.Epoch = PlanEpoch.load(std::memory_order_relaxed);
+    return P;
   });
 }
 
 const Plan *ConcurrentRelation::removePlanFor(ColumnSet DomS) const {
   return Plans.getOrCompile(PlanOp::Remove, DomS.bits(), 0, [&] {
     std::lock_guard<std::mutex> Guard(PlannerMutex);
-    return Planner.planRemove(DomS);
+    Plan P = Planner.planRemove(DomS);
+    P.Epoch = PlanEpoch.load(std::memory_order_relaxed);
+    return P;
   });
 }
 
 const Plan *ConcurrentRelation::insertPlanFor(ColumnSet DomS) const {
   return Plans.getOrCompile(PlanOp::Insert, DomS.bits(), 0, [&] {
     std::lock_guard<std::mutex> Guard(PlannerMutex);
-    return Planner.planInsert(DomS);
+    Plan P = Planner.planInsert(DomS);
+    P.Epoch = PlanEpoch.load(std::memory_order_relaxed);
+    return P;
   });
+}
+
+const Plan *ConcurrentRelation::resolvePlan(PlanOp Op, ColumnSet DomS,
+                                            ColumnSet C) const {
+  switch (Op) {
+  case PlanOp::Query:
+    return queryPlanFor(DomS, C);
+  case PlanOp::Insert:
+    return insertPlanFor(DomS);
+  case PlanOp::Remove:
+    return removePlanFor(DomS);
+  case PlanOp::RemoveLocate:
+    break;
+  }
+  assert(false && "unpreparable operation");
+  return nullptr;
 }
 
 std::string ConcurrentRelation::explainQuery(ColumnSet DomS,
@@ -122,24 +152,22 @@ std::string ConcurrentRelation::explainInsert(ColumnSet DomS) const {
   return insertPlanFor(DomS)->str();
 }
 
-std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
-                                             ColumnSet C) const {
-  const Plan *P = queryPlanFor(S.domain(), C);
-  ExecContext &Ctx = threadContext();
+uint32_t
+ConcurrentRelation::runQueryPlan(const Plan &P, const Tuple &Input,
+                                 function_ref<void(const Tuple &)> Visit) const {
+  ExecContext &Ctx = ExecContext::current();
   for (unsigned Attempt = 0;; ++Attempt) {
     OpScope Scope(Ctx);
-    if (Executor.run(*P, S, Root, Ctx) == ExecStatus::Ok) {
-      uint32_t N = Ctx.numStates(P->ResultVar);
-      std::vector<Tuple> Out;
-      Out.reserve(N);
-      for (uint32_t I = 0; I < N; ++I)
-        Out.push_back(Ctx.stateTuple(P->ResultVar, I).project(C));
+    if (Executor.run(P, Input, Root, Ctx) == ExecStatus::Ok) {
       // Shrinking phase: release while the context still pins the read
-      // instances, then recycle the frames.
-      Scope.finish();
-      std::sort(Out.begin(), Out.end(), TupleLess());
-      Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
-      return Out;
+      // instances, then stream the result states — the tuples are arena
+      // copies, so visiting after the unlock keeps hold times short and
+      // lets callers aggregate without a result vector.
+      Ctx.Locks.releaseAll();
+      uint32_t N = Ctx.numStates(P.ResultVar);
+      for (uint32_t I = 0; I < N; ++I)
+        Visit(Ctx.stateTuple(P.ResultVar, I));
+      return N; // Scope recycles the frames
     }
     // Speculation failed (wrong guess or out-of-order conflict): release
     // everything (OpScope) and retry; yield under pressure.
@@ -150,20 +178,44 @@ std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
   }
 }
 
-unsigned ConcurrentRelation::remove(const Tuple &S) {
-  assert(spec().isKey(S.domain()) &&
-         "remove requires s to be a key (paper §2)");
-  const Plan *P = removePlanFor(S.domain());
-  ExecContext &Ctx = threadContext();
+unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
+  ExecContext &Ctx = ExecContext::current();
   Ctx.Count = &Count;
   OpScope Scope(Ctx);
-  [[maybe_unused]] ExecStatus St = Executor.run(*P, S, Root, Ctx);
+  [[maybe_unused]] ExecStatus St = Executor.run(P, S, Root, Ctx);
   assert(St == ExecStatus::Ok && "mutation plans never speculate");
-  uint32_t Matched = Ctx.numStates(P->ResultVar);
+  uint32_t Matched = Ctx.numStates(P.ResultVar);
   assert(Matched <= 1 && "key-matched remove found multiple tuples");
   // Shrinking phase (OpScope): release while the context still pins the
   // unlinked instances — their physical locks must outlive the unlock.
   return Matched;
+}
+
+bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
+  ExecContext &Ctx = ExecContext::current();
+  Ctx.Count = &Count;
+  OpScope Scope(Ctx);
+  ExecStatus St = Executor.run(P, Full, Root, Ctx);
+  // Insert plans never speculate (the §4.5 writer protocol takes
+  // blocking, in-order locks), so like remove there is no retry loop.
+  assert(St != ExecStatus::Restart && "mutation plans never speculate");
+  return St == ExecStatus::Ok; // Found: a tuple matching s exists
+}
+
+std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
+                                             ColumnSet C) const {
+  const Plan *P = queryPlanFor(S.domain(), C);
+  std::vector<Tuple> Out;
+  runQueryPlan(*P, S, [&](const Tuple &T) { Out.push_back(T.project(C)); });
+  std::sort(Out.begin(), Out.end(), TupleLess());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+unsigned ConcurrentRelation::remove(const Tuple &S) {
+  assert(spec().isKey(S.domain()) &&
+         "remove requires s to be a key (paper §2)");
+  return runRemovePlan(*removePlanFor(S.domain()), S);
 }
 
 bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
@@ -172,15 +224,7 @@ bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
   Tuple Full = S.unionWith(T);
   assert(Full.domain() == spec().allColumns() &&
          "inserted tuple must value every column");
-  const Plan *P = insertPlanFor(S.domain());
-  ExecContext &Ctx = threadContext();
-  Ctx.Count = &Count;
-  OpScope Scope(Ctx);
-  ExecStatus St = Executor.run(*P, Full, Root, Ctx);
-  // Insert plans never speculate (the §4.5 writer protocol takes
-  // blocking, in-order locks), so like remove there is no retry loop.
-  assert(St != ExecStatus::Restart && "mutation plans never speculate");
-  return St == ExecStatus::Ok; // Found: a tuple matching s exists
+  return runInsertPlan(*insertPlanFor(S.domain()), Full);
 }
 
 /// One quiescent traversal step (consistency checking): extends each
@@ -289,6 +333,13 @@ void ConcurrentRelation::adaptPlans() {
                            Stats.toCostParams(BaseCostParams));
   }
   Plans.clear();
+  // Retire the prepared handles last: the bump is ordered after the
+  // clear (release/acquire on PlanEpoch), so a handle that observes the
+  // new epoch resolves against the cleared cache and the swapped
+  // planner — it can never re-bind a retired plan as current. The first
+  // rebinder per signature compiles (one counted miss); everyone else
+  // rebinds onto that publication wait-free.
+  PlanEpoch.fetch_add(1, std::memory_order_release);
 }
 
 ValidationResult ConcurrentRelation::verifyConsistency() const {

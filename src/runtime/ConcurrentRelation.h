@@ -30,12 +30,20 @@
 #include "runtime/Interpreter.h"
 #include "runtime/PlanCache.h"
 #include "runtime/Statistics.h"
+#include "support/FunctionRef.h"
 
 #include <atomic>
 #include <memory>
 #include <mutex>
 
 namespace crs {
+
+class PreparedQuery;
+class PreparedInsert;
+class PreparedRemove;
+namespace detail {
+class PreparedOpImpl;
+}
 
 /// Bundles a specification, decomposition, and placement with shared
 /// ownership so representations can be built, named, and passed around
@@ -74,6 +82,27 @@ public:
   /// \p S (deduplicated).
   std::vector<Tuple> query(const Tuple &S, ColumnSet C) const;
 
+  /// \name Prepared operations (runtime/PreparedOp.h)
+  /// The compile-once contract of the paper — operations are compiled
+  /// per (op, dom(s), C) signature — hoisted into the API: a prepared
+  /// handle resolves its plan once, binds arguments positionally into a
+  /// flat per-thread slot frame (no Tuple construction, no interning,
+  /// no signature hash per call), and transparently rebinds itself when
+  /// adaptPlans() retires its plan. Handles are cheap to copy, shared
+  /// across threads, and must not outlive the relation.
+  /// @{
+  PreparedQuery prepareQuery(ColumnSet DomS, ColumnSet C) const;
+  PreparedInsert prepareInsert(ColumnSet DomS);
+  PreparedRemove prepareRemove(ColumnSet DomS);
+  /// @}
+
+  /// The recompilation epoch: bumped once per adaptPlans(), after the
+  /// plan cache has been cleared, so a prepared handle that observes
+  /// the new epoch is guaranteed to rebind against the new planner.
+  uint64_t planEpoch() const {
+    return PlanEpoch.load(std::memory_order_acquire);
+  }
+
   /// Number of tuples currently in the relation.
   size_t size() const { return Count.load(std::memory_order_relaxed); }
 
@@ -96,6 +125,11 @@ public:
   /// stops missing entirely — hits are deliberately not counted, since
   /// a per-lookup counter would put a shared write on every operation;
   /// derive hit rate as 1 − misses/ops from your own op count).
+  /// Prepared handles share this cache: a handle executes with no cache
+  /// lookup at all while its plan is current, and a recompile after
+  /// adaptPlans() counts as a miss exactly once per signature — the
+  /// first rebinder compiles, every other thread and handle on the same
+  /// signature rebinds onto that publication as a hit.
   uint64_t planCacheMisses() const { return Plans.misses(); }
 
   /// Quiescent whole-structure check (tests): every root-to-leaf path
@@ -118,6 +152,8 @@ public:
   std::vector<Tuple> scanAll() const;
 
 private:
+  friend class detail::PreparedOpImpl;
+
   RepresentationConfig Config;
   CostParams BaseCostParams;
   /// Guards Planner against the adaptPlans swap. Taken only on the cold
@@ -130,6 +166,9 @@ private:
   NodeInstPtr Root;
   std::atomic<size_t> Count{0};
   mutable std::atomic<uint64_t> Restarts{0};
+  /// Bumped by adaptPlans() after clearing the cache (release), so a
+  /// handle that acquires the new value observes the cleared cache.
+  std::atomic<uint64_t> PlanEpoch{0};
 
   // Plans are compiled on first use per (op, dom(s), C) signature;
   // lookups are wait-free (sharded immutable-snapshot cache).
@@ -138,6 +177,26 @@ private:
   const Plan *queryPlanFor(ColumnSet DomS, ColumnSet C) const;
   const Plan *removePlanFor(ColumnSet DomS) const;
   const Plan *insertPlanFor(ColumnSet DomS) const;
+  /// Signature-keyed dispatch over the three compile paths (prepared
+  /// handles rebinding after adaptPlans()).
+  const Plan *resolvePlan(PlanOp Op, ColumnSet DomS, ColumnSet C) const;
+
+  /// The shared execution paths: both the legacy Tuple-based methods
+  /// and the prepared handles funnel into these (the legacy API is a
+  /// thin wrapper that still builds tuples and hashes a signature; the
+  /// prepared path arrives here with a pre-resolved plan and the
+  /// thread's rebound input scratch).
+  ///
+  /// runQueryPlan executes \p P with input \p Input, releases the locks
+  /// (shrinking phase), then streams every matching state's full tuple
+  /// — domain ⊇ dom(s) ∪ C, *not* projected, possibly with duplicate
+  /// projections — to \p Visit before recycling the context. Returns
+  /// the number of states visited. The visitor must not execute
+  /// relation operations on the same thread (asserted in debug).
+  uint32_t runQueryPlan(const Plan &P, const Tuple &Input,
+                        function_ref<void(const Tuple &)> Visit) const;
+  bool runInsertPlan(const Plan &P, const Tuple &Full);
+  unsigned runRemovePlan(const Plan &P, const Tuple &S);
 };
 
 } // namespace crs

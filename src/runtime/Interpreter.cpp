@@ -17,9 +17,16 @@ using namespace crs;
 // ExecContext
 //===----------------------------------------------------------------------===//
 
+ExecContext &ExecContext::current() {
+  static thread_local ExecContext Ctx;
+  return Ctx;
+}
+
 void ExecContext::reset() {
   assert(Locks.heldCount() == 0 && "reset with locks still held");
-  Tuples.clear();
+  // Rewind, don't clear: the Tuple slot objects stay constructed, so
+  // their entry vectors keep their capacity for the next operation.
+  NumStates = 0;
   Bind.clear();
   Pool.clear();
   Vars.clear();
@@ -32,28 +39,49 @@ void ExecContext::begin(uint32_t NumNodes, PlanVar NumVars,
   Stride = NumNodes;
   Vars.assign(NumVars, {});
   uint32_t RootIdx = intern(std::move(Root));
-  Tuples.push_back(Input);
+  uint32_t S0 = allocState();
+  Tuples[S0] = Input; // copy-assign into the recycled slot
   Bind.assign(Stride, NoBinding);
   Bind[RootNode] = RootIdx;
   Vars[0] = {0, 1};
 }
 
+uint32_t ExecContext::allocState() {
+  if (NumStates == Tuples.size())
+    Tuples.emplace_back();
+  Bind.resize(size_t(NumStates + 1) * Stride);
+  return NumStates++;
+}
+
 uint32_t ExecContext::pushStateCopy(uint32_t Src) {
-  return pushStateJoined(Tuples[Src], Src);
+  uint32_t NS = allocState();
+  Tuples[NS] = Tuples[Src];
+  std::copy_n(Bind.data() + size_t(Src) * Stride, Stride,
+              Bind.data() + size_t(NS) * Stride);
+  return NS;
 }
 
-uint32_t ExecContext::pushStateJoined(Tuple T, uint32_t Src) {
-  Tuples.push_back(std::move(T));
-  size_t SrcOff = size_t(Src) * Stride;
-  Bind.resize(Bind.size() + Stride);
-  std::copy_n(Bind.data() + SrcOff, Stride, Bind.data() + Bind.size() - Stride);
-  return numAllStates() - 1;
+uint32_t ExecContext::pushStateJoinOf(const Tuple &A, const Tuple &B,
+                                      uint32_t Src) {
+  // The operands must not live in the arena: allocState may reallocate
+  // it (callers keep stable copies of in-arena tuples they join on).
+  assert((Tuples.empty() || (&A < Tuples.data() ||
+                             &A >= Tuples.data() + Tuples.size())) &&
+         (Tuples.empty() || (&B < Tuples.data() ||
+                             &B >= Tuples.data() + Tuples.size())) &&
+         "joining against an arena tuple that allocState may move");
+  uint32_t NS = allocState();
+  Tuples[NS].assignUnion(A, B);
+  std::copy_n(Bind.data() + size_t(Src) * Stride, Stride,
+              Bind.data() + size_t(NS) * Stride);
+  return NS;
 }
 
-uint32_t ExecContext::pushStateBlank(Tuple T) {
-  Tuples.push_back(std::move(T));
-  Bind.resize(Bind.size() + Stride, NoBinding);
-  return numAllStates() - 1;
+uint32_t ExecContext::pushStateProjOf(uint32_t Src, ColumnSet C) {
+  uint32_t NS = allocState();
+  Tuples[NS].assignProject(Tuples[Src], C);
+  std::fill_n(Bind.data() + size_t(NS) * Stride, Stride, NoBinding);
+  return NS;
 }
 
 //===----------------------------------------------------------------------===//
@@ -168,13 +196,12 @@ void PlanExecutor::execScan(const PlanStmt &St, ExecContext &Ctx) const {
     NodeInstPtr SrcInst = Ctx.Pool[SrcIdx];
     SrcInst->containerFor(St.Edge).scan(
         [&](const Tuple &Key, const NodeInstPtr &Val) {
-          Tuple Joined;
-          if (!InT.tryJoin(Key, Joined))
+          if (!InT.matches(Key))
             return true; // filtered out by already-bound columns
           if (DstIdx != ExecContext::NoBinding &&
               Ctx.Pool[DstIdx].get() != Val.get())
             return true;
-          uint32_t NS = Ctx.pushStateJoined(std::move(Joined), S);
+          uint32_t NS = Ctx.pushStateJoinOf(InT, Key, S);
           Ctx.setBind(NS, E.Dst, Ctx.intern(Val));
           return true;
         });
@@ -275,12 +302,11 @@ ExecStatus PlanExecutor::execSpecScan(const PlanStmt &St,
               });
     Tuple InT = Ctx.Tuples[S];
     for (Entry &En : Entries) {
-      Tuple Joined;
-      if (!InT.tryJoin(En.Key, Joined))
+      if (!InT.matches(En.Key))
         continue;
       Ctx.Locks.acquire(En.Val->Stripes[0], orderKey(E.Dst, *En.Val, 0),
                         St.Mode);
-      uint32_t NS = Ctx.pushStateJoined(std::move(Joined), S);
+      uint32_t NS = Ctx.pushStateJoinOf(InT, En.Key, S);
       Ctx.setBind(NS, E.Dst, Ctx.intern(En.Val));
     }
   }
@@ -318,9 +344,8 @@ void PlanExecutor::execRestrict(const PlanStmt &St, ExecContext &Ctx) const {
   uint32_t OutFirst = Ctx.numAllStates();
   for (uint32_t I = 0; I < R.Count; ++I) {
     uint32_t S = R.First + I;
-    Tuple T = Ctx.Tuples[S].project(St.Cols);
     uint32_t RootIdx = Ctx.bindIdx(S, Root);
-    uint32_t NS = Ctx.pushStateBlank(std::move(T));
+    uint32_t NS = Ctx.pushStateProjOf(S, St.Cols);
     Ctx.setBind(NS, Root, RootIdx);
   }
   Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};

@@ -63,14 +63,72 @@ public:
   /// Relation tuple counter adjusted by UpdateCount statements.
   std::atomic<size_t> *Count = nullptr;
 
+  /// The calling thread's execution context (one per thread, reused
+  /// across operations and relations; arena capacity is recycled).
+  static ExecContext &current();
+
   /// Drops all states, bindings, and pooled instances, keeping arena
   /// capacity. Precondition: no locks held.
   void reset();
+
+  /// A prepared handle's flat per-thread argument frame: one Value per
+  /// bind slot plus a bitmask of slots bound so far. Frames persist
+  /// across operations (bindings are sticky: rebind only what changed)
+  /// and are never touched by reset(). Frame *ids* are recycled when
+  /// handles die, so each frame carries the generation of the handle
+  /// that last used it: a new handle reusing the id starts with a clean
+  /// bound mask instead of a predecessor's stale bindings.
+  struct ArgFrame {
+    std::vector<Value> Vals;
+    uint64_t BoundMask = 0;
+    uint64_t Gen = 0;
+  };
+
+  /// The frame for the handle identified by (\p FrameId, \p Gen), sized
+  /// to \p NumSlots and invalidated on generation change.
+  ArgFrame &frame(uint32_t FrameId, uint64_t Gen, unsigned NumSlots) {
+    if (FrameId >= Frames.size())
+      Frames.resize(FrameId + 1);
+    ArgFrame &F = Frames[FrameId];
+    if (F.Vals.size() < NumSlots)
+      F.Vals.resize(NumSlots);
+    if (F.Gen != Gen) { // recycled id: drop the dead handle's bindings
+      F.Gen = Gen;
+      F.BoundMask = 0;
+    }
+    return F;
+  }
+
+  /// Reusable input tuple for prepared executions: rebound in place from
+  /// a bind-slot layout plus argument frame (no allocation once warm),
+  /// then passed to PlanExecutor::run as the operation's input. Survives
+  /// reset() like the frames.
+  Tuple &inputScratch() { return InputScratch; }
+
+  /// Re-entrancy guard: set while an operation (including its streaming
+  /// result visitation) is using this context, so a visitor calling back
+  /// into a relation on the same thread fails fast instead of silently
+  /// clobbering the in-flight operation's states.
+  bool Busy = false;
 
   uint32_t numStates(PlanVar V) const { return Vars[V].Count; }
   const Tuple &stateTuple(PlanVar V, uint32_t I) const {
     return Tuples[Vars[V].First + I];
   }
+
+  /// Append slots: reset() only rewinds NumStates, so the Tuple objects
+  /// (and their entry-vector capacity) are recycled across operations —
+  /// a warm operation allocates nothing per state. Each returns the new
+  /// state's index; the assign* variants write the tuple content
+  /// directly into the recycled slot.
+  /// @{
+  /// State copying \p Src's tuple and binding row.
+  uint32_t pushStateCopy(uint32_t Src);
+  /// State with tuple A ⋈ B (A.matches(B) required) and \p Src's row.
+  uint32_t pushStateJoinOf(const Tuple &A, const Tuple &B, uint32_t Src);
+  /// State with tuple π_C(Tuples[Src]) and an all-unbound binding row.
+  uint32_t pushStateProjOf(uint32_t Src, ColumnSet C);
+  /// @}
 
 private:
   friend class PlanExecutor;
@@ -80,19 +138,23 @@ private:
     uint32_t Count = 0;
   };
 
-  std::vector<Tuple> Tuples;     ///< arena: one tuple per state
+  /// High-water tuple arena: the live states are Tuples[0..NumStates);
+  /// the vector is never cleared, so slot objects keep their entry
+  /// capacity across operations.
+  std::vector<Tuple> Tuples;
+  uint32_t NumStates = 0;
   std::vector<uint32_t> Bind;    ///< arena: Stride pool indices per state
   std::vector<NodeInstPtr> Pool; ///< bound instances; pins them for the op
   std::vector<VarRange> Vars;
   uint32_t Stride = 0;
+  std::vector<ArgFrame> Frames;  ///< per-handle argument frames (sticky)
+  Tuple InputScratch;            ///< prepared-execution input (sticky)
 
   /// Starts a fresh operation: state 0 = (Input, {root ↦ Root}).
   void begin(uint32_t NumNodes, PlanVar NumVars, const Tuple &Input,
              NodeInstPtr Root, NodeId RootNode);
 
-  uint32_t numAllStates() const {
-    return static_cast<uint32_t>(Tuples.size());
-  }
+  uint32_t numAllStates() const { return NumStates; }
   uint32_t bindIdx(uint32_t State, NodeId N) const {
     return Bind[size_t(State) * Stride + N];
   }
@@ -103,12 +165,9 @@ private:
     Pool.push_back(std::move(P));
     return static_cast<uint32_t>(Pool.size() - 1);
   }
-  /// Appends a state copying \p Src's tuple and binding row.
-  uint32_t pushStateCopy(uint32_t Src);
-  /// Appends a state with tuple \p T and \p Src's binding row.
-  uint32_t pushStateJoined(Tuple T, uint32_t Src);
-  /// Appends a state with tuple \p T and an all-unbound row.
-  uint32_t pushStateBlank(Tuple T);
+  /// Claims the next arena slot (recycled object or fresh) with an
+  /// uninitialized binding row; returns its state index.
+  uint32_t allocState();
 };
 
 /// Stateless plan executor bound to one decomposition + placement.

@@ -1,0 +1,222 @@
+//===- runtime/PreparedOp.cpp - Prepared relational operations ----------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PreparedOp.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace crs;
+using detail::PreparedOpImpl;
+
+/// Frame ids are dense per process (not per relation), so a thread's
+/// frame vector indexes every live handle unambiguously and stays as
+/// short as the peak number of live handles: dead handles return their
+/// id to a free list, and the paired never-reused generation lets each
+/// thread's frame detect reuse and reset its bound mask (see
+/// ExecContext::frame).
+namespace {
+std::mutex FrameIdMutex;
+std::vector<uint32_t> FreeFrameIds;
+uint32_t NextFrameId = 0;
+uint64_t NextFrameGen = 1; // 0 is the never-bound sentinel in ArgFrame
+} // namespace
+
+static std::pair<uint32_t, uint64_t> allocFrameId() {
+  std::lock_guard<std::mutex> Guard(FrameIdMutex);
+  uint32_t Id;
+  if (!FreeFrameIds.empty()) {
+    Id = FreeFrameIds.back();
+    FreeFrameIds.pop_back();
+  } else {
+    Id = NextFrameId++;
+  }
+  return {Id, NextFrameGen++};
+}
+
+static void freeFrameId(uint32_t Id) {
+  std::lock_guard<std::mutex> Guard(FrameIdMutex);
+  FreeFrameIds.push_back(Id);
+}
+
+PreparedOpImpl::PreparedOpImpl(const ConcurrentRelation &R,
+                               ConcurrentRelation *MutR, PlanOp O,
+                               ColumnSet S, ColumnSet OutCols)
+    : Rel(&R), MutRel(MutR), Op(O), DomS(S),
+      In(O == PlanOp::Insert ? R.spec().allColumns() : S), Out(OutCols),
+      Slots(In.members()) {
+  auto [Id, Gen] = allocFrameId();
+  FrameId = Id;
+  FrameGen = Gen;
+  assert(Slots.size() <= 64 && "bind mask is 64 bits wide");
+  assert(Slots.size() <= BoundOp::MaxSlots &&
+         "widen BoundOp::MaxSlots for specs this wide");
+}
+
+PreparedOpImpl::~PreparedOpImpl() { freeFrameId(FrameId); }
+
+void PreparedOpImpl::bind(unsigned Slot, Value V) const {
+  assert(Slot < numSlots() && "bind slot out of range");
+  ExecContext::ArgFrame &F =
+      ExecContext::current().frame(FrameId, FrameGen, numSlots());
+  F.Vals[Slot] = V;
+  F.BoundMask |= uint64_t(1) << Slot;
+}
+
+const Value *PreparedOpImpl::frameArgs() const {
+  ExecContext::ArgFrame &F =
+      ExecContext::current().frame(FrameId, FrameGen, numSlots());
+  assert(F.BoundMask == (numSlots() == 64
+                             ? ~uint64_t(0)
+                             : (uint64_t(1) << numSlots()) - 1) &&
+         "executing a prepared operation with unbound slots "
+         "(bindings are per-thread: bind on the executing thread)");
+  return F.Vals.data();
+}
+
+const Plan *PreparedOpImpl::resolve() const {
+  // Epoch first, plan second: the rebinder stores the plan before the
+  // epoch (release), so an epoch match guarantees the loaded plan is
+  // the one bound for that epoch — or a newer one from a racing rebind,
+  // which is equally current.
+  uint64_t E = Rel->planEpoch();
+  if (CRS_LIKELY(BoundEpoch.load(std::memory_order_acquire) == E))
+    return BoundPlan.load(std::memory_order_relaxed);
+  return rebindSlow();
+}
+
+const Plan *PreparedOpImpl::rebindSlow() const {
+  std::lock_guard<std::mutex> Guard(RebindM);
+  // Revalidate under the mutex: a concurrent rebinder may have bound a
+  // fresh plan while we waited, and the epoch may have advanced past
+  // the value that sent us here.
+  uint64_t Cur = Rel->planEpoch();
+  if (BoundEpoch.load(std::memory_order_relaxed) == Cur)
+    return BoundPlan.load(std::memory_order_relaxed);
+  // The epoch was observed (acquire) before resolving, so resolving
+  // sees at least the cache clear that preceded the bump: a plan bound
+  // as epoch Cur can never be a retired one. The cache makes the
+  // recompilation itself one counted miss per signature no matter how
+  // many threads rebind here.
+  const Plan *P = Rel->resolvePlan(Op, DomS, Out);
+  BoundPlan.store(P, std::memory_order_relaxed);
+  BoundEpoch.store(Cur, std::memory_order_release);
+  return P;
+}
+
+uint32_t
+PreparedOpImpl::runQuery(const Value *Args,
+                         function_ref<void(const Tuple &)> Visit) const {
+  assert(Op == PlanOp::Query && "not a query handle");
+  const Plan *P = resolve();
+  // The thread's scratch tuple is rebound in place from the slot
+  // layout: after the first execution this writes values only.
+  Tuple &Input = ExecContext::current().inputScratch();
+  Input.rebind(Slots.data(), Args, Slots.size());
+  return Rel->runQueryPlan(*P, Input, Visit);
+}
+
+bool PreparedOpImpl::runInsert(const Value *Args) const {
+  assert(Op == PlanOp::Insert && MutRel && "not an insert handle");
+  const Plan *P = resolve();
+  Tuple &Input = ExecContext::current().inputScratch();
+  Input.rebind(Slots.data(), Args, Slots.size());
+  return MutRel->runInsertPlan(*P, Input);
+}
+
+unsigned PreparedOpImpl::runRemove(const Value *Args) const {
+  assert(Op == PlanOp::Remove && MutRel && "not a remove handle");
+  const Plan *P = resolve();
+  Tuple &Input = ExecContext::current().inputScratch();
+  Input.rebind(Slots.data(), Args, Slots.size());
+  return MutRel->runRemovePlan(*P, Input);
+}
+
+//===----------------------------------------------------------------------===//
+// Handles
+//===----------------------------------------------------------------------===//
+
+std::vector<Tuple> PreparedQuery::execute() const {
+  ColumnSet C = Impl->outputColumns();
+  std::vector<Tuple> Out;
+  Impl->runQuery(Impl->frameArgs(),
+                 [&](const Tuple &T) { Out.push_back(T.project(C)); });
+  std::sort(Out.begin(), Out.end(), TupleLess());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+PreparedQuery ConcurrentRelation::prepareQuery(ColumnSet DomS,
+                                               ColumnSet C) const {
+  return PreparedQuery(std::make_shared<PreparedOpImpl>(
+      *this, nullptr, PlanOp::Query, DomS, C));
+}
+
+PreparedInsert ConcurrentRelation::prepareInsert(ColumnSet DomS) {
+  assert(spec().allColumns().containsAll(DomS) &&
+         "prepared-insert key columns outside the specification");
+  return PreparedInsert(std::make_shared<PreparedOpImpl>(
+      *this, this, PlanOp::Insert, DomS, spec().allColumns()));
+}
+
+PreparedRemove ConcurrentRelation::prepareRemove(ColumnSet DomS) {
+  assert(spec().isKey(DomS) && "remove requires s to be a key (paper §2)");
+  return PreparedRemove(std::make_shared<PreparedOpImpl>(
+      *this, this, PlanOp::Remove, DomS, spec().allColumns()));
+}
+
+//===----------------------------------------------------------------------===//
+// Batch execution
+//===----------------------------------------------------------------------===//
+
+BoundOp BoundOp::make(const PreparedOpImpl *Impl,
+                      std::initializer_list<Value> Args,
+                      function_ref<void(const Tuple &)> Visit) {
+  BoundOp B;
+  B.Op = Impl;
+  B.Visit = Visit;
+  assert(Args.size() == Impl->numSlots() &&
+         "batch op must bind every slot positionally");
+  std::copy(Args.begin(), Args.end(), B.Args.begin());
+  return B;
+}
+
+void crs::executeBatch(std::span<BoundOp> Ops) {
+  // Group compatible operations (same prepared handle) so each group
+  // runs back-to-back: the plan is resolved once per group and the
+  // group's code path and lock working set stay hot. Results are
+  // written through the original positions.
+  std::vector<uint32_t> Order(Ops.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return Ops[A].Op < Ops[B].Op;
+  });
+  for (uint32_t I : Order) {
+    BoundOp &B = Ops[I];
+    assert(B.Op && "executing an unbound batch op");
+    switch (B.Op->planOp()) {
+    case PlanOp::Query: {
+      auto Ignore = [](const Tuple &) {};
+      B.Result = B.Op->runQuery(
+          B.Args.data(),
+          B.Visit ? B.Visit : function_ref<void(const Tuple &)>(Ignore));
+      break;
+    }
+    case PlanOp::Insert:
+      B.Result = B.Op->runInsert(B.Args.data()) ? 1 : 0;
+      break;
+    case PlanOp::Remove:
+      B.Result = B.Op->runRemove(B.Args.data());
+      break;
+    case PlanOp::RemoveLocate:
+      assert(false && "unpreparable operation in batch");
+      break;
+    }
+  }
+}

@@ -1,0 +1,292 @@
+//===- runtime/PreparedOp.h - Prepared relational operations ----*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prepared operations: the compile-once contract of the paper (§5
+/// compiles one plan per operation signature) surfaced as typed handles.
+/// A handle is prepared once per signature —
+///
+///   PreparedQuery  Q = rel.prepareQuery(DomS, C);
+///   PreparedInsert I = rel.prepareInsert(DomS);
+///   PreparedRemove R = rel.prepareRemove(DomS);
+///
+/// — and then executed any number of times, from any thread, by binding
+/// values positionally into the handle's flat per-thread argument frame:
+///
+///   Q.bind(0, Value::ofInt(Src)).forEach([&](const Tuple &T) { ... });
+///
+/// The hot path pays none of the legacy API's per-call taxes: no Tuple
+/// construction or column sort, no string interning, no signature hash
+/// or plan-cache walk — just a frame write, an epoch check (two atomic
+/// loads), and plan execution.
+///
+/// Bind-slot lifetime rules:
+///  * slot i binds the i-th column of the signature's input columns in
+///    ascending column-id order (query/remove: dom(s); insert: every
+///    column, since the plan executes over s ∪ t);
+///  * bindings are per-thread and sticky: they persist across execute()
+///    calls on the same thread, so a loop may rebind only the slots
+///    that change; every slot must have been bound on this thread
+///    before the first execution (asserted in debug);
+///  * frames belong to the calling thread — two threads may bind and
+///    execute one shared handle concurrently without interference;
+///  * a streaming visitor must not execute operations on any relation
+///    from the visiting thread (it runs on the thread's one execution
+///    context; asserted in debug), and handles must not outlive their
+///    relation.
+///
+/// Handles stay valid across ConcurrentRelation::adaptPlans(): each
+/// execution validates the bound plan against the relation's
+/// recompilation epoch and transparently rebinds a stale handle; the
+/// recompilation counts as one plan-cache miss per signature, no matter
+/// how many threads share the handle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_RUNTIME_PREPAREDOP_H
+#define CRS_RUNTIME_PREPAREDOP_H
+
+#include "runtime/ConcurrentRelation.h"
+#include "support/FunctionRef.h"
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <span>
+
+namespace crs {
+
+namespace detail {
+
+/// The shared state behind one prepared handle: the operation
+/// signature, its positional bind-slot layout, the epoch-validated plan
+/// binding, and the dense frame id naming the handle's per-thread
+/// argument frame. Heap-allocated and shared by handle copies; all
+/// members are either immutable after construction or safe for
+/// concurrent use.
+class PreparedOpImpl {
+public:
+  PreparedOpImpl(const ConcurrentRelation &R, ConcurrentRelation *MutR,
+                 PlanOp Op, ColumnSet DomS, ColumnSet Out);
+  ~PreparedOpImpl(); // returns the frame id to the process free list
+  PreparedOpImpl(const PreparedOpImpl &) = delete;
+  PreparedOpImpl &operator=(const PreparedOpImpl &) = delete;
+
+  unsigned numSlots() const { return static_cast<unsigned>(Slots.size()); }
+  ColumnId slotColumn(unsigned Slot) const { return Slots[Slot]; }
+  ColumnSet inputColumns() const { return In; }
+  ColumnSet outputColumns() const { return Out; }
+  PlanOp planOp() const { return Op; }
+  const ConcurrentRelation &relation() const { return *Rel; }
+
+  /// Writes \p V into slot \p Slot of the calling thread's frame.
+  void bind(unsigned Slot, Value V) const;
+
+  /// The calling thread's fully-bound argument frame (asserts in debug
+  /// that every slot has been bound on this thread).
+  const Value *frameArgs() const;
+
+  /// The plan this handle currently executes: revalidates the binding
+  /// against the relation's recompilation epoch and rebinds if stale.
+  const Plan *resolve() const;
+
+  /// The epoch of the currently bound plan (tests, diagnostics).
+  uint64_t boundEpoch() const {
+    return BoundEpoch.load(std::memory_order_acquire);
+  }
+
+  /// Execution over an explicit argument array of numSlots() values
+  /// (the per-thread frame, or a batch op's inline arguments).
+  uint32_t runQuery(const Value *Args,
+                    function_ref<void(const Tuple &)> Visit) const;
+  bool runInsert(const Value *Args) const;
+  unsigned runRemove(const Value *Args) const;
+
+private:
+  const Plan *rebindSlow() const;
+
+  const ConcurrentRelation *Rel;
+  ConcurrentRelation *MutRel; ///< non-null for insert/remove handles
+  PlanOp Op;
+  ColumnSet DomS; ///< the signature's dom(s)
+  ColumnSet In;   ///< columns the execution input binds (slot layout)
+  ColumnSet Out;  ///< C for queries
+  std::vector<ColumnId> Slots;
+  /// Per-thread frame identity: ids are recycled through a process
+  /// free list when handles die; the never-reused generation lets a
+  /// thread's frame vector detect reuse and reset the bound mask.
+  uint32_t FrameId;
+  uint64_t FrameGen;
+
+  /// The epoch-validated plan binding. Invariant maintained by
+  /// rebindSlow(): BoundPlan was resolved *after* observing BoundEpoch,
+  /// so if BoundEpoch is current the plan is current (or newer — a
+  /// racing rebind may already have published the next plan, which is
+  /// equally safe to execute).
+  mutable std::atomic<const Plan *> BoundPlan{nullptr};
+  mutable std::atomic<uint64_t> BoundEpoch{UINT64_MAX};
+  mutable std::mutex RebindM; ///< serializes the (rare) rebind path
+};
+
+} // namespace detail
+
+/// A prepared `query r s C`. Copies share one prepared operation.
+class PreparedQuery {
+public:
+  PreparedQuery() = default;
+
+  unsigned numSlots() const { return Impl->numSlots(); }
+  ColumnId slotColumn(unsigned Slot) const { return Impl->slotColumn(Slot); }
+
+  /// Binds slot \p Slot of the calling thread's frame; chainable.
+  const PreparedQuery &bind(unsigned Slot, Value V) const {
+    Impl->bind(Slot, V);
+    return *this;
+  }
+
+  /// Streaming execution: visits every matching state's full tuple
+  /// (domain ⊇ dom(s) ∪ C — project what you need) without
+  /// materializing a result vector. Duplicate π_C projections are NOT
+  /// collapsed; callers needing set semantics use execute(). Returns
+  /// the number of states visited.
+  uint32_t forEach(function_ref<void(const Tuple &)> Visit) const {
+    return Impl->runQuery(Impl->frameArgs(), Visit);
+  }
+
+  /// The number of matching states, with no per-result work at all.
+  uint64_t count() const {
+    return Impl->runQuery(Impl->frameArgs(), [](const Tuple &) {});
+  }
+
+  /// Materializing execution: π_C of the matches, deduplicated — the
+  /// same result the legacy query() returns.
+  std::vector<Tuple> execute() const;
+
+  /// Epoch of the currently bound plan (diagnostics; compare against
+  /// ConcurrentRelation::planEpoch()).
+  uint64_t boundEpoch() const { return Impl->boundEpoch(); }
+  /// The bound plan's rendering (resolves first, like an execution).
+  std::string explain() const { return Impl->resolve()->str(); }
+
+private:
+  friend class ConcurrentRelation;
+  friend struct BoundOp;
+  explicit PreparedQuery(std::shared_ptr<detail::PreparedOpImpl> I)
+      : Impl(std::move(I)) {}
+  std::shared_ptr<detail::PreparedOpImpl> Impl;
+};
+
+/// A prepared `insert r s t`. Slots cover every column (the insert plan
+/// executes over the full tuple s ∪ t); the put-if-absent check still
+/// keys on the prepared dom(s).
+class PreparedInsert {
+public:
+  PreparedInsert() = default;
+
+  unsigned numSlots() const { return Impl->numSlots(); }
+  ColumnId slotColumn(unsigned Slot) const { return Impl->slotColumn(Slot); }
+
+  const PreparedInsert &bind(unsigned Slot, Value V) const {
+    Impl->bind(Slot, V);
+    return *this;
+  }
+
+  /// Atomically: if no tuple matches the bound s-columns, inserts the
+  /// bound tuple and returns true; otherwise returns false (§2).
+  bool execute() const { return Impl->runInsert(Impl->frameArgs()); }
+
+  uint64_t boundEpoch() const { return Impl->boundEpoch(); }
+  std::string explain() const { return Impl->resolve()->str(); }
+
+private:
+  friend class ConcurrentRelation;
+  friend struct BoundOp;
+  explicit PreparedInsert(std::shared_ptr<detail::PreparedOpImpl> I)
+      : Impl(std::move(I)) {}
+  std::shared_ptr<detail::PreparedOpImpl> Impl;
+};
+
+/// A prepared `remove r s` (s a key for the relation).
+class PreparedRemove {
+public:
+  PreparedRemove() = default;
+
+  unsigned numSlots() const { return Impl->numSlots(); }
+  ColumnId slotColumn(unsigned Slot) const { return Impl->slotColumn(Slot); }
+
+  const PreparedRemove &bind(unsigned Slot, Value V) const {
+    Impl->bind(Slot, V);
+    return *this;
+  }
+
+  /// Atomically removes the tuple matching the bound key; returns the
+  /// number removed (0 or 1).
+  unsigned execute() const { return Impl->runRemove(Impl->frameArgs()); }
+
+  uint64_t boundEpoch() const { return Impl->boundEpoch(); }
+  std::string explain() const { return Impl->resolve()->str(); }
+
+private:
+  friend class ConcurrentRelation;
+  friend struct BoundOp;
+  explicit PreparedRemove(std::shared_ptr<detail::PreparedOpImpl> I)
+      : Impl(std::move(I)) {}
+  std::shared_ptr<detail::PreparedOpImpl> Impl;
+};
+
+/// One operation of a batch: a prepared handle plus its arguments bound
+/// inline (positionally, like the handle's slots). The handle — and,
+/// for queries, the callable behind the non-owning Visit reference —
+/// must stay alive until the batch has executed (an inline lambda
+/// temporary dies at the end of its statement; name the visitor).
+struct BoundOp {
+  /// Inline argument capacity; covers every example spec comfortably
+  /// (prepare-time slot counts are asserted against it).
+  static constexpr unsigned MaxSlots = 8;
+
+  static BoundOp query(const PreparedQuery &Q,
+                       std::initializer_list<Value> Args,
+                       function_ref<void(const Tuple &)> Visit = nullptr) {
+    return make(Q.Impl.get(), Args, Visit);
+  }
+  static BoundOp insert(const PreparedInsert &I,
+                        std::initializer_list<Value> Args) {
+    return make(I.Impl.get(), Args, nullptr);
+  }
+  static BoundOp remove(const PreparedRemove &R,
+                        std::initializer_list<Value> Args) {
+    return make(R.Impl.get(), Args, nullptr);
+  }
+
+  /// After executeBatch: query → states visited; insert → 1 if the
+  /// put-if-absent won; remove → tuples removed.
+  int64_t result() const { return Result; }
+
+  const detail::PreparedOpImpl *Op = nullptr;
+  std::array<Value, MaxSlots> Args{};
+  function_ref<void(const Tuple &)> Visit; ///< queries only (optional)
+  int64_t Result = 0;
+
+private:
+  static BoundOp make(const detail::PreparedOpImpl *Impl,
+                      std::initializer_list<Value> Args,
+                      function_ref<void(const Tuple &)> Visit);
+};
+
+/// Executes a batch of bound operations on the calling thread, reusing
+/// one execution context throughout. Compatible operations (same
+/// prepared handle) are grouped and run back-to-back so each group's
+/// plan, code path, and lock working set stay hot — results land in
+/// each op's Result field by original position. Every operation remains
+/// individually atomic, but the batch as a whole is not a transaction,
+/// and grouping reorders execution: operations in one batch should be
+/// independent (no op reading or undoing another's effect).
+void executeBatch(std::span<BoundOp> Ops);
+
+} // namespace crs
+
+#endif // CRS_RUNTIME_PREPAREDOP_H

@@ -27,6 +27,17 @@
 
 namespace crs {
 
+/// Defeats dead-code elimination of a computed value (benchmark/workload
+/// sinks that consume streamed results).
+template <typename T> inline void doNotOptimize(const T &V) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(V) : "memory");
+#else
+  volatile T Sink = V;
+  (void)Sink;
+#endif
+}
+
 /// Reports a fatal internal error and aborts. Used for states that should
 /// be impossible if the library's invariants hold.
 [[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,

@@ -21,10 +21,12 @@
 
 #include "baseline/HandcodedGraph.h"
 #include "runtime/ConcurrentRelation.h"
+#include "runtime/PreparedOp.h"
 #include "support/Rng.h"
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace crs {
 
@@ -63,6 +65,10 @@ public:
   virtual bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) = 0;
   virtual bool removeEdge(int64_t Src, int64_t Dst) = 0;
   virtual size_t size() const = 0;
+  /// Called by each harness worker thread when its operation loop ends
+  /// (targets that buffer per-thread work — batched execution — drain
+  /// the calling thread's buffer here).
+  virtual void threadFinish() {}
   /// Executor-health metrics (zero for targets without them): total
   /// transaction restarts, and plan-cache compilations (misses).
   virtual uint64_t restarts() const { return 0; }
@@ -88,6 +94,68 @@ private:
   ConcurrentRelation *Rel;
   ColumnId SrcCol, DstCol, WeightCol;
   ColumnSet SuccCols, PredCols;
+};
+
+/// GraphTarget over the same relation through prepared handles: plans
+/// resolved at construction, per-call work reduced to slot binds, and
+/// query results streamed (weights aggregated via forEach) instead of
+/// materialized — the prepared-API row of the Fig. 5 comparison.
+class PreparedRelationTarget : public GraphTarget {
+public:
+  explicit PreparedRelationTarget(ConcurrentRelation &R);
+  void findSuccessors(int64_t Src) override;
+  void findPredecessors(int64_t Dst) override;
+  bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) override;
+  bool removeEdge(int64_t Src, int64_t Dst) override;
+  size_t size() const override { return Rel->size(); }
+  uint64_t restarts() const override { return Rel->restarts(); }
+  uint64_t planCacheMisses() const override {
+    return Rel->planCacheMisses();
+  }
+
+protected:
+  ConcurrentRelation *Rel;
+  PreparedQuery Succ, Pred;
+  PreparedInsert Ins;
+  PreparedRemove Rem;
+  ColumnId WeightCol;
+  /// Slot indices within each handle's bind layout.
+  unsigned SuccSlot, PredSlot, InsSrc, InsDst, InsWeight, RemSrc, RemDst;
+};
+
+/// PreparedRelationTarget that additionally coalesces operations into
+/// per-thread batches of BatchSize and flushes them through
+/// executeBatch — the batched-API row of the Fig. 5 comparison.
+/// Operation effects (and the booleans insertEdge/removeEdge return)
+/// are deferred until the enqueueing thread's next flush.
+class BatchedRelationTarget : public PreparedRelationTarget {
+public:
+  explicit BatchedRelationTarget(ConcurrentRelation &R,
+                                 unsigned BatchSize = 32)
+      : PreparedRelationTarget(R), BatchSize(BatchSize) {}
+  void findSuccessors(int64_t Src) override;
+  void findPredecessors(int64_t Dst) override;
+  bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) override;
+  bool removeEdge(int64_t Src, int64_t Dst) override;
+  void threadFinish() override;
+
+private:
+  /// The calling thread's pending operations, keyed by a never-reused
+  /// target id (not the target's address, which heap reuse can alias):
+  /// a fresh target can never execute — or dangle into — a destroyed
+  /// predecessor's buffered ops. Ops buffered by a thread that never
+  /// calls threadFinish() are dropped with their target; the harness
+  /// drains every worker.
+  struct ThreadBuf {
+    uint64_t Owner = 0;
+    std::vector<BoundOp> Ops;
+  };
+  static thread_local ThreadBuf Buf;
+  const uint64_t TargetId = nextTargetId();
+  unsigned BatchSize;
+
+  static uint64_t nextTargetId();
+  void enqueue(BoundOp B);
 };
 
 /// GraphTarget over the handcoded baseline.

@@ -38,6 +38,7 @@ ThroughputResult crs::runThroughput(
           std::this_thread::yield();
         for (uint64_t I = 0; I < Params.OpsPerThread; ++I)
           runRandomOp(*Target, Mix, Keys, Rng);
+        Target->threadFinish(); // drain any per-thread batch buffer
       });
     }
     while (Ready.load(std::memory_order_acquire) != Params.NumThreads)

@@ -1,0 +1,410 @@
+//===- tests/prepared_op_test.cpp - Prepared-operation API -------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The prepared-operation surface: typed handles must agree with the
+/// legacy Tuple-based API, bind positionally into per-thread frames,
+/// stream results without materialization, stay valid across
+/// adaptPlans() (rebinding without caller intervention, counting the
+/// recompile as one plan-cache miss per signature no matter how many
+/// threads share the handle), and batch-execute with per-op results.
+/// The concurrent handle/adaptPlans tests double as the TSan/ASan
+/// handle-lifetime coverage of the CI matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Autotuner.h"
+#include "lockplace/PlacementSchemes.h"
+#include "runtime/PreparedOp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+RepresentationConfig splitConfig() {
+  return makeGraphRepresentation(
+      {GraphShape::Split, PlacementSchemeKind::Striped, /*Stripes=*/64,
+       ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap});
+}
+
+Tuple key(const RelationSpec &Spec, int64_t S, int64_t D) {
+  return Tuple::of({{Spec.col("src"), Value::ofInt(S)},
+                    {Spec.col("dst"), Value::ofInt(D)}});
+}
+
+Tuple weight(const RelationSpec &Spec, int64_t W) {
+  return Tuple::of({{Spec.col("weight"), Value::ofInt(W)}});
+}
+
+TEST(PreparedOp, SlotLayoutFollowsAscendingColumns) {
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+
+  PreparedQuery Q =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  ASSERT_EQ(Q.numSlots(), 1u);
+  EXPECT_EQ(Q.slotColumn(0), Spec.col("src"));
+
+  // Insert slots cover every column (the plan runs over s ∪ t), in
+  // ascending column-id order regardless of the prepared dom(s).
+  PreparedInsert I = R.prepareInsert(Spec.cols({"src", "dst"}));
+  ASSERT_EQ(I.numSlots(), 3u);
+  EXPECT_EQ(I.slotColumn(0), Spec.col("src"));
+  EXPECT_EQ(I.slotColumn(1), Spec.col("dst"));
+  EXPECT_EQ(I.slotColumn(2), Spec.col("weight"));
+
+  PreparedRemove Rm = R.prepareRemove(Spec.cols({"src", "dst"}));
+  ASSERT_EQ(Rm.numSlots(), 2u);
+  EXPECT_EQ(Rm.slotColumn(0), Spec.col("src"));
+  EXPECT_EQ(Rm.slotColumn(1), Spec.col("dst"));
+}
+
+TEST(PreparedOp, AgreesWithLegacyApi) {
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+  for (int64_t S = 0; S < 8; ++S)
+    for (int64_t D = 0; D < 8; ++D) {
+      EXPECT_TRUE(Ins.bind(0, Value::ofInt(S))
+                      .bind(1, Value::ofInt(D))
+                      .bind(2, Value::ofInt(S * 100 + D))
+                      .execute());
+    }
+  // Put-if-absent: a duplicate key is refused like the legacy insert.
+  EXPECT_FALSE(Ins.bind(0, Value::ofInt(3))
+                   .bind(1, Value::ofInt(4))
+                   .bind(2, Value::ofInt(-1))
+                   .execute());
+  EXPECT_FALSE(R.insert(key(Spec, 3, 4), weight(Spec, -1)));
+  EXPECT_EQ(R.size(), 64u);
+
+  // Prepared execute() returns exactly the legacy query() result.
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  for (int64_t S = 0; S < 8; ++S) {
+    Succ.bind(0, Value::ofInt(S));
+    EXPECT_EQ(Succ.execute(),
+              R.query(Tuple::of({{Spec.col("src"), Value::ofInt(S)}}),
+                      Spec.cols({"dst", "weight"})));
+  }
+
+  // Streaming: forEach visits full state tuples whose projections are
+  // the materialized result set.
+  Succ.bind(0, Value::ofInt(5));
+  std::vector<Tuple> Streamed;
+  uint32_t N = Succ.forEach([&](const Tuple &T) {
+    EXPECT_TRUE(T.domain().containsAll(Spec.cols({"src", "dst", "weight"})));
+    EXPECT_EQ(T.get(Spec.col("src")).asInt(), 5);
+    Streamed.push_back(T.project(Spec.cols({"dst", "weight"})));
+  });
+  EXPECT_EQ(N, 8u);
+  EXPECT_EQ(Succ.count(), 8u);
+  std::sort(Streamed.begin(), Streamed.end(), TupleLess());
+  EXPECT_EQ(Streamed, Succ.execute());
+
+  // Prepared remove agrees with the legacy remove.
+  PreparedRemove Rm = R.prepareRemove(Spec.cols({"src", "dst"}));
+  EXPECT_EQ(Rm.bind(0, Value::ofInt(3)).bind(1, Value::ofInt(4)).execute(),
+            1u);
+  EXPECT_EQ(Rm.execute(), 0u); // sticky bindings: same key, already gone
+  EXPECT_EQ(R.remove(key(Spec, 3, 5)), 1u);
+  EXPECT_EQ(R.size(), 62u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(PreparedOp, BindingsArePerThread) {
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+
+  // Two threads interleave binds and executes on one shared handle;
+  // each thread's frame is private, so both series land intact.
+  constexpr int64_t PerThread = 200;
+  auto Work = [&](int64_t SrcBase) {
+    for (int64_t I = 0; I < PerThread; ++I) {
+      Ins.bind(0, Value::ofInt(SrcBase));
+      Ins.bind(1, Value::ofInt(I));
+      Ins.bind(2, Value::ofInt(SrcBase + I));
+      EXPECT_TRUE(Ins.execute());
+    }
+  };
+  std::thread A(Work, 1000), B(Work, 2000);
+  A.join();
+  B.join();
+  EXPECT_EQ(R.size(), 2 * PerThread);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(PreparedOp, StaleHandleRebindsAfterAdaptPlans) {
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+
+  for (int64_t I = 0; I < 16; ++I)
+    Ins.bind(0, Value::ofInt(I % 4))
+        .bind(1, Value::ofInt(I))
+        .bind(2, Value::ofInt(I))
+        .execute();
+  Succ.bind(0, Value::ofInt(1));
+  auto Before = Succ.execute();
+  EXPECT_EQ(Succ.boundEpoch(), R.planEpoch());
+
+  // adaptPlans retires every cached plan; the next execution must
+  // transparently rebind to a plan stamped with the new epoch and
+  // return the same result — no caller intervention.
+  R.adaptPlans();
+  EXPECT_NE(Succ.boundEpoch(), R.planEpoch());
+  EXPECT_EQ(Succ.execute(), Before);
+  EXPECT_EQ(Succ.boundEpoch(), R.planEpoch());
+
+  // The mutation handles rebind the same way.
+  EXPECT_TRUE(Ins.bind(0, Value::ofInt(9))
+                  .bind(1, Value::ofInt(9))
+                  .bind(2, Value::ofInt(9))
+                  .execute());
+  EXPECT_EQ(Ins.boundEpoch(), R.planEpoch());
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(PreparedOp, RecompileCountsOneMissPerSignature) {
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+
+  // Warm both signatures.
+  Ins.bind(0, Value::ofInt(1)).bind(1, Value::ofInt(2));
+  Ins.bind(2, Value::ofInt(3)).execute();
+  Succ.bind(0, Value::ofInt(1));
+  Succ.count();
+  uint64_t Warm = R.planCacheMisses();
+
+  R.adaptPlans();
+
+  // Many threads sharing the handles re-execute concurrently: the
+  // recompile of each signature must count as a miss exactly once, not
+  // once per thread (the losers of the rebind race hit the winner's
+  // publication).
+  constexpr unsigned NumThreads = 16;
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      Succ.bind(0, Value::ofInt(1));
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (int I = 0; I < 100; ++I)
+        Succ.count();
+    });
+  while (Ready.load() != NumThreads)
+    std::this_thread::yield();
+  Go.store(true, std::memory_order_release);
+  for (auto &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(R.planCacheMisses(), Warm + 1); // the one query recompile
+}
+
+TEST(PreparedOp, ConcurrentHandlesAcrossAdaptPlans) {
+  // The handle-lifetime stress of the CI sanitizer jobs: worker threads
+  // hammer shared prepared handles while the main thread repeatedly
+  // retires every plan. Handles must keep executing correct, epoch-
+  // current plans (retired snapshots stay reachable for stragglers, so
+  // this is TSan/ASan-clean by construction), and the relation must end
+  // consistent.
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+  PreparedRemove Rm = R.prepareRemove(Spec.cols({"src", "dst"}));
+
+  // adaptPlans' measurement must not race with mutations (header
+  // contract), so mutators hold AdaptGate shared and the adapter takes
+  // it uniquely. Queries take no gate at all: they overlap freely with
+  // plan retirement, which is exactly the handle-lifetime race under
+  // test — in-flight executions on retired plans plus racing rebinds.
+  std::shared_mutex AdaptGate;
+  constexpr unsigned NumThreads = 4;
+  constexpr int OpsPerThread = 600;
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < OpsPerThread; ++I) {
+        int64_t S = (T * OpsPerThread + I) % 32;
+        int64_t D = I % 16;
+        switch (I % 3) {
+        case 0: {
+          std::shared_lock<std::shared_mutex> G(AdaptGate);
+          Ins.bind(0, Value::ofInt(S))
+              .bind(1, Value::ofInt(D))
+              .bind(2, Value::ofInt(I))
+              .execute();
+          break;
+        }
+        case 1:
+          Succ.bind(0, Value::ofInt(S));
+          Succ.count();
+          break;
+        case 2: {
+          std::shared_lock<std::shared_mutex> G(AdaptGate);
+          Rm.bind(0, Value::ofInt(S)).bind(1, Value::ofInt(D)).execute();
+          break;
+        }
+        }
+      }
+    });
+  std::thread Adapter([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      {
+        std::unique_lock<std::shared_mutex> G(AdaptGate);
+        R.adaptPlans();
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto &Th : Threads)
+    Th.join();
+  Done.store(true, std::memory_order_release);
+  Adapter.join();
+
+  // One quiescent execution rebinds onto whatever the adapter's final
+  // retirement left current.
+  Succ.bind(0, Value::ofInt(0));
+  Succ.count();
+  EXPECT_EQ(Succ.boundEpoch(), R.planEpoch());
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(PreparedOp, BatchExecutesEveryOpWithResults) {
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  PreparedRemove Rm = R.prepareRemove(Spec.cols({"src", "dst"}));
+
+  // A mixed batch in deliberately interleaved handle order: grouping
+  // may reorder execution, but every op runs and reports its result in
+  // its original position.
+  std::vector<BoundOp> Ops;
+  for (int64_t I = 0; I < 10; ++I)
+    Ops.push_back(BoundOp::insert(
+        Ins, {Value::ofInt(1), Value::ofInt(I), Value::ofInt(I * 7)}));
+  Ops.push_back(BoundOp::insert(
+      Ins, {Value::ofInt(1), Value::ofInt(3), Value::ofInt(-1)})); // dup key
+  Ops.push_back(BoundOp::insert(
+      Ins, {Value::ofInt(2), Value::ofInt(0), Value::ofInt(11)}));
+  executeBatch(Ops);
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(Ops[I].result(), 1) << I;
+  EXPECT_EQ(Ops[10].result(), 0); // put-if-absent refused
+  EXPECT_EQ(Ops[11].result(), 1);
+  EXPECT_EQ(R.size(), 11u);
+
+  int64_t StreamedWeight = 0;
+  // The visitor must outlive executeBatch: BoundOp stores a non-owning
+  // function_ref. Ops in one batch are independent (grouping may
+  // reorder them): the removes touch src 2, the query reads src 1.
+  auto SumWeights = [&](const Tuple &T) {
+    StreamedWeight += T.get(Spec.col("weight")).asInt();
+  };
+  std::vector<BoundOp> Mixed;
+  Mixed.push_back(BoundOp::remove(Rm, {Value::ofInt(2), Value::ofInt(0)}));
+  Mixed.push_back(BoundOp::query(Succ, {Value::ofInt(1)}, SumWeights));
+  Mixed.push_back(BoundOp::remove(Rm, {Value::ofInt(2), Value::ofInt(42)}));
+  executeBatch(Mixed);
+  EXPECT_EQ(Mixed[0].result(), 1);
+  EXPECT_EQ(Mixed[2].result(), 0); // no such edge
+  EXPECT_EQ(Mixed[1].result(), 10);
+  EXPECT_EQ(StreamedWeight, 7 * 45); // weights 0,7,...,63
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(PreparedOp, RecycledFrameIdsDropStaleBindings) {
+  // Dead handles return their frame id to a process free list; the
+  // paired generation must make a successor handle start with a clean
+  // per-thread frame instead of inheriting the predecessor's bindings.
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  R.insert(key(Spec, 1, 2), weight(Spec, 5));
+  R.insert(key(Spec, 3, 4), weight(Spec, 6));
+  {
+    PreparedQuery Old =
+        R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst"}));
+    Old.bind(0, Value::ofInt(1));
+    EXPECT_EQ(Old.count(), 1u);
+  } // Old dies: its frame id is free for reuse
+  PreparedQuery Fresh =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst"}));
+#if !defined(NDEBUG) && !defined(__SANITIZE_THREAD__) && \
+    !defined(__SANITIZE_ADDRESS__)
+  // Executing a recycled-id handle without binding must trip the
+  // unbound-slots assert, not silently reuse the dead handle's frame.
+  EXPECT_DEATH(Fresh.count(), "unbound slots");
+#endif
+  Fresh.bind(0, Value::ofInt(3));
+  EXPECT_EQ(Fresh.count(), 1u);
+  Fresh.forEach([&](const Tuple &T) {
+    EXPECT_EQ(T.get(Spec.col("dst")).asInt(), 4);
+  });
+}
+
+TEST(PreparedOp, WorksOnNonGraphSchema) {
+  // The scheduler-style schema exercises prepared handles over a
+  // custom two-path decomposition with string-free multi-column keys.
+  auto Spec = std::make_shared<RelationSpec>(RelationSpec(
+      {"pid", "state", "prio"}, {{{"pid"}, {"state", "prio"}}}));
+  auto Decomp = std::make_shared<Decomposition>([&] {
+    ColumnSet Pid = Spec->cols({"pid"});
+    ColumnSet State = Spec->cols({"state"});
+    ColumnSet Prio = Spec->cols({"prio"});
+    Decomposition D(*Spec);
+    NodeId Rho = D.addNode("rho", ColumnSet::empty(), Spec->allColumns());
+    NodeId ByState = D.addNode("byState", State, Pid | Prio);
+    NodeId Proc1 = D.addNode("proc1", State | Pid, Prio);
+    NodeId Leaf1 = D.addNode("leaf1", Spec->allColumns(), ColumnSet::empty());
+    NodeId Proc2 = D.addNode("proc2", Pid, State | Prio);
+    NodeId Leaf2 = D.addNode("leaf2", Spec->allColumns(), ColumnSet::empty());
+    D.addEdge(Rho, ByState, State, ContainerKind::TreeMap);
+    D.addEdge(ByState, Proc1, Pid, ContainerKind::HashMap);
+    D.addEdge(Proc1, Leaf1, Prio, ContainerKind::SingletonCell);
+    D.addEdge(Rho, Proc2, Pid, ContainerKind::HashMap);
+    D.addEdge(Proc2, Leaf2, State | Prio, ContainerKind::SingletonCell);
+    return D;
+  }());
+  ASSERT_TRUE(Decomp->validate().ok());
+  auto Placement = std::make_shared<LockPlacement>(
+      makeCoarsePlacement(*Decomp));
+  ConcurrentRelation Procs({Spec, Decomp, Placement, "sched-test"});
+
+  PreparedInsert Spawn = Procs.prepareInsert(Spec->cols({"pid"}));
+  PreparedQuery ByState =
+      Procs.prepareQuery(Spec->cols({"state"}), Spec->cols({"pid", "prio"}));
+  for (int64_t P = 0; P < 30; ++P)
+    EXPECT_TRUE(Spawn.bind(0, Value::ofInt(P))
+                    .bind(1, Value::ofInt(P % 3))
+                    .bind(2, Value::ofInt(P % 5))
+                    .execute());
+  ByState.bind(0, Value::ofInt(1));
+  EXPECT_EQ(ByState.count(), 10u);
+  EXPECT_TRUE(Procs.verifyConsistency().ok());
+}
+
+} // namespace

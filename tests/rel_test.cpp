@@ -123,6 +123,43 @@ TEST(Tuple, MatchesAndJoin) {
   EXPECT_FALSE(A.tryJoin(C, J));
 }
 
+TEST(Tuple, AssignFormsReuseStorage) {
+  // The in-place forms the executor's recycled state arena uses: same
+  // results as unionWith/project, written into existing storage.
+  Tuple A = Tuple::of({{0, Value::ofInt(1)}, {1, Value::ofInt(2)}});
+  Tuple B = Tuple::of({{1, Value::ofInt(2)}, {2, Value::ofInt(3)}});
+  Tuple Out = Tuple::of({{5, Value::ofInt(99)}}); // stale content
+  Out.assignUnion(A, B);
+  EXPECT_EQ(Out, A.unionWith(B));
+  Out.assignProject(B, ColumnSet::of(2));
+  EXPECT_EQ(Out, B.project(ColumnSet::of(2)));
+  Out.assignUnion(A, Tuple());
+  EXPECT_EQ(Out, A);
+  Out.assignProject(A, ColumnSet::empty());
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(Tuple, RebindInPlace) {
+  // Prepared-operation slot binding: same layout rebinds values without
+  // rebuilding the entry sequence; a different layout rebuilds it.
+  const ColumnId Cols[] = {1, 3};
+  const Value V1[] = {Value::ofInt(10), Value::ofInt(30)};
+  const Value V2[] = {Value::ofInt(11), Value::ofInt(31)};
+  Tuple T;
+  T.rebind(Cols, V1, 2);
+  EXPECT_EQ(T, Tuple::of({{1, Value::ofInt(10)}, {3, Value::ofInt(30)}}));
+  T.rebind(Cols, V2, 2); // warm path: values only
+  EXPECT_EQ(T, Tuple::of({{1, Value::ofInt(11)}, {3, Value::ofInt(31)}}));
+  const ColumnId Wider[] = {0, 1, 3};
+  const Value V3[] = {Value::ofInt(5), Value::ofInt(6), Value::ofInt(7)};
+  T.rebind(Wider, V3, 3);
+  EXPECT_EQ(T, Tuple::of({{0, Value::ofInt(5)},
+                          {1, Value::ofInt(6)},
+                          {3, Value::ofInt(7)}}));
+  T.rebind(Cols, V1, 2);
+  EXPECT_EQ(T.domain(), ColumnSet::of(1) | ColumnSet::of(3));
+}
+
 TEST(Tuple, LexicographicCompare) {
   Tuple A = Tuple::of({{0, Value::ofInt(1)}, {1, Value::ofInt(5)}});
   Tuple B = Tuple::of({{0, Value::ofInt(1)}, {1, Value::ofInt(6)}});
