@@ -1,0 +1,140 @@
+//===- bench/bench_migration.cpp - Throughput across a live migration ---------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The migration panel: worker threads run a mixed workload while the
+/// relation hot-swaps Stick/coarse → Split/striped, and throughput is
+/// metered in three windows — before the dual-write flip, during the
+/// dual-write + backfill, and after the retirement flip. The "during"
+/// window prices the dual-write tax (every mutation is executed twice)
+/// and the backfill sharing the machine; "after" shows the win the
+/// online tuner migrates for. CRS_BENCH_FULL=1 lengthens the windows;
+/// CRS_THREADS picks the sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchConfig.h"
+#include "autotune/Autotuner.h"
+#include "runtime/PreparedOp.h"
+#include "support/Table.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+using namespace crs;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct WindowMeter {
+  std::atomic<uint64_t> Ops{0};
+};
+
+struct MigrationRow {
+  unsigned Threads;
+  double Before, During, After; ///< ops/s per window
+  double MigrationMs, DualWriteMs;
+  uint64_t Backfilled, Mirrored;
+};
+
+MigrationRow runOnce(unsigned Threads, const OpMix &Mix, int64_t KeyRange,
+                     std::chrono::milliseconds Window) {
+  RepresentationConfig From = makeGraphRepresentation(
+      {GraphShape::Stick, PlacementSchemeKind::Coarse, 1,
+       ContainerKind::HashMap, ContainerKind::TreeMap});
+  RepresentationConfig To = makeGraphRepresentation(
+      {GraphShape::Split, PlacementSchemeKind::Striped, 1024,
+       ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap});
+  ConcurrentRelation R(From);
+  PreparedRelationTarget Target(R);
+
+  std::atomic<int> Window3{0}; // 0 before, 1 during, 2 after
+  std::atomic<bool> Stop{false};
+  WindowMeter Meters[3];
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      KeySpace Keys{KeyRange, 1 << 20};
+      Xoshiro256 Rng(977 + T);
+      while (!Stop.load(std::memory_order_acquire)) {
+        runRandomOp(Target, Mix, Keys, Rng);
+        Meters[Window3.load(std::memory_order_relaxed)].Ops.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+
+  struct Hooks : MigrationObserver {
+    std::atomic<int> &W;
+    Clock::time_point DualStart;
+    explicit Hooks(std::atomic<int> &W) : W(W) {}
+    void onDualWriteStart() override {
+      DualStart = Clock::now();
+      W.store(1, std::memory_order_relaxed);
+    }
+  } Obs(Window3);
+
+  auto T0 = Clock::now();
+  std::this_thread::sleep_for(Window);
+  auto TMig = Clock::now();
+  MigrationResult Res = R.migrateTo(To, &Obs);
+  auto TSwap = Clock::now();
+  Window3.store(2, std::memory_order_relaxed);
+  std::this_thread::sleep_for(Window);
+  Stop.store(true, std::memory_order_release);
+  for (auto &W : Workers)
+    W.join();
+  auto TEnd = Clock::now();
+  if (!Res.Ok) {
+    std::fprintf(stderr, "migration failed: %s\n", Res.Error.c_str());
+    std::exit(1);
+  }
+
+  auto Secs = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double>(B - A).count();
+  };
+  MigrationRow Row;
+  Row.Threads = Threads;
+  Row.Before = double(Meters[0].Ops.load()) / Secs(T0, Obs.DualStart);
+  Row.During = double(Meters[1].Ops.load()) / Secs(Obs.DualStart, TSwap);
+  Row.After = double(Meters[2].Ops.load()) / Secs(TSwap, TEnd);
+  Row.MigrationMs = Secs(TMig, TSwap) * 1e3;
+  Row.DualWriteMs = Res.DualWriteSeconds * 1e3;
+  Row.Backfilled = Res.Backfilled;
+  Row.Mirrored = Res.MirroredInserts + Res.MirroredRemoves;
+  return Row;
+}
+
+} // namespace
+
+int main() {
+  const OpMix Mix{35, 35, 20, 10};
+  const int64_t KeyRange = static_cast<int64_t>(envU64("CRS_KEYS", 96));
+  const auto Window = std::chrono::milliseconds(
+      envU64("CRS_MIGRATION_WINDOW_MS", benchFull() ? 3000 : 800));
+
+  std::printf("# Live migration: Stick/coarse -> Split/striped(1024), "
+              "mix %s, %lld keys, %lld ms windows\n",
+              Mix.str().c_str(), static_cast<long long>(KeyRange),
+              static_cast<long long>(Window.count()));
+  Table Tbl({"threads", "before ops/s", "during ops/s", "after ops/s",
+             "mig ms", "dual ms", "backfilled", "mirrored"});
+  for (unsigned Threads : benchThreadCounts()) {
+    MigrationRow Row = runOnce(Threads, Mix, KeyRange, Window);
+    Tbl.addRow({std::to_string(Row.Threads),
+                std::to_string(static_cast<uint64_t>(Row.Before)),
+                std::to_string(static_cast<uint64_t>(Row.During)),
+                std::to_string(static_cast<uint64_t>(Row.After)),
+                std::to_string(static_cast<uint64_t>(Row.MigrationMs)),
+                std::to_string(static_cast<uint64_t>(Row.DualWriteMs)),
+                std::to_string(Row.Backfilled),
+                std::to_string(Row.Mirrored)});
+  }
+  Tbl.print(std::cout);
+  return 0;
+}

@@ -8,13 +8,15 @@
 /// \file
 /// The autotuner (paper §6.1): given a concurrent benchmark, discovers
 /// the best combination of decomposition structure, container data
-/// structures, and lock placement. Enumeration follows the paper: first
-/// an adequate decomposition structure, then a well-formed lock
-/// placement (coarse / fine / striped with factor ∈ {1, 1024} /
+/// structures, and lock placement. Enumeration follows the §6.2 option
+/// menu: first an adequate decomposition structure, then a well-formed
+/// lock placement (coarse / fine / striped with factor ∈ {1, 1024} /
 /// speculative), then a container per edge — a non-concurrent container
 /// wherever the placement serializes the edge, a concurrency-safe one
 /// where concurrent access is possible. Illegal combinations are
-/// filtered by the same validation the runtime enforces.
+/// filtered by the same validation the runtime enforces. The *online*
+/// variant that drives a live relation from measured statistics is
+/// autotune/OnlineTuner.h.
 ///
 //===----------------------------------------------------------------------===//
 

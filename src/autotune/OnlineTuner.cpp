@@ -1,0 +1,192 @@
+//===- autotune/OnlineTuner.cpp - Statistics-driven online autotuning --------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/OnlineTuner.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace crs;
+
+OnlineTuner::OnlineTuner(ConcurrentRelation &R, OnlineTunerConfig C)
+    : Rel(&R), Cfg(std::move(C)) {
+  // Baseline for the first tick's mix delta.
+  LastCounts = R.operationCounts();
+}
+
+double OnlineTuner::scoreRepresentation(
+    const RepresentationConfig &Config,
+    const std::vector<PlanCache::Signature> &Sigs, const OperationCounts &Mix,
+    const CostParams &Measured, double ContentionRatio, unsigned Threads) {
+  assert(Config.Decomp && Config.Placement && "scoring an empty config");
+  assert(Measured.EdgeFanout.empty() &&
+         "per-edge fanouts do not transfer across decompositions");
+  QueryPlanner Planner(*Config.Decomp, *Config.Placement, Measured);
+
+  // Each signature is weighted by its operation kind's share of the
+  // measured mix, split evenly across that kind's signatures (per-
+  // signature counters would put another shared write on the hot
+  // path; the kind split is measured, the within-kind split assumed).
+  unsigned KindSigs[3] = {0, 0, 0}; // query / insert / remove
+  auto KindOf = [](PlanOp Op) { return Op == PlanOp::Query ? 0
+                                       : Op == PlanOp::Insert ? 1
+                                                              : 2; };
+  for (const PlanCache::Signature &Sig : Sigs)
+    ++KindSigs[KindOf(Sig.Op)];
+  double Tot = static_cast<double>(Mix.total());
+  auto KindShare = [&](unsigned Kind) {
+    if (Tot == 0) // no measured ops: weight every signature equally
+      return 1.0 / static_cast<double>(Sigs.size());
+    uint64_t Ops = Kind == 0 ? Mix.Queries : Kind == 1 ? Mix.Inserts
+                                                       : Mix.Removes;
+    return KindSigs[Kind] ? static_cast<double>(Ops) / Tot /
+                                static_cast<double>(KindSigs[Kind])
+                          : 0.0;
+  };
+
+  double SerialCost = 0;
+  for (const PlanCache::Signature &Sig : Sigs) {
+    double W = KindShare(KindOf(Sig.Op));
+    if (W == 0.0)
+      continue;
+    ColumnSet Dom = ColumnSet::fromBits(Sig.Dom);
+    Plan P;
+    switch (Sig.Op) {
+    case PlanOp::Query:
+      P = Planner.planQuery(Dom, ColumnSet::fromBits(Sig.Out));
+      break;
+    case PlanOp::Insert:
+      P = Planner.planInsert(Dom);
+      break;
+    case PlanOp::Remove:
+    case PlanOp::RemoveLocate:
+      P = Planner.planRemove(Dom);
+      break;
+    }
+    SerialCost += W * Planner.cost(P);
+  }
+
+  // The concurrency term the static model cannot see (§6.2's crossover):
+  // supply is the candidate's root-level parallelism — anything hosted
+  // at the root serializes on the root instance's stripes, while a
+  // placement hosting everything below the root parallelizes across
+  // the measured number of root-container entries (instances).
+  const Decomposition &D = *Config.Decomp;
+  const LockPlacement &LP = *Config.Placement;
+  bool RootHosted = false;
+  for (EdgeId E = 0; E < D.numEdges(); ++E)
+    if (LP.edgePlacement(E).Host == D.root())
+      RootHosted = true;
+  double Supply = RootHosted ? static_cast<double>(LP.nodeStripes(D.root()))
+                             : std::max(1.0, Measured.RootFanout);
+  // Demand grows from 1 (uncontended: extra supply is worthless)
+  // toward the serving thread count as measured contention rises.
+  double Demand =
+      1.0 + ContentionRatio * (Threads > 1 ? Threads - 1 : 0);
+  double Parallelism = std::max(1.0, std::min(Demand, Supply));
+  return SerialCost / Parallelism;
+}
+
+TuneTick OnlineTuner::tick() {
+  TuneTick T;
+  OperationCounts Now = Rel->operationCounts();
+  OperationCounts Delta{Now.Queries - LastCounts.Queries,
+                        Now.Inserts - LastCounts.Inserts,
+                        Now.Removes - LastCounts.Removes};
+  LastCounts = Now;
+  if (Delta.total() == 0)
+    Delta = Now; // idle interval: fall back to the lifetime mix
+
+  std::vector<PlanCache::Signature> Sigs = Rel->compiledSignatures();
+  if (Sigs.empty()) { // nothing served yet: nothing to score
+    Streak = 0;
+    StreakBest.clear();
+    return T;
+  }
+  T.Scored = true;
+
+  // Live measurements: scalar fanouts (per-edge ones do not transfer
+  // across decompositions) and the contention ratio.
+  RelationStatistics Stats = Rel->sampleStatistics();
+  const Decomposition &Live = *Rel->config().Decomp;
+  CostParams Measured;
+  double RootEnt = 0, RootCont = 0, InnerEnt = 0, InnerCont = 0;
+  for (EdgeId E = 0; E < Stats.Edges.size(); ++E) {
+    bool FromRoot = Live.edge(E).Src == Live.root();
+    (FromRoot ? RootEnt : InnerEnt) +=
+        static_cast<double>(Stats.Edges[E].Entries);
+    (FromRoot ? RootCont : InnerCont) +=
+        static_cast<double>(Stats.Edges[E].Containers);
+  }
+  if (RootCont > 0)
+    Measured.RootFanout = std::max(1.0, RootEnt / RootCont);
+  if (InnerCont > 0)
+    Measured.InnerFanout = std::max(1.0, InnerEnt / InnerCont);
+  // Contention, like the op mix, is diffed between ticks so decisions
+  // track the *live* load, not a populate phase's stale history. The
+  // cumulative counters can shrink (instances — and their counters —
+  // die with husk cleanup or a migration's swap): on shrink, restart
+  // the baseline from the current reading.
+  uint64_t Acq = 0, Cont = 0;
+  for (const NodeLockTraffic &N : Stats.Nodes) {
+    Acq += N.Acquisitions;
+    Cont += N.Contentions;
+  }
+  uint64_t AcqDelta = Acq >= LastAcquisitions ? Acq - LastAcquisitions : Acq;
+  uint64_t ContDelta = Cont >= LastContentions ? Cont - LastContentions : Cont;
+  LastAcquisitions = Acq;
+  LastContentions = Cont;
+  if (AcqDelta == 0) { // idle interval: fall back like the mix does
+    AcqDelta = Acq;
+    ContDelta = Cont;
+  }
+  double ContentionRatio =
+      AcqDelta ? static_cast<double>(ContDelta) /
+                     static_cast<double>(AcqDelta)
+               : 0.0;
+
+  T.CurrentCost = scoreRepresentation(Rel->config(), Sigs, Delta, Measured,
+                                      ContentionRatio, Cfg.Threads);
+  int BestIdx = -1;
+  for (size_t I = 0; I < Cfg.Candidates.size(); ++I) {
+    RepresentationConfig C = makeGraphRepresentation(Cfg.Candidates[I]);
+    if (!C.Placement)
+      continue; // illegal combination
+    double S = scoreRepresentation(C, Sigs, Delta, Measured, ContentionRatio,
+                                   Cfg.Threads);
+    if (BestIdx < 0 || S < T.BestCost) {
+      BestIdx = static_cast<int>(I);
+      T.BestCost = S;
+      T.BestName = C.Name;
+    }
+  }
+  if (BestIdx < 0)
+    return T;
+
+  // Hysteresis: the winner must beat the live representation by the
+  // configured ratio, for the configured number of consecutive ticks,
+  // before a migration is worth its dual-write and barrier costs.
+  bool Wins = T.BestName != Rel->config().Name &&
+              T.CurrentCost > T.BestCost * Cfg.HysteresisRatio;
+  if (Wins) {
+    Streak = T.BestName == StreakBest ? Streak + 1 : 1;
+    StreakBest = T.BestName;
+  } else {
+    Streak = 0;
+    StreakBest.clear();
+  }
+  T.Confirmations = Streak;
+  if (Wins && Streak >= Cfg.ConfirmTicks) {
+    T.Migration = Rel->migrateTo(
+        makeGraphRepresentation(Cfg.Candidates[BestIdx]), Cfg.Observer);
+    T.Migrated = T.Migration.Ok;
+    Streak = 0;
+    StreakBest.clear();
+  }
+  return T;
+}

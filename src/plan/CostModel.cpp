@@ -103,6 +103,9 @@ double crs::estimatePlanCost(const Plan &P, const CostParams &CP) {
       break;
     case PlanStmt::Kind::UpdateCount:
       break; // one relaxed atomic add
+    case PlanStmt::Kind::MirrorWrite:
+      Cost += Card[St.InVar] * CP.MirrorWriteCost;
+      break;
     }
   }
   return Cost;

@@ -35,6 +35,12 @@ struct CostParams {
   double InsertEntryCost = 1.5; ///< adding one container entry
   double EraseEntryCost = 1.5;  ///< removing one container entry
   double CreateNodeCost = 4.0;  ///< allocating one node instance (+locks)
+  /// Replaying one committed mutation on a migration's shadow
+  /// representation (a MirrorWrite epilogue): roughly a second mutation
+  /// — locks, traversal, and writes on the target. The shadow's own
+  /// decomposition is unknown to the source planner, so this is a flat
+  /// estimate, only present in plans while dual-write is active.
+  double MirrorWriteCost = 10.0;
   /// Measured average fanout per edge (indexed by EdgeId), e.g. from
   /// ConcurrentRelation::collectStatistics(); overrides the static
   /// Root/Inner defaults when non-empty. This is the profiling-driven

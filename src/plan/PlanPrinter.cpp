@@ -117,6 +117,11 @@ std::string Plan::str() const {
            std::string(St.Delta > 0 ? "+" : "") + std::to_string(St.Delta) +
            ") in");
       break;
+    case PlanStmt::Kind::MirrorWrite:
+      Emit("let _ = mirror-write(" + varName(St.InVar) + ", " +
+           std::string(Op == PlanOp::Insert ? "insert" : "remove") + " s=" +
+           D.spec().catalog().str(DomS) + ") in");
+      break;
     }
   }
   Emit(varName(ResultVar));

@@ -62,6 +62,7 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
   std::set<EdgeId> ErasedEdges;
   int CountDelta = 0;
   unsigned CountStmts = 0;
+  unsigned MirrorStmts = 0;
 
   auto NodeName = [&](NodeId N) { return D.node(N).Name; };
   auto EdgeName = [&](EdgeId E) {
@@ -103,7 +104,8 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
     return K == PlanStmt::Kind::CreateNode ||
            K == PlanStmt::Kind::InsertEdge ||
            K == PlanStmt::Kind::EraseEdge ||
-           K == PlanStmt::Kind::UpdateCount;
+           K == PlanStmt::Kind::UpdateCount ||
+           K == PlanStmt::Kind::MirrorWrite;
   };
 
   unsigned Idx = 0;
@@ -313,8 +315,27 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
       CountDelta += St.Delta;
       ++CountStmts;
       break;
+    case PlanStmt::Kind::MirrorWrite:
+      // The two-phase / post-guard / mutation-only rules are enforced
+      // by the generic write-statement checks above; here: the gating
+      // variable must exist, and the replayed operation's dom(s) must
+      // be bound by the plan input (the replay re-executes over it).
+      if (!Vars[St.InVar].Defined)
+        Err(Where + "mirror-write consumes undefined variable");
+      if (!P.InputCols.containsAll(P.DomS))
+        Err(Where + "mirror-write dom(s) not bound by the plan input");
+      ++MirrorStmts;
+      break;
     }
   }
+
+  // A dual-write epilogue replays the committed operation exactly once,
+  // and only mutations have one (queries stay on the source
+  // representation until a migration's final swap).
+  if (MirrorStmts > 1)
+    Err("plan has more than one mirror-write epilogue");
+  if (MirrorStmts != 0 && P.Op != PlanOp::Insert && P.Op != PlanOp::Remove)
+    Err("mirror-write in a non-mutation plan");
 
   // Per-operation completeness: a mutation plan must write every edge it
   // is responsible for, or the paths of the decomposition would diverge

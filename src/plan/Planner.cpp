@@ -32,6 +32,7 @@ std::optional<Plan> QueryPlanner::buildPlan(const std::vector<EdgeId> &Seq,
   P.InputCols = DomS;
   P.BindSlots = DomS.members();
   P.OutputCols = OutputCols;
+  P.DomS = DomS;
   P.ForMutation = ForMutation;
 
   PlanVar CurVar = 0;
@@ -325,6 +326,7 @@ Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
   P.InputCols = DomS;
   P.BindSlots = DomS.members();
   P.OutputCols = D.spec().allColumns();
+  P.DomS = DomS;
   P.Op = PlanOp::RemoveLocate;
   P.ForMutation = true;
 
@@ -416,6 +418,16 @@ Plan QueryPlanner::planRemove(ColumnSet DomS) const {
   C.InVar = P.ResultVar;
   C.Delta = -1;
   P.Stmts.push_back(C);
+  // Dual-write epilogue (live migration): replay the committed remove
+  // on the shadow representation while the exclusive source locks are
+  // still held, so no operation can observe the representations
+  // disagreeing. InVar gates the replay on the locate having matched.
+  if (EmitMirrorWrites) {
+    PlanStmt M;
+    M.K = PlanStmt::Kind::MirrorWrite;
+    M.InVar = P.ResultVar;
+    P.Stmts.push_back(M);
+  }
   for (PlanStmt &U : Unlocks)
     P.Stmts.push_back(std::move(U));
 
@@ -434,6 +446,7 @@ Plan QueryPlanner::planInsert(ColumnSet DomS) const {
   P.InputCols = All; // the plan executes over the full tuple s ∪ t
   P.BindSlots = All.members();
   P.OutputCols = All;
+  P.DomS = DomS;
   P.Op = PlanOp::Insert;
   P.ForMutation = true;
 
@@ -532,6 +545,16 @@ Plan QueryPlanner::planInsert(ColumnSet DomS) const {
   C.InVar = CurVar;
   C.Delta = 1;
   P.Stmts.push_back(C);
+  // Dual-write epilogue (live migration): a GuardAbsent abort never
+  // reaches this statement, so the replay runs exactly when the insert
+  // won — the shadow's own put-if-absent makes it idempotent against
+  // the backfill having copied the tuple first.
+  if (EmitMirrorWrites) {
+    PlanStmt M;
+    M.K = PlanStmt::Kind::MirrorWrite;
+    M.InVar = CurVar;
+    P.Stmts.push_back(M);
+  }
 
   for (auto It = LockedOrder.rbegin(); It != LockedOrder.rend(); ++It) {
     PlanStmt U;

@@ -72,11 +72,21 @@ public:
 
   const CostParams &costParams() const { return Params; }
 
+  /// While set, planInsert/planRemove append a MirrorWrite epilogue to
+  /// every mutation plan: the dual-write phase of a live representation
+  /// migration (runtime/Migration.h), kept inside the plan IR so it is
+  /// validated, priced, and visible in explain like any statement.
+  /// Query plans are unaffected — reads stay on the source
+  /// representation until the migration's final swap.
+  void setEmitMirrorWrites(bool Emit) { EmitMirrorWrites = Emit; }
+  bool emitMirrorWrites() const { return EmitMirrorWrites; }
+
 private:
   const Decomposition *Decomp;
   const LockPlacement *Placement;
   CostParams Params;
   std::vector<uint32_t> TopoIdx;
+  bool EmitMirrorWrites = false;
 
   /// Builds a plan from a traversal order; returns nullopt if lock
   /// statements cannot be emitted in the global lock order for this

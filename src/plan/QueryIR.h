@@ -122,6 +122,18 @@ struct PlanStmt {
     /// Adjusts the relation's tuple count by Delta per state of InVar
     /// (so a remove whose locate matched nothing adjusts by 0).
     UpdateCount,
+    /// Dual-write epilogue of a live representation migration
+    /// (runtime/Migration.h): when `InVar` is non-empty — the mutation
+    /// actually committed — replay the plan's operation (Plan::Op with
+    /// dom(s) = Plan::DomS and the original input tuple) against the
+    /// shadow representation installed in the execution context's
+    /// mirror sink. Emitted by the planner only while a migration's
+    /// dual-write phase is active; a no-op when no sink is installed.
+    /// Runs inside the growing phase, so the source representation's
+    /// exclusive locks are still held: concurrent operations can never
+    /// observe one representation with the mutation and the other
+    /// without it.
+    MirrorWrite,
   };
 
   Kind K;
@@ -160,6 +172,11 @@ struct Plan {
   PlanVar ResultVar = 0;
   ColumnSet InputCols;  ///< columns bound by the execution input tuple
   ColumnSet OutputCols; ///< C for queries; all columns for mutations
+  /// The operation's dom(s) — for inserts this differs from InputCols
+  /// (the plan executes over s ∪ t while the put-if-absent check keys
+  /// on s alone). Carried so a MirrorWrite epilogue can replay the
+  /// operation with identical semantics on the shadow representation.
+  ColumnSet DomS;
   PlanOp Op = PlanOp::Query;
   bool ForMutation = false;
   /// Positional bind-slot layout: slot i of a prepared operation binds

@@ -61,35 +61,10 @@ ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
                               Config.Placement->nodeStripes(D.root()));
 }
 
-namespace {
-/// Releases the context's locks and recycles its frames at scope exit.
-/// The context is long-lived (thread-local), so unlike the seed's
-/// stack-local LockSet it has no destructor running per operation —
-/// without this guard, an exception between run() and the explicit
-/// release (e.g. bad_alloc building the result vector, or a throwing
-/// forEach visitor) would leave the locks held forever. Marks the
-/// context busy for its lifetime, so re-entrant operations from result
-/// visitors fail fast in debug builds. Release-then-reset order
-/// matters: the pool must pin instances until every unlock has
-/// returned.
-struct OpScope {
-  ExecContext &Ctx;
-  explicit OpScope(ExecContext &C) : Ctx(C) {
-    assert(!Ctx.Busy &&
-           "re-entrant relation operation on this thread (a prepared "
-           "forEach visitor must not call back into a relation)");
-    Ctx.Busy = true;
-  }
-  ~OpScope() { finish(); }
-  /// Idempotent early release for the happy path (shortens hold time
-  /// before result post-processing).
-  void finish() {
-    Ctx.Locks.releaseAll();
-    Ctx.reset();
-    Ctx.Busy = false;
-  }
-};
-} // namespace
+// Per-operation lock/frame lifetime is ExecContext::OpScope
+// (runtime/Interpreter.h), shared with the migration engine's mirror
+// and backfill executions.
+using OpScope = ExecContext::OpScope;
 
 // Compile lambdas stamp the plan with the recompilation epoch observed
 // under PlannerMutex: adaptPlans() swaps the planner while holding the
@@ -155,6 +130,7 @@ std::string ConcurrentRelation::explainInsert(ColumnSet DomS) const {
 uint32_t
 ConcurrentRelation::runQueryPlan(const Plan &P, const Tuple &Input,
                                  function_ref<void(const Tuple &)> Visit) const {
+  NumQueries.fetch_add(1, std::memory_order_relaxed);
   ExecContext &Ctx = ExecContext::current();
   for (unsigned Attempt = 0;; ++Attempt) {
     OpScope Scope(Ctx);
@@ -179,8 +155,12 @@ ConcurrentRelation::runQueryPlan(const Plan &P, const Tuple &Input,
 }
 
 unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
+  NumRemoves.fetch_add(1, std::memory_order_relaxed);
   ExecContext &Ctx = ExecContext::current();
   Ctx.Count = &Count;
+  // Dual-write: plans compiled during a migration carry a MirrorWrite
+  // epilogue that replays the committed mutation into this sink.
+  Ctx.Mirror = ActiveMirror.load(std::memory_order_acquire);
   OpScope Scope(Ctx);
   [[maybe_unused]] ExecStatus St = Executor.run(P, S, Root, Ctx);
   assert(St == ExecStatus::Ok && "mutation plans never speculate");
@@ -192,8 +172,10 @@ unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
 }
 
 bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
+  NumInserts.fetch_add(1, std::memory_order_relaxed);
   ExecContext &Ctx = ExecContext::current();
   Ctx.Count = &Count;
+  Ctx.Mirror = ActiveMirror.load(std::memory_order_acquire);
   OpScope Scope(Ctx);
   ExecStatus St = Executor.run(P, Full, Root, Ctx);
   // Insert plans never speculate (the §4.5 writer protocol takes
@@ -202,8 +184,14 @@ bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
   return St == ExecStatus::Ok; // Found: a tuple matching s exists
 }
 
+// The public operations hold the gate from before plan resolution
+// until after execution: a migration flip that closes the gate is
+// therefore atomic with respect to entire operations — none can
+// resolve a plan under one representation regime and execute it under
+// the next (runtime/Migration.h).
 std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
                                              ColumnSet C) const {
+  OpGate::Scope G(Gate);
   const Plan *P = queryPlanFor(S.domain(), C);
   std::vector<Tuple> Out;
   runQueryPlan(*P, S, [&](const Tuple &T) { Out.push_back(T.project(C)); });
@@ -215,6 +203,7 @@ std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
 unsigned ConcurrentRelation::remove(const Tuple &S) {
   assert(spec().isKey(S.domain()) &&
          "remove requires s to be a key (paper §2)");
+  OpGate::Scope G(Gate);
   return runRemovePlan(*removePlanFor(S.domain()), S);
 }
 
@@ -224,6 +213,7 @@ bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
   Tuple Full = S.unionWith(T);
   assert(Full.domain() == spec().allColumns() &&
          "inserted tuple must value every column");
+  OpGate::Scope G(Gate);
   return runInsertPlan(*insertPlanFor(S.domain()), Full);
 }
 
@@ -329,8 +319,13 @@ void ConcurrentRelation::adaptPlans() {
   RelationStatistics Stats = collectStatistics();
   {
     std::lock_guard<std::mutex> Guard(PlannerMutex);
-    Planner = QueryPlanner(*Config.Decomp, *Config.Placement,
+    QueryPlanner Replanned(*Config.Decomp, *Config.Placement,
                            Stats.toCostParams(BaseCostParams));
+    // Replanning during a migration's dual-write phase must keep the
+    // mutation plans mirroring, or committed writes would stop
+    // reaching the shadow representation.
+    Replanned.setEmitMirrorWrites(Planner.emitMirrorWrites());
+    Planner = std::move(Replanned);
   }
   Plans.clear();
   // Retire the prepared handles last: the bump is ordered after the

@@ -28,6 +28,7 @@
 
 #include "plan/Planner.h"
 #include "runtime/Interpreter.h"
+#include "runtime/Migration.h"
 #include "runtime/PlanCache.h"
 #include "runtime/Statistics.h"
 #include "support/FunctionRef.h"
@@ -35,6 +36,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 namespace crs {
 
@@ -67,6 +69,7 @@ public:
 
   ConcurrentRelation(const ConcurrentRelation &) = delete;
   ConcurrentRelation &operator=(const ConcurrentRelation &) = delete;
+  ~ConcurrentRelation(); // out of line: owns the (private) migration state
 
   /// insert r s t (§2): atomically, if no tuple matches \p S, inserts
   /// S ∪ T and returns true; otherwise returns false. dom(S) and dom(T)
@@ -145,8 +148,64 @@ public:
   /// measured per-edge fanouts (the profiling-driven planning of the
   /// DRS line of work). Existing cached plans are discarded. Quiescent
   /// only: concurrent operations may still use the old plans safely,
-  /// but the measurement itself must not race with mutations.
+  /// but the measurement itself must not race with mutations. May be
+  /// called during a migration's dual-write phase from a
+  /// MigrationObserver callback (migrating thread, representation
+  /// stable) — the recompiled mutation plans keep their MirrorWrite
+  /// epilogues — but the quiescence requirement still stands there:
+  /// the statistics walk must not race with concurrent mutators.
+  /// Must not otherwise race with migrateTo().
   void adaptPlans();
+
+  /// \name Live representation migration (runtime/Migration.h)
+  /// @{
+
+  /// Hot-swaps the relation onto \p Target under traffic: installs the
+  /// target as a shadow, enters a bounded dual-write phase (mutation
+  /// plans gain a MirrorWrite epilogue, visible in explain), backfills
+  /// the shadow from a snapshot of the source, then retires the source
+  /// behind a drain barrier and bumps the plan epoch so every prepared
+  /// handle rebinds onto plans for the new decomposition. Blocking:
+  /// runs the whole migration on the calling thread (readers and
+  /// writers keep flowing throughout; the only stalls are the two
+  /// barrier drains). Illegal targets — empty config, different
+  /// specification, inadequate decomposition, ill-formed or
+  /// container-unsafe placement — are rejected up front with the
+  /// relation untouched. Concurrent calls serialize. If an observer
+  /// callback or a backfill allocation throws, the exception
+  /// propagates and the relation rolls back to serving the source
+  /// representation alone (phase Idle, shadow retired, epoch bumped);
+  /// no committed operation is lost.
+  MigrationResult migrateTo(RepresentationConfig Target,
+                            MigrationObserver *Obs = nullptr);
+
+  /// Idle, or DualWrite while a migration is between its two flips.
+  MigrationPhase migrationPhase() const {
+    return Phase.load(std::memory_order_acquire);
+  }
+
+  /// Live statistics snapshot: briefly closes the operation gate (a
+  /// stall bounded by the in-flight operations' drain — the same "one
+  /// epoch" pause as a migration flip), collects, and reopens. Unlike
+  /// collectStatistics(), safe under traffic. Must not be called from
+  /// inside an operation (e.g. a forEach visitor).
+  RelationStatistics sampleStatistics() const;
+
+  /// Cumulative per-kind operation counts (relaxed counters; the
+  /// online tuner diffs successive readings for the live mix).
+  OperationCounts operationCounts() const {
+    return {NumQueries.load(std::memory_order_relaxed),
+            NumInserts.load(std::memory_order_relaxed),
+            NumRemoves.load(std::memory_order_relaxed)};
+  }
+
+  /// The operation signatures currently compiled in the plan cache —
+  /// the shapes a candidate representation must serve well.
+  std::vector<PlanCache::Signature> compiledSignatures() const {
+    return Plans.signatures();
+  }
+
+  /// @}
 
   /// All tuples, via a serializable full scan (test/debug convenience).
   std::vector<Tuple> scanAll() const;
@@ -156,6 +215,10 @@ private:
 
   RepresentationConfig Config;
   CostParams BaseCostParams;
+  /// Every operation holds the gate from before plan resolution until
+  /// after execution; migration flips and sampleStatistics() close it
+  /// briefly (see runtime/Migration.h).
+  mutable OpGate Gate;
   /// Guards Planner against the adaptPlans swap. Taken only on the cold
   /// compile path and by adaptPlans itself — never on a warm lookup —
   /// and always *inside* a PlanCache shard mutex (adaptPlans releases
@@ -169,6 +232,27 @@ private:
   /// Bumped by adaptPlans() after clearing the cache (release), so a
   /// handle that acquires the new value observes the cleared cache.
   std::atomic<uint64_t> PlanEpoch{0};
+
+  /// Per-kind operation counters (relaxed, bumped on the shared
+  /// execution paths; backfill's internal executions are not counted).
+  mutable std::atomic<uint64_t> NumQueries{0};
+  std::atomic<uint64_t> NumInserts{0};
+  std::atomic<uint64_t> NumRemoves{0};
+
+  /// Migration state (runtime/Migration.cpp). ActiveMirror is the sink
+  /// mutation executions install into their context: non-null exactly
+  /// while the dual-write phase is active. LiveMigration owns it
+  /// (concretely a detail::MirrorRep, held through the virtual-dtor
+  /// base so the header stays independent of the implementation);
+  /// retired migrations and superseded configurations are kept (not
+  /// freed) because retired plan-cache snapshots hold raw pointers
+  /// into their decompositions and placements.
+  std::atomic<MigrationPhase> Phase{MigrationPhase::Idle};
+  std::atomic<MirrorSink *> ActiveMirror{nullptr};
+  std::unique_ptr<MirrorSink> LiveMigration;
+  std::mutex MigrationM; ///< serializes migrateTo calls
+  std::vector<std::unique_ptr<MirrorSink>> RetiredMirrors;
+  std::vector<RepresentationConfig> RetiredConfigs;
 
   // Plans are compiled on first use per (op, dom(s), C) signature;
   // lookups are wait-free (sharded immutable-snapshot cache).

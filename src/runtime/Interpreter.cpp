@@ -22,6 +22,11 @@ ExecContext &ExecContext::current() {
   return Ctx;
 }
 
+ExecContext &ExecContext::mirrorCtx() {
+  static thread_local ExecContext Ctx;
+  return Ctx;
+}
+
 void ExecContext::reset() {
   assert(Locks.heldCount() == 0 && "reset with locks still held");
   // Rewind, don't clear: the Tuple slot objects stay constructed, so
@@ -481,6 +486,15 @@ ExecStatus PlanExecutor::run(const Plan &Plan, const Tuple &Input,
       }
       break;
     }
+    case PlanStmt::Kind::MirrorWrite:
+      // Dual-write epilogue: replay the committed mutation on the
+      // shadow representation (runtime/Migration.h) while this plan's
+      // exclusive locks are still held. State 0 of variable 0 is the
+      // operation's input tuple (s ∪ t for insert, s for remove);
+      // InVar gates the replay on the mutation having matched.
+      if (Ctx.Mirror && Ctx.numStates(St.InVar) != 0)
+        Ctx.Mirror->mirror(Plan.Op, Plan.DomS, Ctx.stateTuple(0, 0));
+      break;
     }
   }
   return ExecStatus::Ok;

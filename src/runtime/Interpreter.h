@@ -37,6 +37,7 @@
 #include "sync/LockSet.h"
 
 #include <atomic>
+#include <cassert>
 #include <vector>
 
 namespace crs {
@@ -46,6 +47,23 @@ enum class ExecStatus : uint8_t {
   Ok,      ///< plan ran to completion; results valid
   Restart, ///< speculation failed; release everything and re-execute
   Found,   ///< a put-if-absent guard tripped: a tuple matching s exists
+};
+
+/// Where a MirrorWrite statement replays committed mutations: the
+/// shadow representation of an in-flight migration
+/// (runtime/Migration.h installs one per mutating operation while the
+/// dual-write phase is active). Implementations execute the replay on
+/// the thread's *secondary* execution context — the primary context is
+/// mid-plan, its source-representation locks still held, which is what
+/// keeps the pair of writes atomic to every observer.
+class MirrorSink {
+public:
+  virtual ~MirrorSink() = default;
+  /// Replays `Op` (Insert or Remove) with dom(s) = \p DomS and the
+  /// original input tuple \p Input on the shadow representation. Must
+  /// not throw; must not adjust the relation's logical tuple count
+  /// (the source plan's UpdateCount already did).
+  virtual void mirror(PlanOp Op, ColumnSet DomS, const Tuple &Input) = 0;
 };
 
 /// Reusable per-thread execution state. One operation at a time: run the
@@ -63,9 +81,24 @@ public:
   /// Relation tuple counter adjusted by UpdateCount statements.
   std::atomic<size_t> *Count = nullptr;
 
+  /// Shadow-representation sink for MirrorWrite statements. Installed
+  /// per mutating operation by the relation (null outside a
+  /// migration's dual-write phase); read only when a plan carries a
+  /// MirrorWrite epilogue, so it costs nothing on ordinary traffic.
+  MirrorSink *Mirror = nullptr;
+
   /// The calling thread's execution context (one per thread, reused
   /// across operations and relations; arena capacity is recycled).
   static ExecContext &current();
+
+  /// The calling thread's *secondary* context: mirror replays and
+  /// migration backfill run target-representation plans on it while
+  /// the primary context still holds the source representation's state
+  /// and locks. Acquiring target locks while holding source locks is
+  /// deadlock-free because every thread orders the two representations
+  /// the same way (source first); nothing ever takes a source lock
+  /// while holding a target lock.
+  static ExecContext &mirrorCtx();
 
   /// Drops all states, bindings, and pooled instances, keeping arena
   /// capacity. Precondition: no locks held.
@@ -110,6 +143,37 @@ public:
   /// into a relation on the same thread fails fast instead of silently
   /// clobbering the in-flight operation's states.
   bool Busy = false;
+
+  /// Releases the context's locks and recycles its frames at scope
+  /// exit. The context is long-lived (thread-local), so no destructor
+  /// runs per operation — without this guard, an exception between
+  /// run() and the explicit release (e.g. bad_alloc building a result
+  /// vector, or a throwing forEach visitor) would leave the locks held
+  /// forever. Marks the context busy for its lifetime, so re-entrant
+  /// operations from result visitors fail fast in debug builds.
+  /// Release-then-reset order matters: the pool must pin instances
+  /// until every unlock has returned (POSIX forbids destroying a lock
+  /// mid-unlock). Shared by the relation's operation paths, mirror
+  /// replays, and the migration backfill.
+  struct OpScope {
+    ExecContext &Ctx;
+    explicit OpScope(ExecContext &C) : Ctx(C) {
+      assert(!Ctx.Busy &&
+             "re-entrant operation on this execution context (a result "
+             "visitor must not call back into a relation)");
+      Ctx.Busy = true;
+    }
+    ~OpScope() { finish(); }
+    OpScope(const OpScope &) = delete;
+    OpScope &operator=(const OpScope &) = delete;
+    /// Idempotent early release for the happy path (shortens hold time
+    /// before result post-processing).
+    void finish() {
+      Ctx.Locks.releaseAll();
+      Ctx.reset();
+      Ctx.Busy = false;
+    }
+  };
 
   uint32_t numStates(PlanVar V) const { return Vars[V].Count; }
   const Tuple &stateTuple(PlanVar V, uint32_t I) const {

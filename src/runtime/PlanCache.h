@@ -105,6 +105,27 @@ public:
     }
   }
 
+  /// One compiled signature, as reported by signatures().
+  struct Signature {
+    PlanOp Op;
+    uint64_t Dom; ///< dom(s) column bits
+    uint64_t Out; ///< output column bits (queries)
+  };
+
+  /// The currently published signatures (cold path: takes each shard's
+  /// writer mutex). The online tuner uses this as the set of operation
+  /// shapes to score candidate representations against.
+  std::vector<Signature> signatures() const {
+    std::vector<Signature> Out;
+    for (Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Guard(Sh.M);
+      if (const Snapshot *Snap = Sh.Snap.load(std::memory_order_acquire))
+        for (const auto &E : *Snap)
+          Out.push_back({E.first.Op, E.first.Dom, E.first.Out});
+    }
+    return Out;
+  }
+
   /// Number of lookups that led to a compilation (signature cold, or
   /// re-warmed after clear()). Everything else was a wait-free hit.
   uint64_t misses() const {

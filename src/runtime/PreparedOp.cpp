@@ -110,10 +110,16 @@ const Plan *PreparedOpImpl::rebindSlow() const {
   return P;
 }
 
+// Each prepared execution holds the relation's operation gate across
+// resolve + run, like the legacy entry points: a migration flip is
+// atomic with respect to the whole operation, so a handle can never
+// execute a plan resolved under a previous representation regime
+// (runtime/Migration.h).
 uint32_t
 PreparedOpImpl::runQuery(const Value *Args,
                          function_ref<void(const Tuple &)> Visit) const {
   assert(Op == PlanOp::Query && "not a query handle");
+  OpGate::Scope G(Rel->Gate);
   const Plan *P = resolve();
   // The thread's scratch tuple is rebound in place from the slot
   // layout: after the first execution this writes values only.
@@ -124,6 +130,7 @@ PreparedOpImpl::runQuery(const Value *Args,
 
 bool PreparedOpImpl::runInsert(const Value *Args) const {
   assert(Op == PlanOp::Insert && MutRel && "not an insert handle");
+  OpGate::Scope G(Rel->Gate);
   const Plan *P = resolve();
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());
@@ -132,6 +139,7 @@ bool PreparedOpImpl::runInsert(const Value *Args) const {
 
 unsigned PreparedOpImpl::runRemove(const Value *Args) const {
   assert(Op == PlanOp::Remove && MutRel && "not a remove handle");
+  OpGate::Scope G(Rel->Gate);
   const Plan *P = resolve();
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());

@@ -28,6 +28,16 @@
 
 namespace crs {
 
+/// Cumulative per-kind operation counts of one relation (relaxed
+/// counters on the execution paths). The online tuner reads deltas of
+/// these to estimate the live operation mix.
+struct OperationCounts {
+  uint64_t Queries = 0;
+  uint64_t Inserts = 0;
+  uint64_t Removes = 0;
+  uint64_t total() const { return Queries + Inserts + Removes; }
+};
+
 /// Occupancy of one decomposition edge across all its container
 /// instances.
 struct EdgeOccupancy {

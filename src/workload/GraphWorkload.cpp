@@ -163,12 +163,19 @@ bool BatchedRelationTarget::removeEdge(int64_t Src, int64_t Dst) {
 
 void crs::runRandomOp(GraphTarget &Target, const OpMix &Mix,
                       const KeySpace &Keys, Xoshiro256 &Rng) {
+  runRandomOpLogged(Target, Mix, Keys, Rng, nullptr);
+}
+
+void crs::runRandomOpLogged(GraphTarget &Target, const OpMix &Mix,
+                            const KeySpace &Keys, Xoshiro256 &Rng,
+                            MutationLog *Log) {
   unsigned Total = Mix.FindSuccessors + Mix.FindPredecessors +
                    Mix.InsertEdge + Mix.RemoveEdge;
   assert(Total > 0 && "operation mix must be nonempty");
   uint64_t Draw = Rng.nextBounded(Total);
-  int64_t Src = static_cast<int64_t>(
-      Rng.nextBounded(static_cast<uint64_t>(Keys.NumNodes)));
+  int64_t Src = Keys.SrcBase +
+                static_cast<int64_t>(
+                    Rng.nextBounded(static_cast<uint64_t>(Keys.NumNodes)));
   int64_t Dst = static_cast<int64_t>(
       Rng.nextBounded(static_cast<uint64_t>(Keys.NumNodes)));
   if (Draw < Mix.FindSuccessors) {
@@ -184,8 +191,43 @@ void crs::runRandomOp(GraphTarget &Target, const OpMix &Mix,
   if (Draw < Mix.InsertEdge) {
     int64_t Weight = static_cast<int64_t>(
         Rng.nextBounded(static_cast<uint64_t>(Keys.WeightRange)));
-    Target.insertEdge(Src, Dst, Weight);
+    bool Won = Target.insertEdge(Src, Dst, Weight);
+    if (Log)
+      Log->push_back({true, Src, Dst, Weight, Won ? 1 : 0});
     return;
   }
-  Target.removeEdge(Src, Dst);
+  bool Removed = Target.removeEdge(Src, Dst);
+  if (Log)
+    Log->push_back({false, Src, Dst, 0, Removed ? 1 : 0});
+}
+
+std::map<std::pair<int64_t, int64_t>, int64_t>
+crs::replayMutationLogs(const std::vector<MutationLog> &Logs,
+                        std::vector<std::string> *Errors) {
+  std::map<std::pair<int64_t, int64_t>, int64_t> Edges;
+  auto Err = [&](const LoggedMutation &M, const char *Why) {
+    if (Errors)
+      Errors->push_back(std::string(Why) + " at edge (" +
+                        std::to_string(M.Src) + ", " + std::to_string(M.Dst) +
+                        ")");
+  };
+  // Src ranges are disjoint per log, so each key's mutations live in
+  // exactly one log and replay in their real execution order; logs are
+  // independent and can be replayed sequentially in any order.
+  for (const MutationLog &Log : Logs)
+    for (const LoggedMutation &M : Log) {
+      auto Key = std::make_pair(M.Src, M.Dst);
+      if (M.IsInsert) {
+        bool Won = Edges.emplace(Key, M.Weight).second;
+        if ((Won ? 1 : 0) != M.Outcome)
+          Err(M, Won ? "insert should have won but lost"
+                     : "insert should have lost but won");
+      } else {
+        int64_t Removed = static_cast<int64_t>(Edges.erase(Key));
+        if (Removed != M.Outcome)
+          Err(M, Removed ? "remove missed a present edge"
+                         : "remove matched a phantom edge");
+      }
+    }
+  return Edges;
 }

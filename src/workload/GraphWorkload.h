@@ -24,8 +24,10 @@
 #include "runtime/PreparedOp.h"
 #include "support/Rng.h"
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace crs {
@@ -53,6 +55,11 @@ inline constexpr OpMix Fig5Workloads[] = {
 struct KeySpace {
   int64_t NumNodes = 512;        ///< src/dst drawn from [0, NumNodes)
   int64_t WeightRange = 1 << 20; ///< weights drawn from [0, WeightRange)
+  /// Offset added to generated src values: src ∈ [SrcBase, SrcBase +
+  /// NumNodes). Giving each worker thread its own base partitions the
+  /// edge keys (src, dst) by thread, which makes per-thread mutation
+  /// logs exactly replayable (see replayMutationLogs).
+  int64_t SrcBase = 0;
 };
 
 /// Abstract graph under test: adapts either a synthesized relation or
@@ -179,6 +186,36 @@ private:
 /// Executes one randomly drawn operation against \p Target.
 void runRandomOp(GraphTarget &Target, const OpMix &Mix, const KeySpace &Keys,
                  Xoshiro256 &Rng);
+
+/// One logged edge mutation and its observed outcome (queries are not
+/// logged — they have no effect to replay).
+struct LoggedMutation {
+  bool IsInsert = false; ///< else a remove
+  int64_t Src = 0;
+  int64_t Dst = 0;
+  int64_t Weight = 0;  ///< inserts only
+  int64_t Outcome = 0; ///< insert: 1 iff the put-if-absent won; remove: #removed
+};
+using MutationLog = std::vector<LoggedMutation>;
+
+/// runRandomOp that additionally appends every executed mutation, with
+/// its observed outcome, to \p Log (when non-null). Requires a target
+/// with immediate effects (not BatchedRelationTarget, whose outcomes
+/// are deferred to the next flush).
+void runRandomOpLogged(GraphTarget &Target, const OpMix &Mix,
+                       const KeySpace &Keys, Xoshiro256 &Rng,
+                       MutationLog *Log);
+
+/// The oracle for concurrent-workload correctness (live-migration tests
+/// and examples/live_migration.cpp): replays per-thread mutation logs —
+/// whose src ranges must be disjoint (KeySpace::SrcBase), so each edge
+/// key is owned by exactly one sequential log — into the expected final
+/// (src, dst) → weight edge set. Every logged outcome is checked
+/// against the replay: a disagreement means the concurrent run lost or
+/// duplicated an effect, and is described in \p Errors (when non-null).
+std::map<std::pair<int64_t, int64_t>, int64_t>
+replayMutationLogs(const std::vector<MutationLog> &Logs,
+                   std::vector<std::string> *Errors = nullptr);
 
 } // namespace crs
 

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "autotune/Autotuner.h"
+#include "autotune/OnlineTuner.h"
 
 #include <gtest/gtest.h>
 
@@ -114,6 +115,129 @@ TEST(Autotune, RanksVariantsOnTrainingWorkload) {
   // 35-35-20-10 punishes the stick's O(|E|) predecessor scans: the
   // split must win the ranking.
   EXPECT_EQ(Results[0].Variant.Shape, GraphShape::Split);
+}
+
+//===----------------------------------------------------------------------===//
+// OnlineTuner (autotune/OnlineTuner.h)
+//===----------------------------------------------------------------------===//
+
+/// The signature set of the graph benchmark: successor query, insert,
+/// remove.
+std::vector<PlanCache::Signature> graphSignatures(const RelationSpec &Spec) {
+  ColumnSet Src = Spec.cols({"src"});
+  ColumnSet Key = Spec.cols({"src", "dst"});
+  ColumnSet Out = Spec.cols({"dst", "weight"});
+  return {{PlanOp::Query, Src.bits(), Out.bits()},
+          {PlanOp::Insert, Key.bits(), 0},
+          {PlanOp::Remove, Key.bits(), 0}};
+}
+
+TEST(OnlineTuner, ScoringReproducesTheContentionCrossover) {
+  // The §6.2 story the static cost model cannot tell alone: with one
+  // uncontended thread the coarse placement's cheap plans win; under
+  // contended multi-threaded load the striped placement's parallelism
+  // supply pays for itself.
+  RepresentationConfig Coarse = makeGraphRepresentation(
+      {GraphShape::Stick, PlacementSchemeKind::Coarse, 1,
+       ContainerKind::HashMap, ContainerKind::HashMap});
+  RepresentationConfig Striped = makeGraphRepresentation(
+      {GraphShape::Stick, PlacementSchemeKind::Striped, 1024,
+       ContainerKind::ConcurrentHashMap, ContainerKind::HashMap});
+  ASSERT_TRUE(Coarse.Placement && Striped.Placement);
+  auto Sigs = graphSignatures(*Coarse.Spec);
+  OperationCounts Mix{70, 20, 10};
+  CostParams Measured;
+
+  // Uncontended: parallelism demand is 1 for both; the coarse plans
+  // are no worse.
+  double CoarseIdle = OnlineTuner::scoreRepresentation(
+      Coarse, Sigs, Mix, Measured, /*ContentionRatio=*/0.0, /*Threads=*/4);
+  double StripedIdle = OnlineTuner::scoreRepresentation(
+      Striped, Sigs, Mix, Measured, 0.0, 4);
+  EXPECT_LE(CoarseIdle, StripedIdle);
+
+  // Half the acquisitions contended on 4 threads: the striped root's
+  // supply divides its cost; the coarse root stays serialized.
+  double CoarseHot = OnlineTuner::scoreRepresentation(
+      Coarse, Sigs, Mix, Measured, /*ContentionRatio=*/0.5, /*Threads=*/4);
+  double StripedHot = OnlineTuner::scoreRepresentation(
+      Striped, Sigs, Mix, Measured, 0.5, 4);
+  EXPECT_LT(StripedHot, CoarseHot);
+  EXPECT_EQ(CoarseHot, CoarseIdle); // supply 1: contention cannot help
+}
+
+TEST(OnlineTuner, TickHoldsWithoutAPredictedWin) {
+  RepresentationConfig Config = makeGraphRepresentation(
+      {GraphShape::Stick, PlacementSchemeKind::Coarse, 1,
+       ContainerKind::HashMap, ContainerKind::TreeMap});
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+
+  OnlineTunerConfig Cfg;
+  // Same structure and containers, striped: without measured
+  // contention there is no predicted win to clear the hysteresis.
+  Cfg.Candidates = {{GraphShape::Stick, PlacementSchemeKind::Striped, 1024,
+                     ContainerKind::ConcurrentHashMap,
+                     ContainerKind::TreeMap}};
+  Cfg.Threads = 4;
+  Cfg.ConfirmTicks = 1;
+  OnlineTuner Tuner(R, Cfg);
+
+  // Nothing compiled yet: nothing to score.
+  EXPECT_FALSE(Tuner.tick().Scored);
+
+  for (int64_t I = 0; I < 40; ++I)
+    R.insert(Tuple::of({{Spec.col("src"), Value::ofInt(I % 5)},
+                        {Spec.col("dst"), Value::ofInt(I)}}),
+             Tuple::of({{Spec.col("weight"), Value::ofInt(I)}}));
+  R.query(Tuple::of({{Spec.col("src"), Value::ofInt(1)}}),
+          Spec.cols({"dst", "weight"}));
+
+  TuneTick T = Tuner.tick();
+  EXPECT_TRUE(T.Scored);
+  EXPECT_GT(T.CurrentCost, 0.0);
+  EXPECT_FALSE(T.Migrated);
+  EXPECT_EQ(T.Confirmations, 0u);
+  EXPECT_EQ(R.config().Name, Config.Name);
+}
+
+TEST(OnlineTuner, TickMigratesOnceConfirmed) {
+  RepresentationConfig Config = makeGraphRepresentation(
+      {GraphShape::Stick, PlacementSchemeKind::Coarse, 1,
+       ContainerKind::HashMap, ContainerKind::TreeMap});
+  const RelationSpec &Spec = *Config.Spec;
+  ConcurrentRelation R(Config);
+  for (int64_t I = 0; I < 60; ++I)
+    R.insert(Tuple::of({{Spec.col("src"), Value::ofInt(I % 6)},
+                        {Spec.col("dst"), Value::ofInt(I)}}),
+             Tuple::of({{Spec.col("weight"), Value::ofInt(I * 2)}}));
+  R.query(Tuple::of({{Spec.col("src"), Value::ofInt(2)}}),
+          Spec.cols({"dst", "weight"}));
+  std::vector<Tuple> Before = R.scanAll();
+
+  GraphVariant Target{GraphShape::Split, PlacementSchemeKind::Striped, 64,
+                      ContainerKind::ConcurrentHashMap,
+                      ContainerKind::TreeMap};
+  OnlineTunerConfig Cfg;
+  Cfg.Candidates = {Target};
+  Cfg.Threads = 4;
+  // A permissive policy (any candidate counts as a win) exercises the
+  // confirmation streak and the migration trigger deterministically.
+  Cfg.HysteresisRatio = 0.0;
+  Cfg.ConfirmTicks = 2;
+  OnlineTuner Tuner(R, Cfg);
+
+  TuneTick T1 = Tuner.tick();
+  EXPECT_TRUE(T1.Scored);
+  EXPECT_EQ(T1.Confirmations, 1u);
+  EXPECT_FALSE(T1.Migrated);
+  TuneTick T2 = Tuner.tick();
+  EXPECT_EQ(T2.Confirmations, 2u);
+  ASSERT_TRUE(T2.Migrated) << T2.Migration.Error;
+  EXPECT_EQ(T2.BestName, makeGraphRepresentation(Target).Name);
+  EXPECT_EQ(R.config().Name, T2.BestName);
+  EXPECT_EQ(R.scanAll(), Before);
+  EXPECT_TRUE(R.verifyConsistency().ok());
 }
 
 } // namespace

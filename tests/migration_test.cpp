@@ -1,0 +1,472 @@
+//===- tests/migration_test.cpp - Live representation migration --------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// ConcurrentRelation::migrateTo (runtime/Migration.h): hot-swapping a
+/// live relation's decomposition under traffic. Covers the quiescent
+/// path, up-front rejection of illegal targets, the dual-write phase
+/// (MirrorWrite visible in explain, mutations mirrored, adaptPlans
+/// keeping the epilogue), mutations racing the backfill on the same
+/// key, prepared handles rebinding across both flips, and a 4-thread
+/// mixed workload migrated mid-run and verified against the
+/// replayed-log oracle (zero lost or duplicated edges).
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Autotuner.h"
+#include "decomp/Shapes.h"
+#include "lockplace/PlacementSchemes.h"
+#include "runtime/ConcurrentRelation.h"
+#include "runtime/PreparedOp.h"
+#include "workload/GraphWorkload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+using namespace crs;
+
+namespace {
+
+Tuple key(const RelationSpec &Spec, int64_t S, int64_t D) {
+  return Tuple::of({{Spec.col("src"), Value::ofInt(S)},
+                    {Spec.col("dst"), Value::ofInt(D)}});
+}
+
+Tuple weight(const RelationSpec &Spec, int64_t W) {
+  return Tuple::of({{Spec.col("weight"), Value::ofInt(W)}});
+}
+
+RepresentationConfig stickCoarse() {
+  return makeGraphRepresentation({GraphShape::Stick,
+                                  PlacementSchemeKind::Coarse, 1,
+                                  ContainerKind::HashMap,
+                                  ContainerKind::TreeMap});
+}
+
+RepresentationConfig splitStriped(uint32_t Stripes = 64) {
+  return makeGraphRepresentation({GraphShape::Split,
+                                  PlacementSchemeKind::Striped, Stripes,
+                                  ContainerKind::ConcurrentHashMap,
+                                  ContainerKind::TreeMap});
+}
+
+TEST(Migration, QuiescentStickToSplitPreservesRelation) {
+  RepresentationConfig From = stickCoarse();
+  ASSERT_TRUE(From.Placement);
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  for (int64_t I = 0; I < 200; ++I)
+    ASSERT_TRUE(R.insert(key(Spec, I % 20, I), weight(Spec, I * 7)));
+  std::vector<Tuple> Before = R.scanAll();
+  uint64_t Epoch0 = R.planEpoch();
+
+  MigrationResult Res = R.migrateTo(splitStriped());
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.Backfilled, 200u);
+  EXPECT_EQ(Res.MirroredInserts, 0u);
+  EXPECT_EQ(Res.MirroredRemoves, 0u);
+  EXPECT_EQ(R.migrationPhase(), MigrationPhase::Idle);
+  // Both flips bump the plan epoch (dual-write entry + retirement).
+  EXPECT_EQ(R.planEpoch(), Epoch0 + 2);
+  EXPECT_EQ(R.config().Name, splitStriped().Name);
+
+  EXPECT_EQ(R.scanAll(), Before);
+  EXPECT_EQ(R.size(), 200u);
+  ValidationResult V = R.verifyConsistency();
+  EXPECT_TRUE(V.ok()) << V.str();
+
+  // The migrated relation serves and mutates normally.
+  EXPECT_FALSE(R.insert(key(Spec, 0, 0), weight(Spec, 999)));
+  EXPECT_EQ(R.remove(key(Spec, 0, 0)), 1u);
+  EXPECT_TRUE(R.insert(key(Spec, 0, 0), weight(Spec, 999)));
+  EXPECT_EQ(R.size(), 200u);
+}
+
+TEST(Migration, ChainedMigrationsAcrossShapes) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  for (int64_t I = 0; I < 64; ++I)
+    ASSERT_TRUE(R.insert(key(Spec, I / 8, I), weight(Spec, I)));
+  std::vector<Tuple> Before = R.scanAll();
+
+  ASSERT_TRUE(R.migrateTo(splitStriped()).Ok);
+  ASSERT_TRUE(R.migrateTo(makeGraphRepresentation(
+                              {GraphShape::Diamond,
+                               PlacementSchemeKind::Striped, 8,
+                               ContainerKind::ConcurrentHashMap,
+                               ContainerKind::HashMap}))
+                  .Ok);
+  // Through a speculative placement, then back to where we started.
+  ASSERT_TRUE(R.migrateTo(makeGraphRepresentation(
+                              {GraphShape::Split,
+                               PlacementSchemeKind::Speculative, 8,
+                               ContainerKind::ConcurrentHashMap,
+                               ContainerKind::HashMap}))
+                  .Ok);
+  ASSERT_TRUE(R.migrateTo(stickCoarse()).Ok);
+
+  EXPECT_EQ(R.scanAll(), Before);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Migration, IllegalTargetsRejectedUpFront) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  ASSERT_TRUE(R.insert(key(Spec, 1, 2), weight(Spec, 3)));
+  uint64_t Epoch0 = R.planEpoch();
+
+  // Empty config (what makeGraphRepresentation returns for an illegal
+  // variant).
+  MigrationResult Empty = R.migrateTo(RepresentationConfig{});
+  EXPECT_FALSE(Empty.Ok);
+  EXPECT_NE(Empty.Error.find("empty"), std::string::npos) << Empty.Error;
+
+  // A different specification: migration re-represents the same
+  // relation, it cannot change the schema.
+  RepresentationConfig WrongSpec = splitStriped();
+  WrongSpec.Spec = std::make_shared<RelationSpec>(
+      RelationSpec({"a", "b"}, {{{"a"}, {"b"}}}));
+  MigrationResult Mismatch = R.migrateTo(WrongSpec);
+  EXPECT_FALSE(Mismatch.Ok);
+  EXPECT_NE(Mismatch.Error.find("specification"), std::string::npos)
+      << Mismatch.Error;
+
+  // Container-unsafe: a striped placement leaves the root edges
+  // concurrent, so a non-concurrent HashMap there is illegal (§6.1's
+  // container-safety rule).
+  auto UnsafeSpec = std::make_shared<RelationSpec>(makeGraphSpec());
+  auto UnsafeDecomp = std::make_shared<Decomposition>(makeGraphDecomposition(
+      *UnsafeSpec, GraphShape::Stick,
+      {ContainerKind::HashMap, ContainerKind::HashMap}));
+  auto UnsafePlacement = std::make_shared<LockPlacement>(
+      makeStripedPlacement(*UnsafeDecomp, 8));
+  MigrationResult Unsafe = R.migrateTo(
+      {UnsafeSpec, UnsafeDecomp, UnsafePlacement, "unsafe"});
+  EXPECT_FALSE(Unsafe.Ok);
+  EXPECT_NE(Unsafe.Error.find("unsafe"), std::string::npos) << Unsafe.Error;
+
+  // Rejection is up-front: the relation was never touched.
+  EXPECT_EQ(R.migrationPhase(), MigrationPhase::Idle);
+  EXPECT_EQ(R.planEpoch(), Epoch0);
+  EXPECT_EQ(R.config().Name, From.Name);
+  EXPECT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+/// Observer that runs a callback at each phase hook.
+struct Hooks : MigrationObserver {
+  std::function<void()> DualWriteStart;
+  std::function<void(uint64_t, uint64_t)> BackfillProgress;
+  std::function<void()> BeforeSwap;
+  void onDualWriteStart() override {
+    if (DualWriteStart)
+      DualWriteStart();
+  }
+  void onBackfillProgress(uint64_t Copied, uint64_t Total) override {
+    if (BackfillProgress)
+      BackfillProgress(Copied, Total);
+  }
+  void onBeforeSwap() override {
+    if (BeforeSwap)
+      BeforeSwap();
+  }
+};
+
+TEST(Migration, DualWriteIsVisibleAndMirrored) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  ColumnSet DomS = Spec.cols({"src", "dst"});
+  for (int64_t I = 0; I < 50; ++I)
+    ASSERT_TRUE(R.insert(key(Spec, I, I), weight(Spec, I)));
+  ASSERT_EQ(R.explainInsert(DomS).find("mirror-write"), std::string::npos);
+
+  Hooks Obs;
+  uint64_t EpochInDual = 0;
+  Obs.DualWriteStart = [&] {
+    EXPECT_EQ(R.migrationPhase(), MigrationPhase::DualWrite);
+    EpochInDual = R.planEpoch();
+    // The dual-write epilogue is plan IR: explain shows it on both
+    // mutation kinds, and never on queries.
+    std::string Ins = R.explainInsert(DomS);
+    EXPECT_NE(Ins.find("mirror-write"), std::string::npos) << Ins;
+    EXPECT_NE(Ins.find("insert s={src, dst}"), std::string::npos) << Ins;
+    std::string Rem = R.explainRemove(DomS);
+    EXPECT_NE(Rem.find("mirror-write"), std::string::npos) << Rem;
+    std::string Q = R.explainQuery(Spec.cols({"src"}), Spec.cols({"dst"}));
+    EXPECT_EQ(Q.find("mirror-write"), std::string::npos) << Q;
+    // Mutations executed during dual-write are mirrored and must
+    // survive the swap.
+    EXPECT_TRUE(R.insert(key(Spec, 100, 100), weight(Spec, 1)));
+    EXPECT_EQ(R.remove(key(Spec, 0, 0)), 1u);
+  };
+  MigrationResult Res = R.migrateTo(splitStriped(), &Obs);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.MirroredInserts, 1u);
+  EXPECT_EQ(Res.MirroredRemoves, 1u);
+  EXPECT_GT(R.planEpoch(), EpochInDual);
+
+  // Post-swap plans are for the new decomposition, without mirroring.
+  EXPECT_EQ(R.explainInsert(DomS).find("mirror-write"), std::string::npos);
+  EXPECT_EQ(R.size(), 50u);
+  EXPECT_EQ(R.query(key(Spec, 100, 100), Spec.cols({"weight"})).size(), 1u);
+  EXPECT_TRUE(R.query(key(Spec, 0, 0), Spec.cols({"weight"})).empty());
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Migration, MutationsRacingBackfillOnTheSameKeys) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  constexpr int64_t N = 120;
+  for (int64_t I = 0; I < N; ++I)
+    ASSERT_TRUE(R.insert(key(Spec, I, I), weight(Spec, I)));
+
+  // Interleave mutations with the backfill walk on keys the walk may
+  // or may not have copied yet: replace one key (remove + reinsert),
+  // cycle another (ends absent), and insert fresh keys mid-walk. The
+  // serialization argument says the final state must be exactly the
+  // sequentially expected one, wherever the walk happened to be.
+  Hooks Obs;
+  bool Early = false, Late = false;
+  Obs.BackfillProgress = [&](uint64_t Copied, uint64_t Total) {
+    if (!Early && Copied >= 1) {
+      Early = true;
+      EXPECT_EQ(R.remove(key(Spec, 0, 0)), 1u);       // likely copied
+      EXPECT_TRUE(R.insert(key(Spec, 0, 0), weight(Spec, 1000)));
+      EXPECT_EQ(R.remove(key(Spec, N - 1, N - 1)), 1u); // likely uncopied
+    }
+    if (!Late && Copied >= Total - 1) {
+      Late = true;
+      EXPECT_TRUE(R.insert(key(Spec, 500, 500), weight(Spec, 2000)));
+      EXPECT_EQ(R.remove(key(Spec, 1, 1)), 1u);
+      EXPECT_TRUE(R.insert(key(Spec, 1, 1), weight(Spec, 3000)));
+      EXPECT_EQ(R.remove(key(Spec, 1, 1)), 1u);
+    }
+  };
+  MigrationResult Res = R.migrateTo(splitStriped(), &Obs);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_TRUE(Early);
+  EXPECT_TRUE(Late);
+
+  EXPECT_EQ(R.size(), static_cast<size_t>(N - 2 + 1)); // -key(N-1), -key(1), +key(500)
+  auto W0 = R.query(key(Spec, 0, 0), Spec.cols({"weight"}));
+  ASSERT_EQ(W0.size(), 1u);
+  EXPECT_EQ(W0[0].get(Spec.col("weight")).asInt(), 1000);
+  EXPECT_TRUE(R.query(key(Spec, 1, 1), Spec.cols({"weight"})).empty());
+  EXPECT_TRUE(R.query(key(Spec, N - 1, N - 1), Spec.cols({"weight"})).empty());
+  EXPECT_EQ(R.query(key(Spec, 500, 500), Spec.cols({"weight"})).size(), 1u);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Migration, ThrowingObserverRollsBackToSourceOnly) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  ColumnSet DomS = Spec.cols({"src", "dst"});
+  for (int64_t I = 0; I < 40; ++I)
+    ASSERT_TRUE(R.insert(key(Spec, I, I), weight(Spec, I)));
+
+  struct Bomb {};
+  Hooks Obs;
+  Obs.BackfillProgress = [&](uint64_t Copied, uint64_t) {
+    // Mutate during dual-write, then blow up mid-backfill: the
+    // exception must propagate and the relation must roll back to the
+    // source-only regime with nothing lost.
+    if (Copied == 5) {
+      EXPECT_TRUE(R.insert(key(Spec, 200, 200), weight(Spec, 2)));
+      throw Bomb{};
+    }
+  };
+  EXPECT_THROW(R.migrateTo(splitStriped(), &Obs), Bomb);
+
+  EXPECT_EQ(R.migrationPhase(), MigrationPhase::Idle);
+  EXPECT_EQ(R.config().Name, From.Name); // still the source representation
+  EXPECT_EQ(R.explainInsert(DomS).find("mirror-write"), std::string::npos);
+  EXPECT_EQ(R.size(), 41u);
+  EXPECT_EQ(R.query(key(Spec, 200, 200), Spec.cols({"weight"})).size(), 1u);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+
+  // The relation is fully serviceable, including a later migration.
+  MigrationResult Res = R.migrateTo(splitStriped());
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(R.size(), 41u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(Migration, AdaptPlansDuringDualWriteKeepsMirroring) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  ColumnSet DomS = Spec.cols({"src", "dst"});
+  for (int64_t I = 0; I < 30; ++I)
+    ASSERT_TRUE(R.insert(key(Spec, I % 5, I), weight(Spec, I)));
+
+  Hooks Obs;
+  Obs.DualWriteStart = [&] {
+    // Statistics-driven replanning mid-migration: the recompiled
+    // mutation plans must keep their dual-write epilogues, or writes
+    // would silently stop reaching the shadow.
+    R.adaptPlans();
+    std::string Ins = R.explainInsert(DomS);
+    EXPECT_NE(Ins.find("mirror-write"), std::string::npos) << Ins;
+    EXPECT_NE(R.explainRemove(DomS).find("mirror-write"), std::string::npos);
+    EXPECT_TRUE(R.insert(key(Spec, 70, 70), weight(Spec, 7)));
+  };
+  MigrationResult Res = R.migrateTo(splitStriped(), &Obs);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.MirroredInserts, 1u);
+  EXPECT_EQ(R.query(key(Spec, 70, 70), Spec.cols({"weight"})).size(), 1u);
+  EXPECT_EQ(R.size(), 31u);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Migration, PreparedHandlesRebindAcrossBothFlips) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+  PreparedRemove Rem = R.prepareRemove(Spec.cols({"src", "dst"}));
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  auto InsertEdge = [&](int64_t S, int64_t D, int64_t W) {
+    return Ins.bind(0, Value::ofInt(S))
+        .bind(1, Value::ofInt(D))
+        .bind(2, Value::ofInt(W))
+        .execute();
+  };
+  for (int64_t I = 0; I < 40; ++I)
+    ASSERT_TRUE(InsertEdge(I % 4, I, I));
+  ASSERT_TRUE(Succ.bind(0, Value::ofInt(1)).forEach([](const Tuple &) {}));
+  uint64_t Bound0 = Ins.boundEpoch();
+  EXPECT_EQ(Bound0, R.planEpoch());
+
+  Hooks Obs;
+  Obs.DualWriteStart = [&] {
+    // First execution after the dual-write flip transparently rebinds
+    // the handle onto a mirroring plan for the *same* source
+    // decomposition.
+    EXPECT_TRUE(InsertEdge(90, 90, 9));
+    EXPECT_EQ(Ins.boundEpoch(), R.planEpoch());
+    EXPECT_GT(Ins.boundEpoch(), Bound0);
+    EXPECT_NE(Ins.explain().find("mirror-write"), std::string::npos);
+    EXPECT_EQ(Rem.bind(0, Value::ofInt(0)).bind(1, Value::ofInt(0)).execute(),
+              1u);
+  };
+  MigrationResult Res = R.migrateTo(splitStriped(), &Obs);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+
+  // Second rebind: plans compiled for the new decomposition, epilogue
+  // gone, and the handles keep serving.
+  EXPECT_TRUE(InsertEdge(91, 91, 9));
+  EXPECT_EQ(Ins.boundEpoch(), R.planEpoch());
+  EXPECT_EQ(Ins.explain().find("mirror-write"), std::string::npos);
+  uint64_t SuccCount = Succ.bind(0, Value::ofInt(2)).count();
+  EXPECT_EQ(SuccCount, 10u); // srcs 2, dsts 2,6,10,...,38
+  EXPECT_EQ(R.size(), 41u);
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Migration, FourThreadMixedWorkloadMigratedMidRunMatchesOracle) {
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  PreparedRelationTarget Target(R);
+
+  constexpr unsigned NumThreads = 4;
+  constexpr int64_t SrcPerThread = 16; // small: contended keys
+  const OpMix Mix{30, 20, 30, 20};
+  std::vector<MutationLog> Logs(NumThreads);
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Ops{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      // Disjoint src ranges make the per-thread logs an exact oracle.
+      KeySpace Keys{SrcPerThread, 1 << 20, T * SrcPerThread};
+      Xoshiro256 Rng(7000 + T);
+      while (!Stop.load(std::memory_order_acquire)) {
+        runRandomOpLogged(Target, Mix, Keys, Rng, &Logs[T]);
+        Ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  // Let traffic build some state, migrate under it, let traffic finish
+  // on the new representation.
+  while (Ops.load(std::memory_order_relaxed) < 4000)
+    std::this_thread::yield();
+  MigrationResult Res = R.migrateTo(splitStriped(), nullptr);
+  uint64_t OpsAfterSwap = Ops.load(std::memory_order_relaxed);
+  while (Ops.load(std::memory_order_relaxed) < OpsAfterSwap + 4000)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  for (auto &T : Threads)
+    T.join();
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+
+  // Oracle: replay the logs; any lost or duplicated effect shows up
+  // either as an outcome mismatch or as a final-state difference.
+  std::vector<std::string> Errors;
+  auto Expected = replayMutationLogs(Logs, &Errors);
+  EXPECT_TRUE(Errors.empty())
+      << Errors.size() << " mismatches, first: " << Errors[0];
+  EXPECT_EQ(R.size(), Expected.size());
+  std::vector<Tuple> Final = R.scanAll();
+  ASSERT_EQ(Final.size(), Expected.size());
+  for (const Tuple &T : Final) {
+    auto It = Expected.find({T.get(Spec.col("src")).asInt(),
+                             T.get(Spec.col("dst")).asInt()});
+    ASSERT_NE(It, Expected.end()) << "phantom edge in the migrated relation";
+    EXPECT_EQ(T.get(Spec.col("weight")).asInt(), It->second);
+  }
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(Migration, SampleStatisticsIsSafeUnderTraffic) {
+  RepresentationConfig From = splitStriped(8);
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 2; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(100 + T);
+      while (!Stop.load(std::memory_order_acquire)) {
+        int64_t S = static_cast<int64_t>(Rng.nextBounded(32));
+        int64_t D = static_cast<int64_t>(Rng.nextBounded(32));
+        if (Rng.nextBounded(2))
+          R.insert(key(Spec, S, D), weight(Spec, 1));
+        else
+          R.remove(key(Spec, S, D));
+      }
+    });
+  // Wait for real traffic (a single-core host may not have scheduled
+  // the workers yet), then sample while they are hammering.
+  while (R.operationCounts().total() < 200)
+    std::this_thread::yield();
+  // Unlike collectStatistics, sampling quiesces via the operation gate
+  // and is safe while writers are hammering the relation.
+  uint64_t Instances = 0;
+  for (int I = 0; I < 20; ++I) {
+    RelationStatistics Stats = R.sampleStatistics();
+    Instances = std::max(Instances, Stats.NodeInstances);
+  }
+  Stop.store(true, std::memory_order_release);
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_GT(Instances, 0u);
+  OperationCounts Counts = R.operationCounts();
+  EXPECT_GT(Counts.Inserts + Counts.Removes, 0u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+} // namespace

@@ -178,6 +178,96 @@ TEST(PreparedOp, StaleHandleRebindsAfterAdaptPlans) {
   EXPECT_TRUE(R.verifyConsistency().ok());
 }
 
+TEST(PreparedOp, HandlesSurviveLiveMigrationUnderConcurrentTraffic) {
+  // Shared handles executing from several threads while the relation
+  // hot-swaps its decomposition underneath them: every execution lands
+  // on a representation-consistent plan (the operation gate makes each
+  // flip atomic w.r.t. whole operations), and both rebinds — onto the
+  // mirroring plans, then onto the new decomposition's plans — are
+  // transparent.
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+  PreparedRemove Rem = R.prepareRemove(Spec.cols({"src", "dst"}));
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+
+  constexpr unsigned NumThreads = 4;
+  constexpr int64_t PerThread = 64; // disjoint src ranges per thread
+  std::atomic<bool> Go{false}, Stop{false};
+  std::atomic<uint64_t> Ops{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      uint64_t I = 0;
+      while (!Stop.load(std::memory_order_acquire)) {
+        int64_t S = static_cast<int64_t>(T) * PerThread +
+                    static_cast<int64_t>(I % PerThread);
+        Ins.bind(0, Value::ofInt(S))
+            .bind(1, Value::ofInt(static_cast<int64_t>(I % 7)))
+            .bind(2, Value::ofInt(static_cast<int64_t>(I)))
+            .execute();
+        Succ.bind(0, Value::ofInt(S)).count();
+        if (I % 3 == 0)
+          Rem.bind(0, Value::ofInt(S))
+              .bind(1, Value::ofInt(static_cast<int64_t>(I % 7)))
+              .execute();
+        ++I;
+        Ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  Go.store(true, std::memory_order_release);
+  while (Ops.load(std::memory_order_relaxed) < 2000)
+    std::this_thread::yield();
+  MigrationResult Res = R.migrateTo(makeGraphRepresentation(
+      {GraphShape::Stick, PlacementSchemeKind::Striped, 64,
+       ContainerKind::ConcurrentHashMap, ContainerKind::HashMap}));
+  uint64_t After = Ops.load(std::memory_order_relaxed);
+  while (Ops.load(std::memory_order_relaxed) < After + 2000)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  for (auto &T : Threads)
+    T.join();
+
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Ins.boundEpoch(), R.planEpoch());
+  EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
+}
+
+TEST(PreparedOp, BatchExecutionAcrossMigration) {
+  ConcurrentRelation R(splitConfig());
+  const RelationSpec &Spec = R.spec();
+  PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+  PreparedQuery Succ =
+      R.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+
+  auto RunBatch = [&](int64_t Base) {
+    std::vector<BoundOp> Ops;
+    for (int64_t I = 0; I < 8; ++I)
+      Ops.push_back(BoundOp::insert(
+          Ins, {Value::ofInt(Base + I), Value::ofInt(I), Value::ofInt(I)}));
+    Ops.push_back(BoundOp::query(Succ, {Value::ofInt(Base)}));
+    executeBatch(Ops);
+    for (int64_t I = 0; I < 8; ++I)
+      EXPECT_EQ(Ops[static_cast<size_t>(I)].result(), 1) << I;
+    EXPECT_EQ(Ops.back().result(), 1);
+  };
+  RunBatch(0);
+  ASSERT_TRUE(R.migrateTo(makeGraphRepresentation(
+                              {GraphShape::Diamond,
+                               PlacementSchemeKind::Striped, 8,
+                               ContainerKind::ConcurrentHashMap,
+                               ContainerKind::HashMap}))
+                  .Ok);
+  // The same handles batch-execute on the new decomposition.
+  RunBatch(100);
+  EXPECT_EQ(R.size(), 16u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
 TEST(PreparedOp, RecompileCountsOneMissPerSignature) {
   ConcurrentRelation R(splitConfig());
   const RelationSpec &Spec = R.spec();

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the CRS docs (stdlib only, CI docs job).
+
+Checks every relative link in the repo's markdown files:
+  * the target file (or directory) exists;
+  * a `#fragment` resolves to a heading in the target file
+    (GitHub-style slugs);
+  * `file:line`-less code references like `src/...` inside links point
+    at real paths.
+
+Absolute URLs (http/https/mailto) are deliberately not fetched — CI
+must not depend on the network. Exits 1 if any link is broken (every
+breakage is printed), 0 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(body)}
+
+
+def check_file(md: Path, root: Path) -> list:
+    errors = []
+    body = CODE_FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+    for m in LINK_RE.finditer(body):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor
+            dest = md
+        else:
+            dest = (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{md.relative_to(root)}: broken link -> {target}")
+                continue
+        if fragment:
+            if dest.is_file() and dest.suffix == ".md":
+                if fragment not in anchors_of(dest):
+                    errors.append(
+                        f"{md.relative_to(root)}: missing anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    md_files = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
+    errors = []
+    for md in md_files:
+        errors.extend(check_file(md, root))
+    for e in errors:
+        print(f"error: {e}")
+    print(f"checked {len(md_files)} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
