@@ -65,6 +65,17 @@ std::unique_ptr<GraphTarget> makeBatchedTarget(
       std::make_unique<ConcurrentRelation>(Config));
 }
 
+std::unique_ptr<GraphTarget> makeShardedTarget(
+    const RepresentationConfig &Config, unsigned NumShards) {
+  struct Owning : ShardedGraphTarget {
+    std::unique_ptr<ShardedRelation> Rel;
+    explicit Owning(std::unique_ptr<ShardedRelation> R)
+        : ShardedGraphTarget(*R), Rel(std::move(R)) {}
+  };
+  return std::make_unique<Owning>(
+      std::make_unique<ShardedRelation>(Config, NumShards));
+}
+
 std::unique_ptr<GraphTarget> makeHandcodedTarget() {
   struct Owning : HandcodedGraphTarget {
     std::unique_ptr<HandcodedGraph> G;
@@ -190,11 +201,62 @@ int main() {
     std::printf("\n");
   }
 
+  // Sharded scaling: hash-partition one contention-bound representation
+  // (the coarse stick, Figure 5's worst scaler) across 1/2/4
+  // ShardedRelation shards. On the mutation-heavy mix every operation
+  // routes to a single shard, so shards multiply the supply of
+  // independent lock roots; the read-heavy mix keeps 45% fan-out
+  // predecessor queries, which pay one execution per shard. The 1-shard
+  // row measures pure routing overhead against the unsharded prepared
+  // target.
+  RepresentationConfig ShardBase = makeGraphRepresentation(
+      {GraphShape::Stick, PlacementSchemeKind::Coarse, 1,
+       ContainerKind::HashMap, ContainerKind::TreeMap});
+  const OpMix ShardMixes[] = {{45, 45, 9, 1}, {0, 0, 50, 50}};
+  std::printf("=== Sharded scaling (%s): 1/2/4 shards ===\n\n",
+              ShardBase.Name.c_str());
+  for (const OpMix &Mix : ShardMixes) {
+    std::printf("--- Operation Distribution: %s ---\n", Mix.str().c_str());
+    std::vector<std::string> Header{"series"};
+    for (unsigned T : Threads)
+      Header.push_back(std::to_string(T) + "T");
+    Header.push_back("rst/op");
+    Header.push_back("pc-hit%");
+    Table Panel(Header);
+    std::vector<std::pair<std::string, TargetFactory>> Series = {
+        {"unsharded", [&] { return makePreparedTarget(ShardBase); }},
+        {"1 shard", [&] { return makeShardedTarget(ShardBase, 1); }},
+        {"2 shards", [&] { return makeShardedTarget(ShardBase, 2); }},
+        {"4 shards", [&] { return makeShardedTarget(ShardBase, 4); }},
+    };
+    for (auto &[Name, Make] : Series) {
+      std::vector<std::string> Row{Name};
+      ThroughputResult Last;
+      for (unsigned T : Threads) {
+        Last = runThroughput(Make, Mix, Keys, ApiParams(T));
+        Row.push_back(Table::fmt(Last.OpsPerSec, 0));
+      }
+      Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
+      Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
+      Panel.addRow(Row);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    Panel.print(std::cout);
+    std::printf("\n");
+  }
+
   std::printf(
       "Reading guide (paper §6.2): stick series hold up on the two\n"
       "successor-only workloads but collapse when predecessors appear\n"
       "(70-0-20-10 / 0-0-50-50 vs 35-35-20-10 / 45-45-9-1); coarse\n"
       "variants (Stick 1, Split 1, Diamond 0) scale worst; split beats\n"
-      "diamond under concurrency; Handcoded tracks Split 4.\n");
+      "diamond under concurrency; Handcoded tracks Split 4.\n"
+      "Sharded panel: the mutation-heavy mix is all single-shard ops, so\n"
+      "N shards multiply independent lock roots — the scaling shows on\n"
+      "multicore hosts (threads > cores timeshare and locks stop\n"
+      "contending, so a 1-core container can only show the no-regression\n"
+      "story: 1 shard ≈ unsharded, within noise).\n");
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "autotune/OnlineTuner.h"
 
+#include "runtime/ShardedRelation.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -17,6 +18,43 @@ OnlineTuner::OnlineTuner(ConcurrentRelation &R, OnlineTunerConfig C)
     : Rel(&R), Cfg(std::move(C)) {
   // Baseline for the first tick's mix delta.
   LastCounts = R.operationCounts();
+}
+
+OnlineTuner::OnlineTuner(ShardedRelation &R, OnlineTunerConfig C)
+    : Rel(nullptr), Sharded(&R), Cfg(std::move(C)) {
+  LastCounts = R.operationCounts();
+}
+
+OperationCounts OnlineTuner::liveCounts() const {
+  return Sharded ? Sharded->operationCounts() : Rel->operationCounts();
+}
+
+std::vector<PlanCache::Signature> OnlineTuner::liveSignatures() const {
+  return Sharded ? Sharded->compiledSignatures() : Rel->compiledSignatures();
+}
+
+RelationStatistics OnlineTuner::liveSample() const {
+  return Sharded ? Sharded->sampleStatistics() : Rel->sampleStatistics();
+}
+
+const RepresentationConfig &OnlineTuner::liveConfig() const {
+  return Sharded ? Sharded->config() : Rel->config();
+}
+
+bool OnlineTuner::servesEverywhere(const std::string &Name) const {
+  if (!Sharded)
+    return Rel->config().Name == Name;
+  for (unsigned I = 0; I < Sharded->numShards(); ++I)
+    if (Sharded->shard(I).config().Name != Name)
+      return false;
+  return true;
+}
+
+MigrationResult OnlineTuner::migrate(RepresentationConfig Target) {
+  // The sharded path adopts the winner one shard at a time, stalling
+  // only 1/N of the keyspace per dual-write window.
+  return Sharded ? Sharded->migrateTo(std::move(Target), Cfg.Observer)
+                 : Rel->migrateTo(std::move(Target), Cfg.Observer);
 }
 
 double OnlineTuner::scoreRepresentation(
@@ -94,7 +132,7 @@ double OnlineTuner::scoreRepresentation(
 
 TuneTick OnlineTuner::tick() {
   TuneTick T;
-  OperationCounts Now = Rel->operationCounts();
+  OperationCounts Now = liveCounts();
   OperationCounts Delta{Now.Queries - LastCounts.Queries,
                         Now.Inserts - LastCounts.Inserts,
                         Now.Removes - LastCounts.Removes};
@@ -102,7 +140,7 @@ TuneTick OnlineTuner::tick() {
   if (Delta.total() == 0)
     Delta = Now; // idle interval: fall back to the lifetime mix
 
-  std::vector<PlanCache::Signature> Sigs = Rel->compiledSignatures();
+  std::vector<PlanCache::Signature> Sigs = liveSignatures();
   if (Sigs.empty()) { // nothing served yet: nothing to score
     Streak = 0;
     StreakBest.clear();
@@ -112,11 +150,18 @@ TuneTick OnlineTuner::tick() {
 
   // Live measurements: scalar fanouts (per-edge ones do not transfer
   // across decompositions) and the contention ratio.
-  RelationStatistics Stats = Rel->sampleStatistics();
-  const Decomposition &Live = *Rel->config().Decomp;
+  RelationStatistics Stats = liveSample();
+  const Decomposition &Live = *liveConfig().Decomp;
   CostParams Measured;
   double RootEnt = 0, RootCont = 0, InnerEnt = 0, InnerCont = 0;
-  for (EdgeId E = 0; E < Stats.Edges.size(); ++E) {
+  // A sharded aggregate can carry more edge entries than the reference
+  // decomposition while a canary shard runs a different shape
+  // (RelationStatistics::accumulate sizes to the widest shard); the
+  // surplus entries have no meaning against Live, so they are dropped
+  // from the scalar fanout estimate rather than indexed out of bounds.
+  EdgeId NumEdges = static_cast<EdgeId>(
+      std::min<size_t>(Stats.Edges.size(), Live.numEdges()));
+  for (EdgeId E = 0; E < NumEdges; ++E) {
     bool FromRoot = Live.edge(E).Src == Live.root();
     (FromRoot ? RootEnt : InnerEnt) +=
         static_cast<double>(Stats.Edges[E].Entries);
@@ -150,8 +195,33 @@ TuneTick OnlineTuner::tick() {
                      static_cast<double>(AcqDelta)
                : 0.0;
 
-  T.CurrentCost = scoreRepresentation(Rel->config(), Sigs, Delta, Measured,
-                                      ContentionRatio, Cfg.Threads);
+  // The cost of the *current deployment*. A sharded fleet mid-rollout
+  // serves several configs at once (a canary shard on the winner, the
+  // rest on the incumbent): scoring only shard 0 would make a canaried
+  // winner look fully adopted (CurrentCost == BestCost) and stall the
+  // rollout under any hysteresis ratio > 1. The fleet's cost is the
+  // shard-count-weighted mean over its distinct serving configs.
+  if (Sharded) {
+    double Sum = 0;
+    std::vector<std::pair<std::string, double>> Scored;
+    for (unsigned I = 0; I < Sharded->numShards(); ++I) {
+      const RepresentationConfig &C = Sharded->shard(I).config();
+      double S = -1;
+      for (const auto &[Name, Cost] : Scored)
+        if (Name == C.Name)
+          S = Cost;
+      if (S < 0) {
+        S = scoreRepresentation(C, Sigs, Delta, Measured, ContentionRatio,
+                                Cfg.Threads);
+        Scored.emplace_back(C.Name, S);
+      }
+      Sum += S;
+    }
+    T.CurrentCost = Sum / static_cast<double>(Sharded->numShards());
+  } else {
+    T.CurrentCost = scoreRepresentation(liveConfig(), Sigs, Delta, Measured,
+                                        ContentionRatio, Cfg.Threads);
+  }
   int BestIdx = -1;
   for (size_t I = 0; I < Cfg.Candidates.size(); ++I) {
     RepresentationConfig C = makeGraphRepresentation(Cfg.Candidates[I]);
@@ -170,8 +240,11 @@ TuneTick OnlineTuner::tick() {
 
   // Hysteresis: the winner must beat the live representation by the
   // configured ratio, for the configured number of consecutive ticks,
-  // before a migration is worth its dual-write and barrier costs.
-  bool Wins = T.BestName != Rel->config().Name &&
+  // before a migration is worth its dual-write and barrier costs. The
+  // already-serving test covers every shard of a fleet: a canary
+  // migration of shard 0 alone must not make the winner look adopted
+  // and stall the rollout of the rest.
+  bool Wins = !servesEverywhere(T.BestName) &&
               T.CurrentCost > T.BestCost * Cfg.HysteresisRatio;
   if (Wins) {
     Streak = T.BestName == StreakBest ? Streak + 1 : 1;
@@ -182,8 +255,7 @@ TuneTick OnlineTuner::tick() {
   }
   T.Confirmations = Streak;
   if (Wins && Streak >= Cfg.ConfirmTicks) {
-    T.Migration = Rel->migrateTo(
-        makeGraphRepresentation(Cfg.Candidates[BestIdx]), Cfg.Observer);
+    T.Migration = migrate(makeGraphRepresentation(Cfg.Candidates[BestIdx]));
     T.Migrated = T.Migration.Ok;
     Streak = 0;
     StreakBest.clear();

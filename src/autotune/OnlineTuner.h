@@ -40,6 +40,8 @@
 
 namespace crs {
 
+class ShardedRelation;
+
 /// Tuning policy for an OnlineTuner.
 struct OnlineTunerConfig {
   /// The candidate menu. Keep it modest (every tick compiles plans for
@@ -75,6 +77,13 @@ class OnlineTuner {
 public:
   OnlineTuner(ConcurrentRelation &R, OnlineTunerConfig C);
 
+  /// Tunes a sharded relation as one unit: statistics, operation mix,
+  /// and served signatures aggregate across the shards, and a
+  /// triggered migration adopts the winner shard-at-a-time
+  /// (ShardedRelation::migrateTo) — at any instant only 1/N of the
+  /// keyspace is paying dual-write costs.
+  OnlineTuner(ShardedRelation &R, OnlineTunerConfig C);
+
   /// Sample, score, and — when the hysteresis policy is satisfied —
   /// migrate. Blocking: a triggered migration runs on this thread.
   /// Must not be called from inside an operation (it samples through
@@ -95,7 +104,20 @@ public:
                                     double ContentionRatio, unsigned Threads);
 
 private:
-  ConcurrentRelation *Rel;
+  /// The tuned relation's live readings, independent of whether it is
+  /// one ConcurrentRelation or a sharded fleet of them.
+  OperationCounts liveCounts() const;
+  std::vector<PlanCache::Signature> liveSignatures() const;
+  RelationStatistics liveSample() const;
+  const RepresentationConfig &liveConfig() const;
+  /// Whether every serving representation is already \p Name — for a
+  /// sharded fleet, every shard (a canary-migrated shard alone must not
+  /// stall the rollout of the rest).
+  bool servesEverywhere(const std::string &Name) const;
+  MigrationResult migrate(RepresentationConfig Target);
+
+  ConcurrentRelation *Rel;          ///< null when tuning a sharded relation
+  ShardedRelation *Sharded = nullptr; ///< null when tuning a single relation
   OnlineTunerConfig Cfg;
   OperationCounts LastCounts;     ///< mix deltas between ticks
   uint64_t LastAcquisitions = 0;  ///< contention deltas between ticks

@@ -1,0 +1,95 @@
+//===- plan/Routing.cpp - Shard routing over bind-slot layouts ----------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plan/Routing.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace crs;
+
+RoutingLayout crs::extractRoutingSlots(const std::vector<ColumnId> &BindSlots,
+                                       ColumnSet Routing) {
+  RoutingLayout Out;
+  Out.Slots.reserve(Routing.size());
+  bool Missing = false;
+  // ColumnSet::forEach iterates ascending, which is both the canonical
+  // hashing order and BindSlots' own order — one forward scan suffices.
+  Routing.forEach([&](ColumnId C) {
+    auto It = std::find(BindSlots.begin(), BindSlots.end(), C);
+    if (It == BindSlots.end()) {
+      Missing = true;
+      return;
+    }
+    Out.Slots.push_back(static_cast<unsigned>(It - BindSlots.begin()));
+  });
+  if (Missing || Routing.isEmpty()) {
+    Out.Slots.clear();
+    return Out;
+  }
+  Out.Covered = true;
+  return Out;
+}
+
+ColumnSet crs::chooseRoutingColumns(
+    const RelationSpec &Spec, const std::vector<ColumnSet> &AnticipatedDomS) {
+  std::vector<ColumnSet> Keys = Spec.minimalKeys();
+  assert(!Keys.empty() && "every spec has at least the all-columns key");
+  ColumnSet Common = Keys.front();
+  for (ColumnSet K : Keys)
+    Common = Common & K;
+  if (Common.isEmpty())
+    return Keys.front(); // keys share nothing: route by a whole key
+  // Enumerate the nonempty subsets of the common-key columns (specs are
+  // tiny — the graph relation has two) and keep the best-covered one.
+  std::vector<ColumnId> Cols = Common.members();
+  ColumnSet Best;
+  size_t BestCovered = 0;
+  for (uint64_t Mask = 1; Mask < (uint64_t(1) << Cols.size()); ++Mask) {
+    ColumnSet Cand;
+    for (size_t I = 0; I < Cols.size(); ++I)
+      if ((Mask >> I) & 1)
+        Cand |= ColumnSet::of(Cols[I]);
+    size_t Covered = 0;
+    for (ColumnSet Dom : AnticipatedDomS)
+      if (Dom.containsAll(Cand))
+        ++Covered;
+    bool Wins = Best.isEmpty() || Covered > BestCovered ||
+                (Covered == BestCovered &&
+                 (Cand.size() < Best.size() ||
+                  (Cand.size() == Best.size() && Cand.bits() < Best.bits())));
+    if (Wins) {
+      Best = Cand;
+      BestCovered = Covered;
+    }
+  }
+  return Best;
+}
+
+/// One shared combine so the frame path and the tuple path can never
+/// disagree on a tuple's shard.
+static uint64_t combineRouting(uint64_t H, const Value &V) {
+  return mix64(H * 0x9e3779b97f4a7c15ULL ^ V.hash());
+}
+
+uint64_t crs::routingHash(const Value *Args,
+                          const std::vector<unsigned> &Slots) {
+  uint64_t H = 0x8f1bbcdcbfa53e0bULL;
+  for (unsigned S : Slots)
+    H = combineRouting(H, Args[S]);
+  return H;
+}
+
+uint64_t crs::routingHash(const Tuple &T, ColumnSet Routing) {
+  assert(T.domain().containsAll(Routing) &&
+         "routing hash requires every routing column to be bound");
+  uint64_t H = 0x8f1bbcdcbfa53e0bULL;
+  Routing.forEach([&](ColumnId C) { H = combineRouting(H, T.get(C)); });
+  return H;
+}

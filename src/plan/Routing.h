@@ -1,0 +1,88 @@
+//===- plan/Routing.h - Shard routing over bind-slot layouts ----*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routing-key machinery for horizontally sharded relations
+/// (runtime/ShardedRelation.h). A sharded relation hash-partitions its
+/// tuples across N inner representations by a *routing column set*; an
+/// operation whose bound columns cover the routing set executes on
+/// exactly one shard, anything else fans out. This file owns the two
+/// planner-side pieces of that contract:
+///
+///  * **Routing-column choice.** chooseRoutingColumns picks the set a
+///    relation should partition by: a subset of the intersection of the
+///    spec's minimal keys (so every keyed mutation can compute its
+///    shard), scored by how many of the anticipated operation
+///    signatures it leaves single-shard.
+///
+///  * **Routing-key extraction from bind-slot layouts.** Prepared
+///    handles bind arguments positionally against a planner-emitted
+///    slot layout (Plan::BindSlots: input columns in ascending
+///    column-id order). extractRoutingSlots maps a routing column set
+///    onto that layout once, at prepare time, so every execution can
+///    hash the routing key straight out of the bound argument frame —
+///    no tuple construction, no per-call column search.
+///
+/// The two routingHash overloads — one over a bound argument frame, one
+/// over a tuple — combine the routing values in ascending column-id
+/// order with the same mix, so the slot path and the tuple path always
+/// agree on a tuple's shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_PLAN_ROUTING_H
+#define CRS_PLAN_ROUTING_H
+
+#include "rel/RelationSpec.h"
+#include "rel/Tuple.h"
+
+#include <vector>
+
+namespace crs {
+
+/// One operation signature's routing layout, extracted at prepare time:
+/// whether the signature's bound columns cover the routing set, and if
+/// so which bind slots carry the routing columns (in ascending
+/// routing-column order — the canonical hashing order).
+struct RoutingLayout {
+  bool Covered = false;
+  std::vector<unsigned> Slots; ///< empty unless Covered
+};
+
+/// Maps routing columns onto a prepared operation's positional
+/// bind-slot layout (\p BindSlots lists the bound columns in ascending
+/// column-id order, as the planner emits them in Plan::BindSlots).
+/// Covered is false — and Slots empty — when the layout binds only part
+/// of the routing set: such an operation cannot be routed and must fan
+/// out.
+RoutingLayout extractRoutingSlots(const std::vector<ColumnId> &BindSlots,
+                                  ColumnSet Routing);
+
+/// Picks the routing column set for hash-partitioning a relation of
+/// \p Spec. Candidates are the nonempty subsets of the intersection of
+/// the spec's minimal keys — routing inside every key keeps every keyed
+/// mutation single-shard — scored by how many of \p AnticipatedDomS
+/// (the dom(s) column sets the deployment expects to serve; may be
+/// empty) cover the candidate, i.e. stay single-shard. Ties prefer
+/// fewer columns (cheaper hash, coarser partition pressure) and then
+/// lower column ids, so the choice is deterministic. If the minimal
+/// keys share no columns, falls back to the first minimal key itself.
+ColumnSet chooseRoutingColumns(const RelationSpec &Spec,
+                               const std::vector<ColumnSet> &AnticipatedDomS = {});
+
+/// Hash of the routing key read positionally out of a bound argument
+/// frame via a RoutingLayout's slots (ascending routing-column order).
+uint64_t routingHash(const Value *Args, const std::vector<unsigned> &Slots);
+
+/// Hash of the routing key projected from \p T (whose domain must cover
+/// \p Routing); combines values in ascending column-id order, matching
+/// the frame overload exactly.
+uint64_t routingHash(const Tuple &T, ColumnSet Routing);
+
+} // namespace crs
+
+#endif // CRS_PLAN_ROUTING_H

@@ -201,9 +201,12 @@ std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
 }
 
 unsigned ConcurrentRelation::remove(const Tuple &S) {
+  OpGate::Scope G(Gate);
+  // Asserted inside the gate: spec() reads Config, which a migration's
+  // retirement flip reassigns behind the gate barrier — an out-of-gate
+  // read would race the flip (caught by TSan under legacy-op traffic).
   assert(spec().isKey(S.domain()) &&
          "remove requires s to be a key (paper §2)");
-  OpGate::Scope G(Gate);
   return runRemovePlan(*removePlanFor(S.domain()), S);
 }
 
@@ -211,9 +214,10 @@ bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
   assert(!S.domain().intersects(T.domain()) &&
          "insert requires disjoint s and t domains (paper §2)");
   Tuple Full = S.unionWith(T);
+  OpGate::Scope G(Gate);
+  // Inside the gate for the same reason as remove's key assert.
   assert(Full.domain() == spec().allColumns() &&
          "inserted tuple must value every column");
-  OpGate::Scope G(Gate);
   return runInsertPlan(*insertPlanFor(S.domain()), Full);
 }
 

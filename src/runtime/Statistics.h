@@ -71,6 +71,30 @@ struct RelationStatistics {
       Base.EdgeFanout[E] = Edges[E].averageFanout();
     return Base;
   }
+
+  /// Folds \p Other into this snapshot element-wise (a sharded
+  /// relation's per-shard statistics aggregating into one view). Edge
+  /// and node indices are summed positionally, which assumes the
+  /// snapshots come from the same decomposition; mid-way through a
+  /// shard-at-a-time migration the shards briefly disagree, and the
+  /// aggregate is then only an approximation — acceptable for the
+  /// monitoring and tuning paths this feeds.
+  void accumulate(const RelationStatistics &Other) {
+    if (Other.Edges.size() > Edges.size())
+      Edges.resize(Other.Edges.size());
+    for (size_t E = 0; E < Other.Edges.size(); ++E) {
+      Edges[E].Containers += Other.Edges[E].Containers;
+      Edges[E].Entries += Other.Edges[E].Entries;
+    }
+    if (Other.Nodes.size() > Nodes.size())
+      Nodes.resize(Other.Nodes.size());
+    for (size_t N = 0; N < Other.Nodes.size(); ++N) {
+      Nodes[N].Instances += Other.Nodes[N].Instances;
+      Nodes[N].Acquisitions += Other.Nodes[N].Acquisitions;
+      Nodes[N].Contentions += Other.Nodes[N].Contentions;
+    }
+    NodeInstances += Other.NodeInstances;
+  }
 };
 
 } // namespace crs

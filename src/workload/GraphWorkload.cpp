@@ -46,68 +46,6 @@ bool RelationGraphTarget::removeEdge(int64_t Src, int64_t Dst) {
                                 {DstCol, Value::ofInt(Dst)}})) > 0;
 }
 
-/// Position of \p C in a handle's bind-slot layout.
-template <typename Handle>
-static unsigned slotOf(const Handle &H, ColumnId C) {
-  for (unsigned I = 0; I < H.numSlots(); ++I)
-    if (H.slotColumn(I) == C)
-      return I;
-  assert(false && "column not in bind layout");
-  return 0;
-}
-
-PreparedRelationTarget::PreparedRelationTarget(ConcurrentRelation &R)
-    : Rel(&R) {
-  const RelationSpec &Spec = R.spec();
-  ColumnId SrcCol = Spec.catalog().id("src");
-  ColumnId DstCol = Spec.catalog().id("dst");
-  WeightCol = Spec.catalog().id("weight");
-  ColumnSet Key = ColumnSet::of(SrcCol) | ColumnSet::of(DstCol);
-  Succ = R.prepareQuery(ColumnSet::of(SrcCol),
-                        ColumnSet::of(DstCol) | ColumnSet::of(WeightCol));
-  Pred = R.prepareQuery(ColumnSet::of(DstCol),
-                        ColumnSet::of(SrcCol) | ColumnSet::of(WeightCol));
-  Ins = R.prepareInsert(Key);
-  Rem = R.prepareRemove(Key);
-  SuccSlot = slotOf(Succ, SrcCol);
-  PredSlot = slotOf(Pred, DstCol);
-  InsSrc = slotOf(Ins, SrcCol);
-  InsDst = slotOf(Ins, DstCol);
-  InsWeight = slotOf(Ins, WeightCol);
-  RemSrc = slotOf(Rem, SrcCol);
-  RemDst = slotOf(Rem, DstCol);
-}
-
-void PreparedRelationTarget::findSuccessors(int64_t Src) {
-  // Streaming consumption: aggregate the weights without materializing
-  // (or deduplicating) a result vector.
-  int64_t Sum = 0;
-  Succ.bind(SuccSlot, Value::ofInt(Src));
-  Succ.forEach([&](const Tuple &T) { Sum += T.get(WeightCol).asInt(); });
-  doNotOptimize(Sum);
-}
-
-void PreparedRelationTarget::findPredecessors(int64_t Dst) {
-  int64_t Sum = 0;
-  Pred.bind(PredSlot, Value::ofInt(Dst));
-  Pred.forEach([&](const Tuple &T) { Sum += T.get(WeightCol).asInt(); });
-  doNotOptimize(Sum);
-}
-
-bool PreparedRelationTarget::insertEdge(int64_t Src, int64_t Dst,
-                                        int64_t Weight) {
-  Ins.bind(InsSrc, Value::ofInt(Src));
-  Ins.bind(InsDst, Value::ofInt(Dst));
-  Ins.bind(InsWeight, Value::ofInt(Weight));
-  return Ins.execute();
-}
-
-bool PreparedRelationTarget::removeEdge(int64_t Src, int64_t Dst) {
-  Rem.bind(RemSrc, Value::ofInt(Src));
-  Rem.bind(RemDst, Value::ofInt(Dst));
-  return Rem.execute() > 0;
-}
-
 thread_local BatchedRelationTarget::ThreadBuf BatchedRelationTarget::Buf;
 
 uint64_t BatchedRelationTarget::nextTargetId() {

@@ -22,6 +22,8 @@
 #include "baseline/HandcodedGraph.h"
 #include "runtime/ConcurrentRelation.h"
 #include "runtime/PreparedOp.h"
+#include "runtime/ShardedRelation.h"
+#include "support/Compiler.h"
 #include "support/Rng.h"
 
 #include <map>
@@ -103,17 +105,67 @@ private:
   ColumnSet SuccCols, PredCols;
 };
 
-/// GraphTarget over the same relation through prepared handles: plans
-/// resolved at construction, per-call work reduced to slot binds, and
-/// query results streamed (weights aggregated via forEach) instead of
-/// materialized — the prepared-API row of the Fig. 5 comparison.
-class PreparedRelationTarget : public GraphTarget {
+namespace detail {
+
+/// Shared prepared-handle graph target over any relation surface with
+/// prepareQuery/prepareInsert/prepareRemove (a ConcurrentRelation or a
+/// ShardedRelation): plans resolved at construction, per-call work
+/// reduced to slot binds, and query results streamed (weights
+/// aggregated via forEach) instead of materialized.
+template <typename RelT, typename QueryT, typename InsertT,
+          typename RemoveT>
+class PreparedTargetBase : public GraphTarget {
 public:
-  explicit PreparedRelationTarget(ConcurrentRelation &R);
-  void findSuccessors(int64_t Src) override;
-  void findPredecessors(int64_t Dst) override;
-  bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) override;
-  bool removeEdge(int64_t Src, int64_t Dst) override;
+  explicit PreparedTargetBase(RelT &R) : Rel(&R) {
+    const RelationSpec &Spec = R.spec();
+    ColumnId SrcCol = Spec.catalog().id("src");
+    ColumnId DstCol = Spec.catalog().id("dst");
+    WeightCol = Spec.catalog().id("weight");
+    ColumnSet Key = ColumnSet::of(SrcCol) | ColumnSet::of(DstCol);
+    Succ = R.prepareQuery(ColumnSet::of(SrcCol),
+                          ColumnSet::of(DstCol) | ColumnSet::of(WeightCol));
+    Pred = R.prepareQuery(ColumnSet::of(DstCol),
+                          ColumnSet::of(SrcCol) | ColumnSet::of(WeightCol));
+    Ins = R.prepareInsert(Key);
+    Rem = R.prepareRemove(Key);
+    SuccSlot = slotOf(Succ, SrcCol);
+    PredSlot = slotOf(Pred, DstCol);
+    InsSrc = slotOf(Ins, SrcCol);
+    InsDst = slotOf(Ins, DstCol);
+    InsWeight = slotOf(Ins, WeightCol);
+    RemSrc = slotOf(Rem, SrcCol);
+    RemDst = slotOf(Rem, DstCol);
+  }
+
+  void findSuccessors(int64_t Src) override {
+    // Streaming consumption: aggregate the weights without
+    // materializing (or deduplicating) a result vector.
+    int64_t Sum = 0;
+    Succ.bind(SuccSlot, Value::ofInt(Src));
+    Succ.forEach([&](const Tuple &T) { Sum += T.get(WeightCol).asInt(); });
+    doNotOptimize(Sum);
+  }
+
+  void findPredecessors(int64_t Dst) override {
+    int64_t Sum = 0;
+    Pred.bind(PredSlot, Value::ofInt(Dst));
+    Pred.forEach([&](const Tuple &T) { Sum += T.get(WeightCol).asInt(); });
+    doNotOptimize(Sum);
+  }
+
+  bool insertEdge(int64_t Src, int64_t Dst, int64_t Weight) override {
+    Ins.bind(InsSrc, Value::ofInt(Src));
+    Ins.bind(InsDst, Value::ofInt(Dst));
+    Ins.bind(InsWeight, Value::ofInt(Weight));
+    return Ins.execute();
+  }
+
+  bool removeEdge(int64_t Src, int64_t Dst) override {
+    Rem.bind(RemSrc, Value::ofInt(Src));
+    Rem.bind(RemDst, Value::ofInt(Dst));
+    return Rem.execute() > 0;
+  }
+
   size_t size() const override { return Rel->size(); }
   uint64_t restarts() const override { return Rel->restarts(); }
   uint64_t planCacheMisses() const override {
@@ -121,13 +173,34 @@ public:
   }
 
 protected:
-  ConcurrentRelation *Rel;
-  PreparedQuery Succ, Pred;
-  PreparedInsert Ins;
-  PreparedRemove Rem;
+  /// Position of \p C in a handle's bind-slot layout.
+  template <typename Handle>
+  static unsigned slotOf(const Handle &H, ColumnId C) {
+    for (unsigned I = 0; I < H.numSlots(); ++I)
+      if (H.slotColumn(I) == C)
+        return I;
+    assert(false && "column not in bind layout");
+    return 0;
+  }
+
+  RelT *Rel;
+  QueryT Succ, Pred;
+  InsertT Ins;
+  RemoveT Rem;
   ColumnId WeightCol;
   /// Slot indices within each handle's bind layout.
   unsigned SuccSlot, PredSlot, InsSrc, InsDst, InsWeight, RemSrc, RemDst;
+};
+
+} // namespace detail
+
+/// GraphTarget over the same relation through prepared handles — the
+/// prepared-API row of the Fig. 5 comparison.
+class PreparedRelationTarget
+    : public detail::PreparedTargetBase<ConcurrentRelation, PreparedQuery,
+                                        PreparedInsert, PreparedRemove> {
+public:
+  using PreparedTargetBase::PreparedTargetBase;
 };
 
 /// PreparedRelationTarget that additionally coalesces operations into
@@ -163,6 +236,18 @@ private:
 
   static uint64_t nextTargetId();
   void enqueue(BoundOp B);
+};
+
+/// GraphTarget over a hash-partitioned ShardedRelation through sharded
+/// prepared handles — the horizontal-scaling row of the Fig. 5
+/// comparison. With the graph spec's default routing column ({src}),
+/// successor queries, inserts, and removes route to one shard;
+/// predecessor queries fan out across shards with streaming merge.
+class ShardedGraphTarget
+    : public detail::PreparedTargetBase<ShardedRelation, ShardedQuery,
+                                        ShardedInsert, ShardedRemove> {
+public:
+  using PreparedTargetBase::PreparedTargetBase;
 };
 
 /// GraphTarget over the handcoded baseline.

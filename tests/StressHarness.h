@@ -1,0 +1,189 @@
+//===- tests/StressHarness.h - Reusable stress/oracle harness ---*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent stress harness behind the mutation-log oracle tests,
+/// extracted from migration_test so every suite that hammers a target
+/// under a mid-run action (a migration, a shard rollout, a replan) can
+/// reuse it: k worker threads run a random operation mix with disjoint
+/// per-thread src ranges, logging every mutation outcome
+/// (runRandomOpLogged); a caller-supplied action fires on the
+/// controlling thread once the workers have built state; and the logs
+/// replay into the sequentially expected final relation
+/// (replayMutationLogs) — any lost or duplicated effect surfaces as an
+/// outcome mismatch or a final-state diff.
+///
+/// Determinism knobs (environment, so the CI stress lane can turn them
+/// without recompiling):
+///
+///  * CRS_STRESS_SEED  — overrides the test's default seed. Every
+///    failure message should carry StressReport::hint() so the exact
+///    failing run can be replayed.
+///  * CRS_STRESS_OPS_MULT — multiplies the before/after op targets
+///    (the nightly stress lane runs elevated iteration counts).
+///  * CRS_STRESS_THREADS  — overrides the worker thread count.
+///
+/// Note the run is deterministic per *thread log*, not per
+/// interleaving: a seed pins each worker's operation sequence, which is
+/// what the oracle needs, while the schedule stays free to vary — rerun
+/// a seed several times to chase a racy failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_TESTS_STRESSHARNESS_H
+#define CRS_TESTS_STRESSHARNESS_H
+
+#include "workload/GraphWorkload.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace crs {
+namespace stress {
+
+inline uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::strtoull(V, nullptr, 10) : Default;
+}
+
+/// The stress lane's iteration multiplier (CRS_STRESS_OPS_MULT, ≥ 1).
+inline uint64_t opsMultiplier() {
+  uint64_t M = envU64("CRS_STRESS_OPS_MULT", 1);
+  return M ? M : 1;
+}
+
+/// The seed a run will actually use: CRS_STRESS_SEED wins over the
+/// test's default, so a printed failing seed reruns deterministically.
+inline uint64_t resolveSeed(uint64_t Default) {
+  return envU64("CRS_STRESS_SEED", Default);
+}
+
+/// Parameters of one stress run (op targets are scaled by
+/// opsMultiplier(); threads overridden by CRS_STRESS_THREADS).
+struct StressOptions {
+  unsigned Threads = 4;
+  OpMix Mix{30, 20, 30, 20};
+  /// Srcs per worker: each worker t draws src from
+  /// [t*SrcPerThread, (t+1)*SrcPerThread), so the per-thread logs own
+  /// disjoint edge keys and replay exactly. Small = contended.
+  int64_t SrcPerThread = 16;
+  int64_t WeightRange = 1 << 20;
+  uint64_t Seed = 20120611; ///< default; CRS_STRESS_SEED overrides
+  uint64_t OpsBeforeAction = 4000; ///< total ops before MidAction fires
+  uint64_t OpsAfterAction = 4000;  ///< total ops after it returns
+};
+
+/// What a stress run did and what the oracle expects of the survivor.
+struct StressReport {
+  uint64_t Seed = 0;     ///< the seed actually used — print on failure
+  uint64_t TotalOps = 0; ///< operations executed across all workers
+  std::vector<MutationLog> Logs; ///< one per worker, disjoint src ranges
+  /// The replayed oracle: the exact (src, dst) → weight edge set the
+  /// target must now hold.
+  std::map<std::pair<int64_t, int64_t>, int64_t> Expected;
+  /// Outcome mismatches found by the replay (lost/duplicated effects).
+  std::vector<std::string> Errors;
+
+  /// Attach to every assertion message so a failure reruns exactly.
+  std::string hint() const {
+    return "rerun deterministically with CRS_STRESS_SEED=" +
+           std::to_string(Seed);
+  }
+};
+
+/// Runs the mixed workload against \p Target from Opts.Threads workers;
+/// once Opts.OpsBeforeAction total ops have executed, \p MidAction runs
+/// on the calling thread under live traffic (it may migrate, replan,
+/// sample — anything legal under traffic); after Opts.OpsAfterAction
+/// more ops the workers stop, drain, and the logs replay into the
+/// oracle. The target must have immediate effects (not
+/// BatchedRelationTarget — logged outcomes are checked).
+inline StressReport
+runStressWithOracle(GraphTarget &Target, const StressOptions &Opts,
+                    const std::function<void()> &MidAction = nullptr) {
+  StressReport Rep;
+  Rep.Seed = resolveSeed(Opts.Seed);
+  const uint64_t Mult = opsMultiplier();
+  const uint64_t Before = Opts.OpsBeforeAction * Mult;
+  const uint64_t After = Opts.OpsAfterAction * Mult;
+  const unsigned Threads = static_cast<unsigned>(
+      envU64("CRS_STRESS_THREADS", Opts.Threads));
+
+  Rep.Logs.assign(Threads, {});
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Ops{0};
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      KeySpace Keys{Opts.SrcPerThread, Opts.WeightRange,
+                    static_cast<int64_t>(T) * Opts.SrcPerThread};
+      Xoshiro256 Rng(Rep.Seed * 0x9e3779b9 + 7919 * T + T);
+      while (!Stop.load(std::memory_order_acquire)) {
+        runRandomOpLogged(Target, Opts.Mix, Keys, Rng, &Rep.Logs[T]);
+        Ops.fetch_add(1, std::memory_order_relaxed);
+      }
+      Target.threadFinish();
+    });
+
+  while (Ops.load(std::memory_order_relaxed) < Before)
+    std::this_thread::yield();
+  if (MidAction)
+    MidAction();
+  const uint64_t Mark = Ops.load(std::memory_order_relaxed);
+  while (Ops.load(std::memory_order_relaxed) < Mark + After)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &W : Workers)
+    W.join();
+
+  Rep.TotalOps = Ops.load(std::memory_order_relaxed);
+  Rep.Expected = replayMutationLogs(Rep.Logs, &Rep.Errors);
+  return Rep;
+}
+
+/// Diffs a final scanned state against the oracle's expected edge set;
+/// returns human-readable differences (empty means exact agreement —
+/// no phantom, lost, or rewritten edges).
+inline std::vector<std::string> diffFinalState(
+    const std::vector<Tuple> &Final, const RelationSpec &Spec,
+    const std::map<std::pair<int64_t, int64_t>, int64_t> &Expected) {
+  std::vector<std::string> Diffs;
+  ColumnId Src = Spec.col("src"), Dst = Spec.col("dst"),
+           Weight = Spec.col("weight");
+  size_t Matched = 0;
+  for (const Tuple &T : Final) {
+    auto Key = std::make_pair(T.get(Src).asInt(), T.get(Dst).asInt());
+    auto It = Expected.find(Key);
+    if (It == Expected.end()) {
+      Diffs.push_back("phantom edge (" + std::to_string(Key.first) + ", " +
+                      std::to_string(Key.second) + ")");
+      continue;
+    }
+    ++Matched;
+    if (T.get(Weight).asInt() != It->second)
+      Diffs.push_back("edge (" + std::to_string(Key.first) + ", " +
+                      std::to_string(Key.second) + ") weight " +
+                      std::to_string(T.get(Weight).asInt()) + " != expected " +
+                      std::to_string(It->second));
+  }
+  if (Matched != Expected.size())
+    Diffs.push_back("final state holds " + std::to_string(Matched) +
+                    " of " + std::to_string(Expected.size()) +
+                    " expected edges (rest lost)");
+  return Diffs;
+}
+
+} // namespace stress
+} // namespace crs
+
+#endif // CRS_TESTS_STRESSHARNESS_H

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "StressHarness.h"
 #include "autotune/Autotuner.h"
 #include "decomp/Shapes.h"
 #include "lockplace/PlacementSchemes.h"
@@ -381,53 +382,26 @@ TEST(Migration, FourThreadMixedWorkloadMigratedMidRunMatchesOracle) {
   ConcurrentRelation R(From);
   PreparedRelationTarget Target(R);
 
-  constexpr unsigned NumThreads = 4;
-  constexpr int64_t SrcPerThread = 16; // small: contended keys
-  const OpMix Mix{30, 20, 30, 20};
-  std::vector<MutationLog> Logs(NumThreads);
-  std::atomic<bool> Stop{false};
-  std::atomic<uint64_t> Ops{0};
-
-  std::vector<std::thread> Threads;
-  for (unsigned T = 0; T < NumThreads; ++T)
-    Threads.emplace_back([&, T] {
-      // Disjoint src ranges make the per-thread logs an exact oracle.
-      KeySpace Keys{SrcPerThread, 1 << 20, T * SrcPerThread};
-      Xoshiro256 Rng(7000 + T);
-      while (!Stop.load(std::memory_order_acquire)) {
-        runRandomOpLogged(Target, Mix, Keys, Rng, &Logs[T]);
-        Ops.fetch_add(1, std::memory_order_relaxed);
-      }
-    });
-
   // Let traffic build some state, migrate under it, let traffic finish
-  // on the new representation.
-  while (Ops.load(std::memory_order_relaxed) < 4000)
-    std::this_thread::yield();
-  MigrationResult Res = R.migrateTo(splitStriped(), nullptr);
-  uint64_t OpsAfterSwap = Ops.load(std::memory_order_relaxed);
-  while (Ops.load(std::memory_order_relaxed) < OpsAfterSwap + 4000)
-    std::this_thread::yield();
-  Stop.store(true, std::memory_order_release);
-  for (auto &T : Threads)
-    T.join();
+  // on the new representation (tests/StressHarness.h; srcs are disjoint
+  // per worker so the logs are an exact oracle).
+  stress::StressOptions Opts;
+  Opts.Seed = 7000;
+  MigrationResult Res;
+  stress::StressReport Rep = stress::runStressWithOracle(
+      Target, Opts, [&] { Res = R.migrateTo(splitStriped(), nullptr); });
   ASSERT_TRUE(Res.Ok) << Res.Error;
 
   // Oracle: replay the logs; any lost or duplicated effect shows up
   // either as an outcome mismatch or as a final-state difference.
-  std::vector<std::string> Errors;
-  auto Expected = replayMutationLogs(Logs, &Errors);
-  EXPECT_TRUE(Errors.empty())
-      << Errors.size() << " mismatches, first: " << Errors[0];
-  EXPECT_EQ(R.size(), Expected.size());
-  std::vector<Tuple> Final = R.scanAll();
-  ASSERT_EQ(Final.size(), Expected.size());
-  for (const Tuple &T : Final) {
-    auto It = Expected.find({T.get(Spec.col("src")).asInt(),
-                             T.get(Spec.col("dst")).asInt()});
-    ASSERT_NE(It, Expected.end()) << "phantom edge in the migrated relation";
-    EXPECT_EQ(T.get(Spec.col("weight")).asInt(), It->second);
-  }
+  EXPECT_TRUE(Rep.Errors.empty()) << Rep.Errors.size()
+                                  << " mismatches, first: " << Rep.Errors[0]
+                                  << "; " << Rep.hint();
+  EXPECT_EQ(R.size(), Rep.Expected.size()) << Rep.hint();
+  std::vector<std::string> Diffs =
+      stress::diffFinalState(R.scanAll(), Spec, Rep.Expected);
+  EXPECT_TRUE(Diffs.empty()) << Diffs.size() << " diffs, first: " << Diffs[0]
+                             << "; " << Rep.hint();
   EXPECT_TRUE(R.verifyConsistency().ok()) << R.verifyConsistency().str();
 }
 
