@@ -71,11 +71,21 @@ double OnlineTuner::scoreRepresentation(
   // signature counters would put another shared write on the hot
   // path; the kind split is measured, the within-kind split assumed).
   unsigned KindSigs[3] = {0, 0, 0}; // query / insert / remove
-  auto KindOf = [](PlanOp Op) { return Op == PlanOp::Query ? 0
-                                       : Op == PlanOp::Insert ? 1
-                                                              : 2; };
+  auto IsUndo = [](PlanOp Op) {
+    // Undo signatures execute only on transaction aborts, which the
+    // per-kind operation counters do not track: excluded from scoring.
+    return Op == PlanOp::UndoInsert || Op == PlanOp::UndoRemove;
+  };
+  auto KindOf = [&](PlanOp Op) {
+    // Transactional reads (QueryForUpdate) count as queries.
+    assert(!IsUndo(Op) && "undo signatures are excluded from the mix");
+    return Op == PlanOp::Query || Op == PlanOp::QueryForUpdate ? 0
+           : Op == PlanOp::Insert                              ? 1
+                                                               : 2;
+  };
   for (const PlanCache::Signature &Sig : Sigs)
-    ++KindSigs[KindOf(Sig.Op)];
+    if (!IsUndo(Sig.Op))
+      ++KindSigs[KindOf(Sig.Op)];
   double Tot = static_cast<double>(Mix.total());
   auto KindShare = [&](unsigned Kind) {
     if (Tot == 0) // no measured ops: weight every signature equally
@@ -89,6 +99,8 @@ double OnlineTuner::scoreRepresentation(
 
   double SerialCost = 0;
   for (const PlanCache::Signature &Sig : Sigs) {
+    if (IsUndo(Sig.Op))
+      continue;
     double W = KindShare(KindOf(Sig.Op));
     if (W == 0.0)
       continue;
@@ -98,6 +110,9 @@ double OnlineTuner::scoreRepresentation(
     case PlanOp::Query:
       P = Planner.planQuery(Dom, ColumnSet::fromBits(Sig.Out));
       break;
+    case PlanOp::QueryForUpdate:
+      P = Planner.planQueryForUpdate(Dom, ColumnSet::fromBits(Sig.Out));
+      break;
     case PlanOp::Insert:
       P = Planner.planInsert(Dom);
       break;
@@ -105,6 +120,9 @@ double OnlineTuner::scoreRepresentation(
     case PlanOp::RemoveLocate:
       P = Planner.planRemove(Dom);
       break;
+    case PlanOp::UndoInsert:
+    case PlanOp::UndoRemove:
+      continue; // abort-path only; excluded from the served mix
     }
     SerialCost += W * Planner.cost(P);
   }

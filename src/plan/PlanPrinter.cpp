@@ -127,3 +127,37 @@ std::string Plan::str() const {
   Emit(varName(ResultVar));
   return Out;
 }
+
+/// Header tag for the transactional explain transcript.
+static const char *opTag(PlanOp Op) {
+  switch (Op) {
+  case PlanOp::Query:
+    return "query";
+  case PlanOp::RemoveLocate:
+    return "remove-locate";
+  case PlanOp::Remove:
+    return "remove";
+  case PlanOp::Insert:
+    return "insert";
+  case PlanOp::QueryForUpdate:
+    return "query-for-update";
+  case PlanOp::UndoInsert:
+    return "undo-insert";
+  case PlanOp::UndoRemove:
+    return "undo-remove";
+  }
+  crs_unreachable("unknown plan op");
+}
+
+std::string crs::explainTxn(const Plan &Forward, const Plan &Inverse) {
+  assert(Forward.Decomp && Inverse.Decomp && "explaining unbound plans");
+  const ColumnCatalog &Cat = Forward.Decomp->spec().catalog();
+  std::string Out;
+  Out += "== forward: " + std::string(opTag(Forward.Op)) +
+         " s=" + Cat.str(Forward.DomS) + " ==\n";
+  Out += Forward.str();
+  Out += "== inverse (undo-log replay on abort): " +
+         std::string(opTag(Inverse.Op)) + " over the full tuple ==\n";
+  Out += Inverse.str();
+  return Out;
+}

@@ -114,9 +114,11 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
     if (IsWrite(St.K)) {
       if (Shrinking)
         Err(Where + "write after unlock violates two-phase structure");
-      if (P.Op == PlanOp::Query || P.Op == PlanOp::RemoveLocate)
+      if (P.Op == PlanOp::Query || P.Op == PlanOp::RemoveLocate ||
+          P.Op == PlanOp::QueryForUpdate)
         Err(Where + "write statement in a read-only plan");
-      if (P.Op == PlanOp::Insert && !GuardSeen)
+      if ((P.Op == PlanOp::Insert || P.Op == PlanOp::UndoRemove) &&
+          !GuardSeen)
         Err(Where + "insert write precedes the put-if-absent guard");
     }
     switch (St.K) {
@@ -330,21 +332,31 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
   }
 
   // A dual-write epilogue replays the committed operation exactly once,
-  // and only mutations have one (queries stay on the source
-  // representation until a migration's final swap).
+  // and only forward mutations have one: queries stay on the source
+  // representation until a migration's final swap, and undo plans
+  // replay from a transaction's abort path — transactional mirroring
+  // is buffered at commit and discarded on abort, so an inverse plan
+  // must never carry its own epilogue.
   if (MirrorStmts > 1)
     Err("plan has more than one mirror-write epilogue");
-  if (MirrorStmts != 0 && P.Op != PlanOp::Insert && P.Op != PlanOp::Remove)
-    Err("mirror-write in a non-mutation plan");
+  if (MirrorStmts != 0 && P.Op != PlanOp::Insert && P.Op != PlanOp::Remove) {
+    if (P.Op == PlanOp::UndoInsert || P.Op == PlanOp::UndoRemove)
+      Err("undo plan carries a mirror-write epilogue");
+    else
+      Err("mirror-write in a non-mutation plan");
+  }
 
   // Per-operation completeness: a mutation plan must write every edge it
   // is responsible for, or the paths of the decomposition would diverge
-  // on the represented relation.
+  // on the represented relation. The undo kinds are held to the exact
+  // rules of the operations they invert.
   switch (P.Op) {
   case PlanOp::Query:
   case PlanOp::RemoveLocate:
+  case PlanOp::QueryForUpdate:
     break;
-  case PlanOp::Insert: {
+  case PlanOp::Insert:
+  case PlanOp::UndoRemove: {
     if (GuardCount != 1)
       Err("insert plan needs exactly one put-if-absent guard");
     if (CountStmts != 1 || CountDelta != 1)
@@ -359,7 +371,8 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
         Err("insert plan never writes edge " + EdgeName(E));
     break;
   }
-  case PlanOp::Remove: {
+  case PlanOp::Remove:
+  case PlanOp::UndoInsert: {
     if (GuardCount != 0)
       Err("remove plan has a put-if-absent guard");
     if (CountStmts != 1 || CountDelta != -1)
@@ -378,7 +391,8 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
   // or all of its stripes) so concurrent guessing readers either see
   // the committed state or restart.
   if (P.Op == PlanOp::Insert || P.Op == PlanOp::Remove ||
-      P.Op == PlanOp::RemoveLocate) {
+      P.Op == PlanOp::RemoveLocate || P.Op == PlanOp::UndoInsert ||
+      P.Op == PlanOp::UndoRemove) {
     for (const auto &E : D.edges()) {
       if (!LP.edgePlacement(E.Id).Speculative)
         continue;

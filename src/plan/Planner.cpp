@@ -381,6 +381,10 @@ Plan QueryPlanner::planRemoveLocate(ColumnSet DomS) const {
 }
 
 Plan QueryPlanner::planRemove(ColumnSet DomS) const {
+  return planRemoveCore(DomS, EmitMirrorWrites);
+}
+
+Plan QueryPlanner::planRemoveCore(ColumnSet DomS, bool Mirror) const {
   // The locate traversal, with the write epilogue spliced in front of
   // the cosmetic unlocks: erase the matched tuple's entries bottom-up
   // (reverse topological order), cascading husk cleanup — a node
@@ -422,7 +426,7 @@ Plan QueryPlanner::planRemove(ColumnSet DomS) const {
   // on the shadow representation while the exclusive source locks are
   // still held, so no operation can observe the representations
   // disagreeing. InVar gates the replay on the locate having matched.
-  if (EmitMirrorWrites) {
+  if (Mirror) {
     PlanStmt M;
     M.K = PlanStmt::Kind::MirrorWrite;
     M.InVar = P.ResultVar;
@@ -436,6 +440,10 @@ Plan QueryPlanner::planRemove(ColumnSet DomS) const {
 }
 
 Plan QueryPlanner::planInsert(ColumnSet DomS) const {
+  return planInsertCore(DomS, EmitMirrorWrites);
+}
+
+Plan QueryPlanner::planInsertCore(ColumnSet DomS, bool Mirror) const {
   const Decomposition &D = *Decomp;
   const LockPlacement &LP = *Placement;
   ColumnSet All = D.spec().allColumns();
@@ -549,7 +557,7 @@ Plan QueryPlanner::planInsert(ColumnSet DomS) const {
   // reaches this statement, so the replay runs exactly when the insert
   // won — the shadow's own put-if-absent makes it idempotent against
   // the backfill having copied the tuple first.
-  if (EmitMirrorWrites) {
+  if (Mirror) {
     PlanStmt M;
     M.K = PlanStmt::Kind::MirrorWrite;
     M.InVar = CurVar;
@@ -566,5 +574,82 @@ Plan QueryPlanner::planInsert(ColumnSet DomS) const {
   P.ResultVar = CurVar;
 
   assert(checkPlanValidity(P).ok() && "insert plan must be valid");
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Transaction-support plans (src/txn)
+//===----------------------------------------------------------------------===//
+
+Plan QueryPlanner::planQueryForUpdate(ColumnSet DomS, ColumnSet C) const {
+  // Same traversal enumeration as planQuery, built in mutation mode:
+  // every lock exclusive, speculative edges on the §4.5 writer protocol
+  // (plain lookup/scan under the exclusive absent-case host lock, then
+  // the target locked at its own topological position), so the plan
+  // never speculates — inside a transaction a restart must not be
+  // triggered by a wrong guess, only by a lock conflict the scope can
+  // act on.
+  ColumnSet Target = DomS | C;
+  std::vector<std::vector<EdgeId>> Seqs;
+  std::vector<EdgeId> Scratch;
+  enumerateSeqs(ColumnSet::empty(), Target, 1ULL << Decomp->root(), 0,
+                Scratch, Seqs);
+  std::optional<Plan> Best;
+  double BestCost = 0.0;
+  for (const auto &Seq : Seqs) {
+    std::optional<Plan> P = buildPlan(Seq, DomS, C, /*ForMutation=*/true);
+    if (!P)
+      continue;
+    double Cost = estimatePlanCost(*P, Params);
+    if (!Best || Cost < BestCost ||
+        (Cost == BestCost && P->Stmts.size() < Best->Stmts.size())) {
+      Best = std::move(P);
+      BestCost = Cost;
+    }
+  }
+  // Some traversals reject the exclusive lock schedule (a speculative
+  // scan whose host lock was already emitted narrower, say); when they
+  // all do, the full locate walk of planRemoveLocate is valid for every
+  // shape and covers any output columns.
+  Plan P = Best ? std::move(*Best) : planRemoveLocate(DomS);
+  P.Op = PlanOp::QueryForUpdate;
+  P.OutputCols = Best ? C : Decomp->spec().allColumns();
+  assert(checkPlanValidity(P).ok() && "for-update query plan must be valid");
+  return P;
+}
+
+Plan QueryPlanner::planUndoInsert() const {
+  // The compensating remove executes with the undo log's *full* tuple:
+  // keyed on every column, each locate step is a lookup and each
+  // hosted-edge stripe selector hashes bound columns, which keeps the
+  // undo's acquisitions on the stripes the forward insert already
+  // holds.
+  Plan P = planRemoveCore(Decomp->spec().allColumns(), /*Mirror=*/false);
+  P.Op = PlanOp::UndoInsert;
+  // Narrow the §4.5 present-target duty from all stripes to stripe 0,
+  // matching the forward insert's schedule exactly: with every column
+  // bound, hosted-edge selectors are always by-columns, so any
+  // remaining all-stripes selector is a present-target duty — and an
+  // undo must never *need* a lock the scope might not already hold
+  // (stripe 0 suffices for the writer protocol; the locate's reads are
+  // covered by the by-columns selectors).
+  for (PlanStmt &St : P.Stmts)
+    if (St.K == PlanStmt::Kind::Lock)
+      for (StripeSel &Sel : St.Sels)
+        if (Sel.allStripes())
+          Sel = StripeSel::first();
+  assert(checkPlanValidity(P).ok() && "undo-insert plan must be valid");
+  return P;
+}
+
+Plan QueryPlanner::planUndoRemove() const {
+  // The compensating insert re-inserts the captured tuple with
+  // dom(s) = all columns: the membership check degenerates to keyed
+  // lookups of the tuple itself, and the guard passes because the
+  // transaction's retained exclusive locks kept the key absent since
+  // the forward remove committed.
+  Plan P = planInsertCore(Decomp->spec().allColumns(), /*Mirror=*/false);
+  P.Op = PlanOp::UndoRemove;
+  assert(checkPlanValidity(P).ok() && "undo-remove plan must be valid");
   return P;
 }

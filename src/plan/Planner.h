@@ -68,6 +68,31 @@ public:
   /// (CreateNode top-down, InsertEdge for every edge, UpdateCount).
   Plan planInsert(ColumnSet DomS) const;
 
+  /// \name Transaction-support plans (src/txn)
+  /// @{
+
+  /// Compiles `query r s C` to run under *exclusive* locks — the read
+  /// arm of a transaction (PlanOp::QueryForUpdate). Enumerates the same
+  /// traversals as planQuery but locks in mutation mode (speculative
+  /// edges switch to the §4.5 writer protocol, which never restarts);
+  /// when no enumerated traversal admits the exclusive lock schedule,
+  /// falls back to the always-valid full locate walk of
+  /// planRemoveLocate.
+  Plan planQueryForUpdate(ColumnSet DomS, ColumnSet C) const;
+
+  /// Compiles the inverse of an insert (PlanOp::UndoInsert): a remove
+  /// plan keyed on *every* column, executed with the undo log's full
+  /// tuple, so each locate step is a keyed lookup and each stripe
+  /// selector hashes bound columns. Never mirrors (see PlanOp).
+  Plan planUndoInsert() const;
+
+  /// Compiles the inverse of a remove (PlanOp::UndoRemove): a
+  /// put-if-absent insert keyed on every column, re-inserting the undo
+  /// log's captured tuple. Never mirrors (see PlanOp).
+  Plan planUndoRemove() const;
+
+  /// @}
+
   double cost(const Plan &P) const { return estimatePlanCost(P, Params); }
 
   const CostParams &costParams() const { return Params; }
@@ -94,6 +119,12 @@ private:
   std::optional<Plan> buildPlan(const std::vector<EdgeId> &Seq,
                                 ColumnSet DomS, ColumnSet OutputCols,
                                 bool ForMutation) const;
+
+  /// The shared cores behind planRemove/planUndoInsert and
+  /// planInsert/planUndoRemove: \p Mirror controls the MirrorWrite
+  /// epilogue (undo plans never carry one).
+  Plan planRemoveCore(ColumnSet DomS, bool Mirror) const;
+  Plan planInsertCore(ColumnSet DomS, bool Mirror) const;
 
   void enumerateSeqs(ColumnSet Confirmed, ColumnSet Target,
                      uint64_t BoundNodes, uint64_t UsedEdges,

@@ -159,6 +159,33 @@ enum class PlanOp : uint8_t {
   RemoveLocate, ///< the locate phase of remove alone (tests, explain)
   Remove,       ///< remove r s: locate + erase epilogue + count
   Insert,       ///< insert r s t: resolve/lock + absence guard + writes
+
+  // -- Transaction-support operations (src/txn). These share the plan
+  //    cache with the base kinds (the signature includes the op), so a
+  //    transaction's plan resolution stays on the wait-free hot path.
+
+  /// query r s C under *exclusive* locks: the read arm of a
+  /// multi-operation transaction. Transactions retain every lock until
+  /// commit, and shared→exclusive upgrades are not upgradable on a
+  /// shared_mutex, so transactional reads lock exclusively up front
+  /// (conservative strict 2PL) — a later mutation in the same scope
+  /// re-finds its locks already held instead of deadlocking on an
+  /// upgrade.
+  QueryForUpdate,
+  /// The inverse of a committed insert: a full-tuple-keyed remove plan
+  /// replayed from a transaction's undo log on abort. Compiled with
+  /// every column bound, so every locate step is a keyed lookup and
+  /// every stripe selector hashes bound columns — the undo's lock set
+  /// stays within (or try-acquirable beside) the forward op's. Never
+  /// carries a MirrorWrite epilogue: transactional mirroring is
+  /// buffered and flushed at commit, and aborts discard the buffer.
+  UndoInsert,
+  /// The inverse of a committed remove: a put-if-absent insert plan
+  /// re-inserting the removed tuple (captured in full by the undo log).
+  /// The absence guard cannot trip under the transaction's retained
+  /// exclusive locks, which also makes replay idempotent. No
+  /// MirrorWrite epilogue, as for UndoInsert.
+  UndoRemove,
 };
 
 /// A complete compiled plan for one relational operation (or for the
@@ -193,6 +220,13 @@ struct Plan {
   /// (2)-(4)); implemented in PlanPrinter.cpp.
   std::string str() const;
 };
+
+/// Renders a transactional operation pair — the forward mutation plan
+/// and the inverse plan its undo-log entry replays on abort — as one
+/// annotated transcript (PlanPrinter.cpp). The explain surface of the
+/// txn subsystem: ConcurrentRelation::explainTxn resolves both plans
+/// and forwards here.
+std::string explainTxn(const Plan &Forward, const Plan &Inverse);
 
 } // namespace crs
 

@@ -98,6 +98,38 @@ const Plan *ConcurrentRelation::insertPlanFor(ColumnSet DomS) const {
   });
 }
 
+const Plan *ConcurrentRelation::queryForUpdatePlanFor(ColumnSet DomS,
+                                                      ColumnSet C) const {
+  return Plans.getOrCompile(PlanOp::QueryForUpdate, DomS.bits(), C.bits(),
+                            [&] {
+                              std::lock_guard<std::mutex> Guard(PlannerMutex);
+                              Plan P = Planner.planQueryForUpdate(DomS, C);
+                              P.Epoch =
+                                  PlanEpoch.load(std::memory_order_relaxed);
+                              return P;
+                            });
+}
+
+const Plan *ConcurrentRelation::undoInsertPlan() const {
+  ColumnSet All = spec().allColumns();
+  return Plans.getOrCompile(PlanOp::UndoInsert, All.bits(), 0, [&] {
+    std::lock_guard<std::mutex> Guard(PlannerMutex);
+    Plan P = Planner.planUndoInsert();
+    P.Epoch = PlanEpoch.load(std::memory_order_relaxed);
+    return P;
+  });
+}
+
+const Plan *ConcurrentRelation::undoRemovePlan() const {
+  ColumnSet All = spec().allColumns();
+  return Plans.getOrCompile(PlanOp::UndoRemove, All.bits(), 0, [&] {
+    std::lock_guard<std::mutex> Guard(PlannerMutex);
+    Plan P = Planner.planUndoRemove();
+    P.Epoch = PlanEpoch.load(std::memory_order_relaxed);
+    return P;
+  });
+}
+
 const Plan *ConcurrentRelation::resolvePlan(PlanOp Op, ColumnSet DomS,
                                             ColumnSet C) const {
   switch (Op) {
@@ -107,6 +139,12 @@ const Plan *ConcurrentRelation::resolvePlan(PlanOp Op, ColumnSet DomS,
     return insertPlanFor(DomS);
   case PlanOp::Remove:
     return removePlanFor(DomS);
+  case PlanOp::QueryForUpdate:
+    return queryForUpdatePlanFor(DomS, C);
+  case PlanOp::UndoInsert:
+    return undoInsertPlan();
+  case PlanOp::UndoRemove:
+    return undoRemovePlan();
   case PlanOp::RemoveLocate:
     break;
   }
@@ -127,11 +165,22 @@ std::string ConcurrentRelation::explainInsert(ColumnSet DomS) const {
   return insertPlanFor(DomS)->str();
 }
 
+std::string ConcurrentRelation::explainTxn(PlanOp Op, ColumnSet DomS) const {
+  assert((Op == PlanOp::Insert || Op == PlanOp::Remove) &&
+         "explainTxn takes a mutation kind");
+  const Plan *Forward =
+      Op == PlanOp::Insert ? insertPlanFor(DomS) : removePlanFor(DomS);
+  const Plan *Inverse =
+      Op == PlanOp::Insert ? undoInsertPlan() : undoRemovePlan();
+  return crs::explainTxn(*Forward, *Inverse);
+}
+
 uint32_t
 ConcurrentRelation::runQueryPlan(const Plan &P, const Tuple &Input,
                                  function_ref<void(const Tuple &)> Visit) const {
   NumQueries.fetch_add(1, std::memory_order_relaxed);
   ExecContext &Ctx = ExecContext::current();
+  Ctx.Locks.setOrderDomain(0, LockDomain);
   for (unsigned Attempt = 0;; ++Attempt) {
     OpScope Scope(Ctx);
     if (Executor.run(P, Input, Root, Ctx) == ExecStatus::Ok) {
@@ -157,6 +206,7 @@ ConcurrentRelation::runQueryPlan(const Plan &P, const Tuple &Input,
 unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
   NumRemoves.fetch_add(1, std::memory_order_relaxed);
   ExecContext &Ctx = ExecContext::current();
+  Ctx.Locks.setOrderDomain(0, LockDomain);
   Ctx.Count = &Count;
   // Dual-write: plans compiled during a migration carry a MirrorWrite
   // epilogue that replays the committed mutation into this sink.
@@ -174,6 +224,7 @@ unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
 bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
   NumInserts.fetch_add(1, std::memory_order_relaxed);
   ExecContext &Ctx = ExecContext::current();
+  Ctx.Locks.setOrderDomain(0, LockDomain);
   Ctx.Count = &Count;
   Ctx.Mirror = ActiveMirror.load(std::memory_order_acquire);
   OpScope Scope(Ctx);

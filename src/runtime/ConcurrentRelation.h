@@ -43,6 +43,8 @@ namespace crs {
 class PreparedQuery;
 class PreparedInsert;
 class PreparedRemove;
+class Transaction;
+class ShardedTransaction;
 namespace detail {
 class PreparedOpImpl;
 }
@@ -120,6 +122,11 @@ public:
   /// The compiled insert plan (resolve/lock schedule + put-if-absent
   /// guard + write phase) for dom(s) = \p DomS.
   std::string explainInsert(ColumnSet DomS) const;
+  /// The transactional pair for a mutation signature: the forward plan
+  /// (insert or remove, per \p Op) and the inverse plan a transaction's
+  /// undo log replays on abort, as one annotated transcript
+  /// (crs::explainTxn in the plan printer).
+  std::string explainTxn(PlanOp Op, ColumnSet DomS) const;
 
   /// Total speculative / out-of-order transaction restarts so far.
   uint64_t restarts() const { return Restarts.load(std::memory_order_relaxed); }
@@ -210,8 +217,18 @@ public:
   /// All tuples, via a serializable full scan (test/debug convenience).
   std::vector<Tuple> scanAll() const;
 
+  /// Debug lock-order validation: places this relation's acquisitions
+  /// in the cross-set domain order (sync/LockOrderValidator.h). The
+  /// default ordinal 0 suits a standalone relation; ShardedRelation
+  /// numbers its shards so cross-shard transaction scopes are checked
+  /// against the shard-index acquisition discipline.
+  void setLockDomainOrdinal(uint32_t Ordinal) { LockDomain = Ordinal; }
+  uint32_t lockDomainOrdinal() const { return LockDomain; }
+
 private:
   friend class detail::PreparedOpImpl;
+  friend class Transaction;
+  friend class ShardedTransaction;
 
   RepresentationConfig Config;
   CostParams BaseCostParams;
@@ -229,6 +246,9 @@ private:
   NodeInstPtr Root;
   std::atomic<size_t> Count{0};
   mutable std::atomic<uint64_t> Restarts{0};
+  /// Cross-set lock-order domain ordinal (debug validator; see
+  /// setLockDomainOrdinal).
+  uint32_t LockDomain = 0;
   /// Bumped by adaptPlans() after clearing the cache (release), so a
   /// handle that acquires the new value observes the cleared cache.
   std::atomic<uint64_t> PlanEpoch{0};
@@ -261,6 +281,13 @@ private:
   const Plan *queryPlanFor(ColumnSet DomS, ColumnSet C) const;
   const Plan *removePlanFor(ColumnSet DomS) const;
   const Plan *insertPlanFor(ColumnSet DomS) const;
+  /// Transaction-support plans (src/txn): the exclusive-mode read plan
+  /// per (dom(s), C) signature, and the two inverse plans (one each per
+  /// relation — both key on the full tuple) a transaction's undo log
+  /// replays on abort. Cached like every other signature.
+  const Plan *queryForUpdatePlanFor(ColumnSet DomS, ColumnSet C) const;
+  const Plan *undoInsertPlan() const;
+  const Plan *undoRemovePlan() const;
   /// Signature-keyed dispatch over the three compile paths (prepared
   /// handles rebinding after adaptPlans()).
   const Plan *resolvePlan(PlanOp Op, ColumnSet DomS, ColumnSet C) const;

@@ -40,7 +40,15 @@ void ExecContext::reset() {
 void ExecContext::begin(uint32_t NumNodes, PlanVar NumVars,
                         const Tuple &Input, NodeInstPtr Root,
                         NodeId RootNode) {
-  reset();
+  if (Txn) {
+    // Transaction scope: locks are retained to commit and the pool must
+    // keep every instance they live on pinned, so only the state arena
+    // and the variable table rewind between the scope's plans.
+    NumStates = 0;
+    Vars.clear();
+  } else {
+    reset();
+  }
   Stride = NumNodes;
   Vars.assign(NumVars, {});
   uint32_t RootIdx = intern(std::move(Root));
@@ -108,6 +116,38 @@ static uint32_t stripeIndex(const Tuple &T, ColumnSet Cols, uint32_t Count) {
   return static_cast<uint32_t>(T.project(Cols).hash() % Count);
 }
 
+/// One lock acquisition, transaction-aware. Outside a transaction:
+/// blocking when \p SpecSite is false (plan statements arrive in the
+/// global order), the §4.5 in-order/try split when true. Inside a
+/// transaction scope the set's MaxKey spans every chained op, so any
+/// site may legitimately fall out of order: LockSet::acquireTxn blocks
+/// only in order (and only when the scope's ForceTry discipline
+/// permits), tries otherwise, and a failed try or an upgrade request
+/// surfaces as Restart for the transaction layer's bounded wait-die
+/// path.
+static ExecStatus acquireStmt(ExecContext &Ctx, PhysicalLock &Lock,
+                              const LockOrderKey &Key, LockMode Mode,
+                              bool SpecSite) {
+  if (Ctx.Txn) {
+    switch (Ctx.Locks.acquireTxn(Lock, Key, Mode, !Ctx.Txn->ForceTry)) {
+    case TxnAcquire::Ok:
+      return ExecStatus::Ok;
+    case TxnAcquire::Upgrade:
+      Ctx.Txn->SawUpgrade = true;
+      return ExecStatus::Restart;
+    case TxnAcquire::WouldBlock:
+      return ExecStatus::Restart;
+    }
+  }
+  if (!SpecSite || Ctx.Locks.inOrder(Key)) {
+    Ctx.Locks.acquire(Lock, Key, Mode);
+    return ExecStatus::Ok;
+  }
+  return Ctx.Locks.tryAcquire(Lock, Key, Mode) == AcquireResult::Ok
+             ? ExecStatus::Ok
+             : ExecStatus::Restart;
+}
+
 ExecStatus PlanExecutor::execLock(const PlanStmt &St, ExecContext &Ctx) const {
   struct Req {
     LockOrderKey Key;
@@ -151,7 +191,9 @@ ExecStatus PlanExecutor::execLock(const PlanStmt &St, ExecContext &Ctx) const {
     std::sort(Reqs.begin(), Reqs.end(), InOrder);
   }
   for (const Req &Q : Reqs)
-    Ctx.Locks.acquire(*Q.Lock, Q.Key, St.Mode);
+    if (acquireStmt(Ctx, *Q.Lock, Q.Key, St.Mode, /*SpecSite=*/false) !=
+        ExecStatus::Ok)
+      return ExecStatus::Restart;
   return ExecStatus::Ok;
 }
 
@@ -239,12 +281,9 @@ ExecStatus PlanExecutor::execSpecLookup(const PlanStmt &St,
       // when the verify fails and the transaction restarts.
       uint32_t GuessIdx = Ctx.intern(Guess);
       LockOrderKey OKey = orderKey(E.Dst, *Guess, 0);
-      if (Ctx.Locks.inOrder(OKey)) {
-        Ctx.Locks.acquire(Guess->Stripes[0], OKey, St.Mode);
-      } else if (Ctx.Locks.tryAcquire(Guess->Stripes[0], OKey, St.Mode) !=
-                 AcquireResult::Ok) {
+      if (acquireStmt(Ctx, Guess->Stripes[0], OKey, St.Mode,
+                      /*SpecSite=*/true) != ExecStatus::Ok)
         return ExecStatus::Restart;
-      }
       NodeInstPtr Recheck;
       if (!Container.lookup(Key, Recheck) || Recheck.get() != Guess.get())
         return ExecStatus::Restart; // wrong guess: release all and retry
@@ -262,12 +301,9 @@ ExecStatus PlanExecutor::execSpecLookup(const PlanStmt &St,
     uint32_t Stripe = stripeIndex(Ctx.Tuples[S], EP.StripeCols,
                                   Host.NumStripes);
     LockOrderKey OKey = orderKey(EP.Host, Host, Stripe);
-    if (Ctx.Locks.inOrder(OKey)) {
-      Ctx.Locks.acquire(Host.Stripes[Stripe], OKey, St.Mode);
-    } else if (Ctx.Locks.tryAcquire(Host.Stripes[Stripe], OKey, St.Mode) !=
-               AcquireResult::Ok) {
+    if (acquireStmt(Ctx, Host.Stripes[Stripe], OKey, St.Mode,
+                    /*SpecSite=*/true) != ExecStatus::Ok)
       return ExecStatus::Restart;
-    }
     NodeInstPtr Recheck;
     if (Container.lookup(Key, Recheck))
       return ExecStatus::Restart; // appeared while guessing
@@ -309,10 +345,15 @@ ExecStatus PlanExecutor::execSpecScan(const PlanStmt &St,
     for (Entry &En : Entries) {
       if (!InT.matches(En.Key))
         continue;
-      Ctx.Locks.acquire(En.Val->Stripes[0], orderKey(E.Dst, *En.Val, 0),
-                        St.Mode);
+      // Pool before locking, like SpecLookup: the instance (and its
+      // physical lock) must survive a transactional Restart's partial
+      // release.
+      uint32_t ValIdx = Ctx.intern(En.Val);
+      if (acquireStmt(Ctx, En.Val->Stripes[0], orderKey(E.Dst, *En.Val, 0),
+                      St.Mode, /*SpecSite=*/false) != ExecStatus::Ok)
+        return ExecStatus::Restart;
       uint32_t NS = Ctx.pushStateJoinOf(InT, En.Key, S);
-      Ctx.setBind(NS, E.Dst, Ctx.intern(En.Val));
+      Ctx.setBind(NS, E.Dst, ValIdx);
     }
   }
   Ctx.Vars[St.OutVar] = {OutFirst, Ctx.numAllStates() - OutFirst};
@@ -491,9 +532,17 @@ ExecStatus PlanExecutor::run(const Plan &Plan, const Tuple &Input,
       // shadow representation (runtime/Migration.h) while this plan's
       // exclusive locks are still held. State 0 of variable 0 is the
       // operation's input tuple (s ∪ t for insert, s for remove);
-      // InVar gates the replay on the mutation having matched.
-      if (Ctx.Mirror && Ctx.numStates(St.InVar) != 0)
-        Ctx.Mirror->mirror(Plan.Op, Plan.DomS, Ctx.stateTuple(0, 0));
+      // InVar gates the replay on the mutation having matched. Inside a
+      // transaction scope the replay is *buffered*: the scope is one
+      // gated operation, so its mirrors flush at commit (locks still
+      // held) and an abort discards them with the rest of the scope.
+      if (Ctx.Mirror && Ctx.numStates(St.InVar) != 0) {
+        if (Ctx.Txn)
+          Ctx.Txn->MirrorBuf.push_back(
+              {Plan.Op, Plan.DomS, Ctx.stateTuple(0, 0)});
+        else
+          Ctx.Mirror->mirror(Plan.Op, Plan.DomS, Ctx.stateTuple(0, 0));
+      }
       break;
     }
   }

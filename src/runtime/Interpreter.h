@@ -87,6 +87,47 @@ public:
   /// MirrorWrite epilogue, so it costs nothing on ordinary traffic.
   MirrorSink *Mirror = nullptr;
 
+  /// The state a multi-operation transaction scope (src/txn) threads
+  /// through the executor. While installed (non-null Txn):
+  ///
+  ///  * begin() preserves the instance pool and the lock set across
+  ///    plans — locks are retained to commit (strict 2PL), and pooled
+  ///    instances must outlive the locks they own;
+  ///  * lock statements acquire through LockSet::acquireTxn — in-order
+  ///    requests block (unless ForceTry), out-of-order requests try and
+  ///    surface WouldBlock as ExecStatus::Restart for the transaction
+  ///    layer's bounded wait-die path;
+  ///  * MirrorWrite statements append to MirrorBuf instead of replaying
+  ///    immediately — the dual-write contract is per *gated operation*,
+  ///    and the gated operation here is the whole transaction: buffered
+  ///    entries flush at commit (locks still held) or vanish on abort.
+  struct TxnFrame {
+    /// Cross-shard discipline: this scope joined the shard out of shard
+    /// order, so no acquisition in it may block, in-order or not.
+    bool ForceTry = false;
+    /// A shared→exclusive escalation was requested (not upgradable);
+    /// the transaction layer aborts the scope.
+    bool SawUpgrade = false;
+    /// Mutations awaiting replay on the migration shadow at commit.
+    struct BufferedMirror {
+      PlanOp Op;
+      ColumnSet DomS;
+      Tuple Input;
+    };
+    std::vector<BufferedMirror> MirrorBuf;
+  };
+  TxnFrame *Txn = nullptr;
+
+  /// Rollback support for a transactional operation's retry path: pool
+  /// growth since poolMark() is dropped by rollbackPool() *after* the
+  /// corresponding LockSet::releaseToMark — instances must stay pinned
+  /// until their unlocks have returned.
+  size_t poolMark() const { return Pool.size(); }
+  void rollbackPool(size_t Mark) {
+    assert(Mark <= Pool.size() && "pool mark from a different scope");
+    Pool.resize(Mark);
+  }
+
   /// The calling thread's execution context (one per thread, reused
   /// across operations and relations; arena capacity is recycled).
   static ExecContext &current();
@@ -214,7 +255,9 @@ private:
   std::vector<ArgFrame> Frames;  ///< per-handle argument frames (sticky)
   Tuple InputScratch;            ///< prepared-execution input (sticky)
 
-  /// Starts a fresh operation: state 0 = (Input, {root ↦ Root}).
+  /// Starts a fresh operation: state 0 = (Input, {root ↦ Root}). In
+  /// transaction mode (Txn installed) the lock set and instance pool
+  /// survive — only the state arena and variable table rewind.
   void begin(uint32_t NumNodes, PlanVar NumVars, const Tuple &Input,
              NodeInstPtr Root, NodeId RootNode);
 

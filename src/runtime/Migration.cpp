@@ -94,6 +94,9 @@ public:
     });
     ExecContext &Ctx = ExecContext::mirrorCtx();
     ExecContext::OpScope S(Ctx); // asserts against recursive shadow runs
+    // Target-representation executions run above every source domain in
+    // the cross-set lock order (source locks before target locks).
+    Ctx.Locks.setOrderDomain(1, 0);
     Ctx.Count = nullptr;
     ExecStatus St = Executor.run(*P, Input, Root, Ctx);
     assert(St != ExecStatus::Restart && "mutation plans never speculate");
@@ -211,6 +214,7 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
   // the backfill: it takes no exclusive source locks.
   const Plan *Member = queryPlanFor(All, All);
   ExecContext &Ctx = ExecContext::current();
+  Ctx.Locks.setOrderDomain(0, LockDomain);
   uint64_t Processed = 0;
   for (const Tuple &T : Snapshot) {
     for (unsigned Attempt = 0;; ++Attempt) {

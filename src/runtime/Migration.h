@@ -97,6 +97,27 @@ public:
   }
   void exit() { Word.fetch_sub(1, std::memory_order_release); }
 
+  /// Bounded shared entry: like enter(), but gives up after roughly
+  /// \p YieldBudget yields spent waiting on a closed gate. Used by a
+  /// cross-shard transaction joining an additional shard mid-scope —
+  /// blocking there while holding other shards' gates and locks could
+  /// tie a cycle through a concurrent flip's drain, so the join waits
+  /// boundedly and the transaction dies (aborts and retries) instead.
+  bool tryEnter(unsigned YieldBudget) {
+    for (;;) {
+      uint64_t W = Word.fetch_add(1, std::memory_order_acquire);
+      if ((W & ClosedBit) == 0)
+        return true;
+      Word.fetch_sub(1, std::memory_order_release);
+      while (Word.load(std::memory_order_acquire) & ClosedBit) {
+        if (YieldBudget == 0)
+          return false;
+        --YieldBudget;
+        std::this_thread::yield();
+      }
+    }
+  }
+
   /// RAII shared entry for one relational operation.
   class Scope {
   public:

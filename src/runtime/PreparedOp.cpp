@@ -110,6 +110,28 @@ const Plan *PreparedOpImpl::rebindSlow() const {
   return P;
 }
 
+const Plan *PreparedOpImpl::resolveForUpdate() const {
+  assert(Op == PlanOp::Query &&
+         "for-update resolution is for query handles only");
+  uint64_t E = Rel->planEpoch();
+  if (CRS_LIKELY(BoundTxnEpoch.load(std::memory_order_acquire) == E))
+    return BoundTxnPlan.load(std::memory_order_relaxed);
+  return rebindForUpdateSlow();
+}
+
+const Plan *PreparedOpImpl::rebindForUpdateSlow() const {
+  // Mirrors rebindSlow (same invariant, same serialization) for the
+  // transactional sibling binding.
+  std::lock_guard<std::mutex> Guard(RebindM);
+  uint64_t Cur = Rel->planEpoch();
+  if (BoundTxnEpoch.load(std::memory_order_relaxed) == Cur)
+    return BoundTxnPlan.load(std::memory_order_relaxed);
+  const Plan *P = Rel->resolvePlan(PlanOp::QueryForUpdate, DomS, Out);
+  BoundTxnPlan.store(P, std::memory_order_relaxed);
+  BoundTxnEpoch.store(Cur, std::memory_order_release);
+  return P;
+}
+
 // Each prepared execution holds the relation's operation gate across
 // resolve + run, like the legacy entry points: a migration flip is
 // atomic with respect to the whole operation, so a handle can never
@@ -223,6 +245,9 @@ void crs::executeBatch(std::span<BoundOp> Ops) {
       B.Result = B.Op->runRemove(B.Args.data());
       break;
     case PlanOp::RemoveLocate:
+    case PlanOp::QueryForUpdate:
+    case PlanOp::UndoInsert:
+    case PlanOp::UndoRemove:
       assert(false && "unpreparable operation in batch");
       break;
     }

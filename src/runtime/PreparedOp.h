@@ -60,6 +60,9 @@
 
 namespace crs {
 
+class Transaction;
+class ShardedTransaction;
+
 namespace detail {
 
 /// The shared state behind one prepared handle: the operation
@@ -94,6 +97,13 @@ public:
   /// against the relation's recompilation epoch and rebinds if stale.
   const Plan *resolve() const;
 
+  /// The exclusive-mode (PlanOp::QueryForUpdate) plan for this query
+  /// handle's signature, epoch-validated like resolve() through a
+  /// second cached binding — a transactional read resolves in two
+  /// atomic loads, the same hot path as a bare prepared execution.
+  /// Query handles only (src/txn/Transaction.cpp).
+  const Plan *resolveForUpdate() const;
+
   /// The epoch of the currently bound plan (tests, diagnostics).
   uint64_t boundEpoch() const {
     return BoundEpoch.load(std::memory_order_acquire);
@@ -108,6 +118,7 @@ public:
 
 private:
   const Plan *rebindSlow() const;
+  const Plan *rebindForUpdateSlow() const;
 
   const ConcurrentRelation *Rel;
   ConcurrentRelation *MutRel; ///< non-null for insert/remove handles
@@ -129,7 +140,10 @@ private:
   /// equally safe to execute).
   mutable std::atomic<const Plan *> BoundPlan{nullptr};
   mutable std::atomic<uint64_t> BoundEpoch{UINT64_MAX};
-  mutable std::mutex RebindM; ///< serializes the (rare) rebind path
+  /// The transactional (for-update) sibling binding; same invariant.
+  mutable std::atomic<const Plan *> BoundTxnPlan{nullptr};
+  mutable std::atomic<uint64_t> BoundTxnEpoch{UINT64_MAX};
+  mutable std::mutex RebindM; ///< serializes the (rare) rebind paths
 };
 
 } // namespace detail
@@ -174,6 +188,8 @@ public:
 
 private:
   friend class ConcurrentRelation;
+  friend class Transaction;
+  friend class ShardedTransaction;
   friend struct BoundOp;
   explicit PreparedQuery(std::shared_ptr<detail::PreparedOpImpl> I)
       : Impl(std::move(I)) {}
@@ -204,6 +220,8 @@ public:
 
 private:
   friend class ConcurrentRelation;
+  friend class Transaction;
+  friend class ShardedTransaction;
   friend struct BoundOp;
   explicit PreparedInsert(std::shared_ptr<detail::PreparedOpImpl> I)
       : Impl(std::move(I)) {}
@@ -232,6 +250,8 @@ public:
 
 private:
   friend class ConcurrentRelation;
+  friend class Transaction;
+  friend class ShardedTransaction;
   friend struct BoundOp;
   explicit PreparedRemove(std::shared_ptr<detail::PreparedOpImpl> I)
       : Impl(std::move(I)) {}

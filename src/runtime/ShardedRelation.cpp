@@ -30,8 +30,12 @@ ShardedRelation::ShardedRelation(RepresentationConfig Config,
          Config.Spec->allColumns().containsAll(Routing) &&
          "routing columns must be a nonempty subset of the specification");
   Shards.reserve(NumShards);
-  for (unsigned I = 0; I < NumShards; ++I)
+  for (unsigned I = 0; I < NumShards; ++I) {
     Shards.push_back(std::make_unique<ConcurrentRelation>(Config, CP));
+    // Cross-shard transaction scopes acquire in shard-index order; the
+    // ordinal lets the debug lock-order validator check that discipline.
+    Shards.back()->setLockDomainOrdinal(I);
+  }
 }
 
 bool ShardedRelation::insert(const Tuple &S, const Tuple &T) {

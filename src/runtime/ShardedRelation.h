@@ -65,6 +65,7 @@ class ShardedRelation;
 class ShardedQuery;
 class ShardedInsert;
 class ShardedRemove;
+class ShardedTransaction;
 
 namespace detail {
 
@@ -278,6 +279,7 @@ public:
 
 private:
   friend class ShardedRelation;
+  friend class ShardedTransaction;
   explicit ShardedQuery(std::shared_ptr<detail::ShardedOpImpl> I)
       : Impl(std::move(I)) {}
   std::shared_ptr<detail::ShardedOpImpl> Impl;
@@ -305,6 +307,7 @@ public:
 
 private:
   friend class ShardedRelation;
+  friend class ShardedTransaction;
   explicit ShardedInsert(std::shared_ptr<detail::ShardedOpImpl> I)
       : Impl(std::move(I)) {}
   std::shared_ptr<detail::ShardedOpImpl> Impl;
@@ -333,6 +336,7 @@ public:
 
 private:
   friend class ShardedRelation;
+  friend class ShardedTransaction;
   explicit ShardedRemove(std::shared_ptr<detail::ShardedOpImpl> I)
       : Impl(std::move(I)) {}
   std::shared_ptr<detail::ShardedOpImpl> Impl;

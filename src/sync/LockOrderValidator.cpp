@@ -1,0 +1,111 @@
+//===- sync/LockOrderValidator.cpp - Cross-set lock-order assert -------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/LockOrderValidator.h"
+
+#include <vector>
+
+using namespace crs;
+
+namespace {
+
+/// One live lock set on this thread: its identity, domain tag, and the
+/// strongest key it holds. A handful at most (an operation's set, a
+/// transaction's per-shard sets, a migration's mirror-context set), so
+/// a flat vector beats any map.
+struct SetRec {
+  const void *Set;
+  uint64_t Domain;
+  LockOrderKey Max;
+};
+
+/// Thread-local destruction order is the reverse of construction, and
+/// the registry is first touched *after* the thread's ExecContext (the
+/// context is built on the first operation; the registry inside that
+/// operation's first acquisition) — so the registry dies first, and
+/// ~ExecContext's ~LockSet would then call back into a destroyed
+/// vector. The flag is trivially destructible, so it stays readable
+/// after the registry's destructor has run and turns every late hook
+/// into a no-op.
+thread_local bool RegistryDead = false;
+
+struct Registry {
+  std::vector<SetRec> Recs;
+  ~Registry() { RegistryDead = true; }
+};
+
+std::vector<SetRec> *liveRecs() {
+  if (RegistryDead)
+    return nullptr;
+  static thread_local Registry R;
+  return &R.Recs;
+}
+
+SetRec *findRec(const void *Set) {
+  if (std::vector<SetRec> *Recs = liveRecs())
+    for (SetRec &R : *Recs)
+      if (R.Set == Set)
+        return &R;
+  return nullptr;
+}
+
+} // namespace
+
+bool LockOrderValidator::wouldViolate(const void *Set, uint64_t Domain,
+                                      const LockOrderKey &Key) {
+  std::vector<SetRec> *Recs = liveRecs();
+  if (!Recs)
+    return false;
+  for (const SetRec &R : *Recs) {
+    if (R.Set == Set)
+      continue; // within-set order is LockSet::inOrder's duty
+    // Blocking at (Domain, Key) must not fall below (R.Domain, R.Max):
+    // domain-major comparison, key only within one domain.
+    if (Domain < R.Domain)
+      return true;
+    if (Domain == R.Domain && Key < R.Max)
+      return true;
+  }
+  return false;
+}
+
+void LockOrderValidator::noteHeld(const void *Set, uint64_t Domain,
+                                  const LockOrderKey &MaxKey) {
+  if (SetRec *R = findRec(Set)) {
+    R->Domain = Domain;
+    R->Max = MaxKey;
+    return;
+  }
+  if (std::vector<SetRec> *Recs = liveRecs())
+    Recs->push_back({Set, Domain, MaxKey});
+}
+
+void LockOrderValidator::noteReleased(const void *Set) {
+  std::vector<SetRec> *Recs = liveRecs();
+  if (!Recs)
+    return;
+  for (size_t I = 0; I < Recs->size(); ++I)
+    if ((*Recs)[I].Set == Set) {
+      Recs->erase(Recs->begin() + static_cast<long>(I));
+      return;
+    }
+}
+
+void LockOrderValidator::noteRolledBack(const void *Set, uint64_t Domain,
+                                        bool HasMax,
+                                        const LockOrderKey &MaxKey) {
+  if (!HasMax) {
+    noteReleased(Set);
+    return;
+  }
+  noteHeld(Set, Domain, MaxKey);
+}
+
+size_t LockOrderValidator::liveSets() {
+  std::vector<SetRec> *Recs = liveRecs();
+  return Recs ? Recs->size() : 0;
+}

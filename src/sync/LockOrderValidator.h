@@ -1,0 +1,74 @@
+//===- sync/LockOrderValidator.h - Cross-set lock-order assert --*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-thread acquisition-order validator for *chained* lock scopes.
+/// LockSet already asserts the global order (§5.1) within one set; what
+/// it cannot see is a thread holding several sets at once — a
+/// transaction spanning shards (one LockSet per shard), or a migration
+/// execution holding source locks while acquiring target locks. Those
+/// compose deadlock-free only under a domain-major order:
+///
+///   (tier, ordinal, key)  —  tier 0 = primary representations
+///                            (ordinal = shard index), tier 1 = a
+///                            migration's target representation,
+///
+/// with blocking acquisitions permitted only at or above every
+/// (domain, max-key) the thread already holds; everything below must go
+/// through the try path (which cannot wait, hence cannot deadlock).
+/// The validator mirrors each live LockSet's domain and strongest key
+/// in thread-local state and asserts the rule on every blocking
+/// acquisition — catching a cross-op inversion (e.g. a transaction
+/// chaining ops that blocked backwards across shards) deterministically
+/// and immediately, long before TSan or a stress run could surface the
+/// deadlock it enables.
+///
+/// Wiring: LockSet calls the hooks in debug builds only (the Debug and
+/// Debug+TSan CI jobs run with them armed); release builds compile the
+/// hooks out of the acquisition paths. The functions themselves are
+/// always defined so tests can drive the validator directly in any
+/// configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SYNC_LOCKORDERVALIDATOR_H
+#define CRS_SYNC_LOCKORDERVALIDATOR_H
+
+#include "sync/LockSet.h"
+
+namespace crs {
+
+class LockOrderValidator {
+public:
+  /// True if a *blocking* acquisition at (\p Domain, \p Key) by \p Set
+  /// would wait below some other lock set this thread holds locks in —
+  /// the cross-set order violation the asserts trip on. \p Set's own
+  /// recorded maximum is exempt (LockSet::inOrder covers within-set
+  /// order, and its try path is legitimately below it).
+  static bool wouldViolate(const void *Set, uint64_t Domain,
+                           const LockOrderKey &Key);
+
+  /// Records that \p Set (in \p Domain) now holds locks up to \p MaxKey
+  /// on this thread.
+  static void noteHeld(const void *Set, uint64_t Domain,
+                       const LockOrderKey &MaxKey);
+
+  /// Records that \p Set released everything (drops its entry).
+  static void noteReleased(const void *Set);
+
+  /// Records a partial release: \p Set's strongest key reverted to
+  /// \p MaxKey (\p HasMax false means the set is conceptually empty).
+  static void noteRolledBack(const void *Set, uint64_t Domain, bool HasMax,
+                             const LockOrderKey &MaxKey);
+
+  /// Number of lock sets this thread currently holds locks in (tests).
+  static size_t liveSets();
+};
+
+} // namespace crs
+
+#endif // CRS_SYNC_LOCKORDERVALIDATOR_H

@@ -8,8 +8,17 @@
 #include "sync/LockSet.h"
 
 #include "support/Compiler.h"
+#include "sync/LockOrderValidator.h"
 
 using namespace crs;
+
+// The per-thread cross-set order validator runs in debug builds only
+// (it would be a per-acquisition map walk on the hot path otherwise).
+#ifndef NDEBUG
+#define CRS_VALIDATE_LOCK_ORDER 1
+#else
+#define CRS_VALIDATE_LOCK_ORDER 0
+#endif
 
 LockSet::~LockSet() { releaseAll(); }
 
@@ -36,12 +45,20 @@ void LockSet::acquire(PhysicalLock &Lock, const LockOrderKey &Key,
   }
   assert(inOrder(Key) &&
          "blocking acquisition violates the global lock order");
+#if CRS_VALIDATE_LOCK_ORDER
+  assert(!LockOrderValidator::wouldViolate(this, orderDomain(), Key) &&
+         "blocking acquisition violates the cross-set (chained-op / "
+         "cross-shard / source-before-target) lock order");
+#endif
   Lock.lock(Mode);
   Held.push_back({&Lock, Mode});
   if (!HasMaxKey || MaxKey < Key) {
     MaxKey = Key;
     HasMaxKey = true;
   }
+#if CRS_VALIDATE_LOCK_ORDER
+  LockOrderValidator::noteHeld(this, orderDomain(), MaxKey);
+#endif
 }
 
 AcquireResult LockSet::tryAcquire(PhysicalLock &Lock, const LockOrderKey &Key,
@@ -59,7 +76,29 @@ AcquireResult LockSet::tryAcquire(PhysicalLock &Lock, const LockOrderKey &Key,
     MaxKey = Key;
     HasMaxKey = true;
   }
+#if CRS_VALIDATE_LOCK_ORDER
+  LockOrderValidator::noteHeld(this, orderDomain(), MaxKey);
+#endif
   return AcquireResult::Ok;
+}
+
+TxnAcquire LockSet::acquireTxn(PhysicalLock &Lock, const LockOrderKey &Key,
+                               LockMode Mode, bool MayBlock) {
+  if (const Entry *E = findEntry(Lock)) {
+    // Transactions lock reads exclusively precisely so this branch can
+    // never be reached with a shared entry wanting exclusive — but a
+    // misuse must surface as a clean abort, not a silent under-lock.
+    if (E->Mode == LockMode::Exclusive || Mode == LockMode::Shared)
+      return TxnAcquire::Ok;
+    return TxnAcquire::Upgrade;
+  }
+  if (MayBlock && inOrder(Key)) {
+    acquire(Lock, Key, Mode);
+    return TxnAcquire::Ok;
+  }
+  return tryAcquire(Lock, Key, Mode) == AcquireResult::Ok
+             ? TxnAcquire::Ok
+             : TxnAcquire::WouldBlock;
 }
 
 bool LockSet::holds(const PhysicalLock &Lock) const {
@@ -78,4 +117,24 @@ void LockSet::releaseAll() {
     It->Lock->unlock(It->Mode);
   Held.clear();
   HasMaxKey = false;
+#if CRS_VALIDATE_LOCK_ORDER
+  LockOrderValidator::noteReleased(this);
+#endif
+}
+
+void LockSet::releaseToMark(const Mark &M) {
+  assert(M.HeldCount <= Held.size() &&
+         "releaseToMark after an intervening release");
+  for (size_t I = Held.size(); I > M.HeldCount; --I)
+    Held[I - 1].Lock->unlock(Held[I - 1].Mode);
+  Held.resize(M.HeldCount);
+  HasMaxKey = M.HasMaxKey;
+  MaxKey = M.MaxKey;
+#if CRS_VALIDATE_LOCK_ORDER
+  if (Held.empty())
+    LockOrderValidator::noteReleased(this);
+  else
+    LockOrderValidator::noteRolledBack(this, orderDomain(), HasMaxKey,
+                                       MaxKey);
+#endif
 }

@@ -55,6 +55,13 @@ enum class AcquireResult : uint8_t {
   WouldBlock ///< try-acquisition failed; caller must restart the txn
 };
 
+/// Result of a transaction-scope acquisition (acquireTxn).
+enum class TxnAcquire : uint8_t {
+  Ok,         ///< lock held (newly acquired or already held sufficiently)
+  WouldBlock, ///< out-of-order try failed; restart the op (wait-die)
+  Upgrade,    ///< held shared, exclusive wanted: not upgradable — abort
+};
+
 /// The set of physical locks one transaction currently holds.
 /// Not thread-safe: one LockSet per in-flight transaction.
 class LockSet {
@@ -75,6 +82,36 @@ public:
   /// keeps speculative placements deadlock-free.
   AcquireResult tryAcquire(PhysicalLock &Lock, const LockOrderKey &Key,
                            LockMode Mode);
+
+  /// Transaction-scope acquisition: across chained operations the set's
+  /// MaxKey reflects the *whole scope*, so a later op's locks may fall
+  /// below it. In-order requests block (when \p MayBlock); out-of-order
+  /// requests go through the try path, and a failure surfaces as
+  /// WouldBlock for the caller's bounded wait-die abort path — no
+  /// acquisition ever blocks out of order, so the waits-for graph of
+  /// blocking edges stays acyclic across transaction scopes. A request
+  /// to escalate a held shared lock reports Upgrade (a shared_mutex
+  /// cannot upgrade atomically; the transaction layer avoids this by
+  /// locking reads exclusively, and treats Upgrade as an abort).
+  TxnAcquire acquireTxn(PhysicalLock &Lock, const LockOrderKey &Key,
+                        LockMode Mode, bool MayBlock);
+
+  /// A rollback point for partial release: everything acquired after
+  /// mark() can be released with releaseToMark() — the retry path of a
+  /// transactional operation, which must shed the failed attempt's
+  /// locks while retaining the scope's earlier acquisitions.
+  struct Mark {
+    size_t HeldCount = 0;
+    bool HasMaxKey = false;
+    LockOrderKey MaxKey;
+  };
+  Mark mark() const { return {Held.size(), HasMaxKey, MaxKey}; }
+
+  /// Releases (in reverse order) every lock acquired since \p M and
+  /// restores the order high-water mark. The caller keeps the locked
+  /// instances alive until this returns (as for releaseAll), and must
+  /// not have released anything since taking the mark.
+  void releaseToMark(const Mark &M);
 
   /// True if this transaction already holds \p Lock (in any mode).
   bool holds(const PhysicalLock &Lock) const;
@@ -103,6 +140,20 @@ public:
     return !HasMaxKey || !(Key < MaxKey);
   }
 
+  /// Places this set's acquisitions in the process-global domain order
+  /// the per-thread LockOrderValidator checks (debug builds): tier 0
+  /// for primary-representation operations with the shard index as
+  /// ordinal, tier 1 for mirror/backfill executions on a migration's
+  /// target representation — every thread orders source (tier 0) locks
+  /// before target (tier 1) locks, and shards in index order.
+  void setOrderDomain(uint32_t Tier, uint32_t Ordinal) {
+    DomainTier = Tier;
+    DomainOrdinal = Ordinal;
+  }
+  uint64_t orderDomain() const {
+    return (static_cast<uint64_t>(DomainTier) << 32) | DomainOrdinal;
+  }
+
 private:
   struct Entry {
     PhysicalLock *Lock;
@@ -112,6 +163,8 @@ private:
   uint64_t Restarts = 0;
   bool HasMaxKey = false;
   LockOrderKey MaxKey;
+  uint32_t DomainTier = 0;
+  uint32_t DomainOrdinal = 0;
 
   Entry *findEntry(const PhysicalLock &Lock);
   const Entry *findEntry(const PhysicalLock &Lock) const;

@@ -1,0 +1,510 @@
+//===- txn/Transaction.cpp - Serializable multi-operation scopes -------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "txn/Transaction.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <array>
+
+using namespace crs;
+using detail::PreparedOpImpl;
+using detail::ShardedOpImpl;
+
+namespace {
+
+/// The process-global commit clock: stamped under the scope's retained
+/// locks, so conflicting scopes receive sequence numbers consistent
+/// with their serialization order (the stress oracle replays committed
+/// scopes in this order).
+std::atomic<uint64_t> CommitClock{0};
+
+uint64_t nextCommitSeq() {
+  return CommitClock.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+/// One scope open per thread (nested independent scopes would deadlock
+/// on their own locks); a ShardedTransaction counts as one, its inner
+/// per-shard scopes as zero.
+thread_local unsigned OpenScopesOnThread = 0;
+
+/// Transaction execution contexts are pooled per thread: a scope's
+/// context must be distinct from the thread's operation context (a
+/// visitor may observe both regimes) and live for the whole scope, but
+/// constructing one per scope would pay cold arenas and allocations on
+/// every transaction — the pool keeps them warm, like the per-thread
+/// contexts of ordinary operations. Scopes belong to their opening
+/// thread (contract), so the pool needs no synchronization.
+struct TxnCtxPool {
+  std::vector<std::unique_ptr<ExecContext>> Storage;
+  std::vector<ExecContext *> Free;
+  ExecContext *acquire() {
+    if (!Free.empty()) {
+      ExecContext *C = Free.back();
+      Free.pop_back();
+      return C;
+    }
+    Storage.push_back(std::make_unique<ExecContext>());
+    return Storage.back().get();
+  }
+  void release(ExecContext *C) { Free.push_back(C); }
+};
+TxnCtxPool &txnCtxPool() {
+  static thread_local TxnCtxPool Pool;
+  return Pool;
+}
+
+/// Failed out-of-order tries an op survives before the scope dies.
+/// Grows with patience (the retry attempt number) — the aging half of
+/// bounded wait-die.
+unsigned tryBudget(unsigned Patience) {
+  unsigned Shift = std::min(Patience, 6u);
+  return 96u << Shift;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Transaction
+//===----------------------------------------------------------------------===//
+
+Transaction::Transaction(ConcurrentRelation &R, unsigned Patience)
+    : Transaction(R, Opts{Patience, /*Nested=*/false, /*BoundedGate=*/false,
+                          /*ForceTry=*/false}) {}
+
+Transaction::Transaction(ConcurrentRelation &R, const Opts &O)
+    : Rel(&R), TryBudget(tryBudget(O.Patience)), Nested(O.Nested) {
+  if (!Nested) {
+    assert(OpenScopesOnThread == 0 &&
+           "one transaction scope open per thread (nested scopes would "
+           "deadlock on their own locks)");
+    ++OpenScopesOnThread;
+  }
+  // The scope holds the gate for its whole lifetime: migration flips
+  // drain whole transactions, never land inside one. A mid-scope shard
+  // join must not block indefinitely on a flip in progress while the
+  // scope holds other shards' gates and locks — it waits boundedly and
+  // the scope dies instead.
+  if (O.BoundedGate) {
+    if (!Rel->Gate.tryEnter(/*YieldBudget=*/4096)) {
+      St = TxnState::Aborted;
+      Cause = TxnAbortCause::GateBusy;
+      return;
+    }
+  } else {
+    Rel->Gate.enter();
+  }
+  GateHeld = true;
+  StartEpoch = Rel->planEpoch();
+  Frame.ForceTry = O.ForceTry;
+  Ctx = txnCtxPool().acquire();
+  Ctx->Txn = &Frame;
+  Ctx->Locks.setOrderDomain(0, Rel->lockDomainOrdinal());
+}
+
+Transaction::~Transaction() {
+  if (St == TxnState::Open)
+    abortWith(TxnAbortCause::User);
+}
+
+bool Transaction::execOp(const PreparedOpImpl &Impl, const Value *Args,
+                         size_t NumArgs, function_ref<void(const Tuple &)> Visit,
+                         int64_t &Result) {
+  if (St != TxnState::Open)
+    return false;
+  assert(&Impl.relation() == Rel &&
+         "prepared handle belongs to a different relation than the scope");
+  PlanOp Kind = Impl.planOp();
+
+  // Plan resolution. Mutations ride the handle's epoch-validated
+  // binding (one cached pointer load when warm); transactional reads
+  // resolve the exclusive-mode QueryForUpdate plan for the handle's
+  // signature from the same wait-free cache.
+  const Plan *P = nullptr;
+  switch (Kind) {
+  case PlanOp::Query:
+    P = Impl.resolveForUpdate();
+    break;
+  case PlanOp::Insert:
+  case PlanOp::Remove:
+    P = Impl.resolve();
+    break;
+  default:
+    assert(false && "not a transactional operation kind");
+    return false;
+  }
+
+  // Epoch discipline: a scope never mixes plan regimes. adaptPlans()
+  // bumping the epoch mid-scope aborts it; the client retries against
+  // the new plans (prepared handles rebind on their next use).
+  if (Rel->planEpoch() != StartEpoch) {
+    abortWith(TxnAbortCause::EpochChange);
+    return false;
+  }
+
+  assert(NumArgs == Impl.numSlots() &&
+         "transactional op must bind every slot positionally");
+  std::array<ColumnId, BoundOp::MaxSlots> Cols;
+  for (unsigned I = 0; I < NumArgs; ++I)
+    Cols[I] = Impl.slotColumn(I);
+  Tuple &Input = Ctx->inputScratch();
+  Input.rebind(Cols.data(), Args, NumArgs);
+
+  switch (Kind) {
+  case PlanOp::Query:
+    Rel->NumQueries.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case PlanOp::Insert:
+    Rel->NumInserts.fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
+    Rel->NumRemoves.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  Ctx->Count = &Rel->Count;
+  Ctx->Mirror = Rel->ActiveMirror.load(std::memory_order_acquire);
+
+  // Bounded wait-die retry loop: a Restart here is a failed try on an
+  // out-of-order lock (transactional plans never speculate — reads use
+  // the writer protocol on speculative edges). The failed attempt's
+  // locks, pool pins, and buffered mirrors are shed; everything the
+  // scope held before the op is retained.
+  LockSet::Mark LockMark = Ctx->Locks.mark();
+  size_t PoolMark = Ctx->poolMark();
+  size_t MirrorMark = Frame.MirrorBuf.size();
+  unsigned Budget = TryBudget;
+  for (;;) {
+    ExecStatus S = Rel->Executor.run(*P, Input, Rel->Root, *Ctx);
+    if (S != ExecStatus::Restart) {
+      ++Ops;
+      switch (Kind) {
+      case PlanOp::Query: {
+        uint32_t N = Ctx->numStates(P->ResultVar);
+        if (Visit)
+          for (uint32_t I = 0; I < N; ++I)
+            Visit(Ctx->stateTuple(P->ResultVar, I));
+        Result = N;
+        break;
+      }
+      case PlanOp::Insert:
+        // Found: a tuple matching s exists — nothing written, nothing
+        // to undo, but the locks that observed it are retained (the
+        // negative outcome is part of the serializable read set).
+        if (S == ExecStatus::Ok)
+          Undo.push_back({/*WasInsert=*/true, Input});
+        Result = S == ExecStatus::Ok ? 1 : 0;
+        break;
+      default: {
+        uint32_t N = Ctx->numStates(P->ResultVar);
+        assert(N <= 1 && "key-matched remove found multiple tuples");
+        if (N != 0)
+          Undo.push_back(
+              {/*WasInsert=*/false, Ctx->stateTuple(P->ResultVar, 0)});
+        Result = N;
+        break;
+      }
+      }
+      return true;
+    }
+    Ctx->Locks.releaseToMark(LockMark);
+    Ctx->rollbackPool(PoolMark);
+    Frame.MirrorBuf.resize(MirrorMark);
+    ++Restarts;
+    Rel->Restarts.fetch_add(1, std::memory_order_relaxed);
+    if (Frame.SawUpgrade) {
+      abortWith(TxnAbortCause::Upgrade);
+      return false;
+    }
+    if (Budget-- == 0) {
+      abortWith(TxnAbortCause::Conflict); // die (bounded wait-die)
+      return false;
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool Transaction::query(const PreparedQuery &Q,
+                        std::initializer_list<Value> Args,
+                        function_ref<void(const Tuple &)> Visit,
+                        uint32_t *Matches) {
+  int64_t R = 0;
+  if (!execOp(*Q.Impl, Args.begin(), Args.size(), Visit, R))
+    return false;
+  if (Matches)
+    *Matches = static_cast<uint32_t>(R);
+  return true;
+}
+
+bool Transaction::insert(const PreparedInsert &I,
+                         std::initializer_list<Value> Args, bool *Won) {
+  int64_t R = 0;
+  if (!execOp(*I.Impl, Args.begin(), Args.size(), nullptr, R))
+    return false;
+  if (Won)
+    *Won = R != 0;
+  return true;
+}
+
+bool Transaction::remove(const PreparedRemove &Rm,
+                         std::initializer_list<Value> Args,
+                         unsigned *Removed) {
+  int64_t R = 0;
+  if (!execOp(*Rm.Impl, Args.begin(), Args.size(), nullptr, R))
+    return false;
+  if (Removed)
+    *Removed = static_cast<unsigned>(R);
+  return true;
+}
+
+bool Transaction::commit() {
+  if (St != TxnState::Open)
+    return false;
+  commitWithSeq(nextCommitSeq());
+  return true;
+}
+
+void Transaction::commitWithSeq(uint64_t S) {
+  assert(St == TxnState::Open && "committing a finished scope");
+  Seq = S;
+  // Flush buffered dual-write mirrors with every lock still held: the
+  // shadow sees the scope's mutations only once the scope is past the
+  // point of abort, and before any key it wrote becomes reachable by
+  // others. The sink is the one the ops buffered under — the scope held
+  // the gate throughout, and flips close it.
+  if (!Frame.MirrorBuf.empty()) {
+    MirrorSink *M = Rel->ActiveMirror.load(std::memory_order_acquire);
+    assert(M && "buffered mirrors but the dual-write phase ended mid-scope");
+    if (M)
+      for (const ExecContext::TxnFrame::BufferedMirror &E : Frame.MirrorBuf)
+        M->mirror(E.Op, E.DomS, E.Input);
+    Frame.MirrorBuf.clear();
+  }
+  Undo.clear();
+  releaseScope();
+  St = TxnState::Committed;
+}
+
+void Transaction::abort() {
+  if (St == TxnState::Open)
+    abortWith(TxnAbortCause::User);
+}
+
+void Transaction::abortWith(TxnAbortCause C) {
+  assert(St == TxnState::Open && "aborting a finished scope");
+  rollbackUndo();
+  releaseScope();
+  St = TxnState::Aborted;
+  Cause = C;
+}
+
+void Transaction::rollbackUndo() {
+  // Aborts discard buffered mirrors (the shadow never saw them) and
+  // replay inverse plans newest-first on the retained-lock context.
+  // Inverse executions must not re-buffer or re-mirror anything.
+  Ctx->Mirror = nullptr;
+  Frame.MirrorBuf.clear();
+  Frame.SawUpgrade = false;
+  for (auto It = Undo.rbegin(); It != Undo.rend(); ++It) {
+    const Plan *P =
+        It->WasInsert ? Rel->undoInsertPlan() : Rel->undoRemovePlan();
+    for (;;) {
+      LockSet::Mark LockMark = Ctx->Locks.mark();
+      size_t PoolMark = Ctx->poolMark();
+      ExecStatus S = Rel->Executor.run(*P, It->Full, Rel->Root, *Ctx);
+      if (S != ExecStatus::Restart) {
+        // The inverse of an insert must find the inserted tuple (its
+        // locks never left this scope); the inverse of a remove may see
+        // Found only in the idempotent already-present sense.
+        assert(!Frame.SawUpgrade &&
+               "undo required a lock upgrade (scope locks are exclusive)");
+        assert((!It->WasInsert || Ctx->numStates(P->ResultVar) == 1) &&
+               "undo-insert failed to locate the tuple it must remove");
+        break;
+      }
+      // A failed try against a speculative reader's transient lock:
+      // shed the attempt and go again — readers holding such locks
+      // never block on anything this scope holds except in order, so
+      // this loop terminates (see the deadlock argument in the header).
+      Ctx->Locks.releaseToMark(LockMark);
+      Ctx->rollbackPool(PoolMark);
+      std::this_thread::yield();
+    }
+  }
+  Undo.clear();
+}
+
+void Transaction::releaseScope() {
+  Ctx->Txn = nullptr;
+  Ctx->Mirror = nullptr;
+  Ctx->Count = nullptr;
+  // Shrinking phase: unlock everything, then drop the pool pins (the
+  // instances must outlive their unlocks), then the gate.
+  Ctx->Locks.releaseAll();
+  Ctx->reset();
+  if (GateHeld) {
+    Rel->Gate.exit();
+    GateHeld = false;
+  }
+  txnCtxPool().release(Ctx);
+  Ctx = nullptr;
+  // The thread's open-scope slot frees when the scope *finishes* (an
+  // aborted scope object may outlive its successor's lifetime).
+  if (!Nested) {
+    assert(OpenScopesOnThread == 1);
+    --OpenScopesOnThread;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ShardedTransaction
+//===----------------------------------------------------------------------===//
+
+ShardedTransaction::ShardedTransaction(ShardedRelation &R, unsigned Patience)
+    : Rel(&R), Subs(R.numShards()), Patience(Patience) {
+  assert(OpenScopesOnThread == 0 &&
+         "one transaction scope open per thread (nested scopes would "
+         "deadlock on their own locks)");
+  ++OpenScopesOnThread;
+}
+
+ShardedTransaction::~ShardedTransaction() {
+  if (St == TxnState::Open)
+    dieWith(TxnAbortCause::User);
+}
+
+unsigned ShardedTransaction::shardsTouched() const {
+  unsigned N = 0;
+  for (const auto &S : Subs)
+    if (S)
+      ++N;
+  return N;
+}
+
+Transaction *ShardedTransaction::subFor(unsigned Shard) {
+  assert(Shard < Subs.size());
+  if (Subs[Shard]) {
+    // The order discipline is dynamic: once a higher shard has been
+    // joined, acquisitions on lower shards may no longer block.
+    Subs[Shard]->Frame.ForceTry = static_cast<int>(Shard) < MaxShard;
+    return Subs[Shard].get();
+  }
+  Transaction::Opts O;
+  O.Patience = Patience;
+  O.Nested = true;
+  // Joining the first shard may wait like any operation; joining a
+  // further shard happens while holding gates and locks, so the gate
+  // wait is bounded, and joining *below* the highest shard held also
+  // forces every acquisition onto the try path (shard-major order).
+  O.BoundedGate = MaxShard >= 0;
+  O.ForceTry = static_cast<int>(Shard) < MaxShard;
+  Subs[Shard].reset(new Transaction(Rel->shard(Shard), O));
+  if (Subs[Shard]->state() != TxnState::Open) {
+    TxnAbortCause C = Subs[Shard]->abortCause();
+    Subs[Shard].reset();
+    dieWith(C);
+    return nullptr;
+  }
+  MaxShard = std::max(MaxShard, static_cast<int>(Shard));
+  return Subs[Shard].get();
+}
+
+void ShardedTransaction::dieWith(TxnAbortCause C) {
+  assert(St == TxnState::Open);
+  // Roll the touched shards back highest-first (reverse join order).
+  for (auto It = Subs.rbegin(); It != Subs.rend(); ++It)
+    if (*It && (*It)->state() == TxnState::Open)
+      (*It)->abortWith(C);
+  St = TxnState::Aborted;
+  Cause = C;
+  --OpenScopesOnThread;
+}
+
+bool ShardedTransaction::runOps(const ShardedOpImpl &SI, const Value *Args,
+                                size_t NumArgs,
+                                function_ref<void(const Tuple &)> Visit,
+                                int64_t &Total) {
+  if (St != TxnState::Open)
+    return false;
+  assert(NumArgs == SI.numSlots() &&
+         "transactional op must bind every slot positionally");
+  auto RunShard = [&](unsigned Shard) {
+    Transaction *T = subFor(Shard);
+    if (!T)
+      return false;
+    int64_t R = 0;
+    if (!T->execOp(SI.shardImpl(Shard), Args, NumArgs, Visit, R)) {
+      dieWith(T->abortCause());
+      return false;
+    }
+    Total += R;
+    return true;
+  };
+  if (SI.singleShard())
+    return RunShard(SI.shardOfArgs(Args));
+  // Fan-out joins the shards in ascending index order — exactly the
+  // blocking-safe join order, so an under-bound transactional op needs
+  // no special casing.
+  for (unsigned Shard = 0; Shard < Subs.size(); ++Shard)
+    if (!RunShard(Shard))
+      return false;
+  return true;
+}
+
+bool ShardedTransaction::query(const ShardedQuery &Q,
+                               std::initializer_list<Value> Args,
+                               function_ref<void(const Tuple &)> Visit,
+                               uint32_t *Matches) {
+  int64_t Total = 0;
+  if (!runOps(*Q.Impl, Args.begin(), Args.size(), Visit, Total))
+    return false;
+  if (Matches)
+    *Matches = static_cast<uint32_t>(Total);
+  return true;
+}
+
+bool ShardedTransaction::insert(const ShardedInsert &I,
+                                std::initializer_list<Value> Args,
+                                bool *Won) {
+  int64_t Total = 0; // inserts are always routed (dom(s) covers routing)
+  if (!runOps(*I.Impl, Args.begin(), Args.size(), nullptr, Total))
+    return false;
+  if (Won)
+    *Won = Total != 0;
+  return true;
+}
+
+bool ShardedTransaction::remove(const ShardedRemove &Rm,
+                                std::initializer_list<Value> Args,
+                                unsigned *Removed) {
+  int64_t Total = 0;
+  if (!runOps(*Rm.Impl, Args.begin(), Args.size(), nullptr, Total))
+    return false;
+  if (Removed)
+    *Removed = static_cast<unsigned>(Total);
+  return true;
+}
+
+bool ShardedTransaction::commit() {
+  if (St != TxnState::Open)
+    return false;
+  // One commit sequence for the whole scope, stamped before any shard
+  // releases a lock: conflicting scopes (which, by 2PL, overlapped on
+  // some still-held key) order their stamps with their serialization.
+  Seq = nextCommitSeq();
+  for (auto &S : Subs)
+    if (S && S->state() == TxnState::Open)
+      S->commitWithSeq(Seq);
+  St = TxnState::Committed;
+  --OpenScopesOnThread;
+  return true;
+}
+
+void ShardedTransaction::abort() {
+  if (St == TxnState::Open)
+    dieWith(TxnAbortCause::User);
+}

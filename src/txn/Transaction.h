@@ -1,0 +1,328 @@
+//===- txn/Transaction.h - Serializable multi-operation scopes --*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-operation transactions over synthesized relations. The paper
+/// makes every single operation two-phase and globally lock-ordered
+/// (§4.2, §5.1); this subsystem generalizes those per-operation lock
+/// scopes into *transaction* scopes, so a client can make several
+/// operations atomic — a scheduler moving a process between CPUs, a
+/// transfer debiting one row and crediting another — with no visible
+/// intermediate state:
+///
+///   Transaction T(Rel);
+///   T.remove(Rem, {Value::ofInt(From), Value::ofInt(0)}, &Removed);
+///   T.insert(Ins, {Value::ofInt(From), Value::ofInt(0),
+///                  Value::ofInt(Bal - X)}, &Won);
+///   ...
+///   if (!T.commit()) retry;
+///
+/// **Serializability.** Strict two-phase locking across the whole
+/// scope: every operation executes through the shared plan executor on
+/// a transaction-owned execution context whose lock set is *retained*
+/// until commit or abort. Reads lock exclusively (PlanOp::QueryForUpdate
+/// plans) — a shared_mutex cannot upgrade, so conservative exclusive
+/// scopes trade read parallelism for freedom from upgrade deadlocks and
+/// upgrade aborts; MVCC reads are the roadmap's next step.
+///
+/// **Deadlock freedom.** Within one op the planner emits locks in the
+/// global order (§5.1). Across chained ops the scope's high-water key
+/// can exceed a later op's keys, so the executor splits acquisitions:
+/// in-order requests block (safe: a blocking wait is always at or above
+/// everything the scope holds), out-of-order requests go through the
+/// try path and a failure restarts the op — after a bounded number of
+/// failed tries the transaction *dies* (aborts, rolls back, reports
+/// Conflict) rather than ever waiting out of order. This is a bounded
+/// wait-die discipline: blocking edges respect a total order (acyclic),
+/// try edges never wait, so no cycle can form; fairness comes from
+/// aging — runTransaction retries a died scope with growing patience,
+/// so old logical transactions eventually outlast young ones. The
+/// debug-build sync/LockOrderValidator asserts the cross-op and
+/// cross-shard discipline on every blocking acquisition.
+///
+/// **Rollback.** Every committed mutation in the scope appends an undo
+/// record (operation kind + full tuple); abort replays *inverse
+/// mutation plans* — PlanOp::UndoInsert (a full-tuple-keyed remove) and
+/// PlanOp::UndoRemove (a put-if-absent re-insert) — newest first, on
+/// the same retained-lock context, so rollback is exact and invisible:
+/// no other transaction can observe, or conflict with, a state the
+/// abort is about to erase (the locks never dropped).
+///
+/// **Migration integration.** The scope holds the relation's operation
+/// gate from begin to finish, so a migration flip (runtime/Migration.h)
+/// is atomic with respect to *whole transactions* — it drains open
+/// scopes and never lands mid-scope. During a dual-write phase the
+/// scope's MirrorWrite epilogues are buffered in the transaction frame
+/// and flushed to the shadow at commit (locks still held); aborts
+/// discard the buffer, so the shadow never sees a rolled-back write.
+/// If adaptPlans() retires the scope's plans mid-flight (the epoch
+/// moves), the next operation aborts the scope with EpochChange and the
+/// client retries — prepared-handle rebinding inside a live scope would
+/// mix plan regimes.
+///
+/// **Cross-shard scopes.** ShardedTransaction lazily opens one inner
+/// scope per touched shard. Joining a shard *above* every shard already
+/// held keeps the (shard, key) order and may block; joining below must
+/// not (gate entry is bounded, every acquisition forced onto the try
+/// path), so cross-shard deadlocks are impossible by the same argument,
+/// with the shard index as the major key. A single-shard transaction
+/// creates one inner scope and pays no coordination at commit; a
+/// cross-shard commit stamps one commit sequence number, flushes and
+/// releases shard by shard — atomicity for observers follows from 2PL
+/// (every touched key stays exclusively locked until that shard
+/// releases), not from any cross-shard barrier.
+///
+/// Threading rules: a transaction belongs to the thread that opened it;
+/// one scope open per thread at a time; while it is open, do not
+/// operate on relations outside the scope from that thread (the scope
+/// holds locks — an outside operation could self-deadlock); handles and
+/// relations must outlive the scope. Query visitors run with locks held
+/// and must not execute relation operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_TXN_TRANSACTION_H
+#define CRS_TXN_TRANSACTION_H
+
+#include "runtime/PreparedOp.h"
+#include "runtime/ShardedRelation.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace crs {
+
+/// Lifecycle of a transaction scope.
+enum class TxnState : uint8_t {
+  Open,      ///< accepting operations
+  Committed, ///< effects durable and visible; locks released
+  Aborted,   ///< effects rolled back exactly; locks released
+};
+
+/// Why a scope aborted (state() == Aborted).
+enum class TxnAbortCause : uint8_t {
+  None,        ///< not aborted
+  Conflict,    ///< wait-die: an out-of-order acquisition stayed blocked
+  Upgrade,     ///< a shared→exclusive escalation was required (misuse)
+  EpochChange, ///< adaptPlans() retired the scope's plans mid-flight
+  GateBusy,    ///< a cross-shard join timed out on a closed gate
+  User,        ///< abort() or destruction of an open scope
+};
+
+/// A serializable multi-operation scope over one ConcurrentRelation.
+/// Non-copyable, non-movable; see the file comment for the contract.
+class Transaction {
+public:
+  /// Opens a scope on \p R: enters the operation gate and snapshots the
+  /// plan epoch. \p Patience scales the bounded wait-die try budget —
+  /// pass the retry attempt number (as runTransaction does) so aging
+  /// scopes win contended keys eventually.
+  explicit Transaction(ConcurrentRelation &R, unsigned Patience = 0);
+
+  /// An open scope aborts (rolls back) on destruction.
+  ~Transaction();
+  Transaction(const Transaction &) = delete;
+  Transaction &operator=(const Transaction &) = delete;
+
+  TxnState state() const { return St; }
+  TxnAbortCause abortCause() const { return Cause; }
+
+  /// The scope's commit sequence number, stamped from a process-global
+  /// clock *before* any lock is released: replaying committed scopes in
+  /// commit-sequence order reproduces the serialization order on every
+  /// contended key (the stress oracle's contract). Valid after a
+  /// successful commit().
+  uint64_t commitSeq() const { return Seq; }
+
+  /// Operations executed, undo records pending, failed lock tries.
+  /// @{
+  uint64_t opsExecuted() const { return Ops; }
+  size_t undoDepth() const { return Undo.size(); }
+  uint64_t restarts() const { return Restarts; }
+  /// @}
+
+  /// query r s C inside the scope, through a prepared handle with
+  /// inline positional arguments. Locks exclusively (for-update) and
+  /// retains the locks; \p Visit (optional) streams every matching
+  /// state's full tuple; \p Matches (optional) receives the match
+  /// count. Returns false iff the scope died — it has already rolled
+  /// back, state() is Aborted, and abortCause() says why.
+  bool query(const PreparedQuery &Q, std::initializer_list<Value> Args,
+             function_ref<void(const Tuple &)> Visit = nullptr,
+             uint32_t *Matches = nullptr);
+
+  /// insert r s t inside the scope; \p Won (optional) receives whether
+  /// the put-if-absent won. Returns false iff the scope died.
+  bool insert(const PreparedInsert &I, std::initializer_list<Value> Args,
+              bool *Won = nullptr);
+
+  /// remove r s inside the scope; \p Removed (optional) receives the
+  /// number removed (0 or 1). Returns false iff the scope died.
+  bool remove(const PreparedRemove &R, std::initializer_list<Value> Args,
+              unsigned *Removed = nullptr);
+
+  /// Commits: stamps the commit sequence, flushes buffered mirror
+  /// writes to an in-flight migration's shadow (locks still held),
+  /// releases every lock, and exits the gate. False if not Open.
+  bool commit();
+
+  /// Rolls back every mutation via the inverse plans and releases the
+  /// scope. No-op unless Open.
+  void abort();
+
+private:
+  friend class ShardedTransaction;
+
+  struct Opts {
+    unsigned Patience = 0;
+    bool Nested = false;      ///< part of a ShardedTransaction
+    bool BoundedGate = false; ///< joining mid-scope: bounded gate wait
+    bool ForceTry = false;    ///< out-of-shard-order join: never block
+  };
+  Transaction(ConcurrentRelation &R, const Opts &O);
+
+  struct UndoRecord {
+    bool WasInsert; ///< else a remove
+    Tuple Full;     ///< the tuple inserted / removed, in full
+  };
+
+  /// The shared execution core: resolves the transactional plan for
+  /// \p Impl's kind, executes it on the scope's context with the
+  /// bounded wait-die retry loop, captures undo, and reports the
+  /// op-kind result. False iff the scope died (already rolled back).
+  bool execOp(const detail::PreparedOpImpl &Impl, const Value *Args,
+              size_t NumArgs, function_ref<void(const Tuple &)> Visit,
+              int64_t &Result);
+
+  void commitWithSeq(uint64_t S);
+  void abortWith(TxnAbortCause C);
+  void rollbackUndo();
+  void releaseScope();
+
+  ConcurrentRelation *Rel;
+  /// Borrowed from the thread's pool for the scope's lifetime: locks
+  /// and instance pins live here until commit or abort. Null once the
+  /// scope has finished (and before the gate was entered).
+  ExecContext *Ctx = nullptr;
+  ExecContext::TxnFrame Frame;
+  std::vector<UndoRecord> Undo;
+  TxnState St = TxnState::Open;
+  TxnAbortCause Cause = TxnAbortCause::None;
+  uint64_t Seq = 0;
+  uint64_t StartEpoch = 0;
+  uint64_t Ops = 0;
+  uint64_t Restarts = 0;
+  unsigned TryBudget; ///< failed tries per op before the scope dies
+  bool GateHeld = false;
+  bool Nested = false;
+};
+
+/// A serializable multi-operation scope over a ShardedRelation: one
+/// lazy inner Transaction per touched shard, shard-index-major lock
+/// order, one commit sequence for the whole scope. Single-shard scopes
+/// create one inner scope and pay no cross-shard coordination.
+class ShardedTransaction {
+public:
+  explicit ShardedTransaction(ShardedRelation &R, unsigned Patience = 0);
+  ~ShardedTransaction();
+  ShardedTransaction(const ShardedTransaction &) = delete;
+  ShardedTransaction &operator=(const ShardedTransaction &) = delete;
+
+  TxnState state() const { return St; }
+  TxnAbortCause abortCause() const { return Cause; }
+  uint64_t commitSeq() const { return Seq; }
+  /// Shards this scope holds locks (and the gate) on so far.
+  unsigned shardsTouched() const;
+
+  /// The sharded operations mirror Transaction's, with routing: a
+  /// signature covering the routing columns touches one shard; an
+  /// under-bound query or remove fans out across every shard in
+  /// ascending shard order (which is exactly the deadlock-free join
+  /// order). Each returns false iff the scope died (rolled back on
+  /// every touched shard).
+  /// @{
+  bool query(const ShardedQuery &Q, std::initializer_list<Value> Args,
+             function_ref<void(const Tuple &)> Visit = nullptr,
+             uint32_t *Matches = nullptr);
+  bool insert(const ShardedInsert &I, std::initializer_list<Value> Args,
+              bool *Won = nullptr);
+  bool remove(const ShardedRemove &R, std::initializer_list<Value> Args,
+              unsigned *Removed = nullptr);
+  /// @}
+
+  bool commit();
+  void abort();
+
+private:
+  Transaction *subFor(unsigned Shard);
+  void dieWith(TxnAbortCause C);
+  /// The shared execution core behind the three sharded ops: routes a
+  /// covered signature to its one shard, fans an under-bound one out
+  /// across every shard in ascending (join-safe) order, and sums the
+  /// per-shard results. False iff the scope died.
+  bool runOps(const detail::ShardedOpImpl &SI, const Value *Args,
+              size_t NumArgs, function_ref<void(const Tuple &)> Visit,
+              int64_t &Total);
+
+  ShardedRelation *Rel;
+  std::vector<std::unique_ptr<Transaction>> Subs; ///< lazily opened
+  TxnState St = TxnState::Open;
+  TxnAbortCause Cause = TxnAbortCause::None;
+  uint64_t Seq = 0;
+  unsigned Patience;
+  int MaxShard = -1; ///< highest shard joined so far (order discipline)
+};
+
+/// Maps a relation surface to its transaction type (runTransaction).
+template <typename RelT> struct TxnHandleFor;
+template <> struct TxnHandleFor<ConcurrentRelation> {
+  using type = Transaction;
+};
+template <> struct TxnHandleFor<ShardedRelation> {
+  using type = ShardedTransaction;
+};
+
+/// Runs \p Body inside a transaction scope on \p Rel and commits.
+/// A scope that dies (Conflict, EpochChange, GateBusy) is retried with
+/// the attempt number as its patience — the aging that makes bounded
+/// wait-die fair: a long-suffering logical transaction tolerates ever
+/// more failed tries per op, so it eventually outlasts younger rivals
+/// on any contended key. \p Body receives the open scope and returns
+/// false to request a user abort (rolled back, not retried). Returns
+/// true once a scope commits; false on user abort or after
+/// \p MaxAttempts retries (0 = unbounded).
+template <typename RelT, typename BodyFn>
+bool runTransaction(RelT &Rel, BodyFn &&Body, unsigned MaxAttempts = 0) {
+  for (unsigned Attempt = 0; MaxAttempts == 0 || Attempt < MaxAttempts;
+       ++Attempt) {
+    typename TxnHandleFor<RelT>::type Txn(Rel, /*Patience=*/Attempt);
+    bool BodyOk = Body(Txn);
+    // A body that committed by hand is done, whatever it returned — a
+    // committed scope must never fall through into the retry loop
+    // (that would re-execute its effects).
+    if (Txn.state() == TxnState::Committed)
+      return true;
+    if (!BodyOk) {
+      if (Txn.state() == TxnState::Open)
+        Txn.abort();
+      return false;
+    }
+    if (Txn.state() == TxnState::Open && Txn.commit())
+      return true;
+    if (Txn.abortCause() == TxnAbortCause::User)
+      return false;
+    // Back off a little harder each round before re-contending.
+    for (unsigned Y = 0; Y <= Attempt && Y < 64; ++Y)
+      std::this_thread::yield();
+  }
+  return false;
+}
+
+} // namespace crs
+
+#endif // CRS_TXN_TRANSACTION_H

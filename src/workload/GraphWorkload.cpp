@@ -46,27 +46,25 @@ bool RelationGraphTarget::removeEdge(int64_t Src, int64_t Dst) {
                                 {DstCol, Value::ofInt(Dst)}})) > 0;
 }
 
-thread_local BatchedRelationTarget::ThreadBuf BatchedRelationTarget::Buf;
+thread_local crs::detail::PendingThreadBuffer<BoundOp>
+    BatchedRelationTarget::Buf;
 
-uint64_t BatchedRelationTarget::nextTargetId() {
+uint64_t crs::detail::nextPendingTargetId() {
   static std::atomic<uint64_t> Next{1};
   return Next.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BatchedRelationTarget::enqueue(BoundOp B) {
-  if (Buf.Owner != TargetId) { // fresh thread, or a predecessor's leftovers
-    Buf.Owner = TargetId;
-    Buf.Ops.clear();
-  }
-  Buf.Ops.push_back(std::move(B));
-  if (Buf.Ops.size() >= BatchSize) {
-    executeBatch(Buf.Ops);
-    Buf.Ops.clear();
+  std::vector<BoundOp> &Ops = Buf.claim(TargetId);
+  Ops.push_back(std::move(B));
+  if (Ops.size() >= BatchSize) {
+    executeBatch(Ops);
+    Ops.clear();
   }
 }
 
 void BatchedRelationTarget::threadFinish() {
-  if (Buf.Owner == TargetId && !Buf.Ops.empty()) {
+  if (Buf.owns(TargetId) && !Buf.Ops.empty()) {
     executeBatch(Buf.Ops);
     Buf.Ops.clear();
   }

@@ -107,6 +107,32 @@ private:
 
 namespace detail {
 
+/// A target's per-thread pending-operation buffer, keyed by a
+/// never-reused target id (not the target's address, which heap reuse
+/// can alias): a fresh target can never execute — or dangle into — a
+/// destroyed predecessor's buffered ops. Ops buffered by a thread that
+/// never drains are dropped with their claim; harnesses drain every
+/// worker through GraphTarget::threadFinish. Shared by every buffering
+/// target (batched execution, transactional scopes in the bench).
+template <typename OpT> struct PendingThreadBuffer {
+  uint64_t Owner = 0;
+  std::vector<OpT> Ops;
+
+  /// The pending ops for target \p Id, dropping a dead predecessor's
+  /// leftovers on first claim.
+  std::vector<OpT> &claim(uint64_t Id) {
+    if (Owner != Id) {
+      Owner = Id;
+      Ops.clear();
+    }
+    return Ops;
+  }
+  bool owns(uint64_t Id) const { return Owner == Id; }
+};
+
+/// The process-wide id source behind PendingThreadBuffer keys.
+uint64_t nextPendingTargetId();
+
 /// Shared prepared-handle graph target over any relation surface with
 /// prepareQuery/prepareInsert/prepareRemove (a ConcurrentRelation or a
 /// ShardedRelation): plans resolved at construction, per-call work
@@ -220,21 +246,12 @@ public:
   void threadFinish() override;
 
 private:
-  /// The calling thread's pending operations, keyed by a never-reused
-  /// target id (not the target's address, which heap reuse can alias):
-  /// a fresh target can never execute — or dangle into — a destroyed
-  /// predecessor's buffered ops. Ops buffered by a thread that never
-  /// calls threadFinish() are dropped with their target; the harness
-  /// drains every worker.
-  struct ThreadBuf {
-    uint64_t Owner = 0;
-    std::vector<BoundOp> Ops;
-  };
-  static thread_local ThreadBuf Buf;
-  const uint64_t TargetId = nextTargetId();
+  /// The calling thread's pending operations; see
+  /// detail::PendingThreadBuffer for the id-keyed aliasing guard.
+  static thread_local detail::PendingThreadBuffer<BoundOp> Buf;
+  const uint64_t TargetId = detail::nextPendingTargetId();
   unsigned BatchSize;
 
-  static uint64_t nextTargetId();
   void enqueue(BoundOp B);
 };
 

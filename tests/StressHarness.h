@@ -37,6 +37,7 @@
 #ifndef CRS_TESTS_STRESSHARNESS_H
 #define CRS_TESTS_STRESSHARNESS_H
 
+#include "txn/Transaction.h"
 #include "workload/GraphWorkload.h"
 
 #include <atomic>
@@ -147,6 +148,173 @@ runStressWithOracle(GraphTarget &Target, const StressOptions &Opts,
     W.join();
 
   Rep.TotalOps = Ops.load(std::memory_order_relaxed);
+  Rep.Expected = replayMutationLogs(Rep.Logs, &Rep.Errors);
+  return Rep;
+}
+
+/// Parameters of one *transactional* stress run: each worker iteration
+/// is a whole transaction scope of 1..MaxOpsPerTxn random operations
+/// (drawn from Mix over the worker's disjoint src range) that commits,
+/// is force-aborted (ForcedAbortPct), or dies on a conflict. Only
+/// committed scopes reach the log — the oracle replays committed-txn
+/// logs exclusively, so an abort that leaked any effect (or a commit
+/// that lost one) surfaces as an outcome mismatch or a final-state
+/// diff, exactly like the single-op harness.
+struct TxnStressOptions : StressOptions {
+  unsigned MaxOpsPerTxn = 3;
+  unsigned ForcedAbortPct = 15; ///< share of built scopes aborted by hand
+};
+
+/// Extra accounting for a transactional run.
+struct TxnStressReport : StressReport {
+  uint64_t Committed = 0;
+  uint64_t ForcedAborts = 0;
+  uint64_t ConflictAborts = 0;
+};
+
+/// The transactional analogue of runStressWithOracle, over either a
+/// ConcurrentRelation or a ShardedRelation (the scope type follows via
+/// TxnHandleFor). Worker iterations are counted per *scope*; MidAction
+/// fires on the controlling thread after OpsBeforeAction scopes.
+template <typename RelT>
+TxnStressReport
+runTxnStressWithOracle(RelT &Rel, const TxnStressOptions &Opts,
+                       const std::function<void()> &MidAction = nullptr) {
+  using TxnT = typename TxnHandleFor<RelT>::type;
+  TxnStressReport Rep;
+  Rep.Seed = resolveSeed(Opts.Seed);
+  const uint64_t Mult = opsMultiplier();
+  const uint64_t Before = Opts.OpsBeforeAction * Mult;
+  const uint64_t After = Opts.OpsAfterAction * Mult;
+  const unsigned Threads = static_cast<unsigned>(
+      envU64("CRS_STRESS_THREADS", Opts.Threads));
+
+  const RelationSpec &Spec = Rel.spec();
+  ColumnId SrcCol = Spec.col("src"), DstCol = Spec.col("dst");
+  ColumnSet Key = ColumnSet::of(SrcCol) | ColumnSet::of(DstCol);
+  // One handle set shared by every worker (handles are thread-safe;
+  // transactional ops bind inline, not through per-thread frames).
+  auto Succ = Rel.prepareQuery(ColumnSet::of(SrcCol),
+                               Spec.cols({"dst", "weight"}));
+  auto Pred = Rel.prepareQuery(ColumnSet::of(DstCol),
+                               Spec.cols({"src", "weight"}));
+  auto Ins = Rel.prepareInsert(Key);
+  auto Rem = Rel.prepareRemove(Key);
+
+  Rep.Logs.assign(Threads, {});
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Scopes{0};
+  std::atomic<uint64_t> Committed{0}, Forced{0}, Conflicts{0};
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      KeySpace Keys{Opts.SrcPerThread, Opts.WeightRange,
+                    static_cast<int64_t>(T) * Opts.SrcPerThread};
+      Xoshiro256 Rng(Rep.Seed * 0x9e3779b9 + 7919 * T + T);
+      const unsigned Total = Opts.Mix.FindSuccessors +
+                             Opts.Mix.FindPredecessors +
+                             Opts.Mix.InsertEdge + Opts.Mix.RemoveEdge;
+      while (!Stop.load(std::memory_order_acquire)) {
+        // Draw the whole scope first; the tentative log entries join
+        // the worker's log only if the scope commits.
+        struct Planned {
+          unsigned Kind; // 0 succ / 1 pred / 2 insert / 3 remove
+          int64_t Src, Dst, W;
+        };
+        unsigned N = 1 + static_cast<unsigned>(Rng.nextBounded(
+                             Opts.MaxOpsPerTxn));
+        std::vector<Planned> Plan(N);
+        for (Planned &Op : Plan) {
+          uint64_t Draw = Rng.nextBounded(Total);
+          Op.Src = Keys.SrcBase +
+                   static_cast<int64_t>(Rng.nextBounded(
+                       static_cast<uint64_t>(Keys.NumNodes)));
+          Op.Dst = static_cast<int64_t>(
+              Rng.nextBounded(static_cast<uint64_t>(Keys.NumNodes)));
+          Op.W = static_cast<int64_t>(
+              Rng.nextBounded(static_cast<uint64_t>(Keys.WeightRange)));
+          Op.Kind = Draw < Opts.Mix.FindSuccessors ? 0
+                    : Draw < Opts.Mix.FindSuccessors +
+                                 Opts.Mix.FindPredecessors
+                        ? 1
+                    : Draw < Total - Opts.Mix.RemoveEdge ? 2
+                                                         : 3;
+        }
+        bool ForceAbort = Rng.nextBounded(100) < Opts.ForcedAbortPct;
+
+        MutationLog Scratch;
+        bool Died = false;
+        {
+          TxnT Txn(Rel);
+          for (const Planned &Op : Plan) {
+            bool Ok = true;
+            switch (Op.Kind) {
+            case 0:
+              Ok = Txn.query(Succ, {Value::ofInt(Op.Src)});
+              break;
+            case 1:
+              Ok = Txn.query(Pred, {Value::ofInt(Op.Dst)});
+              break;
+            case 2: {
+              bool Won = false;
+              Ok = Txn.insert(Ins,
+                              {Value::ofInt(Op.Src), Value::ofInt(Op.Dst),
+                               Value::ofInt(Op.W)},
+                              &Won);
+              if (Ok)
+                Scratch.push_back({true, Op.Src, Op.Dst, Op.W, Won ? 1 : 0});
+              break;
+            }
+            default: {
+              unsigned Removed = 0;
+              Ok = Txn.remove(
+                  Rem, {Value::ofInt(Op.Src), Value::ofInt(Op.Dst)},
+                  &Removed);
+              if (Ok)
+                Scratch.push_back({false, Op.Src, Op.Dst, 0,
+                                   static_cast<int64_t>(Removed)});
+              break;
+            }
+            }
+            if (!Ok) {
+              Died = true; // rolled back in full; nothing logged
+              break;
+            }
+          }
+          if (Died) {
+            Conflicts.fetch_add(1, std::memory_order_relaxed);
+          } else if (ForceAbort) {
+            Txn.abort(); // exercises the undo path under contention
+            Forced.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            bool Ok = Txn.commit();
+            assert(Ok && "open scope must commit");
+            (void)Ok;
+            Committed.fetch_add(1, std::memory_order_relaxed);
+            Rep.Logs[T].insert(Rep.Logs[T].end(), Scratch.begin(),
+                               Scratch.end());
+          }
+        }
+        Scopes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  while (Scopes.load(std::memory_order_relaxed) < Before)
+    std::this_thread::yield();
+  if (MidAction)
+    MidAction();
+  const uint64_t Mark = Scopes.load(std::memory_order_relaxed);
+  while (Scopes.load(std::memory_order_relaxed) < Mark + After)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &W : Workers)
+    W.join();
+
+  Rep.TotalOps = Scopes.load(std::memory_order_relaxed);
+  Rep.Committed = Committed.load(std::memory_order_relaxed);
+  Rep.ForcedAborts = Forced.load(std::memory_order_relaxed);
+  Rep.ConflictAborts = Conflicts.load(std::memory_order_relaxed);
   Rep.Expected = replayMutationLogs(Rep.Logs, &Rep.Errors);
   return Rep;
 }
