@@ -1,0 +1,150 @@
+//===- bench/BenchJson.h - Machine-readable bench emission ------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optional JSON sidecar for the figure-reproduction benches: set
+/// CRS_BENCH_JSON=<path> and the binary writes every panel it printed as
+/// a machine-readable document (schema `crs-bench-fig5/1`) next to the
+/// human tables. tools/bench_compare.py diffs two such documents, so CI
+/// can keep a throughput trajectory across commits instead of eyeballing
+/// table screenshots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_BENCH_BENCHJSON_H
+#define CRS_BENCH_BENCHJSON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace crs {
+
+/// Accumulates bench panels and writes them as one JSON document.
+class BenchJsonWriter {
+public:
+  /// Reads CRS_BENCH_JSON; an unset/empty value disables the writer and
+  /// every call becomes a no-op.
+  BenchJsonWriter() {
+    if (const char *P = std::getenv("CRS_BENCH_JSON"))
+      Path = P;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Starts a panel; subsequent addSeries calls land in it. \p Section
+  /// names the bench section ("figure5", "api_modes", ...), \p Mix the
+  /// operation-distribution label ("45-45-9-1").
+  void beginPanel(const std::string &Section, const std::string &Mix) {
+    if (!enabled())
+      return;
+    Panels.push_back({Section, Mix, {}});
+  }
+
+  /// Adds one series row: ops/sec per swept thread count plus the
+  /// executor-health columns of the printed tables (negative values mean
+  /// "not measured" — e.g. the handcoded baseline — and are emitted as
+  /// null).
+  void addSeries(const std::string &Name, const std::vector<double> &OpsPerSec,
+                 double RestartsPerOp = -1, double PlanCacheHitRate = -1) {
+    if (!enabled())
+      return;
+    Panels.back().Series.push_back(
+        {Name, OpsPerSec, RestartsPerOp, PlanCacheHitRate});
+  }
+
+  /// Writes the document. \p Threads is the swept thread axis shared by
+  /// all panels; \p Mode tags the run scale ("quick" / "full"). The git
+  /// revision is taken from CRS_GIT_SHA, falling back to GITHUB_SHA
+  /// (set by Actions), else null.
+  bool write(const std::vector<unsigned> &Threads,
+             const std::string &Mode) const {
+    if (!enabled())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "BenchJson: cannot open %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\n  \"schema\": \"crs-bench-fig5/1\",\n");
+    const char *Sha = std::getenv("CRS_GIT_SHA");
+    if (!Sha)
+      Sha = std::getenv("GITHUB_SHA");
+    if (Sha)
+      std::fprintf(F, "  \"git_sha\": \"%s\",\n", escaped(Sha).c_str());
+    else
+      std::fprintf(F, "  \"git_sha\": null,\n");
+    std::fprintf(F, "  \"mode\": \"%s\",\n  \"threads\": [",
+                 escaped(Mode).c_str());
+    for (size_t I = 0; I < Threads.size(); ++I)
+      std::fprintf(F, "%s%u", I ? ", " : "", Threads[I]);
+    std::fprintf(F, "],\n  \"panels\": [\n");
+    for (size_t P = 0; P < Panels.size(); ++P) {
+      const PanelOut &Panel = Panels[P];
+      std::fprintf(F,
+                   "    {\n      \"section\": \"%s\",\n      \"mix\": "
+                   "\"%s\",\n      \"series\": [\n",
+                   escaped(Panel.Section).c_str(), escaped(Panel.Mix).c_str());
+      for (size_t S = 0; S < Panel.Series.size(); ++S) {
+        const SeriesOut &Row = Panel.Series[S];
+        std::fprintf(F, "        {\"name\": \"%s\", \"ops_per_sec\": [",
+                     escaped(Row.Name).c_str());
+        for (size_t I = 0; I < Row.OpsPerSec.size(); ++I)
+          std::fprintf(F, "%s%.1f", I ? ", " : "", Row.OpsPerSec[I]);
+        std::fprintf(F, "], \"restarts_per_op\": ");
+        if (Row.RestartsPerOp < 0)
+          std::fprintf(F, "null");
+        else
+          std::fprintf(F, "%.6f", Row.RestartsPerOp);
+        std::fprintf(F, ", \"plan_cache_hit\": ");
+        if (Row.PlanCacheHitRate < 0)
+          std::fprintf(F, "null");
+        else
+          std::fprintf(F, "%.4f", Row.PlanCacheHitRate);
+        std::fprintf(F, "}%s\n", S + 1 < Panel.Series.size() ? "," : "");
+      }
+      std::fprintf(F, "      ]\n    }%s\n",
+                   P + 1 < Panels.size() ? "," : "");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::fprintf(stderr, "BenchJson: wrote %zu panels to %s\n", Panels.size(),
+                 Path.c_str());
+    return true;
+  }
+
+private:
+  struct SeriesOut {
+    std::string Name;
+    std::vector<double> OpsPerSec;
+    double RestartsPerOp;
+    double PlanCacheHitRate;
+  };
+  struct PanelOut {
+    std::string Section;
+    std::string Mix;
+    std::vector<SeriesOut> Series;
+  };
+
+  static std::string escaped(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      Out.push_back(C);
+    }
+    return Out;
+  }
+
+  std::string Path;
+  std::vector<PanelOut> Panels;
+};
+
+} // namespace crs
+
+#endif // CRS_BENCH_BENCHJSON_H

@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchConfig.h"
+#include "BenchJson.h"
 #include "autotune/Autotuner.h"
 #include "support/Table.h"
 #include "txn/Transaction.h"
@@ -53,6 +54,22 @@ std::unique_ptr<GraphTarget> makePreparedTarget(
   };
   return std::make_unique<Owning>(
       std::make_unique<ConcurrentRelation>(Config));
+}
+
+/// The prepared target with the epoch-protected read fast path switched
+/// off, so eligible queries take the placement locks they would have
+/// taken before the fast path existed — the control series for the
+/// fast-vs-locked panel.
+std::unique_ptr<GraphTarget> makeLockedPreparedTarget(
+    const RepresentationConfig &Config) {
+  auto Rel = std::make_unique<ConcurrentRelation>(Config);
+  Rel->setFastReads(false);
+  struct Owning : PreparedRelationTarget {
+    std::unique_ptr<ConcurrentRelation> Rel;
+    explicit Owning(std::unique_ptr<ConcurrentRelation> R)
+        : PreparedRelationTarget(*R), Rel(std::move(R)) {}
+  };
+  return std::make_unique<Owning>(std::move(Rel));
 }
 
 std::unique_ptr<GraphTarget> makeBatchedTarget(
@@ -196,6 +213,9 @@ int main() {
   std::vector<unsigned> Threads = benchThreadCounts();
   KeySpace Keys = benchKeySpace();
   auto Representations = figure5Representations();
+  // Machine-readable sidecar (CRS_BENCH_JSON=<path>): every panel below
+  // also lands in the JSON document tools/bench_compare.py consumes.
+  BenchJsonWriter Json;
 
   std::printf("=== Figure 5: throughput/scalability, %zu series x 4 "
               "workloads ===\n",
@@ -218,31 +238,38 @@ int main() {
     Header.push_back("pc-hit%");
     Table Panel(Header);
 
+    Json.beginPanel("figure5", Mix.str());
     for (auto &[Name, Config] : Representations) {
       std::vector<std::string> Row{Name};
+      std::vector<double> Ops;
       ThroughputResult Last;
       for (unsigned T : Threads) {
         Last = runThroughput([&] { return makeRelationTarget(Config); }, Mix,
                              Keys, benchParams(T));
         Row.push_back(Table::fmt(Last.OpsPerSec, 0));
+        Ops.push_back(Last.OpsPerSec);
       }
       Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
       Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
       Panel.addRow(Row);
+      Json.addSeries(Name, Ops, Last.RestartsPerOp, Last.PlanCacheHitRate);
       std::printf(".");
       std::fflush(stdout);
     }
 
     // The paper's hand-written comparison series.
     std::vector<std::string> Row{"Handcoded"};
+    std::vector<double> HandOps;
     for (unsigned T : Threads) {
       ThroughputResult R = runThroughput([] { return makeHandcodedTarget(); },
                                          Mix, Keys, benchParams(T));
       Row.push_back(Table::fmt(R.OpsPerSec, 0));
+      HandOps.push_back(R.OpsPerSec);
     }
     Row.push_back("-");
     Row.push_back("-");
     Panel.addRow(Row);
+    Json.addSeries("Handcoded", HandOps);
 
     std::printf("\n");
     Panel.print(std::cout);
@@ -280,6 +307,30 @@ int main() {
     }
     return P;
   };
+  // Shared row loop for the named-series panels below (each caller has
+  // already opened the matching JSON panel).
+  auto runSeriesPanel =
+      [&](Table &Panel,
+          const std::vector<std::pair<std::string, TargetFactory>> &Series,
+          const OpMix &Mix) {
+        for (auto &[Name, Make] : Series) {
+          std::vector<std::string> Row{Name};
+          std::vector<double> Ops;
+          ThroughputResult Last;
+          for (unsigned T : Threads) {
+            Last = runThroughput(Make, Mix, Keys, ApiParams(T));
+            Row.push_back(Table::fmt(Last.OpsPerSec, 0));
+            Ops.push_back(Last.OpsPerSec);
+          }
+          Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
+          Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
+          Panel.addRow(Row);
+          Json.addSeries(Name, Ops, Last.RestartsPerOp,
+                         Last.PlanCacheHitRate);
+          std::printf(".");
+          std::fflush(stdout);
+        }
+      };
   for (const OpMix &Mix : Fig5Workloads) {
     std::printf("--- Operation Distribution: %s ---\n", Mix.str().c_str());
     std::vector<std::string> Header{"api"};
@@ -288,19 +339,40 @@ int main() {
     Header.push_back("rst/op");
     Header.push_back("pc-hit%");
     Table Panel(Header);
-    for (auto &[Name, Make] : Modes) {
-      std::vector<std::string> Row{Name};
-      ThroughputResult Last;
-      for (unsigned T : Threads) {
-        Last = runThroughput(Make, Mix, Keys, ApiParams(T));
-        Row.push_back(Table::fmt(Last.OpsPerSec, 0));
-      }
-      Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
-      Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
-      Panel.addRow(Row);
-      std::printf(".");
-      std::fflush(stdout);
-    }
+    Json.beginPanel("api_modes", Mix.str());
+    runSeriesPanel(Panel, Modes, Mix);
+    std::printf("\n");
+    Panel.print(std::cout);
+    std::printf("\n");
+  }
+
+  // Read fast path: eligible prepared queries run under an epoch guard
+  // with zero placement-lock acquisitions (docs/ARCHITECTURE.md, "The
+  // read fast path"). Eligibility needs every traversed container to be
+  // concurrency-safe, so the panel gets an all-concurrent split (the
+  // Figure 5 variants keep a non-concurrent inner level); `locked` is
+  // the identical representation with setFastReads(false) — the pre-
+  // fast-path behavior. The gap is the price of shared placement locks
+  // on the read path; it widens with threads and with read share.
+  RepresentationConfig FastBase = makeGraphRepresentation(
+      {GraphShape::Split, PlacementSchemeKind::Striped, 1024,
+       ContainerKind::ConcurrentHashMap, ContainerKind::ConcurrentSkipListMap});
+  std::printf("=== Read fast path (%s): epoch-protected vs locked ===\n\n",
+              FastBase.Name.c_str());
+  for (const OpMix &Mix : Fig5Workloads) {
+    std::printf("--- Operation Distribution: %s ---\n", Mix.str().c_str());
+    std::vector<std::string> Header{"series"};
+    for (unsigned T : Threads)
+      Header.push_back(std::to_string(T) + "T");
+    Header.push_back("rst/op");
+    Header.push_back("pc-hit%");
+    Table Panel(Header);
+    std::vector<std::pair<std::string, TargetFactory>> Series = {
+        {"fast (epoch)", [&] { return makePreparedTarget(FastBase); }},
+        {"locked", [&] { return makeLockedPreparedTarget(FastBase); }},
+    };
+    Json.beginPanel("read_fastpath", Mix.str());
+    runSeriesPanel(Panel, Series, Mix);
     std::printf("\n");
     Panel.print(std::cout);
     std::printf("\n");
@@ -334,19 +406,8 @@ int main() {
         {"2 shards", [&] { return makeShardedTarget(ShardBase, 2); }},
         {"4 shards", [&] { return makeShardedTarget(ShardBase, 4); }},
     };
-    for (auto &[Name, Make] : Series) {
-      std::vector<std::string> Row{Name};
-      ThroughputResult Last;
-      for (unsigned T : Threads) {
-        Last = runThroughput(Make, Mix, Keys, ApiParams(T));
-        Row.push_back(Table::fmt(Last.OpsPerSec, 0));
-      }
-      Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
-      Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
-      Panel.addRow(Row);
-      std::printf(".");
-      std::fflush(stdout);
-    }
+    Json.beginPanel("sharded", Mix.str());
+    runSeriesPanel(Panel, Series, Mix);
     std::printf("\n");
     Panel.print(std::cout);
     std::printf("\n");
@@ -378,19 +439,8 @@ int main() {
         {"txn x2", [&] { return makeTxnTarget(TC, 2); }},
         {"txn x8", [&] { return makeTxnTarget(TC, 8); }},
     };
-    for (auto &[Name, Make] : Series) {
-      std::vector<std::string> Row{Name};
-      ThroughputResult Last;
-      for (unsigned T : Threads) {
-        Last = runThroughput(Make, Mix, Keys, ApiParams(T));
-        Row.push_back(Table::fmt(Last.OpsPerSec, 0));
-      }
-      Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
-      Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
-      Panel.addRow(Row);
-      std::printf(".");
-      std::fflush(stdout);
-    }
+    Json.beginPanel("txn", Mix.str());
+    runSeriesPanel(Panel, Series, Mix);
     std::printf("\n");
     Panel.print(std::cout);
     std::printf("\n");
@@ -410,6 +460,10 @@ int main() {
       "Txn panel: txn x1 vs bare prepared is the per-scope overhead\n"
       "budget (≤10%% at 1T); larger scopes amortize it but hold locks\n"
       "longer, and transactional reads lock exclusively — conservative\n"
-      "2PL trades read parallelism for upgrade-free deadlock freedom.\n");
-  return 0;
+      "2PL trades read parallelism for upgrade-free deadlock freedom.\n"
+      "Fast-path panel: the epoch series drops every placement-lock\n"
+      "acquisition from eligible queries; expect it to pull ahead of\n"
+      "locked as threads and read share grow, and to stay within noise\n"
+      "on the mutation-heavy mix (writers still lock).\n");
+  return Json.write(Threads, benchFull() ? "full" : "quick") ? 0 : 1;
 }

@@ -35,8 +35,13 @@ ContainerTraits crs::containerTraits(ContainerKind Kind) {
     return {PS::Linearizable, PS::Linearizable, PS::Linearizable,
             PS::Linearizable, /*SortedScan=*/true};
   case ContainerKind::SingletonCell:
-    // A plain cell: reads race with writes unless externally locked.
-    return {PS::Linearizable, PS::Unsafe, PS::Unsafe, PS::Unsafe,
+    // Single-writer/multi-reader atomic cell: the entry publishes and
+    // unpublishes through one atomic pointer (retired entries go
+    // through the epoch domain), so reads are linearizable against a
+    // concurrent write — the property the wait-free read path needs on
+    // the dotted edges. Unserialized writers lose updates (weak): the
+    // plans' exclusive locks serialize them.
+    return {PS::Linearizable, PS::Linearizable, PS::Linearizable, PS::Weak,
             /*SortedScan=*/true};
   }
   crs_unreachable("unknown container kind");

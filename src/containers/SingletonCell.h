@@ -8,9 +8,19 @@
 /// \file
 /// The container behind the paper's dotted edges (Figures 2 and 3): when
 /// the source node's key columns functionally determine an edge's columns,
-/// the edge's "container" holds at most one entry — a singleton tuple. It
-/// is non-concurrent (like a plain field); the lock placement must
-/// serialize access.
+/// the edge's "container" holds at most one entry — a singleton tuple.
+///
+/// The cell is a single-writer/multi-reader atomic: the entry lives
+/// behind one atomic pointer, writes publish a freshly built entry with
+/// a seq_cst store, and displaced entries are retired through the
+/// global epoch domain rather than freed (sync/Epoch.h) — so unlocked
+/// readers inside an epoch guard (the wait-free read fast path, and
+/// every locked operation too) can race a writer without tearing and
+/// without use-after-free. Lookup and scan are therefore linearizable
+/// against a concurrent write, like the concurrent maps' — what stays
+/// weak is write/write: racing writers lose updates, so mutations must
+/// still be serialized externally (the synthesized plans' exclusive
+/// locks do exactly that).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,61 +28,83 @@
 #define CRS_CONTAINERS_SINGLETONCELL_H
 
 #include "support/Compiler.h"
+#include "sync/Epoch.h"
 
-#include <optional>
+#include <atomic>
+#include <cassert>
 #include <utility>
 
 namespace crs {
 
 /// A map holding at most one (key, value) entry.
 template <typename K, typename V> class SingletonCell {
-  std::optional<std::pair<K, V>> Entry;
+  struct Entry {
+    K Key;
+    V Val;
+  };
+  std::atomic<Entry *> E{nullptr};
 
 public:
   SingletonCell() = default;
   SingletonCell(const SingletonCell &) = delete;
   SingletonCell &operator=(const SingletonCell &) = delete;
 
+  ~SingletonCell() {
+    // Destruction implies quiescence; anything already retired is owned
+    // by the epoch domain.
+    delete E.load(std::memory_order_relaxed);
+  }
+
   bool lookup(const K &Key, V &Out) const {
-    if (!Entry || !(Entry->first == Key))
+    const Entry *P = E.load(std::memory_order_acquire);
+    if (!P || !(P->Key == Key))
       return false;
-    Out = Entry->second;
+    Out = P->Val;
     return true;
   }
 
   bool contains(const K &Key) const {
-    return Entry && Entry->first == Key;
+    const Entry *P = E.load(std::memory_order_acquire);
+    return P && P->Key == Key;
   }
 
   /// Inserts or replaces. Writing a *different* key while one is present
   /// violates the functional dependency that justified the singleton edge
-  /// and is rejected by assertion.
+  /// and is rejected by assertion. Writers must be externally serialized
+  /// (write/write is the one unserialized pair the cell does not handle).
   bool insertOrAssign(const K &Key, V Val) {
-    if (Entry) {
-      assert(Entry->first == Key &&
+    Entry *Old = E.load(std::memory_order_relaxed);
+    // Build fully, then publish: a concurrent reader sees the old entry,
+    // the new entry, or nothing — never a half-written one. seq_cst is
+    // the epoch layer's unpublish/publish contract (sync/Epoch.h).
+    E.store(new Entry{Key, std::move(Val)}, std::memory_order_seq_cst);
+    if (Old) {
+      assert(Old->Key == Key &&
              "singleton cell already holds a different key (FD violation)");
-      Entry->second = std::move(Val);
+      EpochDomain::global().retireObject(Old);
       return false;
     }
-    Entry.emplace(Key, std::move(Val));
     return true;
   }
 
   bool erase(const K &Key) {
-    if (!Entry || !(Entry->first == Key))
+    Entry *Old = E.load(std::memory_order_relaxed);
+    if (!Old || !(Old->Key == Key))
       return false;
-    Entry.reset();
+    E.store(nullptr, std::memory_order_seq_cst); // unpublish, then retire
+    EpochDomain::global().retireObject(Old);
     return true;
   }
 
   template <typename Fn> void scan(Fn Visit) const {
-    if (Entry)
-      Visit(static_cast<const K &>(Entry->first),
-            static_cast<const V &>(Entry->second));
+    if (const Entry *P = E.load(std::memory_order_acquire))
+      Visit(static_cast<const K &>(P->Key), static_cast<const V &>(P->Val));
   }
 
-  size_t size() const { return Entry ? 1 : 0; }
-  bool empty() const { return !Entry; }
+  size_t size() const {
+    return E.load(std::memory_order_acquire) ? 1 : 0;
+  }
+  bool empty() const { return !E.load(std::memory_order_acquire); }
 };
 
 } // namespace crs

@@ -29,6 +29,15 @@ std::string Plan::str() const {
   for (size_t I = 0; I < BindSlots.size(); ++I)
     Out += (I ? ", " : "") + D.spec().catalog().name(BindSlots[I]);
   Out += "]  epoch " + std::to_string(Epoch) + "\n";
+  // Wait-free read-path classification (query plans only): whether this
+  // plan may run under an epoch guard with zero lock acquisitions, and
+  // why (not).
+  if (Op == PlanOp::Query) {
+    Out += std::string("-- epoch-eligible: ") + (EpochEligible ? "yes" : "no");
+    if (!EpochNote.empty())
+      Out += " (" + EpochNote + ")";
+    Out += "\n";
+  }
   unsigned Line = 1;
   auto Emit = [&](const std::string &S) {
     Out += std::to_string(Line++) + ": " + S + "\n";

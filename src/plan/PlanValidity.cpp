@@ -405,6 +405,38 @@ ValidationResult crs::checkPlanValidity(const Plan &P) {
     }
   }
 
+  // Epoch-eligibility soundness: a plan claiming the wait-free read
+  // path must be a pure query (no write statements, shared locks only —
+  // the statements it will *skip* under an epoch guard) and every edge
+  // it reads must be backed by a concurrency-safe container, since the
+  // container's own synchronization is all that remains once the plan's
+  // locks are elided.
+  if (P.EpochEligible) {
+    if (P.Op != PlanOp::Query)
+      Err("epoch-eligible flag on a non-query plan");
+    if (P.ForMutation)
+      Err("epoch-eligible flag on a mutation-mode plan");
+    for (const PlanStmt &St : P.Stmts) {
+      if (IsWrite(St.K))
+        Err("epoch-eligible plan contains a write statement");
+      if (St.K == PlanStmt::Kind::Lock && St.Mode == LockMode::Exclusive)
+        Err("epoch-eligible plan takes an exclusive lock");
+      switch (St.K) {
+      case PlanStmt::Kind::Lookup:
+      case PlanStmt::Kind::Scan:
+      case PlanStmt::Kind::SpecLookup:
+      case PlanStmt::Kind::SpecScan:
+      case PlanStmt::Kind::Probe:
+        if (!containerTraits(D.edge(St.Edge).Kind).concurrencySafe())
+          Err("epoch-eligible plan reads edge " + EdgeName(St.Edge) +
+              " through a container that is not concurrency-safe");
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
   const VarState &Res = Vars[P.ResultVar];
   if (!Res.Defined) {
     Err("plan result variable is undefined");

@@ -208,6 +208,33 @@ std::optional<Plan> QueryPlanner::buildPlan(const std::vector<EdgeId> &Seq,
   }
   P.ResultVar = CurVar;
 
+  // Epoch-eligibility (wait-free read fast path): a shared-mode query
+  // plan qualifies when every traversed edge's container tolerates
+  // unlocked concurrent readers (§6.1 traits). Speculative statements
+  // degrade gracefully — their unlocked guess *is* the read once no
+  // lock is taken — so eligibility is placement-independent: only the
+  // container kinds on the traversal matter.
+  if (!ForMutation) {
+    P.EpochEligible = true;
+    for (EdgeId E : Seq) {
+      const auto &Edge = D.edge(E);
+      if (!containerTraits(Edge.Kind).concurrencySafe()) {
+        P.EpochEligible = false;
+        P.EpochNote = "edge " + D.node(Edge.Src).Name + "->" +
+                      D.node(Edge.Dst).Name + " [" +
+                      containerKindName(Edge.Kind) +
+                      "] is not concurrency-safe";
+        break;
+      }
+    }
+    if (P.EpochEligible)
+      P.EpochNote = Seq.empty()
+                        ? "trivial traversal"
+                        : "read-only over concurrency-safe containers";
+  } else {
+    P.EpochNote = "locks exclusively (mutation or for-update)";
+  }
+
   assert(checkPlanValidity(P).ok() && "planner emitted an invalid plan");
   return P;
 }

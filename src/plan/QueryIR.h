@@ -215,6 +215,17 @@ struct Plan {
   /// identity): bumped by adaptPlans(), compared by prepared handles to
   /// detect that their bound plan has been superseded.
   uint64_t Epoch = 0;
+  /// Epoch-eligibility (the wait-free read fast path): true iff this is
+  /// a read-only query plan every one of whose traversed edges is
+  /// implemented by a concurrency-safe container (§6.1 traits). Such a
+  /// plan may execute under an epoch guard with *zero* physical-lock
+  /// acquisitions — the containers' own synchronization keeps each
+  /// lookup/scan safe, and the relation's epoch/flip protocol keeps the
+  /// traversed instances alive. The classification is static, computed
+  /// by the planner at build time.
+  bool EpochEligible = false;
+  /// Human-readable reason for the classification (explain output).
+  std::string EpochNote;
 
   /// Renders the plan in the paper's let-binding style (§5.2 plans
   /// (2)-(4)); implemented in PlanPrinter.cpp.

@@ -45,7 +45,7 @@ using namespace crs;
 
 ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
                                        CostParams CP)
-    : Config(std::move(Cfg)), BaseCostParams(CP),
+    : Config(std::move(Cfg)), StableSpec(Config.Spec), BaseCostParams(CP),
       Planner(*Config.Decomp, *Config.Placement, CP),
       Executor(*Config.Decomp, *Config.Placement) {
   [[maybe_unused]] ValidationResult DecompOk = Config.Decomp->validate();
@@ -59,6 +59,7 @@ ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
   const Decomposition &D = *Config.Decomp;
   Root = NodeInstance::create(D, D.root(), Tuple(),
                               Config.Placement->nodeStripes(D.root()));
+  FastRoot.store(Root.get(), std::memory_order_seq_cst);
 }
 
 // Per-operation lock/frame lifetime is ExecContext::OpScope
@@ -152,22 +153,29 @@ const Plan *ConcurrentRelation::resolvePlan(PlanOp Op, ColumnSet DomS,
   return nullptr;
 }
 
+// Explain paths hold an epoch guard across resolve + render: plan
+// snapshots reclaim on quiescence, so any dereference of a cached plan
+// must pin the epoch (the same rule as the execution paths).
 std::string ConcurrentRelation::explainQuery(ColumnSet DomS,
                                              ColumnSet C) const {
+  EpochDomain::Guard EG;
   return queryPlanFor(DomS, C)->str();
 }
 
 std::string ConcurrentRelation::explainRemove(ColumnSet DomS) const {
+  EpochDomain::Guard EG;
   return removePlanFor(DomS)->str();
 }
 
 std::string ConcurrentRelation::explainInsert(ColumnSet DomS) const {
+  EpochDomain::Guard EG;
   return insertPlanFor(DomS)->str();
 }
 
 std::string ConcurrentRelation::explainTxn(PlanOp Op, ColumnSet DomS) const {
   assert((Op == PlanOp::Insert || Op == PlanOp::Remove) &&
          "explainTxn takes a mutation kind");
+  EpochDomain::Guard EG;
   const Plan *Forward =
       Op == PlanOp::Insert ? insertPlanFor(DomS) : removePlanFor(DomS);
   const Plan *Inverse =
@@ -178,7 +186,9 @@ std::string ConcurrentRelation::explainTxn(PlanOp Op, ColumnSet DomS) const {
 uint32_t
 ConcurrentRelation::runQueryPlan(const Plan &P, const Tuple &Input,
                                  function_ref<void(const Tuple &)> Visit) const {
-  NumQueries.fetch_add(1, std::memory_order_relaxed);
+  assert(EpochDomain::global().inGuard() &&
+         "plan execution requires an epoch guard (snapshots reclaim)");
+  NumQueries.inc();
   ExecContext &Ctx = ExecContext::current();
   Ctx.Locks.setOrderDomain(0, LockDomain);
   for (unsigned Attempt = 0;; ++Attempt) {
@@ -204,7 +214,9 @@ ConcurrentRelation::runQueryPlan(const Plan &P, const Tuple &Input,
 }
 
 unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
-  NumRemoves.fetch_add(1, std::memory_order_relaxed);
+  assert(EpochDomain::global().inGuard() &&
+         "plan execution requires an epoch guard (snapshots reclaim)");
+  NumRemoves.inc();
   ExecContext &Ctx = ExecContext::current();
   Ctx.Locks.setOrderDomain(0, LockDomain);
   Ctx.Count = &Count;
@@ -222,7 +234,9 @@ unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
 }
 
 bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
-  NumInserts.fetch_add(1, std::memory_order_relaxed);
+  assert(EpochDomain::global().inGuard() &&
+         "plan execution requires an epoch guard (snapshots reclaim)");
+  NumInserts.inc();
   ExecContext &Ctx = ExecContext::current();
   Ctx.Locks.setOrderDomain(0, LockDomain);
   Ctx.Count = &Count;
@@ -235,17 +249,70 @@ bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
   return St == ExecStatus::Ok; // Found: a tuple matching s exists
 }
 
-// The public operations hold the gate from before plan resolution
+bool ConcurrentRelation::tryFastQuery(
+    function_ref<const Plan *()> Resolve, const Tuple &Input,
+    function_ref<void(const Tuple &)> Visit, uint32_t *Matches) const {
+  EpochDomain::Guard EG;
+  // Flag check *inside* the guard: the retirement flip clears the flag
+  // (seq_cst) and then synchronizes the epoch, so either this load sees
+  // the clear (fall back to the locked path) or the flip's synchronize
+  // waits for this guard to exit before touching the representation.
+  if (!FastReads.load(std::memory_order_seq_cst))
+    return false;
+  const Plan *P = Resolve();
+  if (!P->EpochEligible)
+    return false;
+  uint32_t N = runFastQueryPlan(*P, Input, Visit);
+  if (Matches)
+    *Matches = N;
+  return true;
+}
+
+uint32_t ConcurrentRelation::runFastQueryPlan(
+    const Plan &P, const Tuple &Input,
+    function_ref<void(const Tuple &)> Visit) const {
+  assert(P.EpochEligible && !P.ForMutation &&
+         "the fast path requires an epoch-eligible query plan");
+  assert(EpochDomain::global().inGuard() &&
+         "the fast path runs entirely inside an epoch guard");
+  NumQueries.inc();
+  ExecContext &Ctx = ExecContext::current();
+  OpScope Scope(Ctx);
+  Ctx.LockFree = true;
+  // Non-owning alias of the published root: a refcount bump on the
+  // root's control block would be one shared RMW per query, the very
+  // line this path removes. The epoch guard keeps the whole tree alive
+  // — the retirement flip synchronizes before dropping it. Interior
+  // instances are still pinned by owning copies the container lookups
+  // hand out, so a concurrently removed instance outlives its visit.
+  NodeInstPtr RootAlias(std::shared_ptr<NodeInstance>(),
+                        FastRoot.load(std::memory_order_seq_cst));
+  [[maybe_unused]] ExecStatus St =
+      Executor.run(P, Input, std::move(RootAlias), Ctx);
+  assert(St == ExecStatus::Ok && "lock-free query plans cannot restart");
+  uint32_t N = Ctx.numStates(P.ResultVar);
+  for (uint32_t I = 0; I < N; ++I)
+    Visit(Ctx.stateTuple(P.ResultVar, I));
+  return N; // Scope recycles the frames
+}
+
+// The locked operations hold the gate from before plan resolution
 // until after execution: a migration flip that closes the gate is
 // therefore atomic with respect to entire operations — none can
 // resolve a plan under one representation regime and execute it under
-// the next (runtime/Migration.h).
+// the next (runtime/Migration.h). The epoch guard nests *inside* the
+// gate (never the reverse): blocking on a closed gate while pinning an
+// epoch would deadlock the flip's synchronize.
 std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
                                              ColumnSet C) const {
-  OpGate::Scope G(Gate);
-  const Plan *P = queryPlanFor(S.domain(), C);
   std::vector<Tuple> Out;
-  runQueryPlan(*P, S, [&](const Tuple &T) { Out.push_back(T.project(C)); });
+  auto Push = [&](const Tuple &T) { Out.push_back(T.project(C)); };
+  if (!tryFastQuery([&] { return queryPlanFor(S.domain(), C); }, S, Push,
+                    nullptr)) {
+    OpGate::Scope G(Gate);
+    EpochDomain::Guard EG;
+    runQueryPlan(*queryPlanFor(S.domain(), C), S, Push);
+  }
   std::sort(Out.begin(), Out.end(), TupleLess());
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;
@@ -253,6 +320,7 @@ std::vector<Tuple> ConcurrentRelation::query(const Tuple &S,
 
 unsigned ConcurrentRelation::remove(const Tuple &S) {
   OpGate::Scope G(Gate);
+  EpochDomain::Guard EG;
   // Asserted inside the gate: spec() reads Config, which a migration's
   // retirement flip reassigns behind the gate barrier — an out-of-gate
   // read would race the flip (caught by TSan under legacy-op traffic).
@@ -266,6 +334,7 @@ bool ConcurrentRelation::insert(const Tuple &S, const Tuple &T) {
          "insert requires disjoint s and t domains (paper §2)");
   Tuple Full = S.unionWith(T);
   OpGate::Scope G(Gate);
+  EpochDomain::Guard EG;
   // Inside the gate for the same reason as remove's key assert.
   assert(Full.domain() == spec().allColumns() &&
          "inserted tuple must value every column");
@@ -382,14 +451,24 @@ void ConcurrentRelation::adaptPlans() {
     Replanned.setEmitMirrorWrites(Planner.emitMirrorWrites());
     Planner = std::move(Replanned);
   }
+  // Bump *before* clear — the order matters for the wait-free readers.
+  // A prepared handle's fast path re-validates its cached plan pointer
+  // by loading PlanEpoch (seq_cst) inside its epoch guard. The clear
+  // retires the snapshot that owns the plan, and with enough epoch
+  // advances from unrelated retire traffic that snapshot could become
+  // freeable *during* the reader's guard (only retirees stamped before
+  // the guard's epoch are held back). Bumping first closes the hole:
+  // if the snapshot was freeable during a guard, its retire — and
+  // therefore this preceding bump — is before the guard's entry in the
+  // seq_cst order, so the reader's epoch check must observe the bump
+  // and rebind instead of touching the plan. The benign flip side: a
+  // racing rebinder may re-bind a not-yet-cleared plan at the new
+  // epoch; old plans remain semantically valid here (only the cost
+  // model changed), so it merely keeps an old shape one cycle longer.
+  // The first rebinder per signature compiles (one counted miss);
+  // everyone else rebinds onto that publication wait-free.
+  PlanEpoch.fetch_add(1, std::memory_order_seq_cst);
   Plans.clear();
-  // Retire the prepared handles last: the bump is ordered after the
-  // clear (release/acquire on PlanEpoch), so a handle that observes the
-  // new epoch resolves against the cleared cache and the swapped
-  // planner — it can never re-bind a retired plan as current. The first
-  // rebinder per signature compiles (one counted miss); everyone else
-  // rebinds onto that publication wait-free.
-  PlanEpoch.fetch_add(1, std::memory_order_release);
 }
 
 ValidationResult ConcurrentRelation::verifyConsistency() const {

@@ -101,18 +101,28 @@ public:
   PreparedRemove prepareRemove(ColumnSet DomS);
   /// @}
 
-  /// The recompilation epoch: bumped once per adaptPlans(), after the
-  /// plan cache has been cleared, so a prepared handle that observes
-  /// the new epoch is guaranteed to rebind against the new planner.
+  /// The recompilation epoch: bumped once per adaptPlans() (and per
+  /// migration flip), immediately *before* the plan cache is cleared.
+  /// Both the bump and this load are seq_cst: together with the epoch
+  /// guard held around every plan dereference, a reader whose epoch
+  /// check passes inside its guard can never be holding a plan whose
+  /// snapshot could reclaim during that guard (see the grace-period
+  /// argument in docs/ARCHITECTURE.md).
   uint64_t planEpoch() const {
-    return PlanEpoch.load(std::memory_order_acquire);
+    return PlanEpoch.load(std::memory_order_seq_cst);
   }
 
   /// Number of tuples currently in the relation.
   size_t size() const { return Count.load(std::memory_order_relaxed); }
 
   const RepresentationConfig &config() const { return Config; }
-  const RelationSpec &spec() const { return *Config.Spec; }
+  /// The relation's specification. Stable for the relation's lifetime:
+  /// spec() always returns the object the relation was constructed
+  /// with, across any number of migrations (migration requires
+  /// specification *equality*, so the target's equal-but-distinct spec
+  /// object is never surfaced here) — references clients take before a
+  /// migration stay valid after it.
+  const RelationSpec &spec() const { return *StableSpec; }
 
   /// The compiled plan text for a query signature (paper §5.2 style).
   std::string explainQuery(ColumnSet DomS, ColumnSet C) const;
@@ -198,18 +208,41 @@ public:
   /// inside an operation (e.g. a forEach visitor).
   RelationStatistics sampleStatistics() const;
 
-  /// Cumulative per-kind operation counts (relaxed counters; the
-  /// online tuner diffs successive readings for the live mix).
+  /// Cumulative per-kind operation counts (striped relaxed counters;
+  /// the online tuner diffs successive readings for the live mix).
   OperationCounts operationCounts() const {
-    return {NumQueries.load(std::memory_order_relaxed),
-            NumInserts.load(std::memory_order_relaxed),
-            NumRemoves.load(std::memory_order_relaxed)};
+    return {NumQueries.load(), NumInserts.load(), NumRemoves.load()};
   }
 
   /// The operation signatures currently compiled in the plan cache —
   /// the shapes a candidate representation must serve well.
   std::vector<PlanCache::Signature> compiledSignatures() const {
     return Plans.signatures();
+  }
+
+  /// @}
+
+  /// \name The epoch-protected read fast path
+  /// Epoch-eligible query plans (Plan::EpochEligible: read-only, every
+  /// traversed container concurrency-safe) execute under an epoch
+  /// guard (sync/Epoch.h) with *zero* physical-lock acquisitions and
+  /// without touching the operation gate — a pure read on warm traffic
+  /// writes no shared cache line at all. The price is the consistency
+  /// class: a fast query is weakly consistent, like iterating a
+  /// ConcurrentHashMap — every tuple present for the whole query is
+  /// observed, concurrent inserts/removes may or may not be. The
+  /// locked path retains per-operation atomicity; disable fast reads
+  /// to force every query onto it.
+  /// @{
+
+  /// Enables/disables the fast path (on by default; benchmarks toggle
+  /// it to compare against the locked path). Takes effect on
+  /// subsequent queries; in-flight fast queries complete as started.
+  void setFastReads(bool Enabled) {
+    FastReads.store(Enabled, std::memory_order_seq_cst);
+  }
+  bool fastReadsEnabled() const {
+    return FastReads.load(std::memory_order_seq_cst);
   }
 
   /// @}
@@ -231,6 +264,10 @@ private:
   friend class ShardedTransaction;
 
   RepresentationConfig Config;
+  /// The construction-time spec object, pinned for the relation's
+  /// lifetime so spec() references survive migrations (the decomp in
+  /// Config references *its own* equal spec, owned by Config.Spec).
+  std::shared_ptr<const RelationSpec> StableSpec;
   CostParams BaseCostParams;
   /// Every operation holds the gate from before plan resolution until
   /// after execution; migration flips and sampleStatistics() close it
@@ -249,30 +286,49 @@ private:
   /// Cross-set lock-order domain ordinal (debug validator; see
   /// setLockDomainOrdinal).
   uint32_t LockDomain = 0;
-  /// Bumped by adaptPlans() after clearing the cache (release), so a
-  /// handle that acquires the new value observes the cleared cache.
+  /// Bumped (seq_cst) by adaptPlans() and the migration flips *before*
+  /// clearing the cache: the epoch domain's reclamation contract needs
+  /// the bump seq_cst-ordered before the snapshot retire, so a reader
+  /// whose in-guard epoch check passes can never dereference a
+  /// reclaimable plan (see planEpoch()). A racing rebinder can in
+  /// principle observe the new epoch and re-resolve an old plan still
+  /// published for one instant — benign for adaptPlans (old plans stay
+  /// semantically valid, only the cost model moved), and impossible for
+  /// migration flips (they run behind the drain barrier).
   std::atomic<uint64_t> PlanEpoch{0};
 
-  /// Per-kind operation counters (relaxed, bumped on the shared
-  /// execution paths; backfill's internal executions are not counted).
-  mutable std::atomic<uint64_t> NumQueries{0};
-  std::atomic<uint64_t> NumInserts{0};
-  std::atomic<uint64_t> NumRemoves{0};
+  /// The epoch-protected read fast path's state. FastRoot mirrors
+  /// Root.get() as a plain atomic so lock-free readers can load it
+  /// without racing the retirement flip's Root reassignment; FastReads
+  /// gates the path — the retirement flip clears it (seq_cst), then
+  /// waits out the epoch (synchronize) on top of the gate drain, so no
+  /// fast reader is still traversing the old tree when it swaps.
+  mutable std::atomic<NodeInstance *> FastRoot{nullptr};
+  std::atomic<bool> FastReads{true};
+
+  /// Per-kind operation counters, striped per thread (Statistics.h):
+  /// bumped on the shared execution paths — a single shared counter
+  /// line would bounce between every operating core, which the
+  /// wait-free read path exists to avoid. Backfill's internal
+  /// executions are not counted.
+  mutable StripedCounter NumQueries;
+  StripedCounter NumInserts;
+  StripedCounter NumRemoves;
 
   /// Migration state (runtime/Migration.cpp). ActiveMirror is the sink
   /// mutation executions install into their context: non-null exactly
   /// while the dual-write phase is active. LiveMigration owns it
   /// (concretely a detail::MirrorRep, held through the virtual-dtor
-  /// base so the header stays independent of the implementation);
-  /// retired migrations and superseded configurations are kept (not
-  /// freed) because retired plan-cache snapshots hold raw pointers
-  /// into their decompositions and placements.
+  /// base so the header stays independent of the implementation).
+  /// Retired migrations and superseded configurations go to the epoch
+  /// domain — retired plan-cache snapshots hold raw pointers into
+  /// their decompositions and placements, so both reclaim after a
+  /// grace period instead of accumulating for the relation's lifetime
+  /// (the pre-epoch design kept them forever).
   std::atomic<MigrationPhase> Phase{MigrationPhase::Idle};
   std::atomic<MirrorSink *> ActiveMirror{nullptr};
   std::unique_ptr<MirrorSink> LiveMigration;
   std::mutex MigrationM; ///< serializes migrateTo calls
-  std::vector<std::unique_ptr<MirrorSink>> RetiredMirrors;
-  std::vector<RepresentationConfig> RetiredConfigs;
 
   // Plans are compiled on first use per (op, dom(s), C) signature;
   // lookups are wait-free (sharded immutable-snapshot cache).
@@ -308,6 +364,22 @@ private:
                         function_ref<void(const Tuple &)> Visit) const;
   bool runInsertPlan(const Plan &P, const Tuple &Full);
   unsigned runRemovePlan(const Plan &P, const Tuple &S);
+
+  /// The wait-free read fast path. tryFastQuery enters an epoch guard,
+  /// checks the fast-reads flag, resolves the plan via \p Resolve
+  /// (inside the guard — plan snapshots reclaim on quiescence), and —
+  /// when the plan is epoch-eligible — executes it lock-free via
+  /// runFastQueryPlan, returning true. Returns false (no execution,
+  /// nothing counted) when the flag is down or the plan needs locks;
+  /// the caller then runs the locked path, gate first, *outside* any
+  /// guard held here — a reader pinning an epoch while blocked on a
+  /// closed gate would deadlock the retirement flip's synchronize.
+  bool tryFastQuery(function_ref<const Plan *()> Resolve,
+                    const Tuple &Input,
+                    function_ref<void(const Tuple &)> Visit,
+                    uint32_t *Matches) const;
+  uint32_t runFastQueryPlan(const Plan &P, const Tuple &Input,
+                            function_ref<void(const Tuple &)> Visit) const;
 };
 
 } // namespace crs

@@ -149,6 +149,11 @@ static ExecStatus acquireStmt(ExecContext &Ctx, PhysicalLock &Lock,
 }
 
 ExecStatus PlanExecutor::execLock(const PlanStmt &St, ExecContext &Ctx) const {
+  // Wait-free read path: an epoch-eligible query plan runs under an
+  // epoch guard instead of locks — every container on its path is
+  // concurrency-safe, so lock statements are skipped wholesale.
+  if (Ctx.LockFree)
+    return ExecStatus::Ok;
   struct Req {
     LockOrderKey Key;
     PhysicalLock *Lock;
@@ -258,6 +263,14 @@ void PlanExecutor::execScan(const PlanStmt &St, ExecContext &Ctx) const {
 
 ExecStatus PlanExecutor::execSpecLookup(const PlanStmt &St,
                                         ExecContext &Ctx) const {
+  // Wait-free read path: with no lock taken there is nothing to verify
+  // the guess against — the unlocked lookup *is* the read (speculative
+  // placements already require linearizable lookups, §4.5), so the
+  // statement degrades to a plain Lookup and can never Restart.
+  if (Ctx.LockFree) {
+    execLookup(St, Ctx);
+    return ExecStatus::Ok;
+  }
   const auto &E = Decomp->edge(St.Edge);
   const EdgePlacement &EP = Placement->edgePlacement(St.Edge);
   ExecContext::VarRange R = Ctx.Vars[St.InVar];
@@ -316,6 +329,13 @@ ExecStatus PlanExecutor::execSpecLookup(const PlanStmt &St,
 
 ExecStatus PlanExecutor::execSpecScan(const PlanStmt &St,
                                       ExecContext &Ctx) const {
+  // Wait-free read path: no target locks to take, so the entry
+  // collect-sort-lock protocol degrades to a plain concurrent Scan
+  // (weakly consistent, like ConcurrentHashMap iteration).
+  if (Ctx.LockFree) {
+    execScan(St, Ctx);
+    return ExecStatus::Ok;
+  }
   const auto &E = Decomp->edge(St.Edge);
   ExecContext::VarRange R = Ctx.Vars[St.InVar];
   uint32_t OutFirst = Ctx.numAllStates();

@@ -179,11 +179,28 @@ public:
   /// reset() like the frames.
   Tuple &inputScratch() { return InputScratch; }
 
+  /// Drops the sticky per-handle argument frames (including their bound
+  /// masks). Called when a context changes threads through the
+  /// transaction pool's recycle list: prepared-op bindings are a
+  /// per-thread contract, so a handle must never observe another
+  /// thread's bindings through an adopted context. The other arenas keep
+  /// their capacity — that warmth is the point of recycling.
+  void purgeFrames() { Frames.clear(); }
+
   /// Re-entrancy guard: set while an operation (including its streaming
   /// result visitation) is using this context, so a visitor calling back
   /// into a relation on the same thread fails fast instead of silently
   /// clobbering the in-flight operation's states.
   bool Busy = false;
+
+  /// Epoch-protected execution mode (the wait-free read fast path): set
+  /// by the relation before running an *epoch-eligible* query plan under
+  /// an epoch guard. Lock statements become no-ops and speculative
+  /// statements degrade to their plain unlocked reads (the guess *is*
+  /// the result — with no lock taken there is nothing to verify
+  /// against). Only valid for Plan::EpochEligible plans; cleared by
+  /// OpScope::finish with the rest of the per-operation state.
+  bool LockFree = false;
 
   /// Releases the context's locks and recycles its frames at scope
   /// exit. The context is long-lived (thread-local), so no destructor
@@ -212,6 +229,7 @@ public:
     void finish() {
       Ctx.Locks.releaseAll();
       Ctx.reset();
+      Ctx.LockFree = false;
       Ctx.Busy = false;
     }
   };

@@ -35,6 +35,7 @@
 #include "runtime/ConcurrentRelation.h"
 
 #include "support/Compiler.h"
+#include "sync/Epoch.h"
 
 #include <chrono>
 #include <thread>
@@ -84,6 +85,9 @@ public:
   /// plan's UpdateCount is authoritative until retirement, after which
   /// the count carries over unchanged.
   bool apply(PlanOp Op, ColumnSet DomS, const Tuple &Input) {
+    // The shadow's own cache also retires superseded snapshots through
+    // the epoch domain, and mirror threads race each other here.
+    EpochDomain::Guard EG;
     const Plan *P = Plans.getOrCompile(Op, DomS.bits(), 0, [&] {
       // The planner is never swapped (no adaptPlans on a shadow) and
       // its plan* methods are const and stateless, so concurrent
@@ -153,10 +157,17 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
   auto Shadow = std::make_unique<detail::MirrorRep>(std::move(Target));
   detail::MirrorRep *Rep = Shadow.get(); // concrete view; owned below
 
-  // ---- Flip 1: enter dual-write. Behind the barrier no operation is
-  // in flight, so installing the sink, switching the planner to emit
-  // MirrorWrite epilogues, clearing the cache, and bumping the epoch
-  // is atomic with respect to all traffic.
+  // ---- Flip 1: enter dual-write. Behind the barrier no *gated*
+  // operation is in flight, so installing the sink, switching the
+  // planner to emit MirrorWrite epilogues, bumping the epoch, and
+  // clearing the cache is atomic with respect to all mutation traffic.
+  // Wait-free readers are deliberately NOT drained: query plans carry
+  // no mirror epilogues under either regime, so a fast reader racing
+  // this flip executes a plan that is correct before and after it. The
+  // bump precedes the clear for the epoch-reclamation reason spelled
+  // out in adaptPlans(); the benign consequence — a racing fast reader
+  // re-binding a not-yet-cleared query plan at the new epoch — is
+  // harmless here for the same no-epilogue reason.
   {
     OpGate::Barrier B(Gate);
     {
@@ -165,8 +176,8 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
     }
     LiveMigration = std::move(Shadow);
     ActiveMirror.store(Rep, std::memory_order_release);
+    PlanEpoch.fetch_add(1, std::memory_order_seq_cst);
     Plans.clear();
-    PlanEpoch.fetch_add(1, std::memory_order_release);
     Phase.store(MigrationPhase::DualWrite, std::memory_order_release);
   }
   // Unwind safety for everything between the flips: a throwing
@@ -190,9 +201,14 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
         R.Planner.setEmitMirrorWrites(false);
       }
       R.ActiveMirror.store(nullptr, std::memory_order_release);
-      R.RetiredMirrors.push_back(std::move(R.LiveMigration));
+      // The abandoned shadow goes to the epoch domain: retired plan
+      // snapshots of the *source* cache may still be walked by readers,
+      // but nothing points into the shadow once the barrier drains —
+      // it reclaims with the grace period like any other retiree.
+      EpochDomain::global().retireObject(
+          static_cast<detail::MirrorRep *>(R.LiveMigration.release()));
+      R.PlanEpoch.fetch_add(1, std::memory_order_seq_cst);
       R.Plans.clear();
-      R.PlanEpoch.fetch_add(1, std::memory_order_release);
       R.Phase.store(MigrationPhase::Idle, std::memory_order_release);
     }
   } Abort(*this);
@@ -206,33 +222,41 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
   // their copy fail the re-confirmation below and are skipped.
   std::vector<Tuple> Snapshot = scanAll();
   ColumnSet All = spec().allColumns();
-  // Full-tuple membership plan: re-confirms a snapshot tuple under the
-  // source's shared locks, which the copy then holds through the
-  // shadow insert — a concurrent remove of the same tuple serializes
-  // either before the re-confirmation (copy skipped) or after the
-  // shadow insert (its mirror erases the copy). Readers never block on
-  // the backfill: it takes no exclusive source locks.
-  const Plan *Member = queryPlanFor(All, All);
-  ExecContext &Ctx = ExecContext::current();
-  Ctx.Locks.setOrderDomain(0, LockDomain);
-  uint64_t Processed = 0;
-  for (const Tuple &T : Snapshot) {
-    for (unsigned Attempt = 0;; ++Attempt) {
-      ExecContext::OpScope S(Ctx); // asserts: no backfill inside an op
-      if (Executor.run(*Member, T, Root, Ctx) == ExecStatus::Ok) {
-        if (Ctx.numStates(Member->ResultVar) != 0 &&
-            Rep->apply(PlanOp::Insert, All, T))
-          ++Res.Backfilled;
-        break;
+  {
+    // The guard pins the Member plan for the whole pass: an observer
+    // callback may call adaptPlans() mid-backfill, whose clear()
+    // retires the snapshot that owns it. Scoped so it is released
+    // before the retirement flip below — flip 2 synchronizes the epoch
+    // domain, and this thread must not be pinning an epoch then.
+    EpochDomain::Guard EG;
+    // Full-tuple membership plan: re-confirms a snapshot tuple under
+    // the source's shared locks, which the copy then holds through the
+    // shadow insert — a concurrent remove of the same tuple serializes
+    // either before the re-confirmation (copy skipped) or after the
+    // shadow insert (its mirror erases the copy). Readers never block
+    // on the backfill: it takes no exclusive source locks.
+    const Plan *Member = queryPlanFor(All, All);
+    ExecContext &Ctx = ExecContext::current();
+    Ctx.Locks.setOrderDomain(0, LockDomain);
+    uint64_t Processed = 0;
+    for (const Tuple &T : Snapshot) {
+      for (unsigned Attempt = 0;; ++Attempt) {
+        ExecContext::OpScope S(Ctx); // asserts: no backfill inside an op
+        if (Executor.run(*Member, T, Root, Ctx) == ExecStatus::Ok) {
+          if (Ctx.numStates(Member->ResultVar) != 0 &&
+              Rep->apply(PlanOp::Insert, All, T))
+            ++Res.Backfilled;
+          break;
+        }
+        // Speculative membership check lost its guess: restart it.
+        Restarts.fetch_add(1, std::memory_order_relaxed);
+        if (Attempt >= 16)
+          std::this_thread::yield();
       }
-      // Speculative membership check lost its guess: restart it.
-      Restarts.fetch_add(1, std::memory_order_relaxed);
-      if (Attempt >= 16)
-        std::this_thread::yield();
+      ++Processed;
+      if (Obs)
+        Obs->onBackfillProgress(Processed, Snapshot.size());
     }
-    ++Processed;
-    if (Obs)
-      Obs->onBackfillProgress(Processed, Snapshot.size());
   }
 
   // ---- Converged: one full pass plus mirroring of everything since
@@ -244,16 +268,31 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
                                     DualWriteStart)
           .count();
 
-  // ---- Flip 2: adopt the shadow. The superseded configuration and
-  // the shadow object are retired, not freed: retired plan-cache
+  // ---- Flip 2: adopt the shadow. Unlike flip 1 this swaps the
+  // representation the wait-free readers walk, so they must be drained
+  // too, in three steps: (1) clear the fast-reads flag — every reader
+  // from here on sees it inside its guard and falls back to the gated
+  // path; (2) the barrier drains the gated operations; (3)
+  // synchronize() waits out every reader that entered its guard while
+  // the flag was still set. After (3) nothing is walking the source
+  // tree or holding a source plan mid-execution, so the swap below is
+  // exclusive. The superseded configuration and the shadow object are
+  // retired through the epoch domain, not freed: retired plan-cache
   // snapshots hold raw pointers into the old decomposition/placement,
   // and the shadow's planner points into config copies it keeps
-  // internally. The old root instance tree, however, is dropped here —
-  // nothing references it once the barrier has drained.
+  // internally. The old root instance tree, however, is dropped right
+  // here — once the readers are drained nothing references it.
   Abort.Armed = false; // committed: the retirement flip takes over
+  bool FastWas = FastReads.exchange(false, std::memory_order_seq_cst);
   {
     OpGate::Barrier B(Gate);
-    RetiredConfigs.push_back(std::move(Config));
+    EpochDomain::global().synchronize();
+    // The whole old config retires as one object, so the old decomp's
+    // internal reference to the old spec stays valid until they free
+    // together. spec() identity is unaffected: the relation pins its
+    // construction-time spec separately (StableSpec).
+    EpochDomain::global().retireObject(
+        new RepresentationConfig(std::move(Config)));
     Config = Rep->Config; // shared ownership; the shadow keeps its copy
     {
       std::lock_guard<std::mutex> Guard(PlannerMutex);
@@ -262,14 +301,19 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
     }
     Executor = PlanExecutor(*Config.Decomp, *Config.Placement);
     Root = Rep->Root;
+    FastRoot.store(Root.get(), std::memory_order_seq_cst);
     ActiveMirror.store(nullptr, std::memory_order_release);
     Res.MirroredInserts = Rep->MirroredInserts.load(std::memory_order_relaxed);
     Res.MirroredRemoves = Rep->MirroredRemoves.load(std::memory_order_relaxed);
-    RetiredMirrors.push_back(std::move(LiveMigration));
+    EpochDomain::global().retireObject(
+        static_cast<detail::MirrorRep *>(LiveMigration.release()));
+    PlanEpoch.fetch_add(1, std::memory_order_seq_cst);
     Plans.clear();
-    PlanEpoch.fetch_add(1, std::memory_order_release);
     Phase.store(MigrationPhase::Idle, std::memory_order_release);
   }
+  // Re-enable the fast path (unless the user had it off) only after
+  // the new regime is fully published.
+  FastReads.store(FastWas, std::memory_order_seq_cst);
   Res.Ok = true;
   return Res;
 }

@@ -16,12 +16,16 @@
 /// one atomic pointer (acquire load, no CAS, no lock, no RMW), so warm
 /// traffic keeps every line in shared state in every core's cache.
 /// Compilation is rare; writers copy the snapshot under a per-shard
-/// mutex, count the miss there, and publish the new version with a
-/// release store. Superseded snapshots are retired, not freed, making
-/// reader access safe without hazard pointers — the deliberate cost is
-/// memory linear in compilations (a few entries plus the superseded
-/// Plans per publication, reclaimed only at destruction), which stays
-/// trivial because signatures are few and replans operator-paced.
+/// mutex, count the miss there, and publish the new version. Superseded
+/// snapshots are *retired through the epoch domain* (sync/Epoch.h): the
+/// unpublishing store is seq_cst, so any reader that could still hold
+/// the old snapshot pointer is pinned in an epoch the reclaimer must
+/// wait out — reader access stays wait-free without hazard pointers,
+/// and memory is bounded by the grace period instead of growing with
+/// every replan for the life of the cache. Callers therefore must hold
+/// an EpochDomain::Guard across find()/getOrCompile() and every
+/// dereference of the returned plan (ConcurrentRelation's operation
+/// paths all do).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +33,7 @@
 #define CRS_RUNTIME_PLANCACHE_H
 
 #include "plan/QueryIR.h"
+#include "sync/Epoch.h"
 
 #include <atomic>
 #include <memory>
@@ -45,20 +50,28 @@ public:
   PlanCache() = default;
   PlanCache(const PlanCache &) = delete;
   PlanCache &operator=(const PlanCache &) = delete;
-  ~PlanCache() = default; // Retired lists free every snapshot
+  /// Frees each shard's live snapshot directly; superseded snapshots
+  /// were handed to the epoch domain and reclaim on quiescence.
+  /// Destruction requires no concurrent readers, as for any container.
+  ~PlanCache() = default;
 
   /// Wait-free lookup; null if the signature has not been compiled.
   /// Deliberately writes nothing — no hit counter, and the plan comes
   /// back as a raw pointer rather than a shared_ptr copy, because a
   /// refcount RMW on the plan's control block would be one more shared
-  /// cache line bouncing per operation. The pointer is lifetime-safe by
-  /// construction: snapshots (and the plans they own) are retired, not
-  /// freed, until the cache is destroyed. Misses are counted where the
+  /// cache line bouncing per operation. The pointer is lifetime-safe
+  /// only while the caller's epoch guard is held (superseded snapshots
+  /// reclaim after a grace period). Misses are counted where the
   /// (rare) compilation happens; callers that want a hit rate derive it
   /// as 1 − misses/lookups from their own op counts.
   const Plan *find(PlanOp Op, uint64_t DomBits, uint64_t OutBits) const {
     const Shard &Sh = shardFor(Op, DomBits, OutBits);
-    if (const PlanPtr *P = lookupIn(Sh.Snap.load(std::memory_order_acquire),
+    // seq_cst, matching the guard-entry protocol: a reader whose guard
+    // entry ordered after a snapshot's seq_cst unpublish must also see
+    // the unpublish here, else the epoch argument for why it cannot
+    // hold a reclaimable snapshot would not go through formally
+    // (acquire only orders against the store it reads from).
+    if (const PlanPtr *P = lookupIn(Sh.Snap.load(std::memory_order_seq_cst),
                                     Op, DomBits, OutBits))
       return P->get();
     return nullptr;
@@ -75,33 +88,37 @@ public:
     Shard &Sh = shardFor(Op, DomBits, OutBits);
     std::lock_guard<std::mutex> Guard(Sh.M);
     // Re-check: another thread may have published while we waited.
-    const Snapshot *Snap = Sh.Snap.load(std::memory_order_relaxed);
+    const Snapshot *Snap = Sh.Snap.load(std::memory_order_seq_cst);
     if (const PlanPtr *P = lookupIn(Snap, Op, DomBits, OutBits))
       return P->get();
     Sh.Misses.fetch_add(1, std::memory_order_relaxed);
     PlanPtr P = std::make_shared<const Plan>(Fn());
     auto Next = std::make_unique<Snapshot>();
     if (Snap)
-      *Next = *Snap;
+      *Next = *Snap; // copies the PlanPtrs: live plans survive supersession
     Next->push_back({{DomBits, OutBits, Op}, P});
-    // Transfer ownership to the retired list *before* publishing: if
-    // the push_back throws, nothing was published; once published, the
-    // snapshot lives until the cache is destroyed, so readers caught
-    // mid-walk on a superseded snapshot are always safe.
+    // Publish-then-retire, in that order, with a seq_cst unpublish: the
+    // epoch reclamation contract (sync/Epoch.h) requires the superseded
+    // snapshot be unreachable-to-new-readers before retire() stamps it.
     const Snapshot *Raw = Next.get();
-    Sh.Retired.push_back(std::move(Next));
-    Sh.Snap.store(Raw, std::memory_order_release);
-    return P.get(); // owned by the just-retired snapshot
+    std::unique_ptr<Snapshot> Old = std::move(Sh.Current);
+    Sh.Current = std::move(Next);
+    Sh.Snap.store(Raw, std::memory_order_seq_cst);
+    if (Old)
+      EpochDomain::global().retireObject(Old.release());
+    return P.get(); // owned by the just-published snapshot
   }
 
   /// Drops every published plan (replanning). Safe against concurrent
-  /// wait-free readers: superseded snapshots are retired, not freed —
-  /// their memory (bounded by signatures-compiled × replans, a handful
-  /// of entries each) is reclaimed only on destruction.
+  /// wait-free readers: each shard's snapshot is unpublished with a
+  /// seq_cst store and retired through the epoch domain — readers still
+  /// walking it pin their epoch and hold off reclamation.
   void clear() {
     for (Shard &Sh : Shards) {
       std::lock_guard<std::mutex> Guard(Sh.M);
-      Sh.Snap.store(nullptr, std::memory_order_release);
+      Sh.Snap.store(nullptr, std::memory_order_seq_cst);
+      if (Sh.Current)
+        EpochDomain::global().retireObject(Sh.Current.release());
     }
   }
 
@@ -153,7 +170,9 @@ private:
     /// Written only under M, on the compile path.
     alignas(64) mutable std::atomic<uint64_t> Misses{0};
     std::mutex M; // writers only
-    std::vector<std::unique_ptr<Snapshot>> Retired;
+    /// Owns the snapshot Snap points at. Superseded snapshots go to the
+    /// epoch domain, which frees them a grace period later.
+    std::unique_ptr<Snapshot> Current;
   };
 
   static const PlanPtr *lookupIn(const Snapshot *Snap, PlanOp Op,

@@ -132,27 +132,43 @@ const Plan *PreparedOpImpl::rebindForUpdateSlow() const {
   return P;
 }
 
-// Each prepared execution holds the relation's operation gate across
-// resolve + run, like the legacy entry points: a migration flip is
-// atomic with respect to the whole operation, so a handle can never
+// Mutating prepared executions hold the relation's operation gate
+// across resolve + run, like the legacy entry points: a migration flip
+// is atomic with respect to the whole operation, so a handle can never
 // execute a plan resolved under a previous representation regime
-// (runtime/Migration.h).
+// (runtime/Migration.h). The epoch guard nests inside the gate (plan
+// snapshots reclaim through the epoch domain). Queries take the
+// wait-free path first: when fast reads are enabled and the bound plan
+// is epoch-eligible, the whole execution runs under an epoch guard
+// alone — no gate, no physical locks, nothing written shared. The
+// fallback drops the guard before entering the gate: blocking on a
+// closed gate while pinning an epoch would deadlock the retirement
+// flip's synchronize.
 uint32_t
 PreparedOpImpl::runQuery(const Value *Args,
                          function_ref<void(const Tuple &)> Visit) const {
   assert(Op == PlanOp::Query && "not a query handle");
-  OpGate::Scope G(Rel->Gate);
-  const Plan *P = resolve();
   // The thread's scratch tuple is rebound in place from the slot
   // layout: after the first execution this writes values only.
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());
-  return Rel->runQueryPlan(*P, Input, Visit);
+  {
+    EpochDomain::Guard EG;
+    if (Rel->FastReads.load(std::memory_order_seq_cst)) {
+      const Plan *P = resolve();
+      if (P->EpochEligible)
+        return Rel->runFastQueryPlan(*P, Input, Visit);
+    }
+  } // exit the guard before possibly blocking on the gate
+  OpGate::Scope G(Rel->Gate);
+  EpochDomain::Guard EG;
+  return Rel->runQueryPlan(*resolve(), Input, Visit);
 }
 
 bool PreparedOpImpl::runInsert(const Value *Args) const {
   assert(Op == PlanOp::Insert && MutRel && "not an insert handle");
   OpGate::Scope G(Rel->Gate);
+  EpochDomain::Guard EG;
   const Plan *P = resolve();
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());
@@ -162,6 +178,7 @@ bool PreparedOpImpl::runInsert(const Value *Args) const {
 unsigned PreparedOpImpl::runRemove(const Value *Args) const {
   assert(Op == PlanOp::Remove && MutRel && "not a remove handle");
   OpGate::Scope G(Rel->Gate);
+  EpochDomain::Guard EG;
   const Plan *P = resolve();
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());
@@ -222,11 +239,24 @@ void crs::executeBatch(std::span<BoundOp> Ops) {
   // runs back-to-back: the plan is resolved once per group and the
   // group's code path and lock working set stay hot. Results are
   // written through the original positions.
+  // Groups run in first-appearance order (not handle-pointer order,
+  // which varies with heap layout run to run): a batch listing inserts
+  // before a query of the same keys deterministically observes them.
+  std::vector<const PreparedOpImpl *> Seen;
+  std::vector<uint32_t> Rank(Ops.size());
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    auto It = std::find(Seen.begin(), Seen.end(), Ops[I].Op);
+    if (It == Seen.end()) {
+      Rank[I] = static_cast<uint32_t>(Seen.size());
+      Seen.push_back(Ops[I].Op);
+    } else {
+      Rank[I] = static_cast<uint32_t>(It - Seen.begin());
+    }
+  }
   std::vector<uint32_t> Order(Ops.size());
   std::iota(Order.begin(), Order.end(), 0u);
-  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
-    return Ops[A].Op < Ops[B].Op;
-  });
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](uint32_t A, uint32_t B) { return Rank[A] < Rank[B]; });
   for (uint32_t I : Order) {
     BoundOp &B = Ops[I];
     assert(B.Op && "executing an unbound batch op");

@@ -52,6 +52,7 @@
 
 #include "runtime/ConcurrentRelation.h"
 #include "support/FunctionRef.h"
+#include "sync/Epoch.h"
 
 #include <array>
 #include <memory>
@@ -183,8 +184,12 @@ public:
   /// Epoch of the currently bound plan (diagnostics; compare against
   /// ConcurrentRelation::planEpoch()).
   uint64_t boundEpoch() const { return Impl->boundEpoch(); }
-  /// The bound plan's rendering (resolves first, like an execution).
-  std::string explain() const { return Impl->resolve()->str(); }
+  /// The bound plan's rendering (resolves first, like an execution; the
+  /// guard keeps the plan alive across str() — snapshots reclaim).
+  std::string explain() const {
+    EpochDomain::Guard EG;
+    return Impl->resolve()->str();
+  }
 
 private:
   friend class ConcurrentRelation;
@@ -216,7 +221,10 @@ public:
   bool execute() const { return Impl->runInsert(Impl->frameArgs()); }
 
   uint64_t boundEpoch() const { return Impl->boundEpoch(); }
-  std::string explain() const { return Impl->resolve()->str(); }
+  std::string explain() const {
+    EpochDomain::Guard EG;
+    return Impl->resolve()->str();
+  }
 
 private:
   friend class ConcurrentRelation;
@@ -246,7 +254,10 @@ public:
   unsigned execute() const { return Impl->runRemove(Impl->frameArgs()); }
 
   uint64_t boundEpoch() const { return Impl->boundEpoch(); }
-  std::string explain() const { return Impl->resolve()->str(); }
+  std::string explain() const {
+    EpochDomain::Guard EG;
+    return Impl->resolve()->str();
+  }
 
 private:
   friend class ConcurrentRelation;
@@ -301,10 +312,13 @@ private:
 /// one execution context throughout. Compatible operations (same
 /// prepared handle) are grouped and run back-to-back so each group's
 /// plan, code path, and lock working set stay hot — results land in
-/// each op's Result field by original position. Every operation remains
-/// individually atomic, but the batch as a whole is not a transaction,
-/// and grouping reorders execution: operations in one batch should be
-/// independent (no op reading or undoing another's effect).
+/// each op's Result field by original position. Grouping reorders
+/// execution, but deterministically: groups run in the order their
+/// handles first appear in the batch, ops within a group in listed
+/// order — so an op observes the effects of exactly those handles
+/// whose first appearance precedes its own handle's. Every operation
+/// remains individually atomic; the batch as a whole is not a
+/// transaction.
 void executeBatch(std::span<BoundOp> Ops);
 
 } // namespace crs

@@ -8,9 +8,11 @@
 #include "txn/Transaction.h"
 
 #include "support/Compiler.h"
+#include "sync/Epoch.h"
 
 #include <algorithm>
 #include <array>
+#include <mutex>
 
 using namespace crs;
 using detail::PreparedOpImpl;
@@ -21,11 +23,17 @@ namespace {
 /// The process-global commit clock: stamped under the scope's retained
 /// locks, so conflicting scopes receive sequence numbers consistent
 /// with their serialization order (the stress oracle replays committed
-/// scopes in this order).
-std::atomic<uint64_t> CommitClock{0};
+/// scopes in this order). Padded to a line of its own — every commit
+/// on every thread RMWs it, and as a bare global it would otherwise
+/// share its line with neighboring globals (false sharing on the
+/// hottest word in the transaction layer).
+struct alignas(64) PaddedClock {
+  std::atomic<uint64_t> V{0};
+};
+PaddedClock CommitClock;
 
 uint64_t nextCommitSeq() {
-  return CommitClock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  return CommitClock.V.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
 /// One scope open per thread (nested independent scopes would deadlock
@@ -33,13 +41,35 @@ uint64_t nextCommitSeq() {
 /// per-shard scopes as zero.
 thread_local unsigned OpenScopesOnThread = 0;
 
+/// Warm contexts of exited threads. Workers in this codebase are often
+/// short-lived (shard fan-out, stress drivers, request-per-thread
+/// embeddings); without a hand-off every worker generation would pay
+/// cold arenas for its first transaction. A thread's pool donates its
+/// contexts here at thread exit, and a fresh thread's pool adopts one
+/// before constructing from scratch. Adopted contexts drop their sticky
+/// prepared-op argument frames: bindings are a per-thread contract, and
+/// a handle must never observe another thread's bindings through a
+/// recycled context.
+struct CtxRecycleList {
+  std::mutex M;
+  std::vector<std::unique_ptr<ExecContext>> Free;
+};
+CtxRecycleList &ctxRecycleList() {
+  // Leaked deliberately: thread_local pool destructors of late-exiting
+  // threads may run after function-local statics would have been
+  // destroyed, and the list must outlive every donor.
+  static CtxRecycleList *L = new CtxRecycleList;
+  return *L;
+}
+
 /// Transaction execution contexts are pooled per thread: a scope's
 /// context must be distinct from the thread's operation context (a
 /// visitor may observe both regimes) and live for the whole scope, but
 /// constructing one per scope would pay cold arenas and allocations on
 /// every transaction — the pool keeps them warm, like the per-thread
 /// contexts of ordinary operations. Scopes belong to their opening
-/// thread (contract), so the pool needs no synchronization.
+/// thread (contract), so acquire/release need no synchronization; only
+/// the thread-exit donation touches the shared recycle list.
 struct TxnCtxPool {
   std::vector<std::unique_ptr<ExecContext>> Storage;
   std::vector<ExecContext *> Free;
@@ -49,10 +79,33 @@ struct TxnCtxPool {
       Free.pop_back();
       return C;
     }
+    // Adopt a context donated by an exited thread before building a
+    // cold one: its arenas already carry capacity.
+    {
+      CtxRecycleList &L = ctxRecycleList();
+      std::lock_guard<std::mutex> G(L.M);
+      if (!L.Free.empty()) {
+        Storage.push_back(std::move(L.Free.back()));
+        L.Free.pop_back();
+        return Storage.back().get();
+      }
+    }
     Storage.push_back(std::make_unique<ExecContext>());
     return Storage.back().get();
   }
   void release(ExecContext *C) { Free.push_back(C); }
+  ~TxnCtxPool() {
+    // Thread exit. Every context is idle here: scopes are stack-bound
+    // to their opening thread, so none can outlive its thread_locals.
+    if (Storage.empty())
+      return;
+    CtxRecycleList &L = ctxRecycleList();
+    std::lock_guard<std::mutex> G(L.M);
+    for (std::unique_ptr<ExecContext> &C : Storage) {
+      C->purgeFrames();
+      L.Free.push_back(std::move(C));
+    }
+  }
 };
 TxnCtxPool &txnCtxPool() {
   static thread_local TxnCtxPool Pool;
@@ -121,6 +174,14 @@ bool Transaction::execOp(const PreparedOpImpl &Impl, const Value *Args,
          "prepared handle belongs to a different relation than the scope");
   PlanOp Kind = Impl.planOp();
 
+  // The guard spans plan resolution through the last dereference in
+  // the retry loop (plan snapshots reclaim through the epoch domain).
+  // Per-call, not scope-lifetime: the scope's locks outlive it, but
+  // plans are only touched inside this call — and a scope-long guard
+  // would pin the epoch across arbitrary user code between ops. The
+  // guard nests inside the gate the scope has held since construction.
+  EpochDomain::Guard EG;
+
   // Plan resolution. Mutations ride the handle's epoch-validated
   // binding (one cached pointer load when warm); transactional reads
   // resolve the exclusive-mode QueryForUpdate plan for the handle's
@@ -157,13 +218,13 @@ bool Transaction::execOp(const PreparedOpImpl &Impl, const Value *Args,
 
   switch (Kind) {
   case PlanOp::Query:
-    Rel->NumQueries.fetch_add(1, std::memory_order_relaxed);
+    Rel->NumQueries.inc();
     break;
   case PlanOp::Insert:
-    Rel->NumInserts.fetch_add(1, std::memory_order_relaxed);
+    Rel->NumInserts.inc();
     break;
   default:
-    Rel->NumRemoves.fetch_add(1, std::memory_order_relaxed);
+    Rel->NumRemoves.inc();
     break;
   }
   Ctx->Count = &Rel->Count;
@@ -309,6 +370,9 @@ void Transaction::rollbackUndo() {
   Ctx->Mirror = nullptr;
   Frame.MirrorBuf.clear();
   Frame.SawUpgrade = false;
+  // Undo plans resolve from the same epoch-reclaimed cache as forward
+  // plans; the guard covers their resolution and replay.
+  EpochDomain::Guard EG;
   for (auto It = Undo.rbegin(); It != Undo.rend(); ++It) {
     const Plan *P =
         It->WasInsert ? Rel->undoInsertPlan() : Rel->undoRemovePlan();

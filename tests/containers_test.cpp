@@ -24,6 +24,7 @@
 #include "runtime/NodeInstance.h"
 #include "support/Hashing.h"
 #include "support/Rng.h"
+#include "sync/Epoch.h"
 
 #include <gtest/gtest.h>
 
@@ -219,6 +220,15 @@ TEST(Taxonomy, Figure1Rows) {
   ContainerTraits Cow = containerTraits(ContainerKind::CowArrayMap);
   EXPECT_EQ(Cow.ScanWrite, PairSafety::Linearizable);
   EXPECT_TRUE(Cow.concurrencySafe());
+  // SingletonCell: atomic entry pointer, so reads are linearizable even
+  // against a concurrent write; racing writers merely lose updates
+  // (weak), which the plans' exclusive locks prevent. Concurrency-safe
+  // is what lets the dotted FD edges join the wait-free read path.
+  ContainerTraits Cell = containerTraits(ContainerKind::SingletonCell);
+  EXPECT_TRUE(Cell.concurrencySafe());
+  EXPECT_TRUE(Cell.linearizableLookup());
+  EXPECT_EQ(Cell.ScanWrite, PairSafety::Linearizable);
+  EXPECT_EQ(Cell.WriteWrite, PairSafety::Weak);
   // Sorted-scan flags drive the planner's sort-elision analysis.
   EXPECT_FALSE(containerTraits(ContainerKind::HashMap).SortedScan);
   EXPECT_TRUE(containerTraits(ContainerKind::TreeMap).SortedScan);
@@ -295,6 +305,42 @@ TEST(ConcurrentSkipListStress, WritersAndReaders) {
 TEST(CowArrayMapStress, WritersAndReaders) {
   CowArrayMap<int64_t, int64_t, IntLess> M;
   runConcurrentStress(M);
+}
+
+TEST(SingletonCellStress, OneWriterManyGuardedReaders) {
+  // The cell's contract: one externally serialized writer, any number
+  // of readers running inside epoch guards (in the runtime both the
+  // locked and wait-free paths hold one). Readers must only ever see
+  // the FD key with a value some write actually published — never a
+  // torn entry, never freed memory.
+  SingletonCell<int64_t, int64_t> C;
+  constexpr int64_t FDKey = 7;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        EpochDomain::Guard G;
+        int64_t Out = -1;
+        if (C.lookup(FDKey, Out))
+          EXPECT_GE(Out, 0);
+        C.scan([&](const int64_t &K, const int64_t &V) {
+          EXPECT_EQ(K, FDKey);
+          EXPECT_GE(V, 0);
+        });
+        EXPECT_LE(C.size(), 1u);
+      }
+    });
+  for (int64_t I = 0; I < 20000; ++I) {
+    if (I % 3 == 2)
+      C.erase(FDKey);
+    else
+      C.insertOrAssign(FDKey, I);
+  }
+  Stop.store(true, std::memory_order_release);
+  for (auto &T : Readers)
+    T.join();
+  EpochDomain::global().synchronize();
 }
 
 TEST(ConcurrentHashMapStress, PutIfAbsentUniqueWinner) {

@@ -54,8 +54,27 @@ TEST(PhysicalLock, ContentionCounters) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   L.unlock(LockMode::Exclusive);
   T.join();
-  EXPECT_EQ(L.acquisitions(), 2u);
+  // Exclusive acquisitions are exact; the single shared acquisition is
+  // below the sampling period and credits nothing (class contract).
+  EXPECT_EQ(L.acquisitions(), 1u);
   EXPECT_GE(L.contentions(), 1u);
+}
+
+TEST(PhysicalLock, SharedAcquisitionsAreSampled) {
+  // A full period's worth of shared acquisitions on one thread credits
+  // the lock at least one batch; the estimate never exceeds the truth
+  // by more than a period per thread (here: one thread, so never).
+  PhysicalLock L;
+  constexpr uint64_t N = 4 * PhysicalLock::SharedSamplePeriod;
+  for (uint64_t I = 0; I < N; ++I) {
+    L.lock(LockMode::Shared);
+    L.unlock(LockMode::Shared);
+  }
+  // The thread's sampling tick is process-global across locks, so the
+  // phase is unknown — but N ticks land at least N/period − 1 credits.
+  EXPECT_GE(L.acquisitions(), N - PhysicalLock::SharedSamplePeriod);
+  EXPECT_LE(L.acquisitions(), N + PhysicalLock::SharedSamplePeriod);
+  EXPECT_EQ(L.contentions(), 0u);
 }
 
 // ---------------------------------------------------------------- LockSet

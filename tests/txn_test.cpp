@@ -272,6 +272,40 @@ TEST(Txn, DestructionOfOpenScopeAborts) {
   EXPECT_EQ(R.query(key(Spec, 1, 1), Spec.allColumns()).size(), 1u);
 }
 
+TEST(Txn, CtxPoolRecyclesAcrossThreadGenerations) {
+  // The per-thread transaction context pool donates its contexts to a
+  // process-global recycle list at thread exit, and later threads adopt
+  // them before constructing cold ones. Several generations of
+  // single-transaction workers must stay exact through the hand-off —
+  // including the frame purge that keeps one thread's prepared-op
+  // bindings from leaking into the next thread's scope.
+  ConcurrentRelation R(stickCoarse());
+  const RelationSpec &Spec = R.spec();
+  Handles H(R);
+  for (int64_t Gen = 0; Gen < 6; ++Gen) {
+    std::thread W([&R, &H, Gen] {
+      Transaction T(R);
+      bool Won = false;
+      EXPECT_TRUE(T.insert(H.Ins,
+                           {Value::ofInt(Gen), Value::ofInt(Gen),
+                            Value::ofInt(Gen * 10)},
+                           &Won));
+      EXPECT_TRUE(Won);
+      if (Gen % 2 == 0)
+        EXPECT_TRUE(T.commit());
+      // Odd generations drop the open scope: destructor aborts and the
+      // adopted context is released (and later donated) mid-rollback
+      // state-free.
+    });
+    W.join();
+  }
+  EXPECT_EQ(R.size(), 3u);
+  for (int64_t Gen = 0; Gen < 6; ++Gen)
+    EXPECT_EQ(R.query(key(Spec, Gen, Gen), Spec.allColumns()).size(),
+              Gen % 2 == 0 ? 1u : 0u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
 TEST(Txn, ScopeRetainsLocksUntilCommit) {
   // A rival reader of a key the scope wrote must block until commit —
   // never observing the intermediate state. The rival runs a bare

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff two crs-bench-fig5 JSON documents (stdlib only, CI bench job).
+
+The fig5 bench writes a machine-readable sidecar when CRS_BENCH_JSON is
+set (bench/BenchJson.h, schema ``crs-bench-fig5/1``). This tool turns
+two such documents — a baseline and a candidate — into a per-series
+delta table, so a perf PR carries its own before/after evidence and CI
+can flag regressions without anyone eyeballing table screenshots.
+
+Usage:
+    bench_compare.py CURRENT.json
+        Validate + summarize one document (CI artifact parse check).
+    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+        Print per-panel deltas. Exits 1 if any series regresses by more
+        than PCT percent (default 5) at any shared thread count.
+
+Panels/series present in only one document are reported but never fail
+the run (new panels appear as benches grow; that is not a regression).
+Single-machine noise caveat: quick-mode numbers on shared CI runners
+swing by double-digit percents — treat automated failures as a prompt
+to rerun with CRS_BENCH_FULL=1 on quiet hardware, not as a verdict.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "crs-bench-fig5/1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r} "
+                 f"(want {SCHEMA!r})")
+    for key in ("threads", "panels"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key {key!r}")
+    return doc
+
+
+def summarize(doc, path):
+    print(f"{path}: mode={doc.get('mode')} sha={doc.get('git_sha')} "
+          f"threads={doc['threads']}")
+    for panel in doc["panels"]:
+        names = ", ".join(s["name"] for s in panel["series"])
+        print(f"  [{panel['section']} {panel['mix']}] {names}")
+    print(f"  {len(doc['panels'])} panels OK")
+
+
+def index_panels(doc):
+    return {(p["section"], p["mix"]): p for p in doc["panels"]}
+
+
+def compare(base, cur, threshold):
+    base_panels = index_panels(base)
+    cur_panels = index_panels(cur)
+    shared_threads = [t for t in cur["threads"] if t in base["threads"]]
+    if not shared_threads:
+        sys.exit("no shared thread counts between the two documents")
+    regressions = []
+
+    for key in sorted(set(base_panels) | set(cur_panels)):
+        section, mix = key
+        if key not in cur_panels:
+            print(f"[{section} {mix}] only in baseline — skipped")
+            continue
+        if key not in base_panels:
+            print(f"[{section} {mix}] new panel — no baseline")
+            continue
+        base_series = {s["name"]: s for s in base_panels[key]["series"]}
+        print(f"[{section} {mix}]")
+        for series in cur_panels[key]["series"]:
+            name = series["name"]
+            if name not in base_series:
+                print(f"  {name:<18} new series — no baseline")
+                continue
+            cells = []
+            for t in shared_threads:
+                b = base_series[name]["ops_per_sec"][base["threads"].index(t)]
+                c = series["ops_per_sec"][cur["threads"].index(t)]
+                delta = 100.0 * (c - b) / b if b else float("inf")
+                cells.append(f"{t}T {delta:+6.1f}%")
+                if delta < -threshold:
+                    regressions.append(
+                        f"[{section} {mix}] {name} @ {t}T: "
+                        f"{b:,.0f} -> {c:,.0f} ops/s ({delta:+.1f}%)")
+            print(f"  {name:<18} " + "  ".join(cells))
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"-{threshold:.1f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print(f"\nno series regressed beyond -{threshold:.1f}% "
+          f"at threads {shared_threads}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline JSON, or the only file "
+                    "in summarize mode")
+    ap.add_argument("current", nargs="?", help="candidate JSON")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="regression threshold in percent (default 5)")
+    args = ap.parse_args()
+
+    if args.current is None:
+        summarize(load(args.baseline), args.baseline)
+        return 0
+    return compare(load(args.baseline), load(args.current), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
