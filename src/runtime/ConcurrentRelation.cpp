@@ -36,6 +36,8 @@
 #include "runtime/ConcurrentRelation.h"
 
 #include "support/Compiler.h"
+#include "sync/CommitClock.h"
+#include "wal/Wal.h"
 
 #include <algorithm>
 #include <functional>
@@ -228,6 +230,16 @@ unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
   assert(St == ExecStatus::Ok && "mutation plans never speculate");
   uint32_t Matched = Ctx.numStates(P.ResultVar);
   assert(Matched <= 1 && "key-matched remove found multiple tuples");
+  // Redo logging before any lock is released (the WAL ordering
+  // contract, wal/Wal.h): the scope still holds every lock the plan
+  // took, so the partition's append order is the serialization order.
+  // Transactional executions never reach this path — they run the
+  // executor directly and log once per scope at commit.
+  if (Matched) {
+    if (WriteAheadLog *W = Wal.load(std::memory_order_acquire))
+      W->logCommit(WalPartition, nextCommitSeq(), WalShard, WalOp::Remove,
+                   Ctx.stateTuple(P.ResultVar, 0).project(spec().allColumns()));
+  }
   // Shrinking phase (OpScope): release while the context still pins the
   // unlinked instances — their physical locks must outlive the unlock.
   return Matched;
@@ -246,6 +258,13 @@ bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
   // Insert plans never speculate (the §4.5 writer protocol takes
   // blocking, in-order locks), so like remove there is no retry loop.
   assert(St != ExecStatus::Restart && "mutation plans never speculate");
+  // Redo logging under the plan's locks (see runRemovePlan); only a
+  // winning put-if-absent mutated anything worth a record.
+  if (St == ExecStatus::Ok) {
+    if (WriteAheadLog *W = Wal.load(std::memory_order_acquire))
+      W->logCommit(WalPartition, nextCommitSeq(), WalShard, WalOp::Insert,
+                   Full);
+  }
   return St == ExecStatus::Ok; // Found: a tuple matching s exists
 }
 
@@ -386,6 +405,51 @@ static void stepStates(const Decomposition &D, EdgeId E,
 
 std::vector<Tuple> ConcurrentRelation::scanAll() const {
   return query(Tuple(), spec().allColumns());
+}
+
+void ConcurrentRelation::attachWal(WriteAheadLog &Log, uint32_t Partition,
+                                   uint32_t Shard) {
+  assert(Partition < Log.partitions() && "partition out of range");
+  WalPartition = Partition;
+  WalShard = Shard;
+  // Store last: the mutation paths load Wal with acquire and read the
+  // partition/shard fields only behind a non-null result.
+  Wal.store(&Log, std::memory_order_release);
+}
+
+std::vector<Tuple>
+ConcurrentRelation::checkpointSnapshot(uint64_t &Watermark) const {
+  // The barrier closes the gate and drains every in-flight operation.
+  // Mutations append their WAL record while inside the gate (the hooks
+  // above run under the op scope, which holds the gate throughout), so
+  // once the drain completes, everything this relation will ever log
+  // with commitSeq ≤ the clock reading below is already both applied to
+  // the structure and appended to the log; everything after the barrier
+  // stamps a higher sequence. That makes the walk + watermark pair a
+  // consistent cut of the commit order.
+  OpGate::Barrier B(Gate);
+  Watermark = commitClockNow();
+
+  // Quiescent first-path walk — scanAll() would re-enter the gate the
+  // barrier just closed. Any single root-to-leaf path yields the full
+  // represented relation (adequacy; verifyConsistency checks they all
+  // agree), so follow first out-edges only.
+  const Decomposition &D = *Config.Decomp;
+  std::vector<WalkState> States;
+  WalkState Init;
+  Init.Bound.resize(D.numNodes());
+  Init.Bound[D.root()] = Root;
+  States.push_back(std::move(Init));
+  for (NodeId N = D.root(); !D.node(N).OutEdges.empty();) {
+    EdgeId E = D.node(N).OutEdges.front();
+    stepStates(D, E, States);
+    N = D.edge(E).Dst;
+  }
+  std::vector<Tuple> Out;
+  Out.reserve(States.size());
+  for (const WalkState &St : States)
+    Out.push_back(St.T.project(spec().allColumns()));
+  return Out;
 }
 
 /// Visits every live node instance exactly once (quiescent walk).

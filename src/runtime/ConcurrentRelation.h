@@ -45,6 +45,7 @@ class PreparedInsert;
 class PreparedRemove;
 class Transaction;
 class ShardedTransaction;
+class WriteAheadLog;
 namespace detail {
 class PreparedOpImpl;
 }
@@ -250,6 +251,37 @@ public:
   /// All tuples, via a serializable full scan (test/debug convenience).
   std::vector<Tuple> scanAll() const;
 
+  /// \name Durability (src/wal)
+  /// @{
+
+  /// Attaches a write-ahead log: every subsequent committed mutation —
+  /// bare or transactional — appends a `(commitSeq, shard, mutations)`
+  /// record to \p Log's partition \p Partition *before* releasing its
+  /// locks, labeled as shard \p Shard. The log must outlive the
+  /// attachment; attach before traffic (the hook is racy only against
+  /// in-flight mutations that resolved their plans pre-attach, so an
+  /// attach under load may miss a commit — recovery tests attach on a
+  /// quiet relation). Detach before destroying the log.
+  void attachWal(WriteAheadLog &Log, uint32_t Partition = 0,
+                 uint32_t Shard = 0);
+  void detachWal() { Wal.store(nullptr, std::memory_order_release); }
+  WriteAheadLog *walLog() const {
+    return Wal.load(std::memory_order_acquire);
+  }
+
+  /// A checkpoint-consistent snapshot: closes the operation gate
+  /// (draining every in-flight operation — WAL appends happen inside
+  /// the gate, so the drained state is exactly the committed prefix),
+  /// reads the commit clock as \p Watermark, and walks the quiescent
+  /// structure. Every mutation this relation logged before the call has
+  /// commitSeq ≤ Watermark and is reflected in the returned tuples;
+  /// every mutation after it has commitSeq > Watermark (wal/Checkpoint.h
+  /// replays exactly the records above the watermark on recovery).
+  /// Must not be called from inside an operation.
+  std::vector<Tuple> checkpointSnapshot(uint64_t &Watermark) const;
+
+  /// @}
+
   /// Debug lock-order validation: places this relation's acquisitions
   /// in the cross-set domain order (sync/LockOrderValidator.h). The
   /// default ordinal 0 suits a standalone relation; ShardedRelation
@@ -329,6 +361,14 @@ private:
   std::atomic<MirrorSink *> ActiveMirror{nullptr};
   std::unique_ptr<MirrorSink> LiveMigration;
   std::mutex MigrationM; ///< serializes migrateTo calls
+
+  /// Attached write-ahead log (null when durability is off — the single
+  /// load on the mutation path is the whole cost of the feature when
+  /// detached). WalPartition/WalShard are set at attach time, before
+  /// traffic, and read only when Wal is non-null.
+  std::atomic<WriteAheadLog *> Wal{nullptr};
+  uint32_t WalPartition = 0;
+  uint32_t WalShard = 0;
 
   // Plans are compiled on first use per (op, dom(s), C) signature;
   // lookups are wait-free (sharded immutable-snapshot cache).

@@ -7,6 +7,8 @@
 
 #include "runtime/ShardedRelation.h"
 
+#include "wal/Wal.h"
+
 #include <algorithm>
 
 using namespace crs;
@@ -217,6 +219,13 @@ std::vector<Tuple> ShardedRelation::scanAll() const {
   }
   std::sort(Out.begin(), Out.end(), TupleLess());
   return Out;
+}
+
+void ShardedRelation::attachWal(WriteAheadLog &Log) {
+  assert(Log.partitions() >= numShards() &&
+         "the WAL needs one partition per shard");
+  for (unsigned I = 0; I < numShards(); ++I)
+    Shards[I]->attachWal(Log, /*Partition=*/I, /*Shard=*/I);
 }
 
 //===----------------------------------------------------------------------===//

@@ -246,6 +246,17 @@ public:
   /// shards), sorted.
   std::vector<Tuple> scanAll() const;
 
+  /// Attaches \p Log to every shard: shard i logs to partition i,
+  /// labeled shard i (the log must have at least numShards()
+  /// partitions — asserted). Per-partition recovery then rebuilds each
+  /// shard independently (wal/Checkpoint.h). Same lifetime/quiescence
+  /// contract as ConcurrentRelation::attachWal.
+  void attachWal(WriteAheadLog &Log);
+  void detachWal() {
+    for (auto &S : Shards)
+      S->detachWal();
+  }
+
 private:
   friend class detail::ShardedOpImpl;
 

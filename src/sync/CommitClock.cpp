@@ -1,0 +1,36 @@
+//===- sync/CommitClock.cpp - Process-global commit/birth clocks -------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/CommitClock.h"
+
+#include <atomic>
+
+using namespace crs;
+
+namespace {
+
+/// One clock per cache line (see the header's false-sharing note).
+struct alignas(64) PaddedClock {
+  std::atomic<uint64_t> V{0};
+};
+
+PaddedClock CommitClock;
+PaddedClock BirthClock;
+
+} // namespace
+
+uint64_t crs::nextCommitSeq() {
+  return CommitClock.V.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+uint64_t crs::commitClockNow() {
+  return CommitClock.V.load(std::memory_order_acquire);
+}
+
+uint64_t crs::nextTxnBirthStamp() {
+  return BirthClock.V.fetch_add(1, std::memory_order_acq_rel) + 1;
+}

@@ -1,0 +1,59 @@
+//===- sync/CommitClock.h - Process-global commit/birth clocks --*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two process-global monotone clocks the transaction and durability
+/// layers share:
+///
+///  * the **commit clock** — stamped under a scope's retained locks (or
+///    a bare mutation's operation locks), so conflicting mutations
+///    receive sequence numbers consistent with their serialization
+///    order. The stress oracle replays committed scopes in this order,
+///    the WAL (src/wal) logs mutations under it, and crash recovery
+///    replays records sorted by it. Hoisted out of txn/Transaction.cpp
+///    so bare prepared-op mutations can stamp the same clock their
+///    transactional siblings use — one total commit order for the whole
+///    relation fleet, whichever path wrote.
+///
+///  * the **birth clock** — stamps a transaction scope once, at the
+///    *logical* transaction's first attempt, and keeps that stamp across
+///    runTransaction retries. Wait-die compares birth stamps: an older
+///    scope outranks every younger one on any contended key
+///    (sync/LockSet.h carries the stamp to the lock owner tables).
+///
+/// Both are padded to a cache line of their own: every commit on every
+/// thread RMWs the commit clock, and as bare globals the two would
+/// otherwise share a line with neighboring globals (false sharing on
+/// the hottest words in the transaction layer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_SYNC_COMMITCLOCK_H
+#define CRS_SYNC_COMMITCLOCK_H
+
+#include <cstdint>
+
+namespace crs {
+
+/// The next commit sequence number (strictly positive, strictly
+/// monotone). Stamp while holding every lock the mutation touched.
+uint64_t nextCommitSeq();
+
+/// The highest commit sequence handed out so far (0 before the first
+/// commit). Read under an operation-gate barrier this is a checkpoint
+/// watermark: every mutation that stamped before the barrier is ≤ this,
+/// every mutation after it is > this (src/wal/Checkpoint.h).
+uint64_t commitClockNow();
+
+/// The next transaction birth stamp (strictly positive, strictly
+/// monotone; a distinct clock so hot commit traffic never delays scope
+/// opens). 0 is reserved as "unstamped" throughout the lock layer.
+uint64_t nextTxnBirthStamp();
+
+} // namespace crs
+
+#endif // CRS_SYNC_COMMITCLOCK_H

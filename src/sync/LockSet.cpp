@@ -51,6 +51,11 @@ void LockSet::acquire(PhysicalLock &Lock, const LockOrderKey &Key,
          "cross-shard / source-before-target) lock order");
 #endif
   Lock.lock(Mode);
+  // Publish the scope's age to the owner table (wait-die): only
+  // transaction scopes (non-zero stamp) holding exclusively, where a
+  // loser of a future try needs to know who beat it.
+  if (BirthStamp != 0 && Mode == LockMode::Exclusive)
+    Lock.setOwnerStamp(BirthStamp);
   Held.push_back({&Lock, Mode});
   if (!HasMaxKey || MaxKey < Key) {
     MaxKey = Key;
@@ -69,8 +74,17 @@ AcquireResult LockSet::tryAcquire(PhysicalLock &Lock, const LockOrderKey &Key,
     (void)E;
     return AcquireResult::Ok;
   }
-  if (!Lock.tryLock(Mode))
+  if (!Lock.tryLock(Mode)) {
+    // Snapshot the holder's age for the wait-die decision. Racy by
+    // design (the holder may release concurrently — then this reads 0
+    // or a successor's stamp); the transaction layer treats 0 as
+    // "unknown" and falls back to its bounded budget.
+    if (BirthStamp != 0)
+      LastConflict = Lock.ownerStamp();
     return AcquireResult::WouldBlock;
+  }
+  if (BirthStamp != 0 && Mode == LockMode::Exclusive)
+    Lock.setOwnerStamp(BirthStamp);
   Held.push_back({&Lock, Mode});
   if (!HasMaxKey || MaxKey < Key) {
     MaxKey = Key;
@@ -113,8 +127,13 @@ bool LockSet::holdsAtLeast(const PhysicalLock &Lock, LockMode Mode) const {
 }
 
 void LockSet::releaseAll() {
-  for (auto It = Held.rbegin(); It != Held.rend(); ++It)
+  for (auto It = Held.rbegin(); It != Held.rend(); ++It) {
+    // Retract the owner stamp *before* the unlock: a contender must
+    // never read this scope's age off a lock the scope no longer holds.
+    if (BirthStamp != 0 && It->Mode == LockMode::Exclusive)
+      It->Lock->clearOwnerStamp();
     It->Lock->unlock(It->Mode);
+  }
   Held.clear();
   HasMaxKey = false;
 #if CRS_VALIDATE_LOCK_ORDER
@@ -125,8 +144,11 @@ void LockSet::releaseAll() {
 void LockSet::releaseToMark(const Mark &M) {
   assert(M.HeldCount <= Held.size() &&
          "releaseToMark after an intervening release");
-  for (size_t I = Held.size(); I > M.HeldCount; --I)
+  for (size_t I = Held.size(); I > M.HeldCount; --I) {
+    if (BirthStamp != 0 && Held[I - 1].Mode == LockMode::Exclusive)
+      Held[I - 1].Lock->clearOwnerStamp();
     Held[I - 1].Lock->unlock(Held[I - 1].Mode);
+  }
   Held.resize(M.HeldCount);
   HasMaxKey = M.HasMaxKey;
   MaxKey = M.MaxKey;

@@ -140,6 +140,28 @@ public:
     return !HasMaxKey || !(Key < MaxKey);
   }
 
+  /// \name Wait-die birth stamps (txn/Transaction.h)
+  /// A transaction scope sets its birth stamp for the scope's lifetime;
+  /// while it is non-zero, every exclusive acquisition publishes it to
+  /// the lock's owner table (PhysicalLock::setOwnerStamp) and every
+  /// release retracts it, so a contender that loses a try can tell how
+  /// old the holder is. Bare operations (stamp 0) never touch the owner
+  /// tables — the single extra branch per acquisition is their whole
+  /// cost.
+  /// @{
+  void setBirthStamp(uint64_t S) { BirthStamp = S; }
+  uint64_t birthStamp() const { return BirthStamp; }
+  /// The owner stamp of the lock behind the most recent WouldBlock,
+  /// consumed (reset to 0) by the read — each failed try reports at
+  /// most once, so a stale stamp can never kill a later, unrelated
+  /// retry.
+  uint64_t takeLastConflictStamp() {
+    uint64_t S = LastConflict;
+    LastConflict = 0;
+    return S;
+  }
+  /// @}
+
   /// Places this set's acquisitions in the process-global domain order
   /// the per-thread LockOrderValidator checks (debug builds): tier 0
   /// for primary-representation operations with the shard index as
@@ -161,6 +183,8 @@ private:
   };
   std::vector<Entry> Held;
   uint64_t Restarts = 0;
+  uint64_t BirthStamp = 0;    ///< this scope's wait-die age (0: bare op)
+  uint64_t LastConflict = 0;  ///< holder stamp behind the last WouldBlock
   bool HasMaxKey = false;
   LockOrderKey MaxKey;
   uint32_t DomainTier = 0;

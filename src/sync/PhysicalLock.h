@@ -102,6 +102,27 @@ public:
     return Contended.load(std::memory_order_relaxed);
   }
 
+  /// \name Wait-die owner table (txn/Transaction.h)
+  /// The birth stamp of the transaction scope holding this lock
+  /// exclusively — 0 for bare operations, shared holders, and the
+  /// unheld state. Written by the *holder* (set after its exclusive
+  /// acquisition, cleared before its unlock) and read racily by a
+  /// contender whose tryLock just failed: the contender may observe 0
+  /// or a successor holder's stamp, which costs it only the wait-die
+  /// fast path (it falls back to the bounded try budget), never
+  /// correctness. Relaxed throughout — the stamp is a hint, ordered by
+  /// nothing, and must stay off the acquisition fast path's critical
+  /// dependencies.
+  /// @{
+  void setOwnerStamp(uint64_t S) {
+    OwnerStamp.store(S, std::memory_order_relaxed);
+  }
+  void clearOwnerStamp() { OwnerStamp.store(0, std::memory_order_relaxed); }
+  uint64_t ownerStamp() const {
+    return OwnerStamp.load(std::memory_order_relaxed);
+  }
+  /// @}
+
 private:
   void countShared() {
     static thread_local uint64_t Tick = 0;
@@ -112,6 +133,7 @@ private:
   std::shared_mutex Mutex;
   std::atomic<uint64_t> Acquired{0};
   std::atomic<uint64_t> Contended{0};
+  std::atomic<uint64_t> OwnerStamp{0};
 };
 
 } // namespace crs

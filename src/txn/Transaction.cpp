@@ -8,7 +8,9 @@
 #include "txn/Transaction.h"
 
 #include "support/Compiler.h"
+#include "sync/CommitClock.h"
 #include "sync/Epoch.h"
+#include "wal/Wal.h"
 
 #include <algorithm>
 #include <array>
@@ -20,21 +22,9 @@ using detail::ShardedOpImpl;
 
 namespace {
 
-/// The process-global commit clock: stamped under the scope's retained
-/// locks, so conflicting scopes receive sequence numbers consistent
-/// with their serialization order (the stress oracle replays committed
-/// scopes in this order). Padded to a line of its own — every commit
-/// on every thread RMWs it, and as a bare global it would otherwise
-/// share its line with neighboring globals (false sharing on the
-/// hottest word in the transaction layer).
-struct alignas(64) PaddedClock {
-  std::atomic<uint64_t> V{0};
-};
-PaddedClock CommitClock;
-
-uint64_t nextCommitSeq() {
-  return CommitClock.V.fetch_add(1, std::memory_order_acq_rel) + 1;
-}
+// The commit clock lives in sync/CommitClock.h now: the bare-mutation
+// paths (runtime/ConcurrentRelation.cpp) stamp the same clock, so the
+// WAL sees one total commit order whichever path wrote.
 
 /// One scope open per thread (nested independent scopes would deadlock
 /// on their own locks); a ShardedTransaction counts as one, its inner
@@ -126,12 +116,16 @@ unsigned tryBudget(unsigned Patience) {
 // Transaction
 //===----------------------------------------------------------------------===//
 
-Transaction::Transaction(ConcurrentRelation &R, unsigned Patience)
-    : Transaction(R, Opts{Patience, /*Nested=*/false, /*BoundedGate=*/false,
-                          /*ForceTry=*/false}) {}
+Transaction::Transaction(ConcurrentRelation &R, unsigned Patience,
+                         uint64_t Birth)
+    : Transaction(R, Opts{Patience, Birth, /*Nested=*/false,
+                          /*BoundedGate=*/false, /*ForceTry=*/false}) {}
 
 Transaction::Transaction(ConcurrentRelation &R, const Opts &O)
     : Rel(&R), TryBudget(tryBudget(O.Patience)), Nested(O.Nested) {
+  // Stamp (or adopt) the wait-die age before any lock can be taken;
+  // LockSet carries it to every exclusive owner table.
+  BirthStamp = O.Birth ? O.Birth : nextTxnBirthStamp();
   if (!Nested) {
     assert(OpenScopesOnThread == 0 &&
            "one transaction scope open per thread (nested scopes would "
@@ -158,6 +152,7 @@ Transaction::Transaction(ConcurrentRelation &R, const Opts &O)
   Ctx = txnCtxPool().acquire();
   Ctx->Txn = &Frame;
   Ctx->Locks.setOrderDomain(0, Rel->lockDomainOrdinal());
+  Ctx->Locks.setBirthStamp(BirthStamp);
 }
 
 Transaction::~Transaction() {
@@ -239,6 +234,10 @@ bool Transaction::execOp(const PreparedOpImpl &Impl, const Value *Args,
   size_t PoolMark = Ctx->poolMark();
   size_t MirrorMark = Frame.MirrorBuf.size();
   unsigned Budget = TryBudget;
+  // Retries against a *younger* holder don't burn Budget (an older
+  // scope waits, it doesn't die — the classic rule), but stay bounded
+  // by this cap so a stuck young holder can't pin a senior forever.
+  unsigned SeniorityWaits = TryBudget * 8;
   for (;;) {
     ExecStatus S = Rel->Executor.run(*P, Input, Rel->Root, *Ctx);
     if (S != ExecStatus::Restart) {
@@ -281,7 +280,24 @@ bool Transaction::execOp(const PreparedOpImpl &Impl, const Value *Args,
       abortWith(TxnAbortCause::Upgrade);
       return false;
     }
-    if (Budget-- == 0) {
+    // Classic wait-die on birth stamps when the contended key's owner
+    // table identifies the holder: an older holder kills this (younger)
+    // scope immediately — it would die anyway after Budget futile tries,
+    // and the fast death is what lets it retry with kept seniority; a
+    // younger holder lets this scope keep retrying for free. A zero
+    // stamp (bare operation, or the holder released between the failed
+    // try and the read) falls back to the bounded budget.
+    uint64_t Holder = Ctx->Locks.takeLastConflictStamp();
+    if (Holder != 0 && Holder < BirthStamp) {
+      abortWith(TxnAbortCause::Conflict); // younger dies (wait-die)
+      return false;
+    }
+    if (Holder != 0 && Holder > BirthStamp) {
+      if (SeniorityWaits-- == 0) {
+        abortWith(TxnAbortCause::Conflict);
+        return false;
+      }
+    } else if (Budget-- == 0) {
       abortWith(TxnAbortCause::Conflict); // die (bounded wait-die)
       return false;
     }
@@ -345,6 +361,26 @@ void Transaction::commitWithSeq(uint64_t S) {
         M->mirror(E.Op, E.DomS, E.Input);
     Frame.MirrorBuf.clear();
   }
+  // Redo logging, still under every retained lock (the WAL ordering
+  // contract): the undo log is the redo record read forward — each
+  // entry's full tuple with the operation kind un-flipped. Read-only
+  // scopes append nothing.
+  if (!Undo.empty()) {
+    if (WriteAheadLog *W = Rel->Wal.load(std::memory_order_acquire)) {
+      static thread_local std::vector<WalMutation> Muts;
+      Muts.clear();
+      Muts.reserve(Undo.size());
+      ColumnSet All = Rel->spec().allColumns();
+      for (const UndoRecord &U : Undo) {
+        WalMutation M;
+        M.Op = U.WasInsert ? WalOp::Insert : WalOp::Remove;
+        M.Full = U.Full.project(All);
+        Muts.push_back(std::move(M));
+      }
+      W->logCommit(Rel->WalPartition, Seq, Rel->WalShard, Muts.data(),
+                   Muts.size());
+    }
+  }
   Undo.clear();
   releaseScope();
   St = TxnState::Committed;
@@ -406,9 +442,12 @@ void Transaction::releaseScope() {
   Ctx->Txn = nullptr;
   Ctx->Mirror = nullptr;
   Ctx->Count = nullptr;
-  // Shrinking phase: unlock everything, then drop the pool pins (the
-  // instances must outlive their unlocks), then the gate.
+  // Shrinking phase: unlock everything (releaseAll clears this scope's
+  // exclusive owner stamps before each unlock), then drop the pool pins
+  // (the instances must outlive their unlocks), then the gate. The
+  // pooled context must not leak this scope's age to its next tenant.
   Ctx->Locks.releaseAll();
+  Ctx->Locks.setBirthStamp(0);
   Ctx->reset();
   if (GateHeld) {
     Rel->Gate.exit();
@@ -428,8 +467,10 @@ void Transaction::releaseScope() {
 // ShardedTransaction
 //===----------------------------------------------------------------------===//
 
-ShardedTransaction::ShardedTransaction(ShardedRelation &R, unsigned Patience)
-    : Rel(&R), Subs(R.numShards()), Patience(Patience) {
+ShardedTransaction::ShardedTransaction(ShardedRelation &R, unsigned Patience,
+                                       uint64_t Birth)
+    : Rel(&R), Subs(R.numShards()),
+      BirthStamp(Birth ? Birth : nextTxnBirthStamp()), Patience(Patience) {
   assert(OpenScopesOnThread == 0 &&
          "one transaction scope open per thread (nested scopes would "
          "deadlock on their own locks)");
@@ -459,6 +500,7 @@ Transaction *ShardedTransaction::subFor(unsigned Shard) {
   }
   Transaction::Opts O;
   O.Patience = Patience;
+  O.Birth = BirthStamp; // the whole sharded scope ages as one
   O.Nested = true;
   // Joining the first shard may wait like any operation; joining a
   // further shard happens while holding gates and locks, so the gate

@@ -121,8 +121,12 @@ public:
   /// Opens a scope on \p R: enters the operation gate and snapshots the
   /// plan epoch. \p Patience scales the bounded wait-die try budget —
   /// pass the retry attempt number (as runTransaction does) so aging
-  /// scopes win contended keys eventually.
-  explicit Transaction(ConcurrentRelation &R, unsigned Patience = 0);
+  /// scopes win contended keys eventually. \p Birth carries a birth
+  /// stamp across retries of the same logical transaction (0 stamps a
+  /// fresh one): wait-die compares these stamps, so a retried scope
+  /// keeps its seniority instead of rejoining the queue as a newborn.
+  explicit Transaction(ConcurrentRelation &R, unsigned Patience = 0,
+                       uint64_t Birth = 0);
 
   /// An open scope aborts (rolls back) on destruction.
   ~Transaction();
@@ -138,6 +142,10 @@ public:
   /// contended key (the stress oracle's contract). Valid after a
   /// successful commit().
   uint64_t commitSeq() const { return Seq; }
+
+  /// The scope's wait-die birth stamp (sync/CommitClock.h). Feed it back
+  /// as the \p Birth of the retry scope so the logical transaction ages.
+  uint64_t birthStamp() const { return BirthStamp; }
 
   /// Operations executed, undo records pending, failed lock tries.
   /// @{
@@ -180,6 +188,7 @@ private:
 
   struct Opts {
     unsigned Patience = 0;
+    uint64_t Birth = 0;       ///< carried birth stamp (0: stamp fresh)
     bool Nested = false;      ///< part of a ShardedTransaction
     bool BoundedGate = false; ///< joining mid-scope: bounded gate wait
     bool ForceTry = false;    ///< out-of-shard-order join: never block
@@ -214,6 +223,7 @@ private:
   TxnState St = TxnState::Open;
   TxnAbortCause Cause = TxnAbortCause::None;
   uint64_t Seq = 0;
+  uint64_t BirthStamp = 0; ///< wait-die age (sync/CommitClock.h)
   uint64_t StartEpoch = 0;
   uint64_t Ops = 0;
   uint64_t Restarts = 0;
@@ -228,7 +238,8 @@ private:
 /// create one inner scope and pay no cross-shard coordination.
 class ShardedTransaction {
 public:
-  explicit ShardedTransaction(ShardedRelation &R, unsigned Patience = 0);
+  explicit ShardedTransaction(ShardedRelation &R, unsigned Patience = 0,
+                              uint64_t Birth = 0);
   ~ShardedTransaction();
   ShardedTransaction(const ShardedTransaction &) = delete;
   ShardedTransaction &operator=(const ShardedTransaction &) = delete;
@@ -236,6 +247,9 @@ public:
   TxnState state() const { return St; }
   TxnAbortCause abortCause() const { return Cause; }
   uint64_t commitSeq() const { return Seq; }
+  /// The whole sharded scope ages as one wait-die participant: every
+  /// inner per-shard scope carries this stamp to its lock owner tables.
+  uint64_t birthStamp() const { return BirthStamp; }
   /// Shards this scope holds locks (and the gate) on so far.
   unsigned shardsTouched() const;
 
@@ -274,6 +288,7 @@ private:
   TxnState St = TxnState::Open;
   TxnAbortCause Cause = TxnAbortCause::None;
   uint64_t Seq = 0;
+  uint64_t BirthStamp = 0; ///< shared by every inner scope
   unsigned Patience;
   int MaxShard = -1; ///< highest shard joined so far (order discipline)
 };
@@ -298,9 +313,14 @@ template <> struct TxnHandleFor<ShardedRelation> {
 /// \p MaxAttempts retries (0 = unbounded).
 template <typename RelT, typename BodyFn>
 bool runTransaction(RelT &Rel, BodyFn &&Body, unsigned MaxAttempts = 0) {
+  // One birth stamp for the whole logical transaction: the first scope
+  // stamps it, every retry carries it, so under wait-die the retried
+  // transaction only ever gains seniority (the fairness argument).
+  uint64_t Birth = 0;
   for (unsigned Attempt = 0; MaxAttempts == 0 || Attempt < MaxAttempts;
        ++Attempt) {
-    typename TxnHandleFor<RelT>::type Txn(Rel, /*Patience=*/Attempt);
+    typename TxnHandleFor<RelT>::type Txn(Rel, /*Patience=*/Attempt, Birth);
+    Birth = Txn.birthStamp();
     bool BodyOk = Body(Txn);
     // A body that committed by hand is done, whatever it returned — a
     // committed scope must never fall through into the retry loop

@@ -1,0 +1,171 @@
+//===- wal/Follower.h - Follower relations over the commit stream -*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FollowerRelation is a read replica fed by the durability
+/// pipeline: the same ordered `(commitSeq, mutations)` stream the WAL
+/// appends (wal/Wal.h) is consumed — live from a CommitChannel, or
+/// from the partition files via WalTailer — and applied to a private
+/// replica relation through the public put-if-absent API. Reads are
+/// served by the replica's epoch-protected wait-free fast path at a
+/// published applied-watermark.
+///
+/// **Consistency contract.** The stream carries only *committed*
+/// mutations (records are appended at the commit stamp, under the
+/// committer's locks), in per-key serialization order (the WAL
+/// ordering argument). The applier applies records in stream order on
+/// one thread, so a follower read observes, for every key, a prefix
+/// of that key's committed history — never an uncommitted write,
+/// never two mutations of one key out of order. What a follower does
+/// NOT promise is cross-key simultaneity with the primary: it is an
+/// asynchronous replica, lagging by the unapplied stream suffix;
+/// appliedSeq() tells a client exactly how far behind a read may be,
+/// and waitApplied() turns that into read-your-writes for any writer
+/// who kept its commitSeq.
+///
+/// **Gap healing.** The channel never blocks the commit path: when
+/// the follower falls far enough behind that the bounded channel
+/// drops records, the applier detects the stream-sequence jump and
+/// heals by backfill — the migration pattern: bookmark the stream,
+/// snapshot the source, reconcile the replica to the snapshot
+/// (removes first, then inserts, so row-replacements never transit an
+/// FD-violating state), and resume applying strictly-younger items.
+/// Items published before the bookmark are already contained in the
+/// snapshot (publish happens before the committer releases its locks,
+/// so anything bookmarked has committed and is visible to the
+/// snapshot scan); items after it replay idempotently — per key, the
+/// put-if-absent/full-tuple-remove pair is last-writer-wins, so
+/// replaying a suffix from a state that already includes part of it
+/// converges to the same final state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_WAL_FOLLOWER_H
+#define CRS_WAL_FOLLOWER_H
+
+#include "runtime/ConcurrentRelation.h"
+#include "wal/Wal.h"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace crs {
+
+/// File-tailing consumption of WAL partitions: polls each partition
+/// file for records appended since the last poll, decoding only
+/// complete records (a torn or still-being-written tail is left for
+/// the next poll). The offline/recovery-test twin of CommitChannel.
+class WalTailer {
+public:
+  WalTailer(std::string Dir, unsigned Partitions)
+      : Dir(std::move(Dir)), Offsets(Partitions, 0) {}
+
+  /// Appends every newly completed record (all partitions, file order
+  /// within each) to \p Out; returns the number appended.
+  size_t poll(std::vector<WalRecord> &Out);
+
+private:
+  std::string Dir;
+  std::vector<uint64_t> Offsets;
+};
+
+/// A live read replica over the commit stream. Owns the replica
+/// relation and (when a channel is attached) the applier thread.
+class FollowerRelation {
+public:
+  struct Options {
+    /// Applier park between empty channel polls.
+    unsigned PollMicros = 100;
+    Options() {}
+  };
+
+  /// Live mode: consumes \p Ch on a dedicated applier thread.
+  /// \p Config must equal the primary's specification (asserted per
+  /// mutation by the replica itself); the representation may differ —
+  /// a follower can serve reads from a shape the primary would never
+  /// use. \p Backfill supplies a full-tuple snapshot of the source for
+  /// gap healing (typically `[&] { return Primary.scanAll(); }`); with
+  /// a null backfill a gap leaves the follower permanently behind on
+  /// the dropped keys (still per-key ordered — gaps only ever *omit*
+  /// suffix mutations) and is only counted.
+  FollowerRelation(RepresentationConfig Config, CommitChannel &Ch,
+                   std::function<std::vector<Tuple>()> Backfill,
+                   Options O = {});
+
+  /// Manual mode (file tailing, tests): no thread; the owner pumps
+  /// records in stream order via apply().
+  explicit FollowerRelation(RepresentationConfig Config);
+
+  ~FollowerRelation(); ///< stops and joins the applier
+
+  FollowerRelation(const FollowerRelation &) = delete;
+  FollowerRelation &operator=(const FollowerRelation &) = delete;
+
+  /// The replica, for reads (epoch-eligible queries run wait-free).
+  /// Mutating it directly breaks the replica contract.
+  ConcurrentRelation &relation() { return Replica; }
+  const ConcurrentRelation &relation() const { return Replica; }
+
+  /// query r s C against the replica at the applied watermark.
+  std::vector<Tuple> query(const Tuple &S, ColumnSet C) const {
+    return Replica.query(S, C);
+  }
+
+  /// Manual-mode application of one record (also usable from the
+  /// owner's thread in live mode ONLY before the channel ever fires —
+  /// concretely: don't).
+  void apply(const WalRecord &Rec);
+
+  /// The published applied-watermark: every committed mutation with
+  /// commitSeq ≤ this (on keys the stream delivered) is visible to
+  /// reads. Monotone.
+  uint64_t appliedSeq() const {
+    return AppliedSeq.load(std::memory_order_acquire);
+  }
+  uint64_t appliedRecords() const {
+    return AppliedRecords.load(std::memory_order_relaxed);
+  }
+  /// Stream gaps detected (and, with a backfill source, healed).
+  uint64_t gapsHealed() const {
+    return GapsHealed.load(std::memory_order_relaxed);
+  }
+  /// Replays that found their effect already present/absent — benign
+  /// idempotent overlaps from healing races.
+  uint64_t anomalies() const {
+    return Anomalies.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until appliedSeq() ≥ \p CommitSeq or \p TimeoutMs elapses.
+  /// With a quiesced writer fleet (commitSeq = the clock's last stamp)
+  /// this is "wait until fully caught up".
+  bool waitApplied(uint64_t CommitSeq, unsigned TimeoutMs = 10000) const;
+
+  /// Stops the applier after it drains what is currently published.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+private:
+  void applierLoop();
+  void heal();
+
+  ConcurrentRelation Replica;
+  CommitChannel *Ch = nullptr;
+  std::function<std::vector<Tuple>()> Backfill;
+  Options Opts;
+  uint64_t ExpectedStreamSeq = 1; ///< applier-thread-private
+  std::atomic<uint64_t> AppliedSeq{0};
+  std::atomic<uint64_t> AppliedRecords{0};
+  std::atomic<uint64_t> GapsHealed{0};
+  std::atomic<uint64_t> Anomalies{0};
+  std::atomic<bool> Stop{false};
+  std::thread Applier;
+};
+
+} // namespace crs
+
+#endif // CRS_WAL_FOLLOWER_H

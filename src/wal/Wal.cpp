@@ -1,0 +1,552 @@
+//===- wal/Wal.cpp - Group-commit write-ahead log ----------------------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wal/Wal.h"
+
+#include <array>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace crs;
+
+//===----------------------------------------------------------------------===//
+// Wire format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putU8(std::vector<uint8_t> &Out, uint8_t V) { Out.push_back(V); }
+
+void putU16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+/// Bounds-checked little-endian reader over one record payload.
+struct Reader {
+  const uint8_t *D;
+  size_t Len;
+  size_t Off = 0;
+  bool Bad = false;
+
+  bool need(size_t N) {
+    if (Off + N > Len) {
+      Bad = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return D[Off++];
+  }
+  uint16_t u16() {
+    if (!need(2))
+      return 0;
+    uint16_t V = static_cast<uint16_t>(D[Off]) |
+                 static_cast<uint16_t>(D[Off + 1]) << 8;
+    Off += 2;
+    return V;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(D[Off + I]) << (8 * I);
+    Off += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(D[Off + I]) << (8 * I);
+    Off += 8;
+    return V;
+  }
+};
+
+void encodeTuple(std::vector<uint8_t> &Out, const Tuple &T) {
+  const auto &Entries = T.entries();
+  putU16(Out, static_cast<uint16_t>(Entries.size()));
+  for (const auto &[Col, Val] : Entries) {
+    putU32(Out, Col);
+    if (Val.isInt()) {
+      putU8(Out, 0);
+      putU64(Out, static_cast<uint64_t>(Val.asInt()));
+    } else {
+      // Interned string ids are process-local: serialize the bytes.
+      std::string_view S = Val.asString();
+      putU8(Out, 1);
+      putU32(Out, static_cast<uint32_t>(S.size()));
+      Out.insert(Out.end(), S.begin(), S.end());
+    }
+  }
+}
+
+bool decodeTuple(Reader &R, Tuple &Out) {
+  Out = Tuple();
+  uint16_t N = R.u16();
+  for (uint16_t I = 0; I < N && !R.Bad; ++I) {
+    uint32_t Col = R.u32();
+    uint8_t Kind = R.u8();
+    if (Kind == 0) {
+      Out.set(Col, Value::ofInt(static_cast<int64_t>(R.u64())));
+    } else if (Kind == 1) {
+      uint32_t Len = R.u32();
+      if (!R.need(Len))
+        return false;
+      Out.set(Col, Value::ofString(std::string_view(
+                       reinterpret_cast<const char *>(R.D + R.Off), Len)));
+      R.Off += Len;
+    } else {
+      R.Bad = true;
+    }
+  }
+  return !R.Bad;
+}
+
+} // namespace
+
+uint32_t crs::walCrc32(const uint8_t *Data, size_t Len) {
+  // IEEE reflected CRC-32, table generated once (no dependencies).
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xffffffffu;
+  for (size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ Data[I]) & 0xffu] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
+void crs::walEncodeRecord(std::vector<uint8_t> &Out, uint64_t CommitSeq,
+                          uint32_t Shard, const WalMutation *Muts,
+                          size_t NumMuts) {
+  size_t Header = Out.size();
+  putU32(Out, 0); // payload length, patched below
+  putU32(Out, 0); // CRC, patched below
+  size_t Payload = Out.size();
+  putU64(Out, CommitSeq);
+  putU32(Out, Shard);
+  putU32(Out, static_cast<uint32_t>(NumMuts));
+  for (size_t I = 0; I < NumMuts; ++I) {
+    putU8(Out, static_cast<uint8_t>(Muts[I].Op));
+    encodeTuple(Out, Muts[I].Full);
+  }
+  uint32_t Len = static_cast<uint32_t>(Out.size() - Payload);
+  uint32_t Crc = walCrc32(Out.data() + Payload, Len);
+  for (int I = 0; I < 4; ++I) {
+    Out[Header + I] = static_cast<uint8_t>(Len >> (8 * I));
+    Out[Header + 4 + I] = static_cast<uint8_t>(Crc >> (8 * I));
+  }
+}
+
+size_t crs::walDecodeRecord(const uint8_t *Data, size_t Len, WalRecord &Out) {
+  if (Len < 8)
+    return 0;
+  uint32_t PayloadLen = 0, Crc = 0;
+  for (int I = 0; I < 4; ++I) {
+    PayloadLen |= static_cast<uint32_t>(Data[I]) << (8 * I);
+    Crc |= static_cast<uint32_t>(Data[4 + I]) << (8 * I);
+  }
+  if (Len < 8 + static_cast<size_t>(PayloadLen))
+    return 0;
+  if (walCrc32(Data + 8, PayloadLen) != Crc)
+    return 0;
+  Reader R{Data + 8, PayloadLen};
+  Out.CommitSeq = R.u64();
+  Out.Shard = R.u32();
+  uint32_t N = R.u32();
+  Out.Muts.clear();
+  Out.Muts.reserve(N);
+  for (uint32_t I = 0; I < N && !R.Bad; ++I) {
+    WalMutation M;
+    uint8_t Op = R.u8();
+    if (Op > 1) {
+      R.Bad = true;
+      break;
+    }
+    M.Op = static_cast<WalOp>(Op);
+    if (!decodeTuple(R, M.Full))
+      break;
+    Out.Muts.push_back(std::move(M));
+  }
+  if (R.Bad || R.Off != PayloadLen)
+    return 0;
+  return 8 + PayloadLen;
+}
+
+std::string crs::walPartitionPath(const std::string &Dir, unsigned Partition) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "/wal-%03u.log", Partition);
+  return Dir + Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Partition scan (recovery / file-tailing)
+//===----------------------------------------------------------------------===//
+
+WalReadResult crs::readWalPartition(const std::string &Path) {
+  WalReadResult Res;
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0) {
+    if (errno == ENOENT)
+      return Res; // a shard that never committed: empty, not an error
+    Res.Error = Path + ": " + std::strerror(errno);
+    return Res;
+  }
+  std::vector<uint8_t> Buf;
+  uint8_t Chunk[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Res.Error = Path + ": " + std::strerror(errno);
+      ::close(Fd);
+      return Res;
+    }
+    if (N == 0)
+      break;
+    Buf.insert(Buf.end(), Chunk, Chunk + N);
+  }
+  ::close(Fd);
+
+  size_t Off = 0;
+  WalRecord Rec;
+  while (Off < Buf.size()) {
+    size_t Used = walDecodeRecord(Buf.data() + Off, Buf.size() - Off, Rec);
+    if (Used == 0) {
+      Res.TornTail = true; // mid-append crash remnant: stop cleanly
+      break;
+    }
+    Res.Records.push_back(std::move(Rec));
+    Rec = WalRecord();
+    Off += Used;
+  }
+  Res.ValidBytes = Off;
+  return Res;
+}
+
+bool crs::truncateWalPartition(const std::string &Path, uint64_t ValidBytes) {
+  return ::truncate(Path.c_str(), static_cast<off_t>(ValidBytes)) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// CommitChannel
+//===----------------------------------------------------------------------===//
+
+void CommitChannel::publish(WalRecord Rec) {
+  std::lock_guard<std::mutex> G(M);
+  uint64_t Seq = Published.load(std::memory_order_relaxed) + 1;
+  Published.store(Seq, std::memory_order_release);
+  if (Q.size() >= Capacity) {
+    // Never block the commit path (the publisher holds relation locks):
+    // drop and let the consumer heal the stream-sequence gap.
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Q.push_back({Seq, std::move(Rec)});
+}
+
+size_t CommitChannel::drain(std::vector<Item> &Out) {
+  std::lock_guard<std::mutex> G(M);
+  size_t N = Q.size();
+  for (Item &I : Q)
+    Out.push_back(std::move(I));
+  Q.clear();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// WriteAheadLog
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// mkdir -p (each component; EEXIST is success).
+bool makeDirs(const std::string &Path, std::string *Err) {
+  std::string Cur;
+  for (size_t I = 0; I <= Path.size(); ++I) {
+    if (I < Path.size() && Path[I] != '/') {
+      Cur.push_back(Path[I]);
+      continue;
+    }
+    if (!Cur.empty() && ::mkdir(Cur.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      if (Err)
+        *Err = Cur + ": " + std::strerror(errno);
+      return false;
+    }
+    if (I < Path.size())
+      Cur.push_back('/');
+  }
+  return true;
+}
+
+bool writeFully(int Fd, const uint8_t *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t W = ::write(Fd, Data + Off, Len - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::open(const Options &O,
+                                                   std::string *Err) {
+  assert(O.Partitions >= 1 && "a WAL needs at least one partition");
+  if (!makeDirs(O.Dir, Err))
+    return nullptr;
+  std::unique_ptr<WriteAheadLog> W(new WriteAheadLog());
+  W->Dir = O.Dir;
+  W->Mode = O.Fsync;
+  W->ParkMicros = O.ParkMicros;
+  W->FlushMicros = O.FlushMicros;
+  for (unsigned I = 0; I < O.Partitions; ++I) {
+    auto P = std::make_unique<Partition>();
+    std::string Path = walPartitionPath(O.Dir, I);
+    P->Fd = ::open(Path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (P->Fd < 0) {
+      if (Err)
+        *Err = Path + ": " + std::strerror(errno);
+      return nullptr;
+    }
+    W->Parts.push_back(std::move(P));
+  }
+  W->Flusher = std::thread([Wp = W.get()] { Wp->flusherLoop(); });
+  return W;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  {
+    std::lock_guard<std::mutex> G(FlushM);
+    Stop = true;
+  }
+  Cv.notify_all();
+  if (Flusher.joinable())
+    Flusher.join();
+  flushRound(); // the tail appended after the flusher's last round
+  for (auto &P : Parts)
+    if (P->Fd >= 0)
+      ::close(P->Fd);
+}
+
+namespace {
+/// Per-thread serialization buffer: both logCommit overloads encode
+/// outside the partition mutex, and the commit path stays
+/// allocation-free once each thread's buffer is warm.
+thread_local std::vector<uint8_t> CommitScratch;
+} // namespace
+
+void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
+                              uint32_t Shard, const WalMutation *Muts,
+                              size_t NumMuts) {
+  assert(Partition < Parts.size() && "partition out of range");
+  if (NumMuts == 0)
+    return; // read-only scopes leave no redo record
+  CommitScratch.clear();
+  walEncodeRecord(CommitScratch, CommitSeq, Shard, Muts, NumMuts);
+  appendEncoded(Partition, CommitScratch, [&] {
+    WalRecord R;
+    R.CommitSeq = CommitSeq;
+    R.Shard = Shard;
+    R.Muts.assign(Muts, Muts + NumMuts);
+    return R;
+  });
+}
+
+void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
+                              uint32_t Shard, WalOp Op, const Tuple &Full) {
+  assert(Partition < Parts.size() && "partition out of range");
+  // Same wire form as the array overload with NumMuts = 1, written
+  // without materializing a WalMutation (the encoder reads the caller's
+  // tuple in place).
+  CommitScratch.clear();
+  size_t Header = CommitScratch.size();
+  putU32(CommitScratch, 0); // payload length, patched below
+  putU32(CommitScratch, 0); // CRC, patched below
+  size_t Payload = CommitScratch.size();
+  putU64(CommitScratch, CommitSeq);
+  putU32(CommitScratch, Shard);
+  putU32(CommitScratch, 1);
+  putU8(CommitScratch, static_cast<uint8_t>(Op));
+  encodeTuple(CommitScratch, Full);
+  uint32_t Len = static_cast<uint32_t>(CommitScratch.size() - Payload);
+  uint32_t Crc = walCrc32(CommitScratch.data() + Payload, Len);
+  for (int I = 0; I < 4; ++I) {
+    CommitScratch[Header + I] = static_cast<uint8_t>(Len >> (8 * I));
+    CommitScratch[Header + 4 + I] = static_cast<uint8_t>(Crc >> (8 * I));
+  }
+  appendEncoded(Partition, CommitScratch, [&] {
+    WalRecord R;
+    R.CommitSeq = CommitSeq;
+    R.Shard = Shard;
+    R.Muts.push_back(WalMutation{Op, Full});
+    return R;
+  });
+}
+
+void WriteAheadLog::appendEncoded(uint32_t Partition,
+                                  const std::vector<uint8_t> &Encoded,
+                                  function_ref<WalRecord()> MakeRecord) {
+  struct Partition &P = *Parts[Partition];
+  uint64_t MyEnd;
+  {
+    std::lock_guard<std::mutex> G(P.M);
+    P.Tail.insert(P.Tail.end(), Encoded.begin(), Encoded.end());
+    P.Appended += Encoded.size();
+    MyEnd = P.Appended;
+    // Publish to the live replication feed under the same mutex: the
+    // channel sees records in exactly the partition's append order,
+    // which is the per-key serialization order (file comment).
+    if (CommitChannel *Ch = Channel.load(std::memory_order_acquire))
+      Ch->publish(MakeRecord());
+  }
+  Records.fetch_add(1, std::memory_order_relaxed);
+  Bytes.fetch_add(Encoded.size(), std::memory_order_relaxed);
+
+  // Wake the flusher once per batch window (an atomic read on the warm
+  // path; the mutex+notify only when the flag flips).
+  if (!DirtyFlag.load(std::memory_order_seq_cst)) {
+    DirtyFlag.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> G(FlushM);
+      Dirty = true;
+    }
+    Cv.notify_all();
+  }
+
+  if (Mode != FsyncMode::Sync)
+    return;
+  // Group commit: park at the stamp point until a flusher round covers
+  // this record. The flusher's batching window bounds the park — a lone
+  // writer is flushed within ParkMicros, not stranded waiting for
+  // company.
+  std::unique_lock<std::mutex> L(FlushM);
+  while (P.Durable.load(std::memory_order_acquire) < MyEnd &&
+         !Failed.load(std::memory_order_acquire))
+    CvDurable.wait_for(L, std::chrono::microseconds(ParkMicros * 4 + 100));
+}
+
+void WriteAheadLog::flusherLoop() {
+  std::unique_lock<std::mutex> L(FlushM);
+  while (!Stop) {
+    Cv.wait(L, [&] { return Dirty || Stop; });
+    if (Stop)
+      break;
+    Dirty = false;
+    L.unlock();
+    // The batching window: let concurrently committing scopes land in
+    // this round's batch before paying one write+fsync for all of them.
+    // In Sync mode committers are parked on the round, so the window is
+    // the short commit-latency bound; otherwise nobody waits and the
+    // round cadence stretches to the durability-lag bound instead —
+    // each wakeup preempts committers when cores are scarce, so rounds
+    // should be as rare as the lag budget allows.
+    unsigned Window = Mode == FsyncMode::Sync ? ParkMicros : FlushMicros;
+    if (Window)
+      std::this_thread::sleep_for(std::chrono::microseconds(Window));
+    DirtyFlag.store(false, std::memory_order_seq_cst);
+    flushRound();
+    L.lock();
+  }
+}
+
+uint64_t WriteAheadLog::flushRound() {
+  std::lock_guard<std::mutex> RG(RoundM);
+  uint64_t Moved = 0;
+  for (auto &Pp : Parts) {
+    Partition &P = *Pp;
+    std::vector<uint8_t> Local;
+    uint64_t Target;
+    {
+      std::lock_guard<std::mutex> G(P.M);
+      if (P.Tail.empty())
+        continue;
+      Local.swap(P.Tail);
+      Target = P.Appended;
+    }
+    bool Ok = writeFully(P.Fd, Local.data(), Local.size());
+    if (Ok && Mode != FsyncMode::None)
+      Ok = ::fsync(P.Fd) == 0;
+    if (!Ok) {
+      if (!Failed.exchange(true, std::memory_order_acq_rel))
+        std::fprintf(stderr, "wal: write/fsync failed on %s: %s\n",
+                     Dir.c_str(), std::strerror(errno));
+      continue;
+    }
+    Moved += Local.size();
+    P.Durable.store(Target, std::memory_order_release);
+    {
+      // Recycle the drained buffer's capacity when no append raced in.
+      std::lock_guard<std::mutex> G(P.M);
+      if (P.Tail.empty()) {
+        Local.clear();
+        P.Tail.swap(Local);
+      }
+    }
+  }
+  if (Moved) {
+    Rounds.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> G(FlushM);
+    CvDurable.notify_all();
+  }
+  return Moved;
+}
+
+void WriteAheadLog::flush() {
+  std::vector<uint64_t> Targets(Parts.size());
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    std::lock_guard<std::mutex> G(Parts[I]->M);
+    Targets[I] = Parts[I]->Appended;
+  }
+  for (;;) {
+    flushRound();
+    bool Done = true;
+    for (size_t I = 0; I < Parts.size(); ++I)
+      if (Parts[I]->Durable.load(std::memory_order_acquire) < Targets[I] &&
+          !Failed.load(std::memory_order_acquire))
+        Done = false;
+    if (Done)
+      return;
+  }
+}
