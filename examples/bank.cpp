@@ -92,12 +92,12 @@ int main() {
           // scope died (wait-die conflict, say) and has already rolled
           // back — returning true lets runTransaction retry it.
           int64_t BalA = -1, BalB = -1;
-          if (!Txn.query(Balance, {Value::ofInt(A), Value::ofInt(0)},
+          if (!Txn.queryForUpdate(Balance, {Value::ofInt(A), Value::ofInt(0)},
                          [&](const Tuple &Tp) {
                            BalA = Tp.get(WeightCol).asInt();
                          }))
             return true;
-          if (!Txn.query(Balance, {Value::ofInt(B), Value::ofInt(0)},
+          if (!Txn.queryForUpdate(Balance, {Value::ofInt(B), Value::ofInt(0)},
                          [&](const Tuple &Tp) {
                            BalB = Tp.get(WeightCol).asInt();
                          }))

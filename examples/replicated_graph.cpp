@@ -123,12 +123,12 @@ int main() {
         uint64_t Amount = Rng.nextBounded(50) + 1;
         bool Ok = runTransaction(Bank, [&](ShardedTransaction &Txn) {
           int64_t BalA = -1, BalB = -1;
-          if (!Txn.query(Balance, {Value::ofInt(A), Value::ofInt(0)},
+          if (!Txn.queryForUpdate(Balance, {Value::ofInt(A), Value::ofInt(0)},
                          [&](const Tuple &Tp) {
                            BalA = Tp.get(WeightCol).asInt();
                          }))
             return true;
-          if (!Txn.query(Balance, {Value::ofInt(B), Value::ofInt(0)},
+          if (!Txn.queryForUpdate(Balance, {Value::ofInt(B), Value::ofInt(0)},
                          [&](const Tuple &Tp) {
                            BalB = Tp.get(WeightCol).asInt();
                          }))

@@ -37,6 +37,7 @@
 
 #include "support/Compiler.h"
 #include "sync/CommitClock.h"
+#include "txn/MvccStore.h"
 #include "wal/Wal.h"
 
 #include <algorithm>
@@ -62,6 +63,7 @@ ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
   Root = NodeInstance::create(D, D.root(), Tuple(),
                               Config.Placement->nodeStripes(D.root()));
   FastRoot.store(Root.get(), std::memory_order_seq_cst);
+  Mvcc = std::make_unique<MvccStore>(spec());
 }
 
 // Per-operation lock/frame lifetime is ExecContext::OpScope
@@ -230,15 +232,21 @@ unsigned ConcurrentRelation::runRemovePlan(const Plan &P, const Tuple &S) {
   assert(St == ExecStatus::Ok && "mutation plans never speculate");
   uint32_t Matched = Ctx.numStates(P.ResultVar);
   assert(Matched <= 1 && "key-matched remove found multiple tuples");
-  // Redo logging before any lock is released (the WAL ordering
-  // contract, wal/Wal.h): the scope still holds every lock the plan
-  // took, so the partition's append order is the serialization order.
-  // Transactional executions never reach this path — they run the
-  // executor directly and log once per scope at commit.
+  // Commit stamping before any lock is released: the scope still holds
+  // every lock the plan took, so the MVCC version install and the WAL
+  // partition's append order both follow the serialization order
+  // (wal/Wal.h ordering contract). The beginCommit/endCommit window
+  // keeps concurrent snapshot acquisition below this sequence until
+  // the version is in the store. Transactional executions never reach
+  // this path — they run the executor directly and commit per scope.
   if (Matched) {
+    Tuple Full =
+        Ctx.stateTuple(P.ResultVar, 0).project(spec().allColumns());
+    CommitTicket T = beginCommit();
+    Mvcc->installRemove(Full, T.Seq);
     if (WriteAheadLog *W = Wal.load(std::memory_order_acquire))
-      W->logCommit(WalPartition, nextCommitSeq(), WalShard, WalOp::Remove,
-                   Ctx.stateTuple(P.ResultVar, 0).project(spec().allColumns()));
+      W->logCommit(WalPartition, T.Seq, WalShard, WalOp::Remove, Full);
+    endCommit(T);
   }
   // Shrinking phase (OpScope): release while the context still pins the
   // unlinked instances — their physical locks must outlive the unlock.
@@ -258,12 +266,14 @@ bool ConcurrentRelation::runInsertPlan(const Plan &P, const Tuple &Full) {
   // Insert plans never speculate (the §4.5 writer protocol takes
   // blocking, in-order locks), so like remove there is no retry loop.
   assert(St != ExecStatus::Restart && "mutation plans never speculate");
-  // Redo logging under the plan's locks (see runRemovePlan); only a
-  // winning put-if-absent mutated anything worth a record.
+  // Commit stamping under the plan's locks (see runRemovePlan); only a
+  // winning put-if-absent mutated anything worth a version or record.
   if (St == ExecStatus::Ok) {
+    CommitTicket T = beginCommit();
+    Mvcc->installInsert(Full, T.Seq);
     if (WriteAheadLog *W = Wal.load(std::memory_order_acquire))
-      W->logCommit(WalPartition, nextCommitSeq(), WalShard, WalOp::Insert,
-                   Full);
+      W->logCommit(WalPartition, T.Seq, WalShard, WalOp::Insert, Full);
+    endCommit(T);
   }
   return St == ExecStatus::Ok; // Found: a tuple matching s exists
 }

@@ -46,6 +46,7 @@ class PreparedRemove;
 class Transaction;
 class ShardedTransaction;
 class WriteAheadLog;
+class MvccStore;
 namespace detail {
 class PreparedOpImpl;
 }
@@ -282,6 +283,16 @@ public:
 
   /// @}
 
+  /// The relation's MVCC version store (txn/MvccStore.h): committed
+  /// per-tuple version chains that transaction scopes read at a
+  /// snapshot with zero locks. Identity-keyed, so it survives
+  /// migrations unchanged — a scope's snapshot reads the same versions
+  /// before and after a migrateTo() swap. Every committed mutation —
+  /// bare or transactional — installs here under its 2PL locks inside
+  /// a beginCommit()/endCommit() window.
+  MvccStore &mvccStore() { return *Mvcc; }
+  const MvccStore &mvccStore() const { return *Mvcc; }
+
   /// Debug lock-order validation: places this relation's acquisitions
   /// in the cross-set domain order (sync/LockOrderValidator.h). The
   /// default ordinal 0 suits a standalone relation; ShardedRelation
@@ -369,6 +380,11 @@ private:
   std::atomic<WriteAheadLog *> Wal{nullptr};
   uint32_t WalPartition = 0;
   uint32_t WalShard = 0;
+
+  /// The MVCC version store (see mvccStore()). unique_ptr so the
+  /// header stays independent of txn/; constructed with the relation,
+  /// never replaced (migrations swap the decomposition, not the store).
+  std::unique_ptr<MvccStore> Mvcc;
 
   // Plans are compiled on first use per (op, dom(s), C) signature;
   // lookups are wait-free (sharded immutable-snapshot cache).

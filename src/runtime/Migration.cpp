@@ -36,6 +36,7 @@
 
 #include "support/Compiler.h"
 #include "sync/Epoch.h"
+#include "txn/MvccStore.h"
 
 #include <chrono>
 #include <thread>

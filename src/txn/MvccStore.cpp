@@ -1,0 +1,228 @@
+//===- txn/MvccStore.cpp - Per-tuple version chains for MVCC -----------------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "txn/MvccStore.h"
+
+#include "sync/CommitClock.h"
+#include "sync/Epoch.h"
+
+#include <cassert>
+
+using namespace crs;
+
+/// One committed version: immutable but for the End stamp. Newest
+/// first on its chain; Next is written only under the bucket mutex,
+/// read lock-free under the epoch guard.
+struct MvccStore::Version {
+  Tuple Full;
+  uint64_t Begin;
+  std::atomic<uint64_t> End{0};
+  std::atomic<Version *> Next{nullptr};
+};
+
+/// One tuple identity's chain. Head is the newest version; the chain
+/// node itself lives on its bucket's list and reclaims (epoch-deferred)
+/// once every version is gone.
+struct MvccStore::Chain {
+  Tuple Key;
+  std::atomic<Version *> Head{nullptr};
+  std::atomic<Chain *> Next{nullptr};
+};
+
+struct MvccStore::Bucket {
+  std::atomic<Chain *> Head{nullptr};
+  std::mutex M; ///< writers only: installs, chain links, pruning
+};
+
+MvccStore::MvccStore(const RelationSpec &Spec, unsigned NumBuckets) {
+  AllCols = Spec.allColumns();
+  std::vector<ColumnSet> Keys = Spec.minimalKeys();
+  KeyCols = Keys.empty() ? AllCols : Keys.front();
+  Buckets.reserve(NumBuckets);
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    Buckets.push_back(std::make_unique<Bucket>());
+}
+
+MvccStore::~MvccStore() {
+  // The relation is dying: no reader can hold a guard over our nodes
+  // legitimately (stores must outlive every scope that reads them —
+  // same contract as the relation itself). Free directly.
+  for (std::unique_ptr<Bucket> &B : Buckets) {
+    Chain *C = B->Head.load(std::memory_order_relaxed);
+    while (C) {
+      Version *V = C->Head.load(std::memory_order_relaxed);
+      while (V) {
+        Version *VN = V->Next.load(std::memory_order_relaxed);
+        delete V;
+        V = VN;
+      }
+      Chain *CN = C->Next.load(std::memory_order_relaxed);
+      delete C;
+      C = CN;
+    }
+  }
+}
+
+MvccStore::Bucket &MvccStore::bucketFor(const Tuple &Key) const {
+  return *Buckets[Key.hash() % Buckets.size()];
+}
+
+MvccStore::Chain *MvccStore::findChain(const Bucket &B,
+                                       const Tuple &Key) const {
+  for (Chain *C = B.Head.load(std::memory_order_acquire); C;
+       C = C->Next.load(std::memory_order_acquire))
+    if (C->Key == Key)
+      return C;
+  return nullptr;
+}
+
+MvccStore::Chain *MvccStore::findOrCreateChain(Bucket &B, const Tuple &Key) {
+  if (Chain *C = findChain(B, Key))
+    return C;
+  Chain *C = new Chain;
+  C->Key = Key;
+  // Push at head: concurrent lock-free scans that started earlier miss
+  // it, which is benign — a new chain only ever receives versions whose
+  // Begin is above every extant snapshot (in-flight commit registry).
+  C->Next.store(B.Head.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  B.Head.store(C, std::memory_order_release);
+  return C;
+}
+
+void MvccStore::installInsert(const Tuple &Full, uint64_t Seq) {
+  assert(Seq != 0);
+  Tuple Key = Full.project(KeyCols);
+  Bucket &B = bucketFor(Key);
+  std::lock_guard<std::mutex> G(B.M);
+  Chain *C = findOrCreateChain(B, Key);
+  assert([&] {
+    Version *H = C->Head.load(std::memory_order_relaxed);
+    return !H || H->End.load(std::memory_order_relaxed) != 0;
+  }() && "installing over a live version (put-if-absent should have lost)");
+  Version *V = new Version;
+  V->Full = Full.project(AllCols);
+  V->Begin = Seq;
+  V->Next.store(C->Head.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  C->Head.store(V, std::memory_order_release);
+  Installed.fetch_add(1, std::memory_order_relaxed);
+  Retired.fetch_add(pruneChainLocked(B, C, snapshotWatermark()),
+                    std::memory_order_relaxed);
+}
+
+void MvccStore::installRemove(const Tuple &Full, uint64_t Seq) {
+  assert(Seq != 0);
+  Tuple Key = Full.project(KeyCols);
+  Bucket &B = bucketFor(Key);
+  std::lock_guard<std::mutex> G(B.M);
+  Chain *C = findChain(B, Key);
+  if (!C)
+    return; // idempotent-replay tolerance (see header)
+  Version *H = C->Head.load(std::memory_order_relaxed);
+  if (!H || H->End.load(std::memory_order_relaxed) != 0)
+    return;
+  H->End.store(Seq, std::memory_order_release);
+  Retired.fetch_add(pruneChainLocked(B, C, snapshotWatermark()),
+                    std::memory_order_relaxed);
+}
+
+uint32_t
+MvccStore::snapshotQuery(const Tuple &S, uint64_t Snap,
+                         function_ref<void(const Tuple &)> Visit,
+                         function_ref<bool(const Tuple &)> SkipKey) const {
+  assert(EpochDomain::global().inGuard() &&
+         "snapshot reads walk epoch-reclaimed chains; pin a guard first");
+  uint32_t N = 0;
+  auto VisitChain = [&](const Chain *C) {
+    if (SkipKey && SkipKey(C->Key))
+      return;
+    for (Version *V = C->Head.load(std::memory_order_acquire); V;
+         V = V->Next.load(std::memory_order_acquire)) {
+      if (V->Begin > Snap)
+        continue; // newer than the snapshot; an older version may show
+      uint64_t End = V->End.load(std::memory_order_acquire);
+      if (End == 0 || End > Snap) {
+        if (V->Full.extends(S)) {
+          ++N;
+          if (Visit)
+            Visit(V->Full);
+        }
+      }
+      // Versions below this one began (and ended) earlier still: once
+      // one version with Begin ≤ Snap has been judged, older ones are
+      // all terminated at or before its Begin — invisible.
+      return;
+    }
+  };
+  if (S.domain().containsAll(KeyCols)) {
+    Tuple Key = S.project(KeyCols);
+    if (const Chain *C = findChain(bucketFor(Key), Key))
+      VisitChain(C);
+    return N;
+  }
+  for (const std::unique_ptr<Bucket> &B : Buckets)
+    for (Chain *C = B->Head.load(std::memory_order_acquire); C;
+         C = C->Next.load(std::memory_order_acquire))
+      VisitChain(C);
+  return N;
+}
+
+size_t MvccStore::pruneChainLocked(Bucket &B, Chain *C, uint64_t Watermark) {
+  EpochDomain &D = EpochDomain::global();
+  size_t Freed = 0;
+  // Unlink every version with 0 < End ≤ Watermark. Predecessor-pointer
+  // surgery under the bucket mutex; readers mid-walk keep following the
+  // unlinked node's intact Next until their guard exits (RCU removal).
+  std::atomic<Version *> *Link = &C->Head;
+  Version *V = Link->load(std::memory_order_relaxed);
+  while (V) {
+    uint64_t End = V->End.load(std::memory_order_relaxed);
+    Version *Next = V->Next.load(std::memory_order_relaxed);
+    if (End != 0 && End <= Watermark) {
+      Link->store(Next, std::memory_order_release);
+      D.retireObject(V);
+      ++Freed;
+    } else {
+      Link = &V->Next;
+    }
+    V = Next;
+  }
+  if (!C->Head.load(std::memory_order_relaxed)) {
+    // Chain emptied: unlink it from the bucket too.
+    std::atomic<Chain *> *CLink = &B.Head;
+    for (Chain *Cur = CLink->load(std::memory_order_relaxed); Cur;
+         Cur = CLink->load(std::memory_order_relaxed)) {
+      if (Cur == C) {
+        CLink->store(C->Next.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+        D.retireObject(C);
+        break;
+      }
+      CLink = &Cur->Next;
+    }
+  }
+  return Freed;
+}
+
+size_t MvccStore::prune(uint64_t Watermark) {
+  size_t Freed = 0;
+  for (std::unique_ptr<Bucket> &B : Buckets) {
+    std::lock_guard<std::mutex> G(B->M);
+    // Snapshot the chain list first: pruneChainLocked may unlink the
+    // chain under our feet.
+    std::vector<Chain *> Chains;
+    for (Chain *C = B->Head.load(std::memory_order_relaxed); C;
+         C = C->Next.load(std::memory_order_relaxed))
+      Chains.push_back(C);
+    for (Chain *C : Chains)
+      Freed += pruneChainLocked(*B, C, Watermark);
+  }
+  Retired.fetch_add(Freed, std::memory_order_relaxed);
+  EpochDomain::global().tryAdvance();
+  return Freed;
+}

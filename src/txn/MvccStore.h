@@ -1,0 +1,158 @@
+//===- txn/MvccStore.h - Per-tuple version chains for MVCC ------*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MVCC substrate behind snapshot reads (txn/Transaction.h): one
+/// logical version store per relation, holding a chain of committed
+/// versions per *tuple identity* — the valuation of the relation's
+/// minimal key columns. Identity-keyed (rather than anchored on the
+/// decomposition's node instances) because decompositions are
+/// transient: migrateTo() swaps the whole instance tree under traffic,
+/// while versions must survive exactly as long as some snapshot can
+/// see them. Every synthesized representation of a relation therefore
+/// shares this one store, and a snapshot taken before a migration
+/// reads identically after the swap (see docs/PAPER_MAP.md for how
+/// this relates to the paper's decomposition instances).
+///
+/// **Visibility.** Versions are stamped with commit sequences from the
+/// commit clock: a version is visible at snapshot S iff
+///
+///   Begin ≤ S  ∧  (End = 0 ∨ End > S)
+///
+/// Writers install at *commit*, under every 2PL lock the scope still
+/// holds, between beginCommit() and endCommit() (sync/CommitClock.h) —
+/// so uncommitted writes are never in the store, aborts have nothing
+/// to revoke, and the in-flight registry keeps every fresh snapshot
+/// below a commit whose installs are mid-flight. Within one commit a
+/// key sees at most one effective mutation of each kind in order, so
+/// version ranges of one chain never overlap and at most one version
+/// per chain is visible at any snapshot.
+///
+/// **Readers** walk bucket → chain → version lists entirely lock-free
+/// under an EpochDomain guard (the caller pins the guard; asserted in
+/// debug). Writers publish with release stores under short per-bucket
+/// mutexes, unlink dead versions by swinging predecessor pointers, and
+/// retire unlinked nodes through EpochDomain::global() — the RCU
+/// discipline of sync/Epoch.h. A reader may harmlessly see a stale
+/// End of 0 for a version being terminated: the terminating commit's
+/// sequence is above every extant snapshot (in-flight registry), so
+/// the visibility verdict is unchanged.
+///
+/// **Reclamation** is bounded by the minimum active snapshot: prune()
+/// unlinks every version with 0 < End ≤ watermark (invisible to every
+/// live and future snapshot — sync/CommitClock.h::snapshotWatermark),
+/// and whole chains once empty. Commits prune the chains they touch as
+/// they install (amortized); prune() is the explicit vacuum for tests
+/// and idle housekeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_TXN_MVCCSTORE_H
+#define CRS_TXN_MVCCSTORE_H
+
+#include "rel/RelationSpec.h"
+#include "rel/Tuple.h"
+#include "support/FunctionRef.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace crs {
+
+/// The per-relation MVCC version store. Thread-safe per the file
+/// comment: lock-free epoch-guarded readers, bucket-locked writers.
+class MvccStore {
+public:
+  /// Builds the store for \p Spec: tuple identity is the spec's first
+  /// minimal key (every column when the spec has no proper key — each
+  /// tuple is then its own identity and updates-in-place do not
+  /// exist). \p NumBuckets fixes the hash directory (never resized —
+  /// readers hold raw bucket pointers).
+  explicit MvccStore(const RelationSpec &Spec, unsigned NumBuckets = 256);
+  ~MvccStore();
+  MvccStore(const MvccStore &) = delete;
+  MvccStore &operator=(const MvccStore &) = delete;
+
+  /// The identity columns (the spec's first minimal key).
+  ColumnSet keyColumns() const { return KeyCols; }
+
+  /// \name Commit-side installs
+  /// Call with the committing scope's locks still held and a
+  /// CommitTicket open (sequence \p Seq): the locks serialize rival
+  /// writers per key, the ticket keeps fresh snapshots below Seq until
+  /// endCommit. Both prune the touched chain against the current
+  /// watermark while they hold its bucket (amortized reclamation).
+  /// @{
+
+  /// Installs a committed insert: a new version of π_key(Full)'s chain
+  /// with Begin = Seq. \p Full must bind every column.
+  void installInsert(const Tuple &Full, uint64_t Seq);
+
+  /// Installs a committed remove: stamps End = Seq on the live version
+  /// of π_key(Full)'s chain (no-op if the chain has no live version —
+  /// tolerated for idempotent replay paths).
+  void installRemove(const Tuple &Full, uint64_t Seq);
+
+  /// @}
+
+  /// Snapshot query: visits the full tuple of every version visible at
+  /// snapshot \p Snap that extends \p S (the paper's query r s C read
+  /// set, unprojected). Point-looks-up one chain when dom(S) covers the
+  /// identity columns, otherwise scans the whole store. \p SkipKey
+  /// (optional) suppresses chains by identity — the own-writes overlay
+  /// hook: a transaction passes its write set so its own undo log can
+  /// supersede the committed chain. Returns the number visited.
+  /// Caller must hold an EpochDomain guard on the global domain
+  /// (asserted in debug); acquires no lock.
+  uint32_t snapshotQuery(const Tuple &S, uint64_t Snap,
+                         function_ref<void(const Tuple &)> Visit,
+                         function_ref<bool(const Tuple &)> SkipKey =
+                             nullptr) const;
+
+  /// Explicit vacuum: unlinks and retires every version invisible at
+  /// \p Watermark (0 < End ≤ Watermark) and every emptied chain.
+  /// Returns versions retired. Safe under concurrent readers and
+  /// writers.
+  size_t prune(uint64_t Watermark);
+
+  /// \name Metrics (tests, reclamation-boundedness assertions)
+  /// @{
+  uint64_t installed() const {
+    return Installed.load(std::memory_order_relaxed);
+  }
+  uint64_t retired() const { return Retired.load(std::memory_order_relaxed); }
+  /// Versions currently linked (installed − retired).
+  uint64_t liveVersions() const { return installed() - retired(); }
+  /// @}
+
+private:
+  struct Version;
+  struct Chain;
+  struct Bucket;
+
+  Bucket &bucketFor(const Tuple &Key) const;
+  /// Finds \p Key's chain in \p B (lock-free walk), or null.
+  Chain *findChain(const Bucket &B, const Tuple &Key) const;
+  /// Finds or links \p Key's chain; call with \p B's mutex held.
+  Chain *findOrCreateChain(Bucket &B, const Tuple &Key);
+  /// Unlinks dead versions of \p C below \p Watermark and, when the
+  /// chain empties, the chain itself; call with the bucket mutex held.
+  size_t pruneChainLocked(Bucket &B, Chain *C, uint64_t Watermark);
+
+  ColumnSet KeyCols;
+  ColumnSet AllCols;
+  std::vector<std::unique_ptr<Bucket>> Buckets;
+  std::atomic<uint64_t> Installed{0};
+  std::atomic<uint64_t> Retired{0};
+};
+
+} // namespace crs
+
+#endif // CRS_TXN_MVCCSTORE_H

@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 #include "sync/CommitClock.h"
 #include "sync/Epoch.h"
+#include "txn/MvccStore.h"
 #include "wal/Wal.h"
 
 #include <algorithm>
@@ -118,11 +119,12 @@ unsigned tryBudget(unsigned Patience) {
 
 Transaction::Transaction(ConcurrentRelation &R, unsigned Patience,
                          uint64_t Birth)
-    : Transaction(R, Opts{Patience, Birth, /*Nested=*/false,
+    : Transaction(R, Opts{Patience, Birth, /*Snap=*/0, /*Nested=*/false,
                           /*BoundedGate=*/false, /*ForceTry=*/false}) {}
 
 Transaction::Transaction(ConcurrentRelation &R, const Opts &O)
-    : Rel(&R), TryBudget(tryBudget(O.Patience)), Nested(O.Nested) {
+    : Rel(&R), TryBudget(tryBudget(O.Patience)),
+      WantBoundedGate(O.BoundedGate), Nested(O.Nested) {
   // Stamp (or adopt) the wait-die age before any lock can be taken;
   // LockSet carries it to every exclusive owner table.
   BirthStamp = O.Birth ? O.Birth : nextTxnBirthStamp();
@@ -132,27 +134,47 @@ Transaction::Transaction(ConcurrentRelation &R, const Opts &O)
            "deadlock on their own locks)");
     ++OpenScopesOnThread;
   }
-  // The scope holds the gate for its whole lifetime: migration flips
-  // drain whole transactions, never land inside one. A mid-scope shard
-  // join must not block indefinitely on a flip in progress while the
-  // scope holds other shards' gates and locks — it waits boundedly and
-  // the scope dies instead.
-  if (O.BoundedGate) {
+  // Snapshot at begin: every query() in the scope reads this one
+  // commit-clock prefix. A nested per-shard scope adopts the sharded
+  // scope's snapshot (which owns the registry slot pinning the
+  // reclamation watermark); a standalone scope owns its own. The gate
+  // is NOT taken here — ensureGate() enters it at the first
+  // lock-taking operation, so a read-only scope never touches it (and
+  // a migration flip never waits on one).
+  if (O.Snap) {
+    Snap = O.Snap;
+  } else {
+    SnapSlot = acquireSnapshotSlot(Snap);
+    OwnsSnapSlot = true;
+  }
+  Frame.ForceTry = O.ForceTry;
+  Ctx = txnCtxPool().acquire();
+  Ctx->Txn = &Frame;
+  Ctx->Locks.setOrderDomain(0, Rel->lockDomainOrdinal());
+  Ctx->Locks.setBirthStamp(BirthStamp);
+}
+
+bool Transaction::ensureGate() {
+  if (GateHeld)
+    return true;
+  assert(St == TxnState::Open);
+  // Lazy gate entry: only lock-taking operations pin the relation's
+  // operation gate (from here to scope finish), keeping migration
+  // flips atomic with respect to writing transactions. A mid-scope
+  // shard join must not block indefinitely on a flip in progress while
+  // the scope holds other shards' gates and locks — it waits boundedly
+  // and the scope dies instead.
+  if (WantBoundedGate) {
     if (!Rel->Gate.tryEnter(/*YieldBudget=*/4096)) {
-      St = TxnState::Aborted;
-      Cause = TxnAbortCause::GateBusy;
-      return;
+      abortWith(TxnAbortCause::GateBusy);
+      return false;
     }
   } else {
     Rel->Gate.enter();
   }
   GateHeld = true;
   StartEpoch = Rel->planEpoch();
-  Frame.ForceTry = O.ForceTry;
-  Ctx = txnCtxPool().acquire();
-  Ctx->Txn = &Frame;
-  Ctx->Locks.setOrderDomain(0, Rel->lockDomainOrdinal());
-  Ctx->Locks.setBirthStamp(BirthStamp);
+  return true;
 }
 
 Transaction::~Transaction() {
@@ -169,12 +191,18 @@ bool Transaction::execOp(const PreparedOpImpl &Impl, const Value *Args,
          "prepared handle belongs to a different relation than the scope");
   PlanOp Kind = Impl.planOp();
 
+  // Lock-taking ops pin the gate (lazily, here) before any plan or
+  // epoch state is touched; a blocking gate wait must not happen under
+  // an epoch guard (the flip's synchronize would deadlock).
+  if (!ensureGate())
+    return false;
+
   // The guard spans plan resolution through the last dereference in
   // the retry loop (plan snapshots reclaim through the epoch domain).
   // Per-call, not scope-lifetime: the scope's locks outlive it, but
   // plans are only touched inside this call — and a scope-long guard
   // would pin the epoch across arbitrary user code between ops. The
-  // guard nests inside the gate the scope has held since construction.
+  // guard nests inside the gate just ensured.
   EpochDomain::Guard EG;
 
   // Plan resolution. Mutations ride the handle's epoch-validated
@@ -305,10 +333,80 @@ bool Transaction::execOp(const PreparedOpImpl &Impl, const Value *Args,
   }
 }
 
+uint32_t
+Transaction::snapshotReadOver(const ConcurrentRelation &R,
+                              const std::vector<UndoRecord> &Undo,
+                              const Tuple &Input, uint64_t Snap,
+                              function_ref<void(const Tuple &)> Visit) {
+  const MvccStore &Store = *R.Mvcc;
+  // Own-writes overlay: the scope reads its own uncommitted effects
+  // over the committed chains. Replay the undo log per key — the last
+  // record decides the key's current state (insert: present with that
+  // tuple; remove: absent) — then suppress those keys in the store
+  // visit and append the surviving inserts. Scopes are small; linear
+  // key matching beats a map here.
+  ColumnSet KeyCols = Store.keyColumns();
+  std::vector<std::pair<Tuple, const Tuple *>> Mine;
+  for (const UndoRecord &U : Undo) {
+    Tuple K = U.Full.project(KeyCols);
+    const Tuple *Cur = U.WasInsert ? &U.Full : nullptr;
+    auto It = std::find_if(Mine.begin(), Mine.end(),
+                           [&](const auto &P) { return P.first == K; });
+    if (It == Mine.end())
+      Mine.push_back({std::move(K), Cur});
+    else
+      It->second = Cur;
+  }
+  auto SkipMine = [&](const Tuple &Key) {
+    return std::find_if(Mine.begin(), Mine.end(), [&](const auto &P) {
+             return P.first == Key;
+           }) != Mine.end();
+  };
+  function_ref<bool(const Tuple &)> Skip;
+  if (!Mine.empty())
+    Skip = SkipMine;
+  // The guard covers the lock-free chain walk (versions reclaim
+  // through the epoch domain). No gate, no physical lock, no plan.
+  EpochDomain::Guard EG;
+  uint32_t N = Store.snapshotQuery(Input, Snap, Visit, Skip);
+  for (const auto &P : Mine) {
+    if (!P.second || !P.second->extends(Input))
+      continue;
+    ++N;
+    if (Visit)
+      Visit(*P.second);
+  }
+  return N;
+}
+
 bool Transaction::query(const PreparedQuery &Q,
                         std::initializer_list<Value> Args,
                         function_ref<void(const Tuple &)> Visit,
                         uint32_t *Matches) {
+  if (St != TxnState::Open)
+    return false;
+  const PreparedOpImpl &Impl = *Q.Impl;
+  assert(&Impl.relation() == Rel &&
+         "prepared handle belongs to a different relation than the scope");
+  assert(Args.size() == Impl.numSlots() &&
+         "transactional op must bind every slot positionally");
+  std::array<ColumnId, BoundOp::MaxSlots> Cols;
+  for (unsigned I = 0; I < Args.size(); ++I)
+    Cols[I] = Impl.slotColumn(I);
+  Tuple &Input = Ctx->inputScratch();
+  Input.rebind(Cols.data(), Args.begin(), Args.size());
+  Rel->NumQueries.inc();
+  ++Ops;
+  uint32_t N = snapshotReadOver(*Rel, Undo, Input, Snap, Visit);
+  if (Matches)
+    *Matches = N;
+  return true;
+}
+
+bool Transaction::queryForUpdate(const PreparedQuery &Q,
+                                 std::initializer_list<Value> Args,
+                                 function_ref<void(const Tuple &)> Visit,
+                                 uint32_t *Matches) {
   int64_t R = 0;
   if (!execOp(*Q.Impl, Args.begin(), Args.size(), Visit, R))
     return false;
@@ -341,7 +439,19 @@ bool Transaction::remove(const PreparedRemove &Rm,
 bool Transaction::commit() {
   if (St != TxnState::Open)
     return false;
-  commitWithSeq(nextCommitSeq());
+  if (Undo.empty()) {
+    // Read-only (or effect-free): nothing to install, log, or stamp —
+    // the commit clock never moves and no registry slot is touched, so
+    // a read-heavy workload commits scopes without one shared RMW.
+    commitWithSeq(0);
+    return true;
+  }
+  // Stamp through the in-flight registry: concurrent snapshot
+  // acquisition stays below this sequence until every version the
+  // scope installs is in the store.
+  CommitTicket T = beginCommit();
+  commitWithSeq(T.Seq);
+  endCommit(T);
   return true;
 }
 
@@ -361,25 +471,33 @@ void Transaction::commitWithSeq(uint64_t S) {
         M->mirror(E.Op, E.DomS, E.Input);
     Frame.MirrorBuf.clear();
   }
-  // Redo logging, still under every retained lock (the WAL ordering
-  // contract): the undo log is the redo record read forward — each
-  // entry's full tuple with the operation kind un-flipped. Read-only
-  // scopes append nothing.
+  // Commit effects, still under every retained lock. First the MVCC
+  // version installs (oldest-first — within-commit order matters for a
+  // key touched twice): rival writers on any touched key are still
+  // excluded by 2PL, and the caller's beginCommit window keeps fresh
+  // snapshots below S until every install — on every shard of a
+  // sharded scope — has landed. Then the redo record (the WAL ordering
+  // contract): the undo log *is* the redo record read forward — the
+  // streaming logCommit overload encodes each entry's full tuple with
+  // the operation kind un-flipped, straight from the log, projection
+  // applied during encoding (ROADMAP 2c: no per-commit WalMutation
+  // vector). Read-only scopes install and append nothing.
   if (!Undo.empty()) {
-    if (WriteAheadLog *W = Rel->Wal.load(std::memory_order_acquire)) {
-      static thread_local std::vector<WalMutation> Muts;
-      Muts.clear();
-      Muts.reserve(Undo.size());
-      ColumnSet All = Rel->spec().allColumns();
-      for (const UndoRecord &U : Undo) {
-        WalMutation M;
-        M.Op = U.WasInsert ? WalOp::Insert : WalOp::Remove;
-        M.Full = U.Full.project(All);
-        Muts.push_back(std::move(M));
-      }
-      W->logCommit(Rel->WalPartition, Seq, Rel->WalShard, Muts.data(),
-                   Muts.size());
+    assert(S != 0 && "mutating scope must commit through a ticket");
+    for (const UndoRecord &U : Undo) {
+      if (U.WasInsert)
+        Rel->Mvcc->installInsert(U.Full, S);
+      else
+        Rel->Mvcc->installRemove(U.Full, S);
     }
+    if (WriteAheadLog *W = Rel->Wal.load(std::memory_order_acquire))
+      W->logCommit(Rel->WalPartition, Seq, Rel->WalShard, Undo.size(),
+                   Rel->spec().allColumns(),
+                   [&](size_t I, const Tuple *&Full) {
+                     Full = &Undo[I].Full;
+                     return Undo[I].WasInsert ? WalOp::Insert
+                                              : WalOp::Remove;
+                   });
   }
   Undo.clear();
   releaseScope();
@@ -453,6 +571,10 @@ void Transaction::releaseScope() {
     Rel->Gate.exit();
     GateHeld = false;
   }
+  if (OwnsSnapSlot) {
+    releaseSnapshotSlot(SnapSlot);
+    OwnsSnapSlot = false;
+  }
   txnCtxPool().release(Ctx);
   Ctx = nullptr;
   // The thread's open-scope slot frees when the scope *finishes* (an
@@ -475,6 +597,9 @@ ShardedTransaction::ShardedTransaction(ShardedRelation &R, unsigned Patience,
          "one transaction scope open per thread (nested scopes would "
          "deadlock on their own locks)");
   ++OpenScopesOnThread;
+  // One snapshot for the whole scope, on every shard: the sharded
+  // scope owns the registry slot, subs adopt the sequence.
+  SnapSlot = acquireSnapshotSlot(Snap);
 }
 
 ShardedTransaction::~ShardedTransaction() {
@@ -501,6 +626,7 @@ Transaction *ShardedTransaction::subFor(unsigned Shard) {
   Transaction::Opts O;
   O.Patience = Patience;
   O.Birth = BirthStamp; // the whole sharded scope ages as one
+  O.Snap = Snap;        // one snapshot across every shard
   O.Nested = true;
   // Joining the first shard may wait like any operation; joining a
   // further shard happens while holding gates and locks, so the gate
@@ -525,6 +651,7 @@ void ShardedTransaction::dieWith(TxnAbortCause C) {
   for (auto It = Subs.rbegin(); It != Subs.rend(); ++It)
     if (*It && (*It)->state() == TxnState::Open)
       (*It)->abortWith(C);
+  releaseSnapshotSlot(SnapSlot);
   St = TxnState::Aborted;
   Cause = C;
   --OpenScopesOnThread;
@@ -565,6 +692,46 @@ bool ShardedTransaction::query(const ShardedQuery &Q,
                                std::initializer_list<Value> Args,
                                function_ref<void(const Tuple &)> Visit,
                                uint32_t *Matches) {
+  if (St != TxnState::Open)
+    return false;
+  const ShardedOpImpl &SI = *Q.Impl;
+  assert(Args.size() == SI.numSlots() &&
+         "transactional op must bind every slot positionally");
+  // Snapshot read: walk the touched shards' version stores directly at
+  // the scope's one snapshot — no per-shard scope is opened, no gate
+  // and no lock is taken, and shards this scope never wrote are not
+  // joined (a read fans out without growing MaxShard or the lock
+  // footprint). Shards the scope *did* write overlay their sub's undo
+  // log, so the scope reads its own effects.
+  static const std::vector<Transaction::UndoRecord> NoWrites;
+  uint32_t Total = 0;
+  auto ReadShard = [&](unsigned Shard) {
+    ConcurrentRelation &R = Rel->shard(Shard);
+    const PreparedOpImpl &Impl = SI.shardImpl(Shard);
+    std::array<ColumnId, BoundOp::MaxSlots> Cols;
+    for (unsigned I = 0; I < Args.size(); ++I)
+      Cols[I] = Impl.slotColumn(I);
+    Tuple Input;
+    Input.rebind(Cols.data(), Args.begin(), Args.size());
+    R.NumQueries.inc();
+    const std::vector<Transaction::UndoRecord> &Writes =
+        Subs[Shard] ? Subs[Shard]->Undo : NoWrites;
+    Total += Transaction::snapshotReadOver(R, Writes, Input, Snap, Visit);
+  };
+  if (SI.singleShard())
+    ReadShard(SI.shardOfArgs(Args.begin()));
+  else
+    for (unsigned Shard = 0; Shard < Subs.size(); ++Shard)
+      ReadShard(Shard);
+  if (Matches)
+    *Matches = Total;
+  return true;
+}
+
+bool ShardedTransaction::queryForUpdate(const ShardedQuery &Q,
+                                        std::initializer_list<Value> Args,
+                                        function_ref<void(const Tuple &)> Visit,
+                                        uint32_t *Matches) {
   int64_t Total = 0;
   if (!runOps(*Q.Impl, Args.begin(), Args.size(), Visit, Total))
     return false;
@@ -601,10 +768,27 @@ bool ShardedTransaction::commit() {
   // One commit sequence for the whole scope, stamped before any shard
   // releases a lock: conflicting scopes (which, by 2PL, overlapped on
   // some still-held key) order their stamps with their serialization.
-  Seq = nextCommitSeq();
+  // The whole multi-shard install runs inside one in-flight ticket
+  // window, so a snapshot opened mid-commit pins a sequence below Seq
+  // and sees either all shards' versions or none of them.
+  bool Mutated = false;
   for (auto &S : Subs)
-    if (S && S->state() == TxnState::Open)
-      S->commitWithSeq(Seq);
+    if (S && S->state() == TxnState::Open && S->undoDepth() != 0)
+      Mutated = true;
+  if (Mutated) {
+    CommitTicket T = beginCommit();
+    Seq = T.Seq;
+    for (auto &S : Subs)
+      if (S && S->state() == TxnState::Open)
+        S->commitWithSeq(Seq);
+    endCommit(T);
+  } else {
+    Seq = 0;
+    for (auto &S : Subs)
+      if (S && S->state() == TxnState::Open)
+        S->commitWithSeq(0);
+  }
+  releaseSnapshotSlot(SnapSlot);
   St = TxnState::Committed;
   --OpenScopesOnThread;
   return true;

@@ -21,13 +21,32 @@
 ///   ...
 ///   if (!T.commit()) retry;
 ///
-/// **Serializability.** Strict two-phase locking across the whole
-/// scope: every operation executes through the shared plan executor on
-/// a transaction-owned execution context whose lock set is *retained*
-/// until commit or abort. Reads lock exclusively (PlanOp::QueryForUpdate
-/// plans) — a shared_mutex cannot upgrade, so conservative exclusive
-/// scopes trade read parallelism for freedom from upgrade deadlocks and
-/// upgrade aborts; MVCC reads are the roadmap's next step.
+/// **Writes: strict two-phase locking.** Every mutation executes
+/// through the shared plan executor on a transaction-owned execution
+/// context whose lock set is *retained* until commit or abort. At
+/// commit the scope stamps one sequence from the commit clock (inside a
+/// beginCommit/endCommit registry window) and, still under every
+/// retained lock, installs a committed version of each effect into the
+/// relation's MVCC store (txn/MvccStore.h) and appends the WAL record.
+///
+/// **Reads: MVCC snapshots.** A scope picks a snapshot sequence when it
+/// opens (sync/CommitClock.h::acquireSnapshotSlot) and query() reads
+/// the version store at that snapshot — a consistent view across every
+/// query in the scope, across relations and shards, with **zero lock
+/// acquisitions**, no plan, and no gate: a read-only scope touches no
+/// shared line of the representation at all. The scope's own
+/// uncommitted writes overlay the snapshot (you read your own effects;
+/// removed keys disappear, inserted tuples appear). The consistency
+/// class is snapshot isolation: queries never see anomalies within the
+/// scope (no non-repeatable reads, no read skew), but a key read by
+/// query() and written on the evidence of that read is not locked —
+/// use queryForUpdate(), which keeps the PR 5 exclusive-locking read
+/// (PlanOp::QueryForUpdate plans) for read-modify-write: its read set
+/// is 2PL-locked, so lost updates are impossible. Phantoms: query()
+/// sees exactly the committed-at-snapshot membership plus its own
+/// writes; a predicate a scope wants stable against concurrent inserts
+/// must be covered by queryForUpdate (documented and asserted in
+/// tests/txn_mvcc_test.cpp).
 ///
 /// **Deadlock freedom.** Within one op the planner emits locks in the
 /// global order (§5.1). Across chained ops the scope's high-water key
@@ -52,10 +71,15 @@
 /// no other transaction can observe, or conflict with, a state the
 /// abort is about to erase (the locks never dropped).
 ///
-/// **Migration integration.** The scope holds the relation's operation
-/// gate from begin to finish, so a migration flip (runtime/Migration.h)
-/// is atomic with respect to *whole transactions* — it drains open
-/// scopes and never lands mid-scope. During a dual-write phase the
+/// **Migration integration.** The scope enters the relation's
+/// operation gate lazily, at its first lock-taking operation, and holds
+/// it until finish — so a migration flip (runtime/Migration.h) is
+/// atomic with respect to every transaction that *writes* (it drains
+/// them, never lands mid-scope), while a read-only scope holds no gate
+/// at all: a migration can begin and complete under an open snapshot
+/// scope, whose reads — served by the identity-keyed version store, not
+/// the decomposition — see the same snapshot before and after the swap.
+/// During a dual-write phase the
 /// scope's MirrorWrite epilogues are buffered in the transaction frame
 /// and flushed to the shadow at commit (locks still held); aborts
 /// discard the buffer, so the shadow never sees a rolled-back write.
@@ -72,9 +96,12 @@
 /// with the shard index as the major key. A single-shard transaction
 /// creates one inner scope and pays no coordination at commit; a
 /// cross-shard commit stamps one commit sequence number, flushes and
-/// releases shard by shard — atomicity for observers follows from 2PL
-/// (every touched key stays exclusively locked until that shard
-/// releases), not from any cross-shard barrier.
+/// releases shard by shard — atomicity for locking observers follows
+/// from 2PL (every touched key stays exclusively locked until that
+/// shard releases), and atomicity for snapshot readers from the commit
+/// registry: the whole multi-shard install happens inside one
+/// beginCommit/endCommit window, so no snapshot at or above the
+/// sequence is handed out until every shard's versions are in place.
 ///
 /// Threading rules: a transaction belongs to the thread that opened it;
 /// one scope open per thread at a time; while it is open, do not
@@ -118,8 +145,12 @@ enum class TxnAbortCause : uint8_t {
 /// Non-copyable, non-movable; see the file comment for the contract.
 class Transaction {
 public:
-  /// Opens a scope on \p R: enters the operation gate and snapshots the
-  /// plan epoch. \p Patience scales the bounded wait-die try budget —
+  /// Opens a scope on \p R: acquires the scope's read snapshot (every
+  /// query() in the scope reads this one commit-clock prefix) and
+  /// registers it with the reclamation watermark. The operation gate is
+  /// entered lazily by the first lock-taking operation, so a read-only
+  /// scope never touches it. \p Patience scales the bounded wait-die
+  /// try budget —
   /// pass the retry attempt number (as runTransaction does) so aging
   /// scopes win contended keys eventually. \p Birth carries a birth
   /// stamp across retries of the same logical transaction (0 stamps a
@@ -140,12 +171,17 @@ public:
   /// clock *before* any lock is released: replaying committed scopes in
   /// commit-sequence order reproduces the serialization order on every
   /// contended key (the stress oracle's contract). Valid after a
-  /// successful commit().
+  /// successful commit() of a scope that wrote; a read-only commit
+  /// stamps nothing and leaves this 0.
   uint64_t commitSeq() const { return Seq; }
 
   /// The scope's wait-die birth stamp (sync/CommitClock.h). Feed it back
   /// as the \p Birth of the retry scope so the logical transaction ages.
   uint64_t birthStamp() const { return BirthStamp; }
+
+  /// The scope's read snapshot: every query() sees exactly the commits
+  /// with sequence ≤ this (plus the scope's own writes).
+  uint64_t snapshotSeq() const { return Snap; }
 
   /// Operations executed, undo records pending, failed lock tries.
   /// @{
@@ -154,15 +190,29 @@ public:
   uint64_t restarts() const { return Restarts; }
   /// @}
 
-  /// query r s C inside the scope, through a prepared handle with
-  /// inline positional arguments. Locks exclusively (for-update) and
-  /// retains the locks; \p Visit (optional) streams every matching
-  /// state's full tuple; \p Matches (optional) receives the match
-  /// count. Returns false iff the scope died — it has already rolled
-  /// back, state() is Aborted, and abortCause() says why.
+  /// query r s C inside the scope: a *snapshot read* of the relation's
+  /// MVCC store at the scope's snapshot, overlaid with the scope's own
+  /// uncommitted writes. Acquires no locks, resolves no plan, and never
+  /// dies — see the file comment for the consistency class (snapshot
+  /// isolation; use queryForUpdate() for read-modify-write). \p Visit
+  /// (optional) streams every matching full tuple; \p Matches
+  /// (optional) receives the match count. Returns false iff the scope
+  /// was already finished.
   bool query(const PreparedQuery &Q, std::initializer_list<Value> Args,
              function_ref<void(const Tuple &)> Visit = nullptr,
              uint32_t *Matches = nullptr);
+
+  /// query r s C with 2PL semantics: locks the read set exclusively
+  /// (PlanOp::QueryForUpdate) and retains the locks to commit — the
+  /// read-modify-write primitive (a later write justified by this read
+  /// is serializable; lost updates are impossible). Reads the current
+  /// committed-plus-own state, not the snapshot. Returns false iff the
+  /// scope died — it has already rolled back, state() is Aborted, and
+  /// abortCause() says why.
+  bool queryForUpdate(const PreparedQuery &Q,
+                      std::initializer_list<Value> Args,
+                      function_ref<void(const Tuple &)> Visit = nullptr,
+                      uint32_t *Matches = nullptr);
 
   /// insert r s t inside the scope; \p Won (optional) receives whether
   /// the put-if-absent won. Returns false iff the scope died.
@@ -189,6 +239,9 @@ private:
   struct Opts {
     unsigned Patience = 0;
     uint64_t Birth = 0;       ///< carried birth stamp (0: stamp fresh)
+    uint64_t Snap = 0;        ///< adopted snapshot (0: acquire + own a
+                              ///< registry slot) — the sharded scope
+                              ///< owns one snapshot for every sub
     bool Nested = false;      ///< part of a ShardedTransaction
     bool BoundedGate = false; ///< joining mid-scope: bounded gate wait
     bool ForceTry = false;    ///< out-of-shard-order join: never block
@@ -208,6 +261,20 @@ private:
               size_t NumArgs, function_ref<void(const Tuple &)> Visit,
               int64_t &Result);
 
+  /// Lazy gate entry (first lock-taking op): enters \p Rel's operation
+  /// gate — boundedly for a mid-scope shard join — and pins the plan
+  /// epoch. False iff the scope died (GateBusy, already rolled back).
+  bool ensureGate();
+
+  /// The snapshot read core, shared with ShardedTransaction's direct
+  /// per-shard reads: visits \p R's version store at \p Snap overlaid
+  /// with the write set in \p Undo (its keys supersede the committed
+  /// chains; its net inserts are appended). Returns the match count.
+  static uint32_t
+  snapshotReadOver(const ConcurrentRelation &R,
+                   const std::vector<UndoRecord> &Undo, const Tuple &Input,
+                   uint64_t Snap, function_ref<void(const Tuple &)> Visit);
+
   void commitWithSeq(uint64_t S);
   void abortWith(TxnAbortCause C);
   void rollbackUndo();
@@ -224,11 +291,15 @@ private:
   TxnAbortCause Cause = TxnAbortCause::None;
   uint64_t Seq = 0;
   uint64_t BirthStamp = 0; ///< wait-die age (sync/CommitClock.h)
+  uint64_t Snap = 0;       ///< the scope's read snapshot
   uint64_t StartEpoch = 0;
   uint64_t Ops = 0;
   uint64_t Restarts = 0;
   unsigned TryBudget; ///< failed tries per op before the scope dies
+  unsigned SnapSlot = 0;    ///< watermark registry slot (if owned)
+  bool OwnsSnapSlot = false;
   bool GateHeld = false;
+  bool WantBoundedGate = false; ///< ensureGate waits boundedly
   bool Nested = false;
 };
 
@@ -250,6 +321,10 @@ public:
   /// The whole sharded scope ages as one wait-die participant: every
   /// inner per-shard scope carries this stamp to its lock owner tables.
   uint64_t birthStamp() const { return BirthStamp; }
+  /// The one snapshot every read in the scope uses, on every shard —
+  /// a cross-shard commit installs all its shards' versions inside one
+  /// beginCommit window, so this snapshot can never see half of one.
+  uint64_t snapshotSeq() const { return Snap; }
   /// Shards this scope holds locks (and the gate) on so far.
   unsigned shardsTouched() const;
 
@@ -257,12 +332,20 @@ public:
   /// signature covering the routing columns touches one shard; an
   /// under-bound query or remove fans out across every shard in
   /// ascending shard order (which is exactly the deadlock-free join
-  /// order). Each returns false iff the scope died (rolled back on
-  /// every touched shard).
+  /// order). query() is a snapshot read like Transaction::query — it
+  /// reads the touched shards' version stores directly (overlaid with
+  /// any writes the scope already made there), opens no per-shard
+  /// scope, takes no gate and no lock, and never dies;
+  /// queryForUpdate() keeps the 2PL read. The locking ops return false
+  /// iff the scope died (rolled back on every touched shard).
   /// @{
   bool query(const ShardedQuery &Q, std::initializer_list<Value> Args,
              function_ref<void(const Tuple &)> Visit = nullptr,
              uint32_t *Matches = nullptr);
+  bool queryForUpdate(const ShardedQuery &Q,
+                      std::initializer_list<Value> Args,
+                      function_ref<void(const Tuple &)> Visit = nullptr,
+                      uint32_t *Matches = nullptr);
   bool insert(const ShardedInsert &I, std::initializer_list<Value> Args,
               bool *Won = nullptr);
   bool remove(const ShardedRemove &R, std::initializer_list<Value> Args,
@@ -289,6 +372,8 @@ private:
   TxnAbortCause Cause = TxnAbortCause::None;
   uint64_t Seq = 0;
   uint64_t BirthStamp = 0; ///< shared by every inner scope
+  uint64_t Snap = 0;       ///< one snapshot for every shard
+  unsigned SnapSlot = 0;   ///< watermark registry slot (always owned)
   unsigned Patience;
   int MaxShard = -1; ///< highest shard joined so far (order discipline)
 };

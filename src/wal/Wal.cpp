@@ -90,21 +90,53 @@ struct Reader {
   }
 };
 
+void encodeEntry(std::vector<uint8_t> &Out, ColumnId Col, const Value &Val) {
+  putU32(Out, Col);
+  if (Val.isInt()) {
+    putU8(Out, 0);
+    putU64(Out, static_cast<uint64_t>(Val.asInt()));
+  } else {
+    // Interned string ids are process-local: serialize the bytes.
+    std::string_view S = Val.asString();
+    putU8(Out, 1);
+    putU32(Out, static_cast<uint32_t>(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+}
+
 void encodeTuple(std::vector<uint8_t> &Out, const Tuple &T) {
   const auto &Entries = T.entries();
   putU16(Out, static_cast<uint16_t>(Entries.size()));
-  for (const auto &[Col, Val] : Entries) {
-    putU32(Out, Col);
-    if (Val.isInt()) {
-      putU8(Out, 0);
-      putU64(Out, static_cast<uint64_t>(Val.asInt()));
-    } else {
-      // Interned string ids are process-local: serialize the bytes.
-      std::string_view S = Val.asString();
-      putU8(Out, 1);
-      putU32(Out, static_cast<uint32_t>(S.size()));
-      Out.insert(Out.end(), S.begin(), S.end());
-    }
+  for (const auto &[Col, Val] : Entries)
+    encodeEntry(Out, Col, Val);
+}
+
+/// encodeTuple of π_Cols(T) without building the projected tuple:
+/// entries are stored sorted by column id, so filtering while encoding
+/// writes exactly the bytes encodeTuple writes for T.project(Cols).
+void encodeTupleProjected(std::vector<uint8_t> &Out, const Tuple &T,
+                          ColumnSet Cols) {
+  const auto &Entries = T.entries();
+  uint16_t N = 0;
+  for (const auto &[Col, Val] : Entries)
+    if (Cols.contains(Col))
+      ++N;
+  putU16(Out, N);
+  for (const auto &[Col, Val] : Entries)
+    if (Cols.contains(Col))
+      encodeEntry(Out, Col, Val);
+}
+
+/// Patches the (length, CRC) header that every record encoder writes as
+/// two zero u32s at \p Header before its payload (starting at
+/// \p Payload).
+void patchRecordHeader(std::vector<uint8_t> &Out, size_t Header,
+                       size_t Payload) {
+  uint32_t Len = static_cast<uint32_t>(Out.size() - Payload);
+  uint32_t Crc = walCrc32(Out.data() + Payload, Len);
+  for (int I = 0; I < 4; ++I) {
+    Out[Header + I] = static_cast<uint8_t>(Len >> (8 * I));
+    Out[Header + 4 + I] = static_cast<uint8_t>(Crc >> (8 * I));
   }
 }
 
@@ -164,12 +196,7 @@ void crs::walEncodeRecord(std::vector<uint8_t> &Out, uint64_t CommitSeq,
     putU8(Out, static_cast<uint8_t>(Muts[I].Op));
     encodeTuple(Out, Muts[I].Full);
   }
-  uint32_t Len = static_cast<uint32_t>(Out.size() - Payload);
-  uint32_t Crc = walCrc32(Out.data() + Payload, Len);
-  for (int I = 0; I < 4; ++I) {
-    Out[Header + I] = static_cast<uint8_t>(Len >> (8 * I));
-    Out[Header + 4 + I] = static_cast<uint8_t>(Crc >> (8 * I));
-  }
+  patchRecordHeader(Out, Header, Payload);
 }
 
 size_t crs::walDecodeRecord(const uint8_t *Data, size_t Len, WalRecord &Out) {
@@ -410,17 +437,52 @@ void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
   putU32(CommitScratch, 1);
   putU8(CommitScratch, static_cast<uint8_t>(Op));
   encodeTuple(CommitScratch, Full);
-  uint32_t Len = static_cast<uint32_t>(CommitScratch.size() - Payload);
-  uint32_t Crc = walCrc32(CommitScratch.data() + Payload, Len);
-  for (int I = 0; I < 4; ++I) {
-    CommitScratch[Header + I] = static_cast<uint8_t>(Len >> (8 * I));
-    CommitScratch[Header + 4 + I] = static_cast<uint8_t>(Crc >> (8 * I));
-  }
+  patchRecordHeader(CommitScratch, Header, Payload);
   appendEncoded(Partition, CommitScratch, [&] {
     WalRecord R;
     R.CommitSeq = CommitSeq;
     R.Shard = Shard;
     R.Muts.push_back(WalMutation{Op, Full});
+    return R;
+  });
+}
+
+void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
+                              uint32_t Shard, size_t NumMuts,
+                              ColumnSet Project,
+                              function_ref<WalOp(size_t, const Tuple *&)> Mut) {
+  assert(Partition < Parts.size() && "partition out of range");
+  if (NumMuts == 0)
+    return; // read-only scopes leave no redo record
+  // Same wire form as the array overload (wal_test asserts byte
+  // equality), written straight from the caller's commit log: no
+  // WalMutation vector, and projection applied during encoding.
+  CommitScratch.clear();
+  size_t Header = CommitScratch.size();
+  putU32(CommitScratch, 0); // payload length, patched below
+  putU32(CommitScratch, 0); // CRC, patched below
+  size_t Payload = CommitScratch.size();
+  putU64(CommitScratch, CommitSeq);
+  putU32(CommitScratch, Shard);
+  putU32(CommitScratch, static_cast<uint32_t>(NumMuts));
+  for (size_t I = 0; I < NumMuts; ++I) {
+    const Tuple *Full = nullptr;
+    WalOp Op = Mut(I, Full);
+    assert(Full && "mutation source must point Full at its tuple");
+    putU8(CommitScratch, static_cast<uint8_t>(Op));
+    encodeTupleProjected(CommitScratch, *Full, Project);
+  }
+  patchRecordHeader(CommitScratch, Header, Payload);
+  appendEncoded(Partition, CommitScratch, [&] {
+    WalRecord R;
+    R.CommitSeq = CommitSeq;
+    R.Shard = Shard;
+    R.Muts.reserve(NumMuts);
+    for (size_t I = 0; I < NumMuts; ++I) {
+      const Tuple *Full = nullptr;
+      WalOp Op = Mut(I, Full);
+      R.Muts.push_back(WalMutation{Op, Full->project(Project)});
+    }
     return R;
   });
 }

@@ -184,6 +184,23 @@ public:
   void logCommit(uint32_t Partition, uint64_t CommitSeq, uint32_t Shard,
                  WalOp Op, const Tuple &Full);
 
+  /// Streaming form for the transaction commit hook (ROADMAP 2c):
+  /// encodes the record straight from the caller's commit log.
+  /// Mutation \p I is fetched by calling \p Mut(I, Full) — the callback
+  /// returns the operation kind and points \p Full at the mutation's
+  /// tuple — and each tuple is encoded restricted to \p Project
+  /// (projection happens *during* encoding). No WalMutation vector and
+  /// no projected tuple copies are materialized on the commit path;
+  /// byte-identical to the array overload fed `{Op, Full.project(
+  /// Project)}` mutations (tuple entries are stored in column order, so
+  /// filtering while encoding writes the same bytes — wal_test asserts
+  /// the equivalence). \p Mut may be called a second time per index
+  /// when a replication channel is attached (the published record must
+  /// own its tuples).
+  void logCommit(uint32_t Partition, uint64_t CommitSeq, uint32_t Shard,
+                 size_t NumMuts, ColumnSet Project,
+                 function_ref<WalOp(size_t, const Tuple *&)> Mut);
+
   /// Synchronously drains every partition tail to its file (fsync
   /// included unless FsyncMode::None). Returns once all bytes appended
   /// before the call are written. Checkpoint/recovery tests and clean

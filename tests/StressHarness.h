@@ -44,6 +44,7 @@
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -316,6 +317,160 @@ runTxnStressWithOracle(RelT &Rel, const TxnStressOptions &Opts,
   Rep.ForcedAborts = Forced.load(std::memory_order_relaxed);
   Rep.ConflictAborts = Conflicts.load(std::memory_order_relaxed);
   Rep.Expected = replayMutationLogs(Rep.Logs, &Rep.Errors);
+  return Rep;
+}
+
+/// Parameters of one snapshot-consistency stress run: writer threads
+/// run bank-style balanced transfers (debit one account, credit
+/// another, both under queryForUpdate + rewrite) so the total balance
+/// is invariant, while checker threads repeatedly open *read-only*
+/// scopes that sum every account through snapshot query(). Snapshot
+/// isolation makes the invariant exact per scope: all the reads share
+/// one snapshot, so a checker that ever sees a debit without its
+/// credit (a torn transfer) proves a broken snapshot. The checkers
+/// take no locks and never die, so they run at full speed against the
+/// writers — the TSan/ASan stress lane turns the iteration knob up.
+struct SnapshotStressOptions {
+  unsigned Writers = 3;
+  unsigned Checkers = 2;
+  int64_t NumAccounts = 64;
+  int64_t InitialBalance = 1000;
+  uint64_t Seed = 20120612; ///< default; CRS_STRESS_SEED overrides
+  uint64_t Transfers = 2000; ///< total committed transfers (× mult)
+};
+
+/// What a snapshot-consistency run did.
+struct SnapshotStressReport {
+  uint64_t Seed = 0;
+  uint64_t Transfers = 0; ///< committed writer scopes
+  uint64_t Checks = 0;    ///< completed checker scopes
+  /// Sum-conservation violations (empty means every snapshot was
+  /// consistent) — each entry carries the bad sum and the scope's
+  /// snapshot sequence.
+  std::vector<std::string> Errors;
+
+  std::string hint() const {
+    return "rerun deterministically with CRS_STRESS_SEED=" +
+           std::to_string(Seed);
+  }
+};
+
+/// The snapshot-consistency oracle: seeds NumAccounts rows of
+/// InitialBalance, hammers them with balanced transfers, and checks
+/// sum conservation from concurrent read-only scopes. Works over a
+/// ConcurrentRelation or a ShardedRelation (reads on the latter also
+/// cross shard boundaries inside one snapshot, covering read skew
+/// across shards).
+template <typename RelT>
+SnapshotStressReport
+runSnapshotStressWithOracle(RelT &Rel, const SnapshotStressOptions &Opts,
+                            const std::function<void()> &MidAction = nullptr) {
+  using TxnT = typename TxnHandleFor<RelT>::type;
+  SnapshotStressReport Rep;
+  Rep.Seed = resolveSeed(Opts.Seed);
+  const uint64_t Target = Opts.Transfers * opsMultiplier();
+
+  const RelationSpec &Spec = Rel.spec();
+  ColumnId WeightCol = Spec.col("weight");
+  for (int64_t A = 0; A < Opts.NumAccounts; ++A)
+    Rel.insert(Tuple::of({{Spec.col("src"), Value::ofInt(A)},
+                          {Spec.col("dst"), Value::ofInt(0)}}),
+               Tuple::of({{WeightCol, Value::ofInt(Opts.InitialBalance)}}));
+  const int64_t TotalMoney = Opts.NumAccounts * Opts.InitialBalance;
+
+  auto Balance =
+      Rel.prepareQuery(Spec.cols({"src", "dst"}), Spec.cols({"weight"}));
+  auto Put = Rel.prepareInsert(Spec.cols({"src", "dst"}));
+  auto Drop = Rel.prepareRemove(Spec.cols({"src", "dst"}));
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Committed{0}, Checks{0};
+  std::mutex ErrM;
+  std::vector<std::thread> Threads;
+  Threads.reserve(Opts.Writers + Opts.Checkers);
+
+  for (unsigned T = 0; T < Opts.Writers; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(Rep.Seed * 0x9e3779b9 + 7919 * T + T);
+      while (Committed.load(std::memory_order_relaxed) < Target) {
+        int64_t A = static_cast<int64_t>(
+            Rng.nextBounded(static_cast<uint64_t>(Opts.NumAccounts)));
+        int64_t B = static_cast<int64_t>(
+            Rng.nextBounded(static_cast<uint64_t>(Opts.NumAccounts - 1)));
+        if (B >= A)
+          ++B;
+        int64_t Amount = static_cast<int64_t>(Rng.nextBounded(50)) + 1;
+        bool Ok = runTransaction(Rel, [&](TxnT &Txn) {
+          int64_t BalA = -1, BalB = -1;
+          if (!Txn.queryForUpdate(Balance,
+                                  {Value::ofInt(A), Value::ofInt(0)},
+                                  [&](const Tuple &Tp) {
+                                    BalA = Tp.get(WeightCol).asInt();
+                                  }) ||
+              !Txn.queryForUpdate(Balance,
+                                  {Value::ofInt(B), Value::ofInt(0)},
+                                  [&](const Tuple &Tp) {
+                                    BalB = Tp.get(WeightCol).asInt();
+                                  }))
+            return true; // died; retried by runTransaction
+          int64_t X = std::min<int64_t>(Amount, BalA);
+          if (!Txn.remove(Drop, {Value::ofInt(A), Value::ofInt(0)}) ||
+              !Txn.insert(Put, {Value::ofInt(A), Value::ofInt(0),
+                                Value::ofInt(BalA - X)}) ||
+              !Txn.remove(Drop, {Value::ofInt(B), Value::ofInt(0)}) ||
+              !Txn.insert(Put, {Value::ofInt(B), Value::ofInt(0),
+                                Value::ofInt(BalB + X)}))
+            return true;
+          return true;
+        });
+        if (Ok)
+          Committed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  for (unsigned T = 0; T < Opts.Checkers; ++T)
+    Threads.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        TxnT Txn(Rel);
+        int64_t Sum = 0;
+        int64_t Rows = 0;
+        bool ReadOk = true;
+        for (int64_t A = 0; A < Opts.NumAccounts && ReadOk; ++A)
+          ReadOk = Txn.query(Balance, {Value::ofInt(A), Value::ofInt(0)},
+                             [&](const Tuple &Tp) {
+                               Sum += Tp.get(WeightCol).asInt();
+                               ++Rows;
+                             });
+        uint64_t Snap = Txn.snapshotSeq();
+        bool CommitOk = Txn.commit();
+        if (!ReadOk || !CommitOk) {
+          std::lock_guard<std::mutex> G(ErrM);
+          Rep.Errors.push_back("read-only scope died (must never)");
+        } else if (Sum != TotalMoney || Rows != Opts.NumAccounts) {
+          std::lock_guard<std::mutex> G(ErrM);
+          Rep.Errors.push_back(
+              "snapshot " + std::to_string(Snap) + " saw sum " +
+              std::to_string(Sum) + " over " + std::to_string(Rows) +
+              " rows; expected " + std::to_string(TotalMoney) + " over " +
+              std::to_string(Opts.NumAccounts));
+        }
+        Checks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  if (MidAction) {
+    while (Committed.load(std::memory_order_relaxed) < Target / 2)
+      std::this_thread::yield();
+    MidAction();
+  }
+  while (Committed.load(std::memory_order_relaxed) < Target)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &W : Threads)
+    W.join();
+
+  Rep.Transfers = Committed.load(std::memory_order_relaxed);
+  Rep.Checks = Checks.load(std::memory_order_relaxed);
   return Rep;
 }
 

@@ -22,6 +22,7 @@
 #include "lockplace/PlacementSchemes.h"
 #include "runtime/ConcurrentRelation.h"
 #include "runtime/PreparedOp.h"
+#include "txn/Transaction.h"
 #include "workload/GraphWorkload.h"
 
 #include <gtest/gtest.h>
@@ -440,6 +441,68 @@ TEST(Migration, SampleStatisticsIsSafeUnderTraffic) {
   EXPECT_GT(Instances, 0u);
   OperationCounts Counts = R.operationCounts();
   EXPECT_GT(Counts.Inserts + Counts.Removes, 0u);
+  EXPECT_TRUE(R.verifyConsistency().ok());
+}
+
+TEST(Migration, SnapshotScopeSurvivesAMigrationMidRead) {
+  // A read-only transaction scope never enters the operation gate (the
+  // gate is joined lazily at the first lock-taking op), so a migration
+  // can start, backfill, and complete both flips *while the scope is
+  // open* — and the scope's MVCC snapshot still reads the pre-migration
+  // values afterwards: the version store is keyed by tuple identity,
+  // not by node instances, so the representation swap does not disturb
+  // it.
+  RepresentationConfig From = stickCoarse();
+  const RelationSpec &Spec = *From.Spec;
+  ConcurrentRelation R(From);
+  for (int64_t I = 0; I < 16; ++I)
+    ASSERT_TRUE(R.insert(key(Spec, I, I), weight(Spec, I)));
+  PreparedQuery Exact =
+      R.prepareQuery(Spec.cols({"src", "dst"}), Spec.cols({"weight"}));
+
+  Transaction T(R);
+  int64_t W0 = -1;
+  ASSERT_TRUE(T.query(Exact, {Value::ofInt(3), Value::ofInt(3)},
+                      [&](const Tuple &Tp) {
+                        W0 = Tp.get(Spec.col("weight")).asInt();
+                      }));
+  EXPECT_EQ(W0, 3);
+
+  // The migration runs to completion mid-scope (this would deadlock if
+  // the scope held the gate), then a rival commits a new value.
+  MigrationResult Res = R.migrateTo(splitStriped());
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  std::thread Writer([&] {
+    ASSERT_TRUE(runTransaction(R, [&](Transaction &Txn) {
+      PreparedRemove Rem = R.prepareRemove(Spec.cols({"src", "dst"}));
+      PreparedInsert Ins = R.prepareInsert(Spec.cols({"src", "dst"}));
+      if (!Txn.remove(Rem, {Value::ofInt(3), Value::ofInt(3)}))
+        return true;
+      Txn.insert(Ins, {Value::ofInt(3), Value::ofInt(3), Value::ofInt(99)});
+      return true;
+    }));
+  });
+  Writer.join();
+
+  // Same scope, same snapshot, same value — across the swap and the
+  // rival's commit.
+  int64_t W1 = -1;
+  ASSERT_TRUE(T.query(Exact, {Value::ofInt(3), Value::ofInt(3)},
+                      [&](const Tuple &Tp) {
+                        W1 = Tp.get(Spec.col("weight")).asInt();
+                      }));
+  EXPECT_EQ(W1, 3);
+  EXPECT_TRUE(T.commit());
+
+  // A scope opened now sees the post-migration, post-commit state.
+  Transaction After(R);
+  int64_t W2 = -1;
+  ASSERT_TRUE(After.query(Exact, {Value::ofInt(3), Value::ofInt(3)},
+                          [&](const Tuple &Tp) {
+                            W2 = Tp.get(Spec.col("weight")).asInt();
+                          }));
+  EXPECT_EQ(W2, 99);
+  EXPECT_TRUE(After.commit());
   EXPECT_TRUE(R.verifyConsistency().ok());
 }
 

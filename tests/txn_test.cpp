@@ -389,7 +389,7 @@ TEST(Txn, WaitDieFairnessUnderCrossOrderContention) {
                           {Value::ofInt(A), Value::ofInt(0),
                            Value::ofInt(static_cast<int64_t>(I))}))
             return true;
-          Txn.query(H.Succ, {Value::ofInt(B)});
+          Txn.queryForUpdate(H.Succ, {Value::ofInt(B)});
           return true;
         });
         if (Ok)
@@ -656,7 +656,7 @@ TEST(Txn, TxnSignaturesShareThePlanCache) {
   uint64_t Misses0 = R.planCacheMisses();
   for (int Round = 0; Round < 5; ++Round) {
     Transaction T(R);
-    ASSERT_TRUE(T.query(H.Succ, {Value::ofInt(1)}));
+    ASSERT_TRUE(T.queryForUpdate(H.Succ, {Value::ofInt(1)}));
     ASSERT_TRUE(T.remove(H.Rem, {Value::ofInt(1), Value::ofInt(2)}));
     ASSERT_TRUE(T.insert(H.Ins, {Value::ofInt(1), Value::ofInt(2),
                                  Value::ofInt(3)}));

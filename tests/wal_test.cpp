@@ -160,6 +160,72 @@ TEST(WalFormat, EncodeDecodeRoundtripIncludingStrings) {
   EXPECT_TRUE(In[1].Muts[0].Full.get(ColumnId(1)).isString());
 }
 
+TEST(WalFormat, StreamingCommitEncodeIsByteIdenticalToArrayForm) {
+  // The transaction commit hook encodes its WAL record straight from
+  // the undo log through the streaming logCommit overload — projection
+  // happens during encoding, no WalMutation vector and no projected
+  // tuple copies (ROADMAP 2c). The contract is byte identity: the same
+  // mutations through the array overload (fed eagerly projected
+  // tuples) and through the streaming overload must produce the same
+  // wire bytes. Append each through its own partition and diff the
+  // files.
+  TempDir Dir;
+  auto Log = WriteAheadLog::open(walOpts(Dir.Path, /*Partitions=*/2));
+  ASSERT_NE(Log, nullptr);
+
+  // Full tuples carry an extra column the projection strips; one value
+  // is a string so both kinds cross the encoder.
+  ColumnSet Project = ColumnSet::of(ColumnId(1)) | ColumnSet::of(ColumnId(3));
+  std::vector<std::pair<WalOp, Tuple>> Muts;
+  Muts.emplace_back(WalOp::Insert,
+                    Tuple::of({{ColumnId(1), Value::ofInt(42)},
+                               {ColumnId(2), Value::ofInt(-7)},
+                               {ColumnId(3), Value::ofString("beta")}}));
+  Muts.emplace_back(WalOp::Remove,
+                    Tuple::of({{ColumnId(1), Value::ofInt(9)},
+                               {ColumnId(2), Value::ofInt(1)}}));
+  Muts.emplace_back(WalOp::Insert,
+                    Tuple::of({{ColumnId(3), Value::ofString("")}}));
+
+  std::vector<WalMutation> Projected;
+  for (const auto &[Op, Full] : Muts)
+    Projected.push_back({Op, Full.project(Project)});
+  Log->logCommit(/*Partition=*/0, /*CommitSeq=*/11, /*Shard=*/3,
+                 Projected.data(), Projected.size());
+  Log->logCommit(/*Partition=*/1, /*CommitSeq=*/11, /*Shard=*/3,
+                 Muts.size(), Project,
+                 [&](size_t I, const Tuple *&Full) {
+                   Full = &Muts[I].second;
+                   return Muts[I].first;
+                 });
+  Log->flush();
+
+  auto slurp = [](const std::string &Path) {
+    std::vector<uint8_t> Bytes;
+    int Fd = ::open(Path.c_str(), O_RDONLY);
+    EXPECT_GE(Fd, 0) << Path;
+    if (Fd < 0)
+      return Bytes;
+    uint8_t Buf[4096];
+    ssize_t N;
+    while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+      Bytes.insert(Bytes.end(), Buf, Buf + N);
+    ::close(Fd);
+    return Bytes;
+  };
+  std::vector<uint8_t> A = slurp(walPartitionPath(Dir.Path, 0));
+  std::vector<uint8_t> B = slurp(walPartitionPath(Dir.Path, 1));
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+
+  // And the bytes decode back to the projected mutations.
+  WalRecord Out;
+  ASSERT_GT(walDecodeRecord(B.data(), B.size(), Out), 0u);
+  ASSERT_EQ(Out.Muts.size(), Muts.size());
+  for (size_t I = 0; I < Out.Muts.size(); ++I)
+    EXPECT_TRUE(Out.Muts[I].Full == Projected[I].Full) << "mutation " << I;
+}
+
 TEST(WalFormat, EveryTruncationOfARecordIsTorn) {
   WalMutation M{WalOp::Insert,
                 Tuple::of({{ColumnId(3), Value::ofInt(123456789)},
