@@ -63,7 +63,8 @@ ConcurrentRelation::ConcurrentRelation(RepresentationConfig Cfg,
   Root = NodeInstance::create(D, D.root(), Tuple(),
                               Config.Placement->nodeStripes(D.root()));
   FastRoot.store(Root.get(), std::memory_order_seq_cst);
-  Mvcc = std::make_unique<MvccStore>(spec());
+  Mvcc = std::make_unique<MvccStore>(
+      spec(), MvccStore::bucketCountFor(Config.ExpectedCardinality));
 }
 
 // Per-operation lock/frame lifetime is ExecContext::OpScope
@@ -81,6 +82,11 @@ const Plan *ConcurrentRelation::queryPlanFor(ColumnSet DomS,
     std::lock_guard<std::mutex> Guard(PlannerMutex);
     Plan P = Planner.planQuery(DomS, C);
     P.Epoch = PlanEpoch.load(std::memory_order_relaxed);
+    // A compiled query signature is the declaration that the relation
+    // serves this access path: give the version store the same one, so
+    // snapshot reads binding DomS walk a secondary chain directory
+    // instead of the whole store. Cold path — once per signature.
+    Mvcc->ensureDirectory(DomS);
     return P;
   });
 }
@@ -111,6 +117,10 @@ const Plan *ConcurrentRelation::queryForUpdatePlanFor(ColumnSet DomS,
                               Plan P = Planner.planQueryForUpdate(DomS, C);
                               P.Epoch =
                                   PlanEpoch.load(std::memory_order_relaxed);
+                              // Same signature surfacing as queryPlanFor:
+                              // a for-update read shape is a shape
+                              // snapshot reads will serve too.
+                              Mvcc->ensureDirectory(DomS);
                               return P;
                             });
 }

@@ -59,6 +59,13 @@ struct RepresentationConfig {
   std::shared_ptr<const Decomposition> Decomp;
   std::shared_ptr<const LockPlacement> Placement;
   std::string Name;
+  /// Expected live-tuple cardinality (0 = unknown). Sizes the MVCC
+  /// version store's primary hash directory up front
+  /// (MvccStore::bucketCountFor) — the directory is fixed for the
+  /// store's lifetime, so a relation expected to hold millions of
+  /// tuples should say so here rather than degrade into long
+  /// intra-bucket chain lists.
+  size_t ExpectedCardinality = 0;
 };
 
 /// A concurrent relation with a synthesized representation.
@@ -269,6 +276,10 @@ public:
   WriteAheadLog *walLog() const {
     return Wal.load(std::memory_order_acquire);
   }
+  /// The WAL partition this relation appends to (set at attachWal; 0
+  /// otherwise). Checkpointing uses it to drop the partition's log
+  /// segments below the new watermark.
+  uint32_t walPartition() const { return WalPartition; }
 
   /// A checkpoint-consistent snapshot: closes the operation gate
   /// (draining every in-flight operation — WAL appends happen inside

@@ -38,6 +38,46 @@ struct MvccStore::Bucket {
   std::mutex M; ///< writers only: installs, chain links, pruning
 };
 
+/// One secondary-directory entry: a chain reachable by its projected
+/// sub-key. Lives on a DirBucket list; written under that bucket's
+/// mutex, read lock-free under the epoch guard, retired with its chain.
+struct MvccStore::DirLink {
+  Tuple SubKey; ///< π_dir-cols(chain key)
+  Chain *C = nullptr;
+  std::atomic<DirLink *> Next{nullptr};
+};
+
+struct MvccStore::DirBucket {
+  std::atomic<DirLink *> Head{nullptr};
+  std::mutex M; ///< link/unlink only; always taken after a primary
+                ///< bucket mutex, never before one
+};
+
+/// One secondary directory: sub-key → chains, over a proper nonempty
+/// subset of the identity columns. Registered on a grow-only list.
+struct MvccStore::Directory {
+  ColumnSet Cols;
+  std::vector<std::unique_ptr<DirBucket>> Buckets;
+  /// Readers route through the directory only once the backfill has
+  /// walked every primary bucket (before that, a lookup could miss
+  /// pre-existing chains). Installs/unlinks honor it immediately.
+  std::atomic<bool> Ready{false};
+  std::atomic<Directory *> Next{nullptr};
+
+  DirBucket &bucketFor(const Tuple &SubKey) const {
+    return *Buckets[SubKey.hash() % Buckets.size()];
+  }
+};
+
+unsigned MvccStore::bucketCountFor(size_t ExpectedCardinality) {
+  if (ExpectedCardinality == 0)
+    return 256;
+  size_t Want = 64;
+  while (Want < (1u << 20) && Want * 2 < ExpectedCardinality)
+    Want *= 2;
+  return static_cast<unsigned>(Want);
+}
+
 MvccStore::MvccStore(const RelationSpec &Spec, unsigned NumBuckets) {
   AllCols = Spec.allColumns();
   std::vector<ColumnSet> Keys = Spec.minimalKeys();
@@ -65,6 +105,20 @@ MvccStore::~MvccStore() {
       C = CN;
     }
   }
+  Directory *D = Dirs.load(std::memory_order_relaxed);
+  while (D) {
+    for (std::unique_ptr<DirBucket> &DB : D->Buckets) {
+      DirLink *L = DB->Head.load(std::memory_order_relaxed);
+      while (L) {
+        DirLink *LN = L->Next.load(std::memory_order_relaxed);
+        delete L;
+        L = LN;
+      }
+    }
+    Directory *DN = D->Next.load(std::memory_order_relaxed);
+    delete D;
+    D = DN;
+  }
 }
 
 MvccStore::Bucket &MvccStore::bucketFor(const Tuple &Key) const {
@@ -91,7 +145,33 @@ MvccStore::Chain *MvccStore::findOrCreateChain(Bucket &B, const Tuple &Key) {
   C->Next.store(B.Head.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
   B.Head.store(C, std::memory_order_release);
+  // Link the new chain into every secondary directory. Reading the
+  // registry while B.M is held is what makes ensureDirectory's
+  // publish-then-backfill safe: if the backfill already walked this
+  // bucket, its lock/unlock of B.M ordered the registry publish before
+  // this load (so we see the directory and link here); if it has not
+  // yet, it will find this chain during its walk. Either way the chain
+  // lands in the directory exactly once (linkChainToDir dedups).
+  for (Directory *D = Dirs.load(std::memory_order_acquire); D;
+       D = D->Next.load(std::memory_order_acquire))
+    linkChainToDir(*D, C);
   return C;
+}
+
+void MvccStore::linkChainToDir(Directory &D, Chain *C) {
+  Tuple Sub = C->Key.project(D.Cols);
+  DirBucket &DB = D.bucketFor(Sub);
+  std::lock_guard<std::mutex> G(DB.M);
+  for (DirLink *L = DB.Head.load(std::memory_order_relaxed); L;
+       L = L->Next.load(std::memory_order_relaxed))
+    if (L->C == C)
+      return; // already linked (install raced the backfill)
+  DirLink *L = new DirLink;
+  L->SubKey = std::move(Sub);
+  L->C = C;
+  L->Next.store(DB.Head.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  DB.Head.store(L, std::memory_order_release);
 }
 
 void MvccStore::installInsert(const Tuple &Full, uint64_t Seq) {
@@ -121,24 +201,48 @@ void MvccStore::installRemove(const Tuple &Full, uint64_t Seq) {
   Bucket &B = bucketFor(Key);
   std::lock_guard<std::mutex> G(B.M);
   Chain *C = findChain(B, Key);
-  if (!C)
-    return; // idempotent-replay tolerance (see header)
-  Version *H = C->Head.load(std::memory_order_relaxed);
-  if (!H || H->End.load(std::memory_order_relaxed) != 0)
+  if (!C) {
+    // Idempotent-replay tolerance (see header). Counted: outside
+    // recovery the commit protocol (2PL + put-if-absent) makes a
+    // remove of an absent or already-ended version impossible, so the
+    // stress oracle asserts removeNoops() stays zero.
+    RemoveNoops.fetch_add(1, std::memory_order_relaxed);
     return;
+  }
+  Version *H = C->Head.load(std::memory_order_relaxed);
+  if (!H || H->End.load(std::memory_order_relaxed) != 0) {
+    RemoveNoops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   H->End.store(Seq, std::memory_order_release);
   Retired.fetch_add(pruneChainLocked(B, C, snapshotWatermark()),
                     std::memory_order_relaxed);
 }
 
+MvccStore::Directory *MvccStore::directoryFor(ColumnSet QueryDom) const {
+  Directory *Best = nullptr;
+  for (Directory *D = Dirs.load(std::memory_order_acquire); D;
+       D = D->Next.load(std::memory_order_acquire)) {
+    if (!QueryDom.containsAll(D->Cols) ||
+        !D->Ready.load(std::memory_order_acquire))
+      continue;
+    if (!Best || D->Cols.size() > Best->Cols.size())
+      Best = D; // most bound identity columns = fewest chains per key
+  }
+  return Best;
+}
+
 uint32_t
 MvccStore::snapshotQuery(const Tuple &S, uint64_t Snap,
                          function_ref<void(const Tuple &)> Visit,
-                         function_ref<bool(const Tuple &)> SkipKey) const {
+                         function_ref<bool(const Tuple &)> SkipKey,
+                         SnapshotQueryStats *Stats) const {
   assert(EpochDomain::global().inGuard() &&
          "snapshot reads walk epoch-reclaimed chains; pin a guard first");
   uint32_t N = 0;
+  SnapshotQueryStats Local;
   auto VisitChain = [&](const Chain *C) {
+    ++Local.ChainsVisited;
     if (SkipKey && SkipKey(C->Key))
       return;
     for (Version *V = C->Head.load(std::memory_order_acquire); V;
@@ -160,16 +264,102 @@ MvccStore::snapshotQuery(const Tuple &S, uint64_t Snap,
     }
   };
   if (S.domain().containsAll(KeyCols)) {
+    // Point read: the primary directory resolves the one chain.
     Tuple Key = S.project(KeyCols);
-    if (const Chain *C = findChain(bucketFor(Key), Key))
-      VisitChain(C);
-    return N;
+    const Bucket &B = bucketFor(Key);
+    for (Chain *C = B.Head.load(std::memory_order_acquire); C;
+         C = C->Next.load(std::memory_order_acquire)) {
+      ++Local.LinksScanned;
+      if (C->Key == Key) {
+        VisitChain(C);
+        break;
+      }
+    }
+  } else if (const Directory *D = directoryFor(S.domain())) {
+    // Directory-served: only the chains extending the projected
+    // sub-key, O(matching chains) + the bucket list walked.
+    Local.DirectoryServed = true;
+    Tuple Sub = S.project(D->Cols);
+    const DirBucket &DB = D->bucketFor(Sub);
+    for (DirLink *L = DB.Head.load(std::memory_order_acquire); L;
+         L = L->Next.load(std::memory_order_acquire)) {
+      ++Local.LinksScanned;
+      if (L->SubKey == Sub)
+        VisitChain(L->C);
+    }
+  } else {
+    // No access path: the documented whole-store fallback. Callers
+    // (Transaction::query) use the FullScan report to request a
+    // directory for next time.
+    Local.FullScan = true;
+    for (const std::unique_ptr<Bucket> &B : Buckets)
+      for (Chain *C = B->Head.load(std::memory_order_acquire); C;
+           C = C->Next.load(std::memory_order_acquire)) {
+        ++Local.LinksScanned;
+        VisitChain(C);
+      }
   }
-  for (const std::unique_ptr<Bucket> &B : Buckets)
+  if (Stats)
+    *Stats = Local;
+  return N;
+}
+
+bool MvccStore::ensureDirectory(ColumnSet QueryCols) {
+  ColumnSet Cols = QueryCols & KeyCols;
+  if (Cols.size() == 0 || Cols == KeyCols)
+    return false; // nothing to index / the primary directory serves it
+  for (Directory *D = Dirs.load(std::memory_order_acquire); D;
+       D = D->Next.load(std::memory_order_acquire))
+    if (D->Cols == Cols)
+      return true;
+  Directory *D;
+  {
+    std::lock_guard<std::mutex> G(DirsM);
+    for (Directory *E = Dirs.load(std::memory_order_relaxed); E;
+         E = E->Next.load(std::memory_order_relaxed))
+      if (E->Cols == Cols)
+        return true; // creation raced; the winner backfills
+    D = new Directory;
+    D->Cols = Cols;
+    D->Buckets.reserve(Buckets.size());
+    for (size_t I = 0; I < Buckets.size(); ++I)
+      D->Buckets.push_back(std::make_unique<DirBucket>());
+    // Publish before backfilling: installers read the registry under
+    // their primary bucket mutex, so every chain created after the
+    // backfill passes its bucket is self-linked (see findOrCreateChain).
+    D->Next.store(Dirs.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    Dirs.store(D, std::memory_order_release);
+  }
+  for (std::unique_ptr<Bucket> &B : Buckets) {
+    std::lock_guard<std::mutex> G(B->M);
+    for (Chain *C = B->Head.load(std::memory_order_relaxed); C;
+         C = C->Next.load(std::memory_order_relaxed))
+      linkChainToDir(*D, C);
+  }
+  D->Ready.store(true, std::memory_order_release);
+  return true;
+}
+
+size_t MvccStore::directoryCount() const {
+  size_t N = 0;
+  for (Directory *D = Dirs.load(std::memory_order_acquire); D;
+       D = D->Next.load(std::memory_order_acquire))
+    ++N;
+  return N;
+}
+
+size_t MvccStore::maxBucketChainLength() const {
+  EpochDomain::Guard G;
+  size_t Max = 0;
+  for (const std::unique_ptr<Bucket> &B : Buckets) {
+    size_t Len = 0;
     for (Chain *C = B->Head.load(std::memory_order_acquire); C;
          C = C->Next.load(std::memory_order_acquire))
-      VisitChain(C);
-  return N;
+      ++Len;
+    Max = Len > Max ? Len : Max;
+  }
+  return Max;
 }
 
 size_t MvccStore::pruneChainLocked(Bucket &B, Chain *C, uint64_t Watermark) {
@@ -200,6 +390,26 @@ size_t MvccStore::pruneChainLocked(Bucket &B, Chain *C, uint64_t Watermark) {
       if (Cur == C) {
         CLink->store(C->Next.load(std::memory_order_relaxed),
                      std::memory_order_release);
+        // Drop the chain's directory links first. Reading the registry
+        // here (still under B.M) observes every directory any earlier
+        // linker under this mutex saw — read-read coherence through
+        // the mutex ordering — so no stale link can outlive the chain.
+        for (Directory *Dir = Dirs.load(std::memory_order_acquire); Dir;
+             Dir = Dir->Next.load(std::memory_order_acquire)) {
+          DirBucket &DB = Dir->bucketFor(C->Key.project(Dir->Cols));
+          std::lock_guard<std::mutex> DG(DB.M);
+          std::atomic<DirLink *> *LLink = &DB.Head;
+          for (DirLink *L = LLink->load(std::memory_order_relaxed); L;
+               L = LLink->load(std::memory_order_relaxed)) {
+            if (L->C == C) {
+              LLink->store(L->Next.load(std::memory_order_relaxed),
+                           std::memory_order_release);
+              D.retireObject(L);
+              break;
+            }
+            LLink = &L->Next;
+          }
+        }
         D.retireObject(C);
         break;
       }

@@ -49,6 +49,26 @@
 /// they install (amortized); prune() is the explicit vacuum for tests
 /// and idle housekeeping.
 ///
+/// **Secondary chain directories.** A query that binds only a proper
+/// subset of the identity columns (a successor query binding `src` on
+/// a `(src, dst)`-keyed graph) cannot use the primary hash directory.
+/// For each such column set the relation serves (surfaced from the
+/// plan cache's compiled query signatures, or lazily on the first
+/// falling-back read), the store keeps a secondary directory: a hash
+/// table from the projected sub-key to the chains extending it. Only
+/// identity columns participate — a chain's key never changes, so a
+/// link is installed once when the chain is created and removed once
+/// when the chain empties, both under the chain's primary bucket
+/// mutex; readers walk directory buckets lock-free under the same
+/// epoch guard. A new directory is published to the registry first and
+/// then backfilled from the live chains bucket by bucket; readers
+/// ignore it until the backfill completes (Ready), while installers
+/// observe it through the bucket-mutex ordering, so no chain created
+/// during the backfill is missed and duplicates are impossible (links
+/// dedup under the directory bucket mutex). Directories are never
+/// removed and survive migrateTo untouched — the store is
+/// decomposition-independent by design.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRS_TXN_MVCCSTORE_H
@@ -66,6 +86,19 @@
 
 namespace crs {
 
+/// Per-call observability for one snapshotQuery: which access path
+/// served it and how much of the store it touched. Filled into a
+/// caller-owned struct (no shared counters on the read path); the
+/// txn_mvcc_test access-path assertions are built on ChainsVisited
+/// staying O(matching chains) for directory-served reads as the rest
+/// of the store grows.
+struct SnapshotQueryStats {
+  uint32_t ChainsVisited = 0; ///< chains whose version list was walked
+  uint32_t LinksScanned = 0;  ///< bucket/directory list nodes traversed
+  bool DirectoryServed = false; ///< a secondary directory served the read
+  bool FullScan = false;        ///< fell back to the whole-store scan
+};
+
 /// The per-relation MVCC version store. Thread-safe per the file
 /// comment: lock-free epoch-guarded readers, bucket-locked writers.
 class MvccStore {
@@ -76,6 +109,13 @@ public:
   /// exist). \p NumBuckets fixes the hash directory (never resized —
   /// readers hold raw bucket pointers).
   explicit MvccStore(const RelationSpec &Spec, unsigned NumBuckets = 256);
+
+  /// Primary directory size for an expected tuple cardinality: the
+  /// power of two giving ~2 chains per bucket, clamped to [64, 2^20];
+  /// 0 (unknown) keeps the 256 default. The count is fixed for the
+  /// store's lifetime, so callers size it from
+  /// RepresentationConfig::ExpectedCardinality up front.
+  static unsigned bucketCountFor(size_t ExpectedCardinality);
   ~MvccStore();
   MvccStore(const MvccStore &) = delete;
   MvccStore &operator=(const MvccStore &) = delete;
@@ -105,16 +145,33 @@ public:
   /// Snapshot query: visits the full tuple of every version visible at
   /// snapshot \p Snap that extends \p S (the paper's query r s C read
   /// set, unprojected). Point-looks-up one chain when dom(S) covers the
-  /// identity columns, otherwise scans the whole store. \p SkipKey
-  /// (optional) suppresses chains by identity — the own-writes overlay
-  /// hook: a transaction passes its write set so its own undo log can
-  /// supersede the committed chain. Returns the number visited.
-  /// Caller must hold an EpochDomain guard on the global domain
-  /// (asserted in debug); acquires no lock.
+  /// identity columns; otherwise routes through the best matching
+  /// secondary directory (most bound identity columns), falling back
+  /// to the whole-store scan only when no ready directory applies.
+  /// \p SkipKey (optional) suppresses chains by identity — the
+  /// own-writes overlay hook: a transaction passes its write set so
+  /// its own undo log can supersede the committed chain. \p Stats
+  /// (optional) reports the access path taken. Returns the number
+  /// visited. Caller must hold an EpochDomain guard on the global
+  /// domain (asserted in debug); acquires no lock.
   uint32_t snapshotQuery(const Tuple &S, uint64_t Snap,
                          function_ref<void(const Tuple &)> Visit,
-                         function_ref<bool(const Tuple &)> SkipKey =
-                             nullptr) const;
+                         function_ref<bool(const Tuple &)> SkipKey = nullptr,
+                         SnapshotQueryStats *Stats = nullptr) const;
+
+  /// Ensures a secondary directory over \p QueryCols ∩ keyColumns()
+  /// exists and is (being) backfilled. No-op when the intersection is
+  /// empty (nothing to index) or covers the whole identity (the
+  /// primary directory already serves it). Returns true if a directory
+  /// over that column set exists on return (possibly still
+  /// backfilling; readers use it once ready). Thread-safe; callable
+  /// concurrently with installs, reads, and pruning. Creation +
+  /// backfill lock bucket mutexes, so prefer calling it outside an
+  /// epoch guard to keep reclamation prompt.
+  bool ensureDirectory(ColumnSet QueryCols);
+
+  /// Number of secondary directories created (tests).
+  size_t directoryCount() const;
 
   /// Explicit vacuum: unlinks and retires every version invisible at
   /// \p Watermark (0 < End ≤ Watermark) and every emptied chain.
@@ -130,27 +187,55 @@ public:
   uint64_t retired() const { return Retired.load(std::memory_order_relaxed); }
   /// Versions currently linked (installed − retired).
   uint64_t liveVersions() const { return installed() - retired(); }
+  /// Longest chain list hanging off one primary bucket right now — the
+  /// hash-quality metric the stress lane bounds (a store sized from
+  /// the expected cardinality must not degrade into long intra-bucket
+  /// lists). Pins its own epoch guard; lock-free.
+  size_t maxBucketChainLength() const;
+  /// installRemove calls that found no live version to end. Tolerated
+  /// for idempotent replay (recovery), but outside recovery the
+  /// commit protocol makes them impossible — the snapshot stress
+  /// oracle asserts this stays zero.
+  uint64_t removeNoops() const {
+    return RemoveNoops.load(std::memory_order_relaxed);
+  }
   /// @}
 
 private:
   struct Version;
   struct Chain;
   struct Bucket;
+  struct DirLink;
+  struct DirBucket;
+  struct Directory;
 
   Bucket &bucketFor(const Tuple &Key) const;
   /// Finds \p Key's chain in \p B (lock-free walk), or null.
   Chain *findChain(const Bucket &B, const Tuple &Key) const;
-  /// Finds or links \p Key's chain; call with \p B's mutex held.
+  /// Finds or links \p Key's chain; call with \p B's mutex held. A
+  /// newly created chain is linked into every registered directory.
   Chain *findOrCreateChain(Bucket &B, const Tuple &Key);
   /// Unlinks dead versions of \p C below \p Watermark and, when the
-  /// chain empties, the chain itself; call with the bucket mutex held.
+  /// chain empties, the chain itself (plus its directory links); call
+  /// with the bucket mutex held.
   size_t pruneChainLocked(Bucket &B, Chain *C, uint64_t Watermark);
+  /// Links \p C into \p D (dedup under the directory bucket mutex);
+  /// call with \p C's primary bucket mutex held.
+  void linkChainToDir(Directory &D, Chain *C);
+  /// The ready directory with the most columns ⊆ \p QueryDom, or null.
+  Directory *directoryFor(ColumnSet QueryDom) const;
 
   ColumnSet KeyCols;
   ColumnSet AllCols;
   std::vector<std::unique_ptr<Bucket>> Buckets;
   std::atomic<uint64_t> Installed{0};
   std::atomic<uint64_t> Retired{0};
+  std::atomic<uint64_t> RemoveNoops{0};
+  /// Secondary directory registry: a grow-only lock-free list (new
+  /// directories push at head under DirsM; readers/installers load
+  /// acquire). Never shrinks — see the file comment.
+  std::atomic<Directory *> Dirs{nullptr};
+  std::mutex DirsM; ///< serializes directory creation + backfill
 };
 
 } // namespace crs

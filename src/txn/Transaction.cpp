@@ -337,8 +337,12 @@ uint32_t
 Transaction::snapshotReadOver(const ConcurrentRelation &R,
                               const std::vector<UndoRecord> &Undo,
                               const Tuple &Input, uint64_t Snap,
-                              function_ref<void(const Tuple &)> Visit) {
-  const MvccStore &Store = *R.Mvcc;
+                              function_ref<void(const Tuple &)> Visit,
+                              SnapshotQueryStats *Stats) {
+  // R is const (reads don't mutate the relation), but the version
+  // store's directory registry may grow below: the unique_ptr is
+  // const, its pointee is not.
+  MvccStore &Store = *R.Mvcc;
   // Own-writes overlay: the scope reads its own uncommitted effects
   // over the committed chains. Replay the undo log per key — the last
   // record decides the key's current state (insert: present with that
@@ -365,17 +369,32 @@ Transaction::snapshotReadOver(const ConcurrentRelation &R,
   function_ref<bool(const Tuple &)> Skip;
   if (!Mine.empty())
     Skip = SkipMine;
-  // The guard covers the lock-free chain walk (versions reclaim
-  // through the epoch domain). No gate, no physical lock, no plan.
-  EpochDomain::Guard EG;
-  uint32_t N = Store.snapshotQuery(Input, Snap, Visit, Skip);
-  for (const auto &P : Mine) {
-    if (!P.second || !P.second->extends(Input))
-      continue;
-    ++N;
-    if (Visit)
-      Visit(*P.second);
+  SnapshotQueryStats Path;
+  uint32_t N;
+  {
+    // The guard covers the lock-free chain walk (versions reclaim
+    // through the epoch domain). No gate, no physical lock, no plan.
+    EpochDomain::Guard EG;
+    N = Store.snapshotQuery(Input, Snap, Visit, Skip, &Path);
+    for (const auto &P : Mine) {
+      if (!P.second || !P.second->extends(Input))
+        continue;
+      ++N;
+      if (Visit)
+        Visit(*P.second);
+    }
   }
+  // A fallback scan is the signal that this query shape has no access
+  // path yet: request one now (outside the guard — backfill takes
+  // bucket mutexes and should not pin reclamation), so the next read
+  // binding these columns walks only its matching chains. Eagerly
+  // compiled signatures (ConcurrentRelation's plan cache) normally get
+  // here first; this lazy path catches ad-hoc shapes and directories
+  // stranded by late prepares.
+  if (Path.FullScan)
+    Store.ensureDirectory(Input.domain());
+  if (Stats)
+    *Stats = Path;
   return N;
 }
 
@@ -397,7 +416,8 @@ bool Transaction::query(const PreparedQuery &Q,
   Input.rebind(Cols.data(), Args.begin(), Args.size());
   Rel->NumQueries.inc();
   ++Ops;
-  uint32_t N = snapshotReadOver(*Rel, Undo, Input, Snap, Visit);
+  uint32_t N = snapshotReadOver(*Rel, Undo, Input, Snap, Visit,
+                                &LastReadStats);
   if (Matches)
     *Matches = N;
   return true;

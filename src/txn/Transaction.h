@@ -117,6 +117,7 @@
 
 #include "runtime/PreparedOp.h"
 #include "runtime/ShardedRelation.h"
+#include "txn/MvccStore.h"
 
 #include <memory>
 #include <thread>
@@ -189,6 +190,15 @@ public:
   size_t undoDepth() const { return Undo.size(); }
   uint64_t restarts() const { return Restarts; }
   /// @}
+
+  /// Access-path report of the scope's most recent query(): which path
+  /// served it (primary point lookup, secondary directory, or the
+  /// whole-store fallback) and how many chains/links it touched. The
+  /// txn_mvcc_test access-path assertions read this; zeroed until the
+  /// first query.
+  const SnapshotQueryStats &lastSnapshotReadStats() const {
+    return LastReadStats;
+  }
 
   /// query r s C inside the scope: a *snapshot read* of the relation's
   /// MVCC store at the scope's snapshot, overlaid with the scope's own
@@ -269,11 +279,16 @@ private:
   /// The snapshot read core, shared with ShardedTransaction's direct
   /// per-shard reads: visits \p R's version store at \p Snap overlaid
   /// with the write set in \p Undo (its keys supersede the committed
-  /// chains; its net inserts are appended). Returns the match count.
+  /// chains; its net inserts are appended). A read that fell back to
+  /// the whole-store scan requests a secondary directory for its
+  /// column set afterwards (outside the epoch guard), so the next read
+  /// with this shape is directory-served. \p Stats (optional) receives
+  /// the access-path report. Returns the match count.
   static uint32_t
   snapshotReadOver(const ConcurrentRelation &R,
                    const std::vector<UndoRecord> &Undo, const Tuple &Input,
-                   uint64_t Snap, function_ref<void(const Tuple &)> Visit);
+                   uint64_t Snap, function_ref<void(const Tuple &)> Visit,
+                   SnapshotQueryStats *Stats = nullptr);
 
   void commitWithSeq(uint64_t S);
   void abortWith(TxnAbortCause C);
@@ -292,6 +307,7 @@ private:
   uint64_t Seq = 0;
   uint64_t BirthStamp = 0; ///< wait-die age (sync/CommitClock.h)
   uint64_t Snap = 0;       ///< the scope's read snapshot
+  SnapshotQueryStats LastReadStats; ///< most recent query()'s path
   uint64_t StartEpoch = 0;
   uint64_t Ops = 0;
   uint64_t Restarts = 0;

@@ -160,6 +160,11 @@ bool crs::writeCheckpoint(ConcurrentRelation &R, const std::string &Dir,
     ::unlink(Tmp.c_str());
     return false;
   }
+  // The checkpoint durably covers every record at or below Watermark:
+  // sealed WAL segments wholly beneath it will never be replayed again,
+  // so reclaim them (ROADMAP 2a — the log no longer grows unboundedly).
+  if (WriteAheadLog *W = R.walLog())
+    W->pruneSegments(R.walPartition(), Watermark);
   if (WatermarkOut)
     *WatermarkOut = Watermark;
   return true;
@@ -200,33 +205,48 @@ RecoveryResult crs::recoverRelation(ConcurrentRelation &R,
                          // unless hand-edited, but never fatal
   }
 
-  // The WAL partition: every complete record, torn tail cut off.
-  std::string WalPath = walPartitionPath(Dir, Partition);
-  WalReadResult Log = readWalPartition(WalPath);
-  if (!Log.ok()) {
-    Res.Error = Log.Error;
-    return Res;
-  }
-  if (Log.TornTail) {
-    Res.TornTail = true;
-    struct stat St;
-    if (::stat(WalPath.c_str(), &St) == 0)
-      Res.TruncatedBytes =
-          static_cast<uint64_t>(St.st_size) - Log.ValidBytes;
-    if (!truncateWalPartition(WalPath, Log.ValidBytes)) {
-      Res.Error = WalPath + ": truncate: " + std::strerror(errno);
+  // The WAL partition: every surviving segment in index order (indices
+  // pruned by past checkpoints are simply absent — their records were
+  // all at or below some checkpoint watermark), every complete record,
+  // torn tail cut off. A torn tail is only the expected mid-append
+  // crash shape on the *last* segment; a torn earlier segment means the
+  // later ones postdate a corruption, so replay stops at the tear to
+  // keep the recovered prefix mutation-consistent.
+  std::vector<WalRecord> Records;
+  std::vector<unsigned> Segs = listWalSegments(Dir, Partition);
+  if (Segs.empty())
+    Segs.push_back(0); // legacy/fresh dir: readWalPartition(ENOENT) = empty
+  for (size_t SI = 0; SI < Segs.size(); ++SI) {
+    std::string SegPath = walSegmentPath(Dir, Partition, Segs[SI]);
+    WalReadResult Log = readWalPartition(SegPath);
+    if (!Log.ok()) {
+      Res.Error = Log.Error;
       return Res;
+    }
+    for (WalRecord &Rec : Log.Records)
+      Records.push_back(std::move(Rec));
+    if (Log.TornTail) {
+      Res.TornTail = true;
+      struct stat St;
+      if (::stat(SegPath.c_str(), &St) == 0)
+        Res.TruncatedBytes +=
+            static_cast<uint64_t>(St.st_size) - Log.ValidBytes;
+      if (!truncateWalPartition(SegPath, Log.ValidBytes)) {
+        Res.Error = SegPath + ": truncate: " + std::strerror(errno);
+        return Res;
+      }
+      break; // anything after a tear is not a consistent suffix
     }
   }
 
   // Replay above the watermark in commit order. stable_sort: a bare
   // operation and a transactional scope never share a sequence number,
   // but keep byte order authoritative among equals anyway.
-  std::stable_sort(Log.Records.begin(), Log.Records.end(),
+  std::stable_sort(Records.begin(), Records.end(),
                    [](const WalRecord &A, const WalRecord &B) {
                      return A.CommitSeq < B.CommitSeq;
                    });
-  for (const WalRecord &Rec : Log.Records) {
+  for (const WalRecord &Rec : Records) {
     if (Rec.Shard != Shard || Rec.CommitSeq <= Res.CheckpointSeq)
       continue;
     ++Res.RecordsReplayed;

@@ -21,38 +21,77 @@ using namespace crs;
 
 size_t WalTailer::poll(std::vector<WalRecord> &Out) {
   size_t Appended = 0;
-  for (unsigned P = 0; P < Offsets.size(); ++P) {
-    std::string Path = walPartitionPath(Dir, P);
-    int Fd = ::open(Path.c_str(), O_RDONLY);
-    if (Fd < 0)
-      continue; // not created yet (no commit reached this partition)
-    if (::lseek(Fd, static_cast<off_t>(Offsets[P]), SEEK_SET) < 0) {
-      ::close(Fd);
-      continue;
-    }
-    std::vector<uint8_t> Buf;
-    uint8_t Chunk[1 << 16];
+  for (unsigned P = 0; P < Cursors.size(); ++P) {
+    Cursor &C = Cursors[P];
+    // Keep draining segments until one ends without a successor: the
+    // flusher rotates between polls, and a poll must not stall behind
+    // a sealed segment it already finished.
     for (;;) {
-      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
-      if (N < 0 && errno == EINTR)
-        continue;
-      if (N <= 0)
+      std::vector<unsigned> Segs = listWalSegments(Dir, P);
+      if (Segs.empty())
+        break; // not created yet (no commit reached this partition)
+      if (std::find(Segs.begin(), Segs.end(), C.Seg) == Segs.end()) {
+        // The cursor's segment was checkpoint-pruned underneath us:
+        // every record in it was consumed or checkpointed; resume at
+        // the oldest surviving segment past it.
+        auto Next = std::upper_bound(Segs.begin(), Segs.end(), C.Seg);
+        if (Next == Segs.end())
+          break;
+        C.Seg = *Next;
+        C.Off = 0;
+      }
+      // Whether a successor segment existed *before* we read: segment
+      // sealing happens-before the successor file's creation, so a
+      // successor visible now proves C.Seg is sealed and the read below
+      // sees its every byte. (A post-read listing could witness a
+      // rotation that raced past our read and skip its last batch.)
+      auto NextSeg = std::upper_bound(Segs.begin(), Segs.end(), C.Seg);
+      std::string Path = walSegmentPath(Dir, P, C.Seg);
+      int Fd = ::open(Path.c_str(), O_RDONLY);
+      if (Fd < 0)
         break;
-      Buf.insert(Buf.end(), Chunk, Chunk + N);
+      if (::lseek(Fd, static_cast<off_t>(C.Off), SEEK_SET) < 0) {
+        ::close(Fd);
+        break;
+      }
+      std::vector<uint8_t> Buf;
+      uint8_t Chunk[1 << 16];
+      for (;;) {
+        ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0)
+          break;
+        Buf.insert(Buf.end(), Chunk, Chunk + N);
+      }
+      ::close(Fd);
+      size_t Off = 0;
+      WalRecord Rec;
+      bool Torn = false;
+      while (Off < Buf.size()) {
+        size_t Used =
+            walDecodeRecord(Buf.data() + Off, Buf.size() - Off, Rec);
+        if (Used == 0) {
+          Torn = true;
+          break; // incomplete tail: the flusher is mid-append; next poll
+        }
+        Out.push_back(std::move(Rec));
+        Rec = WalRecord();
+        Off += Used;
+        ++Appended;
+      }
+      C.Off += Off;
+      if (Torn)
+        break; // mid-append bytes only ever trail the active segment
+      // Clean end of a provably sealed segment: roll to the successor.
+      // No successor in the pre-read listing means this may be the
+      // active segment — wait for more bytes (or for the next poll to
+      // see the rotation).
+      if (NextSeg == Segs.end())
+        break;
+      C.Seg = *NextSeg;
+      C.Off = 0;
     }
-    ::close(Fd);
-    size_t Off = 0;
-    WalRecord Rec;
-    while (Off < Buf.size()) {
-      size_t Used = walDecodeRecord(Buf.data() + Off, Buf.size() - Off, Rec);
-      if (Used == 0)
-        break; // incomplete tail: the flusher is mid-append; next poll
-      Out.push_back(std::move(Rec));
-      Rec = WalRecord();
-      Off += Used;
-      ++Appended;
-    }
-    Offsets[P] += Off;
   }
   return Appended;
 }

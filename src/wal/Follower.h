@@ -59,19 +59,28 @@ namespace crs {
 /// File-tailing consumption of WAL partitions: polls each partition
 /// file for records appended since the last poll, decoding only
 /// complete records (a torn or still-being-written tail is left for
-/// the next poll). The offline/recovery-test twin of CommitChannel.
+/// the next poll). Segment-aware: on reaching a segment's clean end
+/// with a newer segment present on disk, the cursor rolls forward to
+/// it, and a cursor stranded on a checkpoint-pruned segment jumps to
+/// the oldest surviving one. The offline/recovery-test twin of
+/// CommitChannel.
 class WalTailer {
 public:
   WalTailer(std::string Dir, unsigned Partitions)
-      : Dir(std::move(Dir)), Offsets(Partitions, 0) {}
+      : Dir(std::move(Dir)), Cursors(Partitions) {}
 
   /// Appends every newly completed record (all partitions, file order
   /// within each) to \p Out; returns the number appended.
   size_t poll(std::vector<WalRecord> &Out);
 
 private:
+  /// Per-partition read position: byte offset Off into segment Seg.
+  struct Cursor {
+    unsigned Seg = 0;
+    uint64_t Off = 0;
+  };
   std::string Dir;
-  std::vector<uint64_t> Offsets;
+  std::vector<Cursor> Cursors;
 };
 
 /// A live read replica over the commit stream. Owns the replica

@@ -7,12 +7,15 @@
 
 #include "wal/Wal.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -240,6 +243,48 @@ std::string crs::walPartitionPath(const std::string &Dir, unsigned Partition) {
   return Dir + Buf;
 }
 
+std::string crs::walSegmentPath(const std::string &Dir, unsigned Partition,
+                                unsigned Segment) {
+  // Segment 0 keeps the legacy single-file name: a pre-segmentation log
+  // is read back as its partitions' segment 0 with no migration step.
+  if (Segment == 0)
+    return walPartitionPath(Dir, Partition);
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "/wal-%03u.%04u.log", Partition, Segment);
+  return Dir + Buf;
+}
+
+std::vector<unsigned> crs::listWalSegments(const std::string &Dir,
+                                           unsigned Partition) {
+  std::vector<unsigned> Segs;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Segs;
+  char Prefix[32];
+  std::snprintf(Prefix, sizeof(Prefix), "wal-%03u", Partition);
+  while (struct dirent *E = ::readdir(D)) {
+    const char *Name = E->d_name;
+    if (std::strncmp(Name, Prefix, std::strlen(Prefix)) != 0)
+      continue;
+    const char *Rest = Name + std::strlen(Prefix);
+    if (std::strcmp(Rest, ".log") == 0) {
+      Segs.push_back(0);
+      continue;
+    }
+    // "wal-NNN.SSSS.log": parse the segment index between the dots.
+    if (*Rest != '.')
+      continue;
+    char *End = nullptr;
+    unsigned long Seg = std::strtoul(Rest + 1, &End, 10);
+    if (End == Rest + 1 || std::strcmp(End, ".log") != 0)
+      continue;
+    Segs.push_back(static_cast<unsigned>(Seg));
+  }
+  ::closedir(D);
+  std::sort(Segs.begin(), Segs.end());
+  return Segs;
+}
+
 //===----------------------------------------------------------------------===//
 // Partition scan (recovery / file-tailing)
 //===----------------------------------------------------------------------===//
@@ -368,15 +413,23 @@ std::unique_ptr<WriteAheadLog> WriteAheadLog::open(const Options &O,
   W->Mode = O.Fsync;
   W->ParkMicros = O.ParkMicros;
   W->FlushMicros = O.FlushMicros;
+  W->SegmentBytes = O.SegmentBytes;
   for (unsigned I = 0; I < O.Partitions; ++I) {
     auto P = std::make_unique<Partition>();
-    std::string Path = walPartitionPath(O.Dir, I);
+    // Resume appending to the highest existing segment — earlier ones
+    // are sealed history (recovery reads them; checkpoints prune them).
+    std::vector<unsigned> Segs = listWalSegments(O.Dir, I);
+    P->Seg = Segs.empty() ? 0 : Segs.back();
+    std::string Path = walSegmentPath(O.Dir, I, P->Seg);
     P->Fd = ::open(Path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
     if (P->Fd < 0) {
       if (Err)
         *Err = Path + ": " + std::strerror(errno);
       return nullptr;
     }
+    struct stat St;
+    if (::fstat(P->Fd, &St) == 0)
+      P->SegBytes = static_cast<uint64_t>(St.st_size);
     W->Parts.push_back(std::move(P));
   }
   W->Flusher = std::thread([Wp = W.get()] { Wp->flusherLoop(); });
@@ -412,7 +465,7 @@ void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
     return; // read-only scopes leave no redo record
   CommitScratch.clear();
   walEncodeRecord(CommitScratch, CommitSeq, Shard, Muts, NumMuts);
-  appendEncoded(Partition, CommitScratch, [&] {
+  appendEncoded(Partition, CommitSeq, CommitScratch, [&] {
     WalRecord R;
     R.CommitSeq = CommitSeq;
     R.Shard = Shard;
@@ -438,7 +491,7 @@ void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
   putU8(CommitScratch, static_cast<uint8_t>(Op));
   encodeTuple(CommitScratch, Full);
   patchRecordHeader(CommitScratch, Header, Payload);
-  appendEncoded(Partition, CommitScratch, [&] {
+  appendEncoded(Partition, CommitSeq, CommitScratch, [&] {
     WalRecord R;
     R.CommitSeq = CommitSeq;
     R.Shard = Shard;
@@ -473,7 +526,7 @@ void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
     encodeTupleProjected(CommitScratch, *Full, Project);
   }
   patchRecordHeader(CommitScratch, Header, Payload);
-  appendEncoded(Partition, CommitScratch, [&] {
+  appendEncoded(Partition, CommitSeq, CommitScratch, [&] {
     WalRecord R;
     R.CommitSeq = CommitSeq;
     R.Shard = Shard;
@@ -487,7 +540,7 @@ void WriteAheadLog::logCommit(uint32_t Partition, uint64_t CommitSeq,
   });
 }
 
-void WriteAheadLog::appendEncoded(uint32_t Partition,
+void WriteAheadLog::appendEncoded(uint32_t Partition, uint64_t CommitSeq,
                                   const std::vector<uint8_t> &Encoded,
                                   function_ref<WalRecord()> MakeRecord) {
   struct Partition &P = *Parts[Partition];
@@ -496,6 +549,7 @@ void WriteAheadLog::appendEncoded(uint32_t Partition,
     std::lock_guard<std::mutex> G(P.M);
     P.Tail.insert(P.Tail.end(), Encoded.begin(), Encoded.end());
     P.Appended += Encoded.size();
+    P.TailMaxSeq = std::max(P.TailMaxSeq, CommitSeq);
     MyEnd = P.Appended;
     // Publish to the live replication feed under the same mutex: the
     // channel sees records in exactly the partition's append order,
@@ -556,16 +610,18 @@ void WriteAheadLog::flusherLoop() {
 uint64_t WriteAheadLog::flushRound() {
   std::lock_guard<std::mutex> RG(RoundM);
   uint64_t Moved = 0;
-  for (auto &Pp : Parts) {
-    Partition &P = *Pp;
+  for (unsigned I = 0; I < Parts.size(); ++I) {
+    Partition &P = *Parts[I];
     std::vector<uint8_t> Local;
-    uint64_t Target;
+    uint64_t Target, BatchMaxSeq;
     {
       std::lock_guard<std::mutex> G(P.M);
       if (P.Tail.empty())
         continue;
       Local.swap(P.Tail);
       Target = P.Appended;
+      BatchMaxSeq = P.TailMaxSeq;
+      P.TailMaxSeq = 0;
     }
     bool Ok = writeFully(P.Fd, Local.data(), Local.size());
     if (Ok && Mode != FsyncMode::None)
@@ -577,7 +633,15 @@ uint64_t WriteAheadLog::flushRound() {
       continue;
     }
     Moved += Local.size();
+    P.SegBytes += Local.size();
+    P.SegMaxSeq = std::max(P.SegMaxSeq, BatchMaxSeq);
     P.Durable.store(Target, std::memory_order_release);
+    // Seal and rotate once the active segment crosses the threshold.
+    // Records never straddle segments: a whole flush batch lands in one
+    // file, so every segment is a clean sequence of complete records
+    // (plus at most one torn tail after a crash).
+    if (SegmentBytes && P.SegBytes >= SegmentBytes)
+      rotateSegmentLocked(P, I);
     {
       // Recycle the drained buffer's capacity when no append raced in.
       std::lock_guard<std::mutex> G(P.M);
@@ -593,6 +657,60 @@ uint64_t WriteAheadLog::flushRound() {
     CvDurable.notify_all();
   }
   return Moved;
+}
+
+void WriteAheadLog::rotateSegmentLocked(Partition &P, unsigned Index) {
+  std::string Next = walSegmentPath(Dir, Index, P.Seg + 1);
+  int Fd = ::open(Next.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (Fd < 0) {
+    // Keep appending to the full segment rather than losing records;
+    // latch Failed so Sync committers and tests see the sick disk.
+    if (!Failed.exchange(true, std::memory_order_acq_rel))
+      std::fprintf(stderr, "wal: segment rotation failed on %s: %s\n",
+                   Next.c_str(), std::strerror(errno));
+    return;
+  }
+  P.SealedMaxSeq[P.Seg] = P.SegMaxSeq;
+  ::close(P.Fd);
+  P.Fd = Fd;
+  ++P.Seg;
+  P.SegBytes = 0;
+  P.SegMaxSeq = 0;
+}
+
+unsigned WriteAheadLog::pruneSegments(uint32_t Partition,
+                                      uint64_t Watermark) {
+  assert(Partition < Parts.size() && "partition out of range");
+  struct Partition &P = *Parts[Partition];
+  std::lock_guard<std::mutex> RG(RoundM);
+  unsigned Removed = 0;
+  for (unsigned Seg : listWalSegments(Dir, Partition)) {
+    if (Seg >= P.Seg)
+      continue; // never the active segment
+    uint64_t MaxSeq;
+    auto It = P.SealedMaxSeq.find(Seg);
+    if (It != P.SealedMaxSeq.end()) {
+      MaxSeq = It->second;
+    } else {
+      // Sealed by a previous process life: recover the max with one
+      // scan and cache it. A torn or unreadable segment is left alone —
+      // recovery decides what to do with it, not the pruner.
+      WalReadResult R = readWalPartition(walSegmentPath(Dir, Partition, Seg));
+      if (!R.ok() || R.TornTail || R.Records.empty())
+        continue;
+      MaxSeq = 0;
+      for (const WalRecord &Rec : R.Records)
+        MaxSeq = std::max(MaxSeq, Rec.CommitSeq);
+      P.SealedMaxSeq[Seg] = MaxSeq;
+    }
+    if (MaxSeq > Watermark)
+      continue; // still holds records a recovery would replay
+    if (::unlink(walSegmentPath(Dir, Partition, Seg).c_str()) == 0) {
+      P.SealedMaxSeq.erase(Seg);
+      ++Removed;
+    }
+  }
+  return Removed;
 }
 
 void WriteAheadLog::flush() {

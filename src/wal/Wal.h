@@ -59,6 +59,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -143,6 +144,15 @@ public:
     std::string Dir;          ///< created if absent
     unsigned Partitions = 1;  ///< one file per partition: wal-<i>.log
     FsyncMode Fsync = FsyncMode::Batched;
+    /// Segment rotation threshold: once a partition's active segment
+    /// file reaches this many bytes, the flusher seals it and opens the
+    /// next segment (`wal-<i>.<seg>.log`; segment 0 keeps the legacy
+    /// `wal-<i>.log` name). Checkpoints then delete segments whose
+    /// records all fall at or below the checkpoint watermark
+    /// (pruneSegments), so partition storage is bounded by the
+    /// checkpoint cadence instead of growing forever. 0 disables
+    /// rotation (single-file behaviour).
+    uint64_t SegmentBytes = 64ull << 20;
     /// Group-commit batching window: in Sync mode, how long the flusher
     /// collects parked committers before the round that acks them all —
     /// the commit-latency bound, kept small.
@@ -207,6 +217,14 @@ public:
   /// shutdown use this; the destructor calls it implicitly.
   void flush();
 
+  /// Deletes sealed segments of \p Partition whose highest commit
+  /// sequence is ≤ \p Watermark — every record in them is already
+  /// covered by a checkpoint at \p Watermark, so recovery will never
+  /// replay them. The active segment is never deleted. Checkpoint
+  /// writers call this after the checkpoint file is durably renamed in
+  /// place. Returns the number of segment files removed.
+  unsigned pruneSegments(uint32_t Partition, uint64_t Watermark);
+
   /// Attaches/detaches the live replication channel. Attach before
   /// traffic (or accept that the follower starts with a gap and heals
   /// it via backfill).
@@ -240,26 +258,46 @@ private:
 
   struct Partition {
     int Fd = -1;
-    std::mutex M;                ///< guards Tail/Appended
+    std::mutex M;                ///< guards Tail/Appended/TailMaxSeq
     std::vector<uint8_t> Tail;   ///< bytes appended, not yet written
     uint64_t Appended = 0;       ///< total bytes ever appended
+    uint64_t TailMaxSeq = 0;     ///< max commitSeq in Tail (under M)
     std::atomic<uint64_t> Durable{0}; ///< bytes covered by write(+fsync)
+    /// \name Segmentation state (guarded by RoundM: only the flusher
+    /// round and pruneSegments touch it)
+    /// @{
+    unsigned Seg = 0;       ///< index of the active (open) segment
+    uint64_t SegBytes = 0;  ///< bytes written to the active segment
+    uint64_t SegMaxSeq = 0; ///< max commitSeq written to it
+    /// Highest commit sequence per sealed segment — what pruneSegments
+    /// compares against the checkpoint watermark. Segments sealed by a
+    /// previous process life are absent here; pruneSegments recovers
+    /// their max by scanning the file once and caches it.
+    std::map<unsigned, uint64_t> SealedMaxSeq;
+    /// @}
   };
 
   void flusherLoop();
   /// One write(+fsync) round over every partition; returns bytes moved.
   uint64_t flushRound();
-  /// Shared tail of both logCommit overloads: appends the wire bytes in
+  /// Seals \p P's active segment (records its max commit sequence for
+  /// pruning) and opens the next one. Caller holds RoundM. Latches
+  /// Failed on open failure.
+  void rotateSegmentLocked(Partition &P, unsigned Index);
+  /// Shared tail of the logCommit overloads: appends the wire bytes in
   /// \p Encoded to partition \p Partition, publishes \p MakeRecord()'s
   /// result to the channel if one is attached (both under the partition
   /// mutex), wakes the flusher, and parks for durability in Sync mode.
-  void appendEncoded(uint32_t Partition, const std::vector<uint8_t> &Encoded,
+  /// \p CommitSeq feeds the per-segment max used by pruneSegments.
+  void appendEncoded(uint32_t Partition, uint64_t CommitSeq,
+                     const std::vector<uint8_t> &Encoded,
                      function_ref<WalRecord()> MakeRecord);
 
   std::string Dir;
   FsyncMode Mode = FsyncMode::Batched;
   unsigned ParkMicros = 200;
   unsigned FlushMicros = 5000;
+  uint64_t SegmentBytes = 0;
   std::vector<std::unique_ptr<Partition>> Parts;
   std::atomic<CommitChannel *> Channel{nullptr};
 
@@ -305,6 +343,18 @@ uint32_t walCrc32(const uint8_t *Data, size_t Len);
 
 /// The partition file path `Dir/wal-<i>.log`.
 std::string walPartitionPath(const std::string &Dir, unsigned Partition);
+
+/// The segment file path: segment 0 is the legacy `Dir/wal-<i>.log`
+/// (a pre-segmentation log *is* its partitions' segment 0), later
+/// segments are `Dir/wal-<i>.<seg>.log`.
+std::string walSegmentPath(const std::string &Dir, unsigned Partition,
+                           unsigned Segment);
+
+/// The segment indices of \p Partition present under \p Dir, ascending.
+/// Checkpoint-pruned segments simply don't appear — recovery reads the
+/// surviving segments in index order.
+std::vector<unsigned> listWalSegments(const std::string &Dir,
+                                      unsigned Partition);
 
 /// Result of scanning one partition file.
 struct WalReadResult {

@@ -348,12 +348,31 @@ struct SnapshotStressReport {
   /// consistent) — each entry carries the bad sum and the scope's
   /// snapshot sequence.
   std::vector<std::string> Errors;
+  /// Version-store health after the run, maxed/summed across shards:
+  /// the longest primary-bucket chain list (a sizing/regression bound —
+  /// the store hashes identities uniformly, so a long list means a
+  /// mis-sized directory) and installRemove no-ops (idempotent-replay
+  /// tolerance that must never fire outside recovery).
+  size_t MaxBucketChainLen = 0;
+  uint64_t RemoveNoops = 0;
 
   std::string hint() const {
     return "rerun deterministically with CRS_STRESS_SEED=" +
            std::to_string(Seed);
   }
 };
+
+/// Applies \p F to every MvccStore behind \p Rel (one, or one per
+/// shard) — the post-run health probes above.
+inline void forEachMvccStore(ConcurrentRelation &Rel,
+                             const std::function<void(MvccStore &)> &F) {
+  F(Rel.mvccStore());
+}
+inline void forEachMvccStore(ShardedRelation &Rel,
+                             const std::function<void(MvccStore &)> &F) {
+  for (unsigned I = 0; I < Rel.numShards(); ++I)
+    F(Rel.shard(I).mvccStore());
+}
 
 /// The snapshot-consistency oracle: seeds NumAccounts rows of
 /// InitialBalance, hammers them with balanced transfers, and checks
@@ -380,6 +399,12 @@ runSnapshotStressWithOracle(RelT &Rel, const SnapshotStressOptions &Opts,
 
   auto Balance =
       Rel.prepareQuery(Spec.cols({"src", "dst"}), Spec.cols({"weight"}));
+  // Non-key access path: every account has dst=0, so one snapshot read
+  // bound on dst alone sums the whole bank — served by the version
+  // store's {dst} chain directory, racing directory linking against
+  // the writers' installs.
+  auto ByDst =
+      Rel.prepareQuery(Spec.cols({"dst"}), Spec.cols({"src", "weight"}));
   auto Put = Rel.prepareInsert(Spec.cols({"src", "dst"}));
   auto Drop = Rel.prepareRemove(Spec.cols({"src", "dst"}));
 
@@ -430,17 +455,31 @@ runSnapshotStressWithOracle(RelT &Rel, const SnapshotStressOptions &Opts,
 
   for (unsigned T = 0; T < Opts.Checkers; ++T)
     Threads.emplace_back([&] {
+      uint64_t Round = 0;
       while (!Stop.load(std::memory_order_acquire)) {
         TxnT Txn(Rel);
         int64_t Sum = 0;
         int64_t Rows = 0;
         bool ReadOk = true;
-        for (int64_t A = 0; A < Opts.NumAccounts && ReadOk; ++A)
-          ReadOk = Txn.query(Balance, {Value::ofInt(A), Value::ofInt(0)},
+        if (Round++ % 2 == 0) {
+          // Point reads, one per account — N snapshot lookups that must
+          // still agree (they share the scope's one snapshot).
+          for (int64_t A = 0; A < Opts.NumAccounts && ReadOk; ++A)
+            ReadOk = Txn.query(Balance, {Value::ofInt(A), Value::ofInt(0)},
+                               [&](const Tuple &Tp) {
+                                 Sum += Tp.get(WeightCol).asInt();
+                                 ++Rows;
+                               });
+        } else {
+          // One non-key read over the whole bank through the {dst}
+          // directory: a torn transfer or a chain missing from the
+          // directory shows up as a wrong sum or row count.
+          ReadOk = Txn.query(ByDst, {Value::ofInt(0)},
                              [&](const Tuple &Tp) {
                                Sum += Tp.get(WeightCol).asInt();
                                ++Rows;
                              });
+        }
         uint64_t Snap = Txn.snapshotSeq();
         bool CommitOk = Txn.commit();
         if (!ReadOk || !CommitOk) {
@@ -471,6 +510,11 @@ runSnapshotStressWithOracle(RelT &Rel, const SnapshotStressOptions &Opts,
 
   Rep.Transfers = Committed.load(std::memory_order_relaxed);
   Rep.Checks = Checks.load(std::memory_order_relaxed);
+  forEachMvccStore(Rel, [&](MvccStore &Store) {
+    Rep.MaxBucketChainLen =
+        std::max(Rep.MaxBucketChainLen, Store.maxBucketChainLength());
+    Rep.RemoveNoops += Store.removeNoops();
+  });
   return Rep;
 }
 

@@ -10,6 +10,9 @@
 /// read, read skew across shards in one scope, lost update (permitted
 /// under plain query(), prevented by queryForUpdate()), and phantom
 /// behavior (stable within a snapshot, visible to for-update reads) —
+/// then the secondary chain directories that give non-key snapshot
+/// reads an access path (directory-served visit counts, read skew and
+/// phantom stability through a directory, survival across migrateTo) —
 /// plus the mechanical guarantees underneath: read-only scopes acquire
 /// zero physical locks (sampled lock counters), never die and never
 /// retry, commit with sequence 0 (no clock movement), and version
@@ -335,6 +338,233 @@ TEST(Mvcc, PhantomsStableInSnapshotVisibleForUpdate) {
 }
 
 //===----------------------------------------------------------------------===//
+// Access paths: secondary chain directories
+//===----------------------------------------------------------------------===//
+
+TEST(Mvcc, DirectoryServedReadVisitsOnlyMatchingChains) {
+  RepresentationConfig C = splitStriped();
+  ConcurrentRelation R(C);
+  const RelationSpec &Spec = R.spec();
+  Handles H(R);
+  constexpr int64_t Fanout = 4;
+  for (int64_t D = 0; D < Fanout; ++D)
+    ASSERT_TRUE(R.insert(key(Spec, 1, D), weight(Spec, D)));
+  for (int64_t S = 2; S < 502; ++S)
+    ASSERT_TRUE(R.insert(key(Spec, S, 0), weight(Spec, S)));
+
+  // First successor read may pay the documented full scan once; it
+  // leaves the {src} directory behind (lazy creation on fallback miss).
+  {
+    Transaction Warm(R);
+    ASSERT_TRUE(Warm.query(H.Succ, {Value::ofInt(1)}));
+    ASSERT_TRUE(Warm.commit());
+  }
+
+  // From now on the read is directory-served and visits exactly the
+  // chains whose sub-key matches — the O(store) scan is gone. This is
+  // the issue's acceptance assertion, on counters, not wall clocks.
+  {
+    Transaction T(R);
+    uint32_t N = 0;
+    ASSERT_TRUE(T.query(H.Succ, {Value::ofInt(1)}, nullptr, &N));
+    EXPECT_EQ(N, 4u);
+    const SnapshotQueryStats &St = T.lastSnapshotReadStats();
+    EXPECT_TRUE(St.DirectoryServed);
+    EXPECT_FALSE(St.FullScan);
+    EXPECT_EQ(St.ChainsVisited, 4u);
+    ASSERT_TRUE(T.commit());
+  }
+
+  // Growing the store by another 500 unrelated chains must not change
+  // what the directory-served read visits.
+  for (int64_t S = 1000; S < 1500; ++S)
+    ASSERT_TRUE(R.insert(key(Spec, S, 0), weight(Spec, S)));
+  {
+    Transaction T(R);
+    uint32_t N = 0;
+    ASSERT_TRUE(T.query(H.Succ, {Value::ofInt(1)}, nullptr, &N));
+    EXPECT_EQ(N, 4u);
+    const SnapshotQueryStats &St = T.lastSnapshotReadStats();
+    EXPECT_TRUE(St.DirectoryServed);
+    EXPECT_EQ(St.ChainsVisited, 4u);
+    ASSERT_TRUE(T.commit());
+  }
+
+  // Control: a point read routes through the primary directory, and a
+  // read binding no key column at all still full-scans (documented).
+  {
+    Transaction T(R);
+    ASSERT_TRUE(T.query(H.Exact, {Value::ofInt(1), Value::ofInt(0)}));
+    EXPECT_FALSE(T.lastSnapshotReadStats().DirectoryServed);
+    EXPECT_FALSE(T.lastSnapshotReadStats().FullScan);
+    ASSERT_TRUE(T.commit());
+  }
+}
+
+TEST(Mvcc, NonKeyReadSkewPreventedThroughDirectory) {
+  RepresentationConfig C = splitStriped();
+  ConcurrentRelation R(C);
+  const RelationSpec &Spec = R.spec();
+  Handles H(R);
+  constexpr int64_t NumAccounts = 8, Initial = 100;
+  for (int64_t A = 0; A < NumAccounts; ++A)
+    ASSERT_TRUE(R.insert(key(Spec, A, 0), weight(Spec, Initial)));
+  PreparedQuery ByDst =
+      R.prepareQuery(Spec.cols({"dst"}), Spec.cols({"src", "weight"}));
+  ColumnId WeightCol = Spec.col("weight");
+
+  auto sumAll = [&](Transaction &T, int64_t &Rows) {
+    int64_t Sum = 0;
+    Rows = 0;
+    EXPECT_TRUE(T.query(ByDst, {Value::ofInt(0)}, [&](const Tuple &Tp) {
+      Sum += Tp.get(WeightCol).asInt();
+      ++Rows;
+    }));
+    return Sum;
+  };
+
+  { // leave the {dst} directory warm
+    Transaction Warm(R);
+    int64_t Rows = 0;
+    EXPECT_EQ(sumAll(Warm, Rows), NumAccounts * Initial);
+    ASSERT_TRUE(Warm.commit());
+  }
+
+  Transaction Reader(R);
+  int64_t Rows1 = 0;
+  EXPECT_EQ(sumAll(Reader, Rows1), NumAccounts * Initial);
+  EXPECT_EQ(Rows1, NumAccounts);
+  EXPECT_TRUE(Reader.lastSnapshotReadStats().DirectoryServed);
+
+  // A rival moves 40 from account 2 to account 6, one atomic commit.
+  std::thread Writer([&] {
+    EXPECT_TRUE(runTransaction(R, [&](Transaction &T) {
+      int64_t A = -1, B = -1;
+      if (!T.queryForUpdate(H.Exact, {Value::ofInt(2), Value::ofInt(0)},
+                            [&](const Tuple &Tp) {
+                              A = Tp.get(WeightCol).asInt();
+                            }) ||
+          !T.queryForUpdate(H.Exact, {Value::ofInt(6), Value::ofInt(0)},
+                            [&](const Tuple &Tp) {
+                              B = Tp.get(WeightCol).asInt();
+                            }))
+        return true;
+      if (!T.remove(H.Rem, {Value::ofInt(2), Value::ofInt(0)}) ||
+          !T.insert(H.Ins, {Value::ofInt(2), Value::ofInt(0),
+                            Value::ofInt(A - 40)}) ||
+          !T.remove(H.Rem, {Value::ofInt(6), Value::ofInt(0)}) ||
+          !T.insert(H.Ins, {Value::ofInt(6), Value::ofInt(0),
+                            Value::ofInt(B + 40)}))
+        return true;
+      return true;
+    }));
+  });
+  Writer.join();
+
+  // The open snapshot re-sums through the directory: conserved, and no
+  // torn transfer (a debit without its credit) can ever show.
+  int64_t Rows2 = 0;
+  EXPECT_EQ(sumAll(Reader, Rows2), NumAccounts * Initial);
+  EXPECT_EQ(Rows2, NumAccounts);
+  EXPECT_TRUE(Reader.lastSnapshotReadStats().DirectoryServed);
+  EXPECT_TRUE(Reader.commit());
+
+  // A fresh snapshot sees the transferred state, still conserved.
+  Transaction After(R);
+  int64_t Rows3 = 0;
+  EXPECT_EQ(sumAll(After, Rows3), NumAccounts * Initial);
+  EXPECT_EQ(Rows3, NumAccounts);
+  EXPECT_TRUE(After.commit());
+}
+
+TEST(Mvcc, PhantomStableThroughDirectoryUnderMidSnapshotInsert) {
+  // A rival's insert creates a brand-new chain and links it into the
+  // {src} directory while this snapshot is open: the directory walk
+  // sees the link immediately, but version visibility still hides the
+  // row — predicate stability is a property of the snapshot, not of
+  // directory membership.
+  RepresentationConfig C = splitStriped();
+  ConcurrentRelation R(C);
+  const RelationSpec &Spec = R.spec();
+  Handles H(R);
+  for (int64_t D = 0; D < 3; ++D)
+    ASSERT_TRUE(R.insert(key(Spec, 7, D), weight(Spec, D)));
+  {
+    Transaction Warm(R);
+    ASSERT_TRUE(Warm.query(H.Succ, {Value::ofInt(7)}));
+    ASSERT_TRUE(Warm.commit());
+  }
+
+  Transaction T(R);
+  uint32_t N1 = 0;
+  ASSERT_TRUE(T.query(H.Succ, {Value::ofInt(7)}, nullptr, &N1));
+  EXPECT_EQ(N1, 3u);
+  EXPECT_TRUE(T.lastSnapshotReadStats().DirectoryServed);
+
+  std::thread Rival([&] {
+    EXPECT_TRUE(runTransaction(R, [&](Transaction &W) {
+      W.insert(H.Ins, {Value::ofInt(7), Value::ofInt(55),
+                       Value::ofInt(555)});
+      return true;
+    }));
+  });
+  Rival.join();
+
+  uint32_t N2 = 0;
+  ASSERT_TRUE(T.query(H.Succ, {Value::ofInt(7)}, nullptr, &N2));
+  EXPECT_EQ(N2, 3u); // the phantom chain is linked but not visible
+  EXPECT_TRUE(T.lastSnapshotReadStats().DirectoryServed);
+  EXPECT_TRUE(T.commit());
+
+  Transaction T2(R);
+  uint32_t N3 = 0;
+  ASSERT_TRUE(T2.query(H.Succ, {Value::ofInt(7)}, nullptr, &N3));
+  EXPECT_EQ(N3, 4u); // a later snapshot reads it through the same link
+  EXPECT_TRUE(T2.lastSnapshotReadStats().DirectoryServed);
+  EXPECT_TRUE(T2.commit());
+}
+
+TEST(Mvcc, DirectoryServesAcrossMigrateTo) {
+  // migrateTo swaps the compiled representation underneath the
+  // relation; the version store (and its directories) is orthogonal to
+  // the representation and must keep serving the open snapshot
+  // unperturbed, mid-scope.
+  RepresentationConfig C = splitStriped();
+  ConcurrentRelation R(C);
+  const RelationSpec &Spec = R.spec();
+  Handles H(R);
+  for (int64_t D = 0; D < 5; ++D)
+    ASSERT_TRUE(R.insert(key(Spec, 3, D), weight(Spec, 10 * D)));
+  {
+    Transaction Warm(R);
+    ASSERT_TRUE(Warm.query(H.Succ, {Value::ofInt(3)}));
+    ASSERT_TRUE(Warm.commit());
+  }
+
+  Transaction T(R);
+  uint32_t N1 = 0;
+  ASSERT_TRUE(T.query(H.Succ, {Value::ofInt(3)}, nullptr, &N1));
+  EXPECT_EQ(N1, 5u);
+  EXPECT_TRUE(T.lastSnapshotReadStats().DirectoryServed);
+
+  ASSERT_TRUE(R.migrateTo(splitStriped(8)).Ok);
+
+  uint32_t N2 = 0;
+  ASSERT_TRUE(T.query(H.Succ, {Value::ofInt(3)}, nullptr, &N2));
+  EXPECT_EQ(N2, 5u);
+  EXPECT_TRUE(T.lastSnapshotReadStats().DirectoryServed);
+  EXPECT_TRUE(T.commit());
+
+  // And the directory keeps serving new snapshots after the swap.
+  Transaction T2(R);
+  uint32_t N3 = 0;
+  ASSERT_TRUE(T2.query(H.Succ, {Value::ofInt(3)}, nullptr, &N3));
+  EXPECT_EQ(N3, 5u);
+  EXPECT_TRUE(T2.lastSnapshotReadStats().DirectoryServed);
+  EXPECT_TRUE(T2.commit());
+}
+
+//===----------------------------------------------------------------------===//
 // Mechanics: locks, aborts, reclamation
 //===----------------------------------------------------------------------===//
 
@@ -484,9 +714,11 @@ TEST(Mvcc, ReadOnlyScopeThroughputTracksPreparedReads) {
   // sanitizer builds measure instrumentation more than the path, so the
   // bar drops to smoke-test levels. CRS_MVCC_READ_RATIO_PCT overrides
   // for bench experiments. Non-key snapshot reads (e.g. bind only src)
-  // deliberately are NOT held to this bar: they fall back to a version-
-  // store scan, O(live tuples) per read — the fig5 txn panel charts
-  // that cost honestly instead.
+  // route through the version store's chain directories — O(matching
+  // chains), asserted on visit counters by
+  // Mvcc.DirectoryServedReadVisitsOnlyMatchingChains and charted by the
+  // fig5 txn_nonkey panel — so only the point-read ratio is pinned
+  // here.
 #if defined(NDEBUG) && !defined(CRS_MVCC_SANITIZED)
   const uint64_t DefaultPct = 60;
 #else
@@ -549,6 +781,9 @@ TEST(Mvcc, ReadOnlyScopeThroughputTracksPreparedReads) {
 
 TEST(MvccStress, SnapshotSumConservationUnderTransfers) {
   RepresentationConfig C = splitStriped();
+  // Exercise cardinality-driven primary-directory sizing: the store
+  // under stress should keep its bucket chain lists near-singleton.
+  C.ExpectedCardinality = 1024;
   ConcurrentRelation R(C);
   stress::SnapshotStressOptions Opts;
   stress::SnapshotStressReport Rep = stress::runSnapshotStressWithOracle(
@@ -558,6 +793,11 @@ TEST(MvccStress, SnapshotSumConservationUnderTransfers) {
       << "; " << Rep.hint();
   EXPECT_GT(Rep.Checks, 0u);
   EXPECT_GE(Rep.Transfers, Opts.Transfers);
+  // installRemove's idempotent-replay tolerance must never fire outside
+  // recovery, and the chain lists must stay short (64 accounts hashed
+  // over ≥512 buckets): both counters, not vibes.
+  EXPECT_EQ(Rep.RemoveNoops, 0u);
+  EXPECT_LE(Rep.MaxBucketChainLen, 4u);
   ValidationResult V = R.verifyConsistency();
   EXPECT_TRUE(V.ok()) << V.str();
 }
@@ -572,4 +812,6 @@ TEST(MvccStress, SnapshotSumConservationAcrossShards) {
       << Rep.Errors.size() << " violations; first: " << Rep.Errors.front()
       << "; " << Rep.hint();
   EXPECT_GT(Rep.Checks, 0u);
+  EXPECT_EQ(Rep.RemoveNoops, 0u);
+  EXPECT_LE(Rep.MaxBucketChainLen, 8u);
 }
