@@ -18,6 +18,7 @@
 #ifndef CRS_BENCH_BENCHJSON_H
 #define CRS_BENCH_BENCHJSON_H
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -49,13 +50,16 @@ public:
   /// Adds one series row: ops/sec per swept thread count plus the
   /// executor-health columns of the printed tables (negative values mean
   /// "not measured" — e.g. the handcoded baseline — and are emitted as
-  /// null).
+  /// null). \p PlanCacheHits / \p PlanCacheMisses are the registry's
+  /// exact relation.plan_cache counters over the last run.
   void addSeries(const std::string &Name, const std::vector<double> &OpsPerSec,
-                 double RestartsPerOp = -1, double PlanCacheHitRate = -1) {
+                 double RestartsPerOp = -1, double PlanCacheHitRate = -1,
+                 int64_t PlanCacheHits = -1, int64_t PlanCacheMisses = -1) {
     if (!enabled())
       return;
-    Panels.back().Series.push_back(
-        {Name, OpsPerSec, RestartsPerOp, PlanCacheHitRate});
+    Panels.back().Series.push_back({Name, OpsPerSec, RestartsPerOp,
+                                    PlanCacheHitRate, PlanCacheHits,
+                                    PlanCacheMisses});
   }
 
   /// Writes the document. \p Threads is the swept thread axis shared by
@@ -106,6 +110,17 @@ public:
           std::fprintf(F, "null");
         else
           std::fprintf(F, "%.4f", Row.PlanCacheHitRate);
+        std::fprintf(F, ", \"plan_cache_hits\": ");
+        if (Row.PlanCacheHits < 0)
+          std::fprintf(F, "null");
+        else
+          std::fprintf(F, "%lld", static_cast<long long>(Row.PlanCacheHits));
+        std::fprintf(F, ", \"plan_cache_misses\": ");
+        if (Row.PlanCacheMisses < 0)
+          std::fprintf(F, "null");
+        else
+          std::fprintf(F, "%lld",
+                       static_cast<long long>(Row.PlanCacheMisses));
         std::fprintf(F, "}%s\n", S + 1 < Panel.Series.size() ? "," : "");
       }
       std::fprintf(F, "      ]\n    }%s\n",
@@ -124,6 +139,8 @@ private:
     std::vector<double> OpsPerSec;
     double RestartsPerOp;
     double PlanCacheHitRate;
+    int64_t PlanCacheHits;
+    int64_t PlanCacheMisses;
   };
   struct PanelOut {
     std::string Section;

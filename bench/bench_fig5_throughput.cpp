@@ -23,6 +23,7 @@
 #include "BenchConfig.h"
 #include "BenchJson.h"
 #include "autotune/Autotuner.h"
+#include "obs/Exporter.h"
 #include "support/Table.h"
 #include "txn/Transaction.h"
 #include "wal/Wal.h"
@@ -124,6 +125,27 @@ std::unique_ptr<GraphTarget> makeWalTarget(const RepresentationConfig &Config,
   }
   return std::make_unique<Owning>(
       std::make_unique<ConcurrentRelation>(Config), std::move(Log), O.Dir);
+}
+
+/// The prepared target with the metrics registry attached — the
+/// obs_overhead panel's "on" series. Attaching registers the snapshot
+/// callbacks and arms the sampled-latency hook on every prepared
+/// execution (default 1-in-64 period); "off" is the identical target
+/// with no registry, where the hook is one null-pointer load. The
+/// process-global registry is used so an end-of-run CRS_METRICS_JSON
+/// dump carries the bench's own counters and events.
+std::unique_ptr<GraphTarget> makeObsTarget(const RepresentationConfig &Config,
+                                           bool Metrics) {
+  struct Owning : PreparedRelationTarget {
+    std::unique_ptr<ConcurrentRelation> Rel;
+    Owning(std::unique_ptr<ConcurrentRelation> R, bool Metrics)
+        : PreparedRelationTarget(*R), Rel(std::move(R)) {
+      if (Metrics)
+        Rel->attachMetrics(obs::MetricsRegistry::global(), "fig5");
+    }
+  };
+  return std::make_unique<Owning>(std::make_unique<ConcurrentRelation>(Config),
+                                  Metrics);
 }
 
 std::unique_ptr<GraphTarget> makeShardedTarget(
@@ -304,7 +326,9 @@ int main() {
       Row.push_back(Table::fmt(Last.RestartsPerOp, 4));
       Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
       Panel.addRow(Row);
-      Json.addSeries(Name, Ops, Last.RestartsPerOp, Last.PlanCacheHitRate);
+      Json.addSeries(Name, Ops, Last.RestartsPerOp, Last.PlanCacheHitRate,
+                     static_cast<int64_t>(Last.PlanCacheHits),
+                     static_cast<int64_t>(Last.PlanCacheMisses));
       std::printf(".");
       std::fflush(stdout);
     }
@@ -378,7 +402,9 @@ int main() {
           Row.push_back(Table::fmt(Last.PlanCacheHitRate * 100.0, 2));
           Panel.addRow(Row);
           Json.addSeries(Name, Ops, Last.RestartsPerOp,
-                         Last.PlanCacheHitRate);
+                         Last.PlanCacheHitRate,
+                         static_cast<int64_t>(Last.PlanCacheHits),
+                         static_cast<int64_t>(Last.PlanCacheMisses));
           std::printf(".");
           std::fflush(stdout);
         }
@@ -424,6 +450,35 @@ int main() {
         {"locked", [&] { return makeLockedPreparedTarget(FastBase); }},
     };
     Json.beginPanel("read_fastpath", Mix.str());
+    runSeriesPanel(Panel, Series, Mix);
+    std::printf("\n");
+    Panel.print(std::cout);
+    std::printf("\n");
+  }
+
+  // Observability tax: the identical prepared target with the metrics
+  // registry attached (snapshot callbacks registered, sampled latency
+  // armed at the default 1-in-64 period, fast reads on) vs detached.
+  // The acceptance budget is a 3% throughput tax on the read-fast-path
+  // mix and the mutation-heavy mix — the "off" series pays one
+  // null-pointer load per op, the "on" series a thread-local countdown
+  // plus one clock read and histogram fetch_add per 64 ops.
+  const OpMix ObsMixes[] = {{70, 0, 20, 10}, {0, 0, 50, 50}};
+  std::printf("=== Observability overhead (%s): metrics on vs off ===\n\n",
+              FastBase.Name.c_str());
+  for (const OpMix &Mix : ObsMixes) {
+    std::printf("--- Operation Distribution: %s ---\n", Mix.str().c_str());
+    std::vector<std::string> Header{"series"};
+    for (unsigned T : Threads)
+      Header.push_back(std::to_string(T) + "T");
+    Header.push_back("rst/op");
+    Header.push_back("pc-hit%");
+    Table Panel(Header);
+    std::vector<std::pair<std::string, TargetFactory>> Series = {
+        {"metrics off", [&] { return makeObsTarget(FastBase, false); }},
+        {"metrics on", [&] { return makeObsTarget(FastBase, true); }},
+    };
+    Json.beginPanel("obs_overhead", Mix.str());
     runSeriesPanel(Panel, Series, Mix);
     std::printf("\n");
     Panel.print(std::cout);
@@ -600,6 +655,13 @@ int main() {
       "Durability panel: `wal batched` vs `no wal` is the logging\n"
       "overhead budget (≤15%% on 0-0-50-50 at 4T — the commit path\n"
       "never does I/O); `wal sync` adds the group-commit park, bounded\n"
-      "by the batching window per committing scope.\n");
+      "by the batching window per committing scope.\n"
+      "Obs panel: `metrics on` attaches the registry (callbacks + 1/64\n"
+      "sampled latency); the budget is a 3%% tax vs `metrics off` on\n"
+      "both mixes. CRS_METRICS_JSON=<path> dumps the registry at exit.\n");
+  // CRS_METRICS_JSON=<path>: dump the process-global registry — the obs
+  // panel's counters, latency histograms, and event rings — as a
+  // crs-metrics/1 document (tools/metrics_summary.py renders it).
+  obs::exportIfRequested(obs::MetricsRegistry::global());
   return Json.write(Threads, benchFull() ? "full" : "quick") ? 0 : 1;
 }

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "autotune/OnlineTuner.h"
+#include "obs/Exporter.h"
 #include "runtime/PreparedOp.h"
 #include "workload/GraphWorkload.h"
 
@@ -61,6 +62,11 @@ int main() {
       {GraphShape::Stick, PlacementSchemeKind::Coarse, 1,
        ContainerKind::HashMap, ContainerKind::TreeMap});
   ConcurrentRelation R(Start);
+  // One registry collects the relation's counters, the sampled
+  // op-latency histograms the tuner reads back as a measured input,
+  // and the migration/tuner event rings the report prints at the end.
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  R.attachMetrics(Reg, "graph");
   PreparedRelationTarget Target(R);
   const OpMix Mix{30, 20, 30, 20};
 
@@ -114,6 +120,8 @@ int main() {
   Cfg.HysteresisRatio = 1.05;
   Cfg.ConfirmTicks = 2;
   Cfg.Observer = &Obs;
+  Cfg.Metrics = &Reg;      // tuner reads measured latency, emits events
+  Cfg.MetricsLabel = "graph";
   OnlineTuner Tuner(R, Cfg);
 
   auto T0 = Clock::now();
@@ -197,5 +205,18 @@ int main() {
               V.ok() ? "ok" : V.str().c_str());
   std::printf("%s\n", Ok ? "PASS: zero lost or duplicated edges"
                          : "FAIL: migration lost or duplicated edges");
+
+  // What the event rings saw: the migration ring holds both flips and
+  // the retirement, the tuner ring one decision per scored tick.
+  // CRS_METRICS_JSON=<path> additionally dumps the whole registry
+  // (counters, histograms, rings) as a crs-metrics/1 document.
+  std::printf("\nmigration trace:\n");
+  for (const obs::TraceEvent &E :
+       Reg.ring(obs::EventDomain::Migration).snapshot())
+    std::printf("  %-18s a=%llu b=%llu c=%llu\n", obs::kindName(E.Kind),
+                static_cast<unsigned long long>(E.A),
+                static_cast<unsigned long long>(E.B),
+                static_cast<unsigned long long>(E.C));
+  obs::exportIfRequested(Reg);
   return Ok ? 0 : 1;
 }

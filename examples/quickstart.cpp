@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "autotune/Autotuner.h"
+#include "obs/Exporter.h"
 #include "runtime/PreparedOp.h"
 
 #include <cstdio>
@@ -35,6 +36,12 @@ int main() {
   std::printf("lock placement: %s\n\n", Config.Placement->str().c_str());
 
   ConcurrentRelation Graph(Config);
+  //    Observability opt-in: one attach call exports every counter the
+  //    relation already maintains (op counts, plan-cache hits/misses,
+  //    MVCC version-store gauges, per-cause abort counters) through the
+  //    process-global metrics registry — no second counting path, no
+  //    per-operation cost beyond a sampled latency clock read.
+  Graph.attachMetrics(obs::MetricsRegistry::global(), "quickstart");
 
   // 2. Insert edges. insert r s t is a generalized put-if-absent: it
   //    fails if an edge with the same (src, dst) already exists, which
@@ -120,5 +127,16 @@ int main() {
   DropEdge.bind(0, Value::ofInt(1)).bind(1, Value::ofInt(2)).execute();
   ValidationResult V = Graph.verifyConsistency();
   std::printf("consistency after remove: %s\n", V.ok() ? "ok" : "BROKEN");
+
+  // 7. Observability: one snapshot serves both export formats. Setting
+  //    CRS_METRICS_JSON=<path> writes the crs-metrics/1 JSON document
+  //    (tools/metrics_summary.py pretty-prints and diffs those dumps);
+  //    here we just pull two counters out of the snapshot directly.
+  obs::MetricsSnapshot Snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto &C : Snap.Counters)
+    if (C.Name == "relation.queries" || C.Name == "relation.inserts")
+      std::printf("metric %s = %llu\n", C.Name.c_str(),
+                  static_cast<unsigned long long>(C.Value));
+  obs::exportIfRequested(obs::MetricsRegistry::global());
   return V.ok() ? 0 : 1;
 }

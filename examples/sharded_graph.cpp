@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "autotune/Autotuner.h"
+#include "obs/Exporter.h"
 #include "workload/GraphWorkload.h"
 
 #include <atomic>
@@ -38,6 +39,11 @@ int main() {
        ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap});
   constexpr unsigned NumShards = 4, NumThreads = 4;
   ShardedRelation R(Start, NumShards);
+  // Per-shard observability: every shard reports into one registry
+  // under relation="graph" with its own shard=i label, so the exported
+  // tree keeps the shards distinguishable and aggregation happens at
+  // query time.
+  R.attachMetrics(obs::MetricsRegistry::global(), "graph");
   const RelationSpec &Spec = R.spec();
 
   std::printf("sharded graph demo: %u shards of %s, routing by %s\n\n",
@@ -165,5 +171,18 @@ int main() {
                            "sharded rollout"
                          : "FAIL: the sharded rollout lost or duplicated "
                            "edges");
+
+  // Per-shard counters out of one snapshot (the same numbers a
+  // CRS_METRICS_JSON dump carries).
+  obs::MetricsSnapshot Snap = obs::MetricsRegistry::global().snapshot();
+  std::printf("\nper-shard insert counters:");
+  for (const auto &C : Snap.Counters)
+    if (C.Name == "relation.inserts")
+      for (const auto &[K, Val] : C.Labels)
+        if (K == "shard")
+          std::printf(" shard%s=%llu", Val.c_str(),
+                      static_cast<unsigned long long>(C.Value));
+  std::printf("\n");
+  obs::exportIfRequested(obs::MetricsRegistry::global());
   return Ok ? 0 : 1;
 }

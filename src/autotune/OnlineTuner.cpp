@@ -256,14 +256,67 @@ TuneTick OnlineTuner::tick() {
   if (BestIdx < 0)
     return T;
 
+  // Measured latency (the registry's relation.op_latency histograms) as
+  // a second input beside the predicted costs. The histograms are
+  // cumulative, so each tick diffs per-signature (count, sum) readings
+  // against the previous tick's; a counter that shrank means the
+  // relation re-attached its metrics (fresh histograms) and restarts
+  // the baseline, like the contention counters above.
+  double EffHysteresis = Cfg.HysteresisRatio;
+  if (Cfg.Metrics) {
+    uint64_t DCount = 0, DSum = 0;
+    obs::MetricsSnapshot Snap = Cfg.Metrics->snapshot();
+    for (const obs::MetricsSnapshot::HistogramSample &H : Snap.Histograms) {
+      if (H.Name != "relation.op_latency")
+        continue;
+      bool Ours = Cfg.MetricsLabel.empty();
+      std::string SigKey;
+      for (const auto &[K, V] : H.Labels) {
+        if (K == "relation" && V == Cfg.MetricsLabel)
+          Ours = true;
+        else if (K == "sig")
+          SigKey = V;
+        else if (K == "shard")
+          SigKey += ":shard=" + V; // keep per-shard series distinct
+      }
+      if (!Ours)
+        continue;
+      auto &[LastCount, LastSum] = LastSigLat[SigKey];
+      if (H.Data.Count >= LastCount) {
+        DCount += H.Data.Count - LastCount;
+        DSum += H.Data.SumNanos - LastSum;
+      } else { // re-attach reset the histogram: restart the baseline
+        DCount += H.Data.Count;
+        DSum += H.Data.SumNanos;
+      }
+      LastCount = H.Data.Count;
+      LastSum = H.Data.SumNanos;
+    }
+    if (DCount) {
+      T.MeasuredMeanNanos =
+          static_cast<double>(DSum) / static_cast<double>(DCount);
+      // A real regression in what operations actually cost makes the
+      // model's predicted win urgent: collapse the hysteresis ratio
+      // toward 1 so a predicted-better candidate is adopted sooner.
+      // Measurement never *blocks* a migration — the measured latency
+      // of the current representation says nothing about a candidate's.
+      if (LastMeanNanos > 0 &&
+          T.MeasuredMeanNanos > LastMeanNanos * Cfg.LatencyRegressRatio) {
+        T.LatencyRegressed = true;
+        EffHysteresis = std::min(EffHysteresis, 1.05);
+      }
+      LastMeanNanos = T.MeasuredMeanNanos;
+    }
+  }
+
   // Hysteresis: the winner must beat the live representation by the
-  // configured ratio, for the configured number of consecutive ticks,
-  // before a migration is worth its dual-write and barrier costs. The
-  // already-serving test covers every shard of a fleet: a canary
-  // migration of shard 0 alone must not make the winner look adopted
-  // and stall the rollout of the rest.
+  // (possibly latency-collapsed) ratio, for the configured number of
+  // consecutive ticks, before a migration is worth its dual-write and
+  // barrier costs. The already-serving test covers every shard of a
+  // fleet: a canary migration of shard 0 alone must not make the winner
+  // look adopted and stall the rollout of the rest.
   bool Wins = !servesEverywhere(T.BestName) &&
-              T.CurrentCost > T.BestCost * Cfg.HysteresisRatio;
+              T.CurrentCost > T.BestCost * EffHysteresis;
   if (Wins) {
     Streak = T.BestName == StreakBest ? Streak + 1 : 1;
     StreakBest = T.BestName;
@@ -272,9 +325,20 @@ TuneTick OnlineTuner::tick() {
     StreakBest.clear();
   }
   T.Confirmations = Streak;
+  obs::TraceRing *Ring =
+      Cfg.Metrics ? &Cfg.Metrics->ring(obs::EventDomain::Tuner) : nullptr;
+  if (Ring)
+    Ring->emit(obs::EventKind::TunerDecision,
+               static_cast<uint64_t>(T.CurrentCost * 1000),
+               static_cast<uint64_t>(T.BestCost * 1000), Streak);
   if (Wins && Streak >= Cfg.ConfirmTicks) {
     T.Migration = migrate(makeGraphRepresentation(Cfg.Candidates[BestIdx]));
     T.Migrated = T.Migration.Ok;
+    if (Ring && T.Migrated)
+      Ring->emit(obs::EventKind::TunerMigrated,
+                 static_cast<uint64_t>(BestIdx),
+                 static_cast<uint64_t>(T.BestCost * 1000),
+                 static_cast<uint64_t>(T.MeasuredMeanNanos));
     Streak = 0;
     StreakBest.clear();
   }

@@ -38,6 +38,9 @@
 
 #include "autotune/Autotuner.h"
 
+#include <map>
+#include <utility>
+
 namespace crs {
 
 class ShardedRelation;
@@ -59,6 +62,23 @@ struct OnlineTunerConfig {
   /// Passed through to migrateTo when a migration triggers (phase
   /// hooks for progress reporting; may be null).
   MigrationObserver *Observer = nullptr;
+  /// Optional observability hookup (src/obs). When set, each tick (a)
+  /// emits TunerDecision/TunerMigrated events to the registry's Tuner
+  /// ring, and (b) reads the relation's measured per-signature
+  /// "relation.op_latency" histograms back as a tuning input alongside
+  /// the cost model: ticks diff each signature's (count, sum) pair, and
+  /// a regression of the measured mean beyond LatencyRegressRatio
+  /// collapses the hysteresis ratio toward 1 for that tick — prediction
+  /// says when a candidate looks better; measurement says how urgently
+  /// to believe it.
+  obs::MetricsRegistry *Metrics = nullptr;
+  /// The `relation` label value to match histograms against (the name
+  /// passed to attachMetrics). Empty matches every relation in the
+  /// registry — fine when the registry serves one relation.
+  std::string MetricsLabel;
+  /// Measured-mean regression factor between ticks that triggers the
+  /// hysteresis collapse above.
+  double LatencyRegressRatio = 1.25;
 };
 
 /// What one tick() observed and decided.
@@ -70,6 +90,13 @@ struct TuneTick {
   unsigned Confirmations = 0; ///< consecutive ticks the winner held
   bool Migrated = false;
   MigrationResult Migration;  ///< set when Migrated
+  /// Measured mean op latency (nanos) over the tick interval, from the
+  /// registry's relation.op_latency histograms. 0 when no registry is
+  /// configured or no operations were sampled since the last tick.
+  double MeasuredMeanNanos = 0;
+  /// True when the measured mean regressed past LatencyRegressRatio and
+  /// this tick ran with collapsed hysteresis.
+  bool LatencyRegressed = false;
 };
 
 /// Drives one relation's representation from its live statistics.
@@ -124,6 +151,10 @@ private:
   uint64_t LastContentions = 0;
   std::string StreakBest;         ///< winner being confirmed
   unsigned Streak = 0;
+  /// Last observed (count, sum-nanos) per relation.op_latency signature
+  /// label — latency deltas between ticks (histograms are cumulative).
+  std::map<std::string, std::pair<uint64_t, uint64_t>> LastSigLat;
+  double LastMeanNanos = 0;       ///< previous tick's measured mean
 };
 
 } // namespace crs

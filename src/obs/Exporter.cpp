@@ -1,0 +1,334 @@
+//===- obs/Exporter.cpp - crs-metrics/1 JSON + Prometheus export ----------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Exporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace crs {
+namespace obs {
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void appendI64(std::string &Out, int64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  Out += Buf;
+}
+
+void appendLabelsJson(std::string &Out, const MetricLabels &Labels) {
+  Out += "{";
+  bool First = true;
+  for (const auto &L : Labels) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "\"";
+    appendEscaped(Out, L.first);
+    Out += "\": \"";
+    appendEscaped(Out, L.second);
+    Out += "\"";
+  }
+  Out += "}";
+}
+
+uint64_t bucketUpperBound(unsigned B) {
+  return B >= 63 ? UINT64_MAX : ((uint64_t(1) << (B + 1)) - 1);
+}
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; dotted
+/// registry names map onto that with a crs_ prefix and '.' -> '_'.
+std::string promName(const std::string &Name) {
+  std::string Out = "crs_";
+  for (char C : Name) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_';
+    Out.push_back(Ok ? C : '_');
+  }
+  return Out;
+}
+
+void appendPromLabels(std::string &Out, const MetricLabels &Labels,
+                      const char *ExtraKey = nullptr,
+                      const std::string &ExtraVal = std::string()) {
+  if (Labels.empty() && !ExtraKey)
+    return;
+  Out += "{";
+  bool First = true;
+  for (const auto &L : Labels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += L.first;
+    Out += "=\"";
+    for (char C : L.second) { // label-value escaping: \ " and newline
+      if (C == '\\')
+        Out += "\\\\";
+      else if (C == '"')
+        Out += "\\\"";
+      else if (C == '\n')
+        Out += "\\n";
+      else
+        Out.push_back(C);
+    }
+    Out += "\"";
+  }
+  if (ExtraKey) {
+    if (!First)
+      Out += ",";
+    Out += ExtraKey;
+    Out += "=\"";
+    Out += ExtraVal;
+    Out += "\"";
+  }
+  Out += "}";
+}
+
+} // namespace
+
+std::string toJson(const MetricsSnapshot &S) {
+  std::string Out;
+  Out.reserve(4096);
+  Out += "{\n  \"schema\": \"crs-metrics/1\",\n  \"captured_unix_micros\": ";
+  appendU64(Out, S.CapturedMicros);
+  Out += ",\n  \"counters\": [";
+  for (size_t I = 0; I < S.Counters.size(); ++I) {
+    const auto &C = S.Counters[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"name\": \"";
+    appendEscaped(Out, C.Name);
+    Out += "\", \"labels\": ";
+    appendLabelsJson(Out, C.Labels);
+    Out += ", \"value\": ";
+    appendU64(Out, C.Value);
+    Out += "}";
+  }
+  Out += S.Counters.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"gauges\": [";
+  for (size_t I = 0; I < S.Gauges.size(); ++I) {
+    const auto &G = S.Gauges[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"name\": \"";
+    appendEscaped(Out, G.Name);
+    Out += "\", \"labels\": ";
+    appendLabelsJson(Out, G.Labels);
+    Out += ", \"value\": ";
+    appendI64(Out, G.Value);
+    Out += "}";
+  }
+  Out += S.Gauges.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"histograms\": [";
+  for (size_t I = 0; I < S.Histograms.size(); ++I) {
+    const auto &H = S.Histograms[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"name\": \"";
+    appendEscaped(Out, H.Name);
+    Out += "\", \"labels\": ";
+    appendLabelsJson(Out, H.Labels);
+    Out += ", \"count\": ";
+    appendU64(Out, H.Data.Count);
+    Out += ", \"sum_nanos\": ";
+    appendU64(Out, H.Data.SumNanos);
+    Out += ", \"max_nanos\": ";
+    appendU64(Out, H.Data.MaxNanos);
+    Out += ", \"p50_nanos\": ";
+    appendU64(Out, H.Data.quantileNanos(0.50));
+    Out += ", \"p95_nanos\": ";
+    appendU64(Out, H.Data.quantileNanos(0.95));
+    Out += ", \"p99_nanos\": ";
+    appendU64(Out, H.Data.quantileNanos(0.99));
+    Out += ", \"buckets\": [";
+    bool FirstB = true;
+    for (unsigned B = 0; B < LatencyHistogram::NumBuckets; ++B) {
+      if (!H.Data.Buckets[B])
+        continue;
+      if (!FirstB)
+        Out += ", ";
+      FirstB = false;
+      Out += "{\"le_nanos\": ";
+      appendU64(Out, bucketUpperBound(B));
+      Out += ", \"count\": ";
+      appendU64(Out, H.Data.Buckets[B]);
+      Out += "}";
+    }
+    Out += "]}";
+  }
+  Out += S.Histograms.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"events\": [";
+  bool FirstE = true;
+  for (const auto &D : S.Events) {
+    for (const TraceEvent &E : D.Events) {
+      Out += FirstE ? "\n    " : ",\n    ";
+      FirstE = false;
+      Out += "{\"domain\": \"";
+      Out += domainName(D.Domain);
+      Out += "\", \"seq\": ";
+      appendU64(Out, E.Seq);
+      Out += ", \"unix_micros\": ";
+      appendU64(Out, E.Micros);
+      Out += ", \"kind\": \"";
+      Out += kindName(E.Kind);
+      Out += "\", \"a\": ";
+      appendU64(Out, E.A);
+      Out += ", \"b\": ";
+      appendU64(Out, E.B);
+      Out += ", \"c\": ";
+      appendU64(Out, E.C);
+      Out += "}";
+    }
+  }
+  Out += FirstE ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string toPrometheus(const MetricsSnapshot &S) {
+  std::string Out;
+  Out.reserve(4096);
+  // The text format wants all samples of one metric name grouped under
+  // a single TYPE line, so bucket the samples by name first.
+  std::map<std::string,
+           std::vector<const MetricsSnapshot::CounterSample *>>
+      Counters;
+  for (const auto &C : S.Counters)
+    Counters[C.Name].push_back(&C);
+  for (const auto &G : Counters) {
+    const std::string P = promName(G.first);
+    Out += "# TYPE " + P + " counter\n";
+    for (const auto *C : G.second) {
+      Out += P;
+      appendPromLabels(Out, C->Labels);
+      Out += " ";
+      appendU64(Out, C->Value);
+      Out += "\n";
+    }
+  }
+  std::map<std::string, std::vector<const MetricsSnapshot::GaugeSample *>>
+      Gauges;
+  for (const auto &G : S.Gauges)
+    Gauges[G.Name].push_back(&G);
+  for (const auto &G : Gauges) {
+    const std::string P = promName(G.first);
+    Out += "# TYPE " + P + " gauge\n";
+    for (const auto *Smp : G.second) {
+      Out += P;
+      appendPromLabels(Out, Smp->Labels);
+      Out += " ";
+      appendI64(Out, Smp->Value);
+      Out += "\n";
+    }
+  }
+  std::map<std::string,
+           std::vector<const MetricsSnapshot::HistogramSample *>>
+      Hists;
+  for (const auto &H : S.Histograms)
+    Hists[H.Name].push_back(&H);
+  for (const auto &G : Hists) {
+    const std::string P = promName(G.first) + "_nanos";
+    Out += "# TYPE " + P + " histogram\n";
+    for (const auto *H : G.second) {
+      uint64_t Cum = 0;
+      for (unsigned B = 0; B < LatencyHistogram::NumBuckets; ++B) {
+        if (!H->Data.Buckets[B])
+          continue;
+        Cum += H->Data.Buckets[B];
+        char LeBuf[24];
+        std::snprintf(LeBuf, sizeof(LeBuf), "%llu",
+                      static_cast<unsigned long long>(bucketUpperBound(B)));
+        Out += P + "_bucket";
+        appendPromLabels(Out, H->Labels, "le", LeBuf);
+        Out += " ";
+        appendU64(Out, Cum);
+        Out += "\n";
+      }
+      Out += P + "_bucket";
+      appendPromLabels(Out, H->Labels, "le", "+Inf");
+      Out += " ";
+      appendU64(Out, H->Data.Count);
+      Out += "\n";
+      Out += P + "_sum";
+      appendPromLabels(Out, H->Labels);
+      Out += " ";
+      appendU64(Out, H->Data.SumNanos);
+      Out += "\n";
+      Out += P + "_count";
+      appendPromLabels(Out, H->Labels);
+      Out += " ";
+      appendU64(Out, H->Data.Count);
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+bool writeJsonFile(const MetricsSnapshot &S, const std::string &Path,
+                   std::string *Err) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  const std::string Doc = toJson(S);
+  const bool Ok =
+      std::fwrite(Doc.data(), 1, Doc.size(), F) == Doc.size() &&
+      std::fclose(F) == 0;
+  if (!Ok) {
+    if (Err)
+      *Err = "short write to " + Path;
+    return false;
+  }
+  return true;
+}
+
+bool exportIfRequested(MetricsRegistry &Reg) {
+  const char *Path = std::getenv("CRS_METRICS_JSON");
+  if (!Path || !*Path)
+    return false;
+  return writeJsonFile(Reg.snapshot(), Path);
+}
+
+} // namespace obs
+} // namespace crs

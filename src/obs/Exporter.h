@@ -1,0 +1,66 @@
+//===- obs/Exporter.h - crs-metrics/1 JSON + Prometheus export --*- C++ -*-===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders one MetricsSnapshot as (a) a stable JSON document, schema
+/// `crs-metrics/1` — the machine-readable dump benches and the CI
+/// stress lane archive, pretty-printed and diffed by
+/// tools/metrics_summary.py — and (b) Prometheus text exposition
+/// (counters, gauges, and cumulative-`le` histograms; trace events
+/// have no Prometheus analogue and appear only in the JSON). Both come
+/// from the same snapshot, so the two views always agree.
+///
+/// Schema sketch (all integers; absent-by-emptiness, never null):
+///
+/// \code{.json}
+///   { "schema": "crs-metrics/1",
+///     "captured_unix_micros": N,
+///     "counters":   [ {"name": "...", "labels": {..}, "value": N} ],
+///     "gauges":     [ {"name": "...", "labels": {..}, "value": N} ],
+///     "histograms": [ {"name": "...", "labels": {..},
+///                      "count": N, "sum_nanos": N, "max_nanos": N,
+///                      "p50_nanos": N, "p95_nanos": N, "p99_nanos": N,
+///                      "buckets": [ {"le_nanos": N, "count": N} ]} ],
+///     "events":     [ {"domain": "...", "seq": N, "unix_micros": N,
+///                      "kind": "...", "a": N, "b": N, "c": N} ] }
+/// \endcode
+///
+/// Histogram buckets are sparse (zero buckets omitted); `le_nanos` is
+/// the bucket's inclusive upper bound 2^(B+1)-1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRS_OBS_EXPORTER_H
+#define CRS_OBS_EXPORTER_H
+
+#include "obs/Metrics.h"
+
+#include <string>
+
+namespace crs {
+namespace obs {
+
+/// Renders \p S as a `crs-metrics/1` JSON document (newline-terminated).
+std::string toJson(const MetricsSnapshot &S);
+
+/// Renders \p S as Prometheus text exposition format.
+std::string toPrometheus(const MetricsSnapshot &S);
+
+/// Writes toJson(S) to \p Path atomically-ish (truncate + write).
+/// Returns false and fills \p Err (if non-null) on I/O failure.
+bool writeJsonFile(const MetricsSnapshot &S, const std::string &Path,
+                   std::string *Err = nullptr);
+
+/// Convenience for tools and examples: if the CRS_METRICS_JSON
+/// environment variable names a path, snapshots \p Reg and writes the
+/// JSON dump there. Returns true if a dump was written.
+bool exportIfRequested(MetricsRegistry &Reg);
+
+} // namespace obs
+} // namespace crs
+
+#endif // CRS_OBS_EXPORTER_H

@@ -1,0 +1,173 @@
+//===- obs/Metrics.cpp - Metrics registry and latency histograms ----------===//
+//
+// Part of the CRS project: a reproduction of "Concurrent Data Representation
+// Synthesis" (Hawkins et al., PLDI 2012). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace crs {
+namespace obs {
+
+uint64_t LatencyHistogram::Data::quantileNanos(double P) const {
+  if (Count == 0)
+    return 0;
+  if (P < 0.0)
+    P = 0.0;
+  if (P > 1.0)
+    P = 1.0;
+  // Rank of the sample we want, 1-based; ceil so p100 needs them all.
+  const uint64_t Rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                P * static_cast<double>(Count) + 0.9999999));
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Rank) {
+      // Upper bound of bucket B is 2^(B+1)-1; the true max tightens it.
+      const uint64_t Hi =
+          B >= 63 ? UINT64_MAX : ((uint64_t(1) << (B + 1)) - 1);
+      return MaxNanos ? std::min(Hi, MaxNanos) : Hi;
+    }
+  }
+  return MaxNanos;
+}
+
+LatencyHistogram::Data LatencyHistogram::snapshot() const {
+  Data D;
+  for (const Stripe &S : Stripes) {
+    for (unsigned B = 0; B < NumBuckets; ++B) {
+      const uint64_t N = S.Buckets[B].load(std::memory_order_relaxed);
+      D.Buckets[B] += N;
+      D.Count += N;
+    }
+    D.SumNanos += S.Sum.load(std::memory_order_relaxed);
+    D.MaxNanos = std::max(D.MaxNanos, S.Max.load(std::memory_order_relaxed));
+  }
+  return D;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *G = new MetricsRegistry(); // leaked on purpose
+  return *G;
+}
+
+uint64_t MetricsRegistry::nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string MetricsRegistry::keyOf(const std::string &Name,
+                                   const MetricLabels &Labels) {
+  std::string Key = Name;
+  for (const auto &L : Labels) {
+    Key.push_back('\x1f');
+    Key += L.first;
+    Key.push_back('\x1e');
+    Key += L.second;
+  }
+  return Key;
+}
+
+template <typename T>
+T &MetricsRegistry::findOrCreate(std::deque<Entry<T>> &List,
+                                 std::map<std::string, T *> &Index,
+                                 const std::string &Name,
+                                 MetricLabels &&Labels) {
+  const std::string Key = keyOf(Name, Labels);
+  std::lock_guard<std::mutex> Guard(M);
+  auto It = Index.find(Key);
+  if (It != Index.end())
+    return *It->second;
+  List.emplace_back();
+  Entry<T> &E = List.back();
+  E.Name = Name;
+  E.Labels = std::move(Labels);
+  Index.emplace(Key, &E.Metric);
+  return E.Metric;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  MetricLabels Labels) {
+  return findOrCreate(CounterList, CounterIdx, Name, std::move(Labels));
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name, MetricLabels Labels) {
+  return findOrCreate(GaugeList, GaugeIdx, Name, std::move(Labels));
+}
+
+LatencyHistogram &MetricsRegistry::histogram(const std::string &Name,
+                                             MetricLabels Labels) {
+  return findOrCreate(HistogramList, HistogramIdx, Name, std::move(Labels));
+}
+
+MetricsRegistry::CallbackId
+MetricsRegistry::addCallback(std::string Name, MetricLabels Labels,
+                             CallbackKind Kind,
+                             std::function<uint64_t()> Fn) {
+  std::lock_guard<std::mutex> Guard(M);
+  const CallbackId Id = NextCallbackId++;
+  Callbacks.push_back(
+      {Id, std::move(Name), std::move(Labels), Kind, std::move(Fn)});
+  return Id;
+}
+
+void MetricsRegistry::removeCallback(CallbackId Id) {
+  std::lock_guard<std::mutex> Guard(M);
+  Callbacks.erase(std::remove_if(Callbacks.begin(), Callbacks.end(),
+                                 [&](const Callback &C) { return C.Id == Id; }),
+                  Callbacks.end());
+}
+
+void MetricsRegistry::removeCallbacks(const std::vector<CallbackId> &Ids) {
+  std::lock_guard<std::mutex> Guard(M);
+  Callbacks.erase(
+      std::remove_if(Callbacks.begin(), Callbacks.end(),
+                     [&](const Callback &C) {
+                       return std::find(Ids.begin(), Ids.end(), C.Id) !=
+                              Ids.end();
+                     }),
+      Callbacks.end());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot Out;
+  Out.CapturedMicros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Out.Counters.reserve(CounterList.size() + Callbacks.size());
+    for (const auto &E : CounterList)
+      Out.Counters.push_back({E.Name, E.Labels, E.Metric.load()});
+    Out.Gauges.reserve(GaugeList.size());
+    for (const auto &E : GaugeList)
+      Out.Gauges.push_back({E.Name, E.Labels, E.Metric.load()});
+    Out.Histograms.reserve(HistogramList.size());
+    for (const auto &E : HistogramList)
+      Out.Histograms.push_back({E.Name, E.Labels, E.Metric.snapshot()});
+    for (const auto &C : Callbacks) {
+      const uint64_t V = C.Fn();
+      if (C.Kind == CallbackKind::Counter)
+        Out.Counters.push_back({C.Name, C.Labels, V});
+      else
+        Out.Gauges.push_back(
+            {C.Name, C.Labels, static_cast<int64_t>(V)});
+    }
+  }
+  Out.Events.reserve(NumEventDomains);
+  for (unsigned D = 0; D < NumEventDomains; ++D)
+    Out.Events.push_back(
+        {static_cast<EventDomain>(D), Rings[D].snapshot()});
+  return Out;
+}
+
+} // namespace obs
+} // namespace crs

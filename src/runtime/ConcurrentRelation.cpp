@@ -437,6 +437,80 @@ void ConcurrentRelation::attachWal(WriteAheadLog &Log, uint32_t Partition,
   Wal.store(&Log, std::memory_order_release);
 }
 
+void ConcurrentRelation::attachMetrics(obs::MetricsRegistry &Reg,
+                                       std::string Name,
+                                       obs::MetricLabels Extra) {
+  detachMetrics(); // re-attach replaces the previous wiring
+  auto *OS = new detail::RelationObs;
+  OS->Reg = &Reg;
+  OS->Name = std::move(Name);
+  OS->Labels.emplace_back("relation", OS->Name);
+  for (auto &L : Extra)
+    OS->Labels.push_back(std::move(L));
+  OS->RelationRing = &Reg.ring(obs::EventDomain::Relation);
+  OS->TxnRing = &Reg.ring(obs::EventDomain::Txn);
+  OS->WalRing = &Reg.ring(obs::EventDomain::Wal);
+  OS->MigrationRing = &Reg.ring(obs::EventDomain::Migration);
+
+  // Everything below is a callback over a counter the relation already
+  // keeps — attaching adds no new hot-path write anywhere; the registry
+  // reads these at snapshot time only. The callbacks capture `this` and
+  // are removed in detachMetrics()/the destructor, so they never
+  // outlive the relation.
+  using CK = obs::MetricsRegistry::CallbackKind;
+  const obs::MetricLabels &L = OS->Labels;
+  auto Add = [&](const char *N, CK Kind, std::function<uint64_t()> Fn) {
+    OS->Callbacks.push_back(Reg.addCallback(N, L, Kind, std::move(Fn)));
+  };
+  Add("relation.queries", CK::Counter, [this] { return NumQueries.load(); });
+  Add("relation.inserts", CK::Counter, [this] { return NumInserts.load(); });
+  Add("relation.removes", CK::Counter, [this] { return NumRemoves.load(); });
+  Add("relation.restarts", CK::Counter,
+      [this] { return Restarts.load(std::memory_order_relaxed); });
+  Add("relation.size", CK::Gauge, [this] { return uint64_t(size()); });
+  Add("relation.plan_epoch", CK::Gauge, [this] { return planEpoch(); });
+  Add("relation.plan_cache.hits", CK::Counter,
+      [this] { return Plans.hits(); });
+  Add("relation.plan_cache.misses", CK::Counter,
+      [this] { return Plans.misses(); });
+  Add("relation.mvcc.versions_installed", CK::Counter,
+      [this] { return Mvcc->installed(); });
+  Add("relation.mvcc.versions_retired", CK::Counter,
+      [this] { return Mvcc->retired(); });
+  Add("relation.mvcc.remove_noops", CK::Counter,
+      [this] { return Mvcc->removeNoops(); });
+  Add("relation.mvcc.live_versions", CK::Gauge,
+      [this] { return Mvcc->liveVersions(); });
+  Add("relation.mvcc.directories", CK::Gauge,
+      [this] { return uint64_t(Mvcc->directoryCount()); });
+  Add("relation.mvcc.directories_retired", CK::Counter,
+      [this] { return Mvcc->directoriesRetired(); });
+  static const char *CauseNames[NumAbortCauses] = {
+      "none", "conflict", "upgrade", "epoch_change", "gate_busy", "user"};
+  for (unsigned C = 1; C < NumAbortCauses; ++C) { // cause 0 = None: no abort
+    obs::MetricLabels CL = L;
+    CL.emplace_back("cause", CauseNames[C]);
+    OS->Callbacks.push_back(
+        Reg.addCallback("txn.aborts", CL, CK::Counter,
+                        [this, C] { return AbortCounts[C].load(); }));
+  }
+
+  Mvcc->attachTrace(OS->RelationRing);
+  Obs.store(OS, std::memory_order_seq_cst);
+}
+
+void ConcurrentRelation::detachMetrics() {
+  detail::RelationObs *OS = Obs.exchange(nullptr, std::memory_order_seq_cst);
+  if (!OS)
+    return;
+  Mvcc->attachTrace(nullptr);
+  OS->Reg->removeCallbacks(OS->Callbacks);
+  // Operations load Obs without a lock; an in-flight op may still hold
+  // the pointer, so the state reclaims after the grace period (the
+  // attach-on-a-quiet-relation contract makes this belt-and-braces).
+  EpochDomain::global().retireObject(OS);
+}
+
 std::vector<Tuple>
 ConcurrentRelation::checkpointSnapshot(uint64_t &Watermark) const {
   // The barrier closes the gate and drains every in-flight operation.
@@ -551,8 +625,32 @@ void ConcurrentRelation::adaptPlans() {
   // model changed), so it merely keeps an old shape one cycle longer.
   // The first rebinder per signature compiles (one counted miss);
   // everyone else rebinds onto that publication wait-free.
+  // The signatures compiled at this instant are the access paths still
+  // in live use (captured before the clear wipes them) — they decide
+  // which MVCC chain directories survive below.
+  std::vector<PlanCache::Signature> Sigs = Plans.signatures();
   PlanEpoch.fetch_add(1, std::memory_order_seq_cst);
   Plans.clear();
+
+  // Retire secondary chain directories whose read signature left the
+  // cache: a directory serves snapshot reads binding dom(s) ∩ key, so
+  // the keep set is exactly the key projections of the surviving
+  // query/for-update shapes. A directory retired too eagerly (its
+  // signature went cold but comes back) is re-created and backfilled by
+  // the next compile's ensureDirectory — a cold-path cost, never a
+  // correctness issue. The retire itself is epoch-safe against
+  // concurrent snapshot readers (MvccStore::retireStaleDirectories).
+  std::vector<ColumnSet> Keep;
+  const ColumnSet KeyCols = Mvcc->keyColumns();
+  for (const PlanCache::Signature &S : Sigs)
+    if (S.Op == PlanOp::Query || S.Op == PlanOp::QueryForUpdate)
+      Keep.push_back(ColumnSet::fromBits(S.Dom) & KeyCols);
+  Mvcc->retireStaleDirectories([&](ColumnSet Cols) {
+    for (ColumnSet K : Keep)
+      if (K == Cols)
+        return true;
+    return false;
+  });
 }
 
 ValidationResult ConcurrentRelation::verifyConsistency() const {

@@ -26,6 +26,7 @@
 #ifndef CRS_RUNTIME_CONCURRENTRELATION_H
 #define CRS_RUNTIME_CONCURRENTRELATION_H
 
+#include "obs/Metrics.h"
 #include "plan/Planner.h"
 #include "runtime/Interpreter.h"
 #include "runtime/Migration.h"
@@ -36,6 +37,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace crs {
@@ -49,7 +51,24 @@ class WriteAheadLog;
 class MvccStore;
 namespace detail {
 class PreparedOpImpl;
-}
+
+/// One relation's published wiring into an obs::MetricsRegistry:
+/// the registry, the relation's base label set, and cached ring
+/// pointers for the hot event emitters. Created by attachMetrics,
+/// published through an atomic pointer, unpublished + epoch-retired by
+/// detachMetrics — readers on the operation paths load it once per
+/// operation (one acquire load is the whole cost when detached).
+struct RelationObs {
+  obs::MetricsRegistry *Reg = nullptr;
+  std::string Name;        ///< the `relation` label value
+  obs::MetricLabels Labels; ///< base labels ({relation=Name} + extras)
+  obs::TraceRing *RelationRing = nullptr;
+  obs::TraceRing *TxnRing = nullptr;
+  obs::TraceRing *WalRing = nullptr;
+  obs::TraceRing *MigrationRing = nullptr;
+  std::vector<obs::MetricsRegistry::CallbackId> Callbacks;
+};
+} // namespace detail
 
 /// Bundles a specification, decomposition, and placement with shared
 /// ownership so representations can be built, named, and passed around
@@ -151,15 +170,19 @@ public:
   uint64_t restarts() const { return Restarts.load(std::memory_order_relaxed); }
 
   /// Plan-cache compilation count (hot-path health: a warmed relation
-  /// stops missing entirely — hits are deliberately not counted, since
-  /// a per-lookup counter would put a shared write on every operation;
-  /// derive hit rate as 1 − misses/ops from your own op count).
-  /// Prepared handles share this cache: a handle executes with no cache
-  /// lookup at all while its plan is current, and a recompile after
-  /// adaptPlans() counts as a miss exactly once per signature — the
-  /// first rebinder compiles, every other thread and handle on the same
-  /// signature rebinds onto that publication as a hit.
+  /// stops missing entirely). Prepared handles share this cache: a
+  /// handle executes with no cache lookup at all while its plan is
+  /// current, and a recompile after adaptPlans() counts as a miss
+  /// exactly once per signature — the first rebinder compiles, every
+  /// other thread and handle on the same signature rebinds onto that
+  /// publication as a hit.
   uint64_t planCacheMisses() const { return Plans.misses(); }
+
+  /// Exact plan-cache hit count (striped counter inside the cache — a
+  /// per-stripe private line, so counting hits costs no contended
+  /// write). hits() / (hits() + misses()) is the exact hit rate; the
+  /// old derive-it-from-op-counts estimate is obsolete.
+  uint64_t planCacheHits() const { return Plans.hits(); }
 
   /// Quiescent whole-structure check (tests): every root-to-leaf path
   /// yields the same tuple set, FDs hold, instance keys are consistent.
@@ -294,6 +317,39 @@ public:
 
   /// @}
 
+  /// \name Observability (src/obs)
+  /// @{
+
+  /// Registers this relation with \p Reg under the label
+  /// `relation=Name` (plus \p Extra — ShardedRelation adds shard=i):
+  /// callbacks for every counter and gauge the relation already keeps
+  /// (op counts, size, restarts, plan-cache hits/misses, plan epoch,
+  /// MVCC version-store counters, per-cause transaction aborts), plus
+  /// the event-ring wiring for migration, checkpoint, transaction, and
+  /// version-store events, plus sampled prepared-op latency histograms
+  /// keyed per signature. Same contract as attachWal: attach before
+  /// traffic, detach (or destroy the relation) before destroying the
+  /// registry. The hot-path cost while attached is one acquire load
+  /// per operation plus a sampled clock read (MetricsRegistry's
+  /// latency sample period); while detached, the single null-check
+  /// load is the entire cost.
+  void attachMetrics(obs::MetricsRegistry &Reg, std::string Name,
+                     obs::MetricLabels Extra = {});
+  /// Unregisters the callbacks and unpublishes the wiring. The state
+  /// itself is epoch-retired, since concurrent operations may have
+  /// loaded the pointer — but like detachWal, detach on a quiet
+  /// relation: an in-flight sampled op may still touch the registry an
+  /// instant after detach returns.
+  void detachMetrics();
+  /// The published wiring (null when detached). Internal: the
+  /// checkpoint writer and the online tuner use it to reach the rings
+  /// and the registry; treat as read-only.
+  const detail::RelationObs *observability() const {
+    return Obs.load(std::memory_order_acquire);
+  }
+
+  /// @}
+
   /// The relation's MVCC version store (txn/MvccStore.h): committed
   /// per-tuple version chains that transaction scopes read at a
   /// snapshot with zero locks. Identity-keyed, so it survives
@@ -400,6 +456,16 @@ private:
   // Plans are compiled on first use per (op, dom(s), C) signature;
   // lookups are wait-free (sharded immutable-snapshot cache).
   mutable PlanCache Plans;
+
+  /// Observability wiring (see attachMetrics). Null when detached;
+  /// operations load it once (acquire) and skip all recording on null.
+  std::atomic<detail::RelationObs *> Obs{nullptr};
+  /// Per-cause transaction abort counters, indexed by TxnAbortCause
+  /// (txn/Transaction.h — Transaction.cpp static_asserts the arity).
+  /// Striped: wait-die kills under contention would otherwise bounce
+  /// one shared line between every aborting core.
+  static constexpr unsigned NumAbortCauses = 6;
+  mutable StripedCounter AbortCounts[NumAbortCauses];
 
   const Plan *queryPlanFor(ColumnSet DomS, ColumnSet C) const;
   const Plan *removePlanFor(ColumnSet DomS) const;

@@ -115,8 +115,9 @@ public:
 } // namespace crs
 
 // Out of line: the header cannot destroy the (forward-declared) shadow
-// migration state.
-ConcurrentRelation::~ConcurrentRelation() = default;
+// migration state. Detach the observability wiring first — its registry
+// callbacks capture `this` and must not survive the relation.
+ConcurrentRelation::~ConcurrentRelation() { detachMetrics(); }
 
 RelationStatistics ConcurrentRelation::sampleStatistics() const {
   OpGate::Barrier B(Gate); // drain in-flight operations, hold new ones
@@ -181,6 +182,12 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
     Plans.clear();
     Phase.store(MigrationPhase::DualWrite, std::memory_order_release);
   }
+  // Trace the phase transition (outside the barrier: the ring write is
+  // lock-free but there is no reason to hold traffic for it). `Obs`
+  // here is the observer parameter; the wiring comes via the accessor.
+  if (const detail::RelationObs *OS = observability())
+    OS->MigrationRing->emit(obs::EventKind::MigrationDualWrite,
+                            planEpoch(), size());
   // Unwind safety for everything between the flips: a throwing
   // observer callback or an allocation failure in the backfill must
   // not strand the relation in dual-write with an orphaned shadow.
@@ -316,5 +323,12 @@ MigrationResult ConcurrentRelation::migrateTo(RepresentationConfig Target,
   // the new regime is fully published.
   FastReads.store(FastWas, std::memory_order_seq_cst);
   Res.Ok = true;
+  if (const detail::RelationObs *OS = observability()) {
+    OS->MigrationRing->emit(obs::EventKind::MigrationSwap, planEpoch(),
+                            Res.MirroredInserts, Res.MirroredRemoves);
+    OS->MigrationRing->emit(
+        obs::EventKind::MigrationRetired, Res.Backfilled,
+        uint64_t(Res.DualWriteSeconds * 1e6));
+  }
   return Res;
 }

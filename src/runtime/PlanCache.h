@@ -11,10 +11,14 @@
 /// with a plan lookup, so this sits on the hot path of *all* traffic;
 /// a single mutex-protected map serializes every thread on one cache
 /// line (the classic scalability bug of perfbook's lock chapter). Here
-/// lookups are wait-free and *write nothing shared* — not even a hit
-/// counter: each shard publishes an immutable snapshot vector through
-/// one atomic pointer (acquire load, no CAS, no lock, no RMW), so warm
-/// traffic keeps every line in shared state in every core's cache.
+/// lookups are wait-free and write nothing *contended*: each shard
+/// publishes an immutable snapshot vector through one atomic pointer
+/// (acquire load, no CAS, no lock), so warm traffic keeps every line in
+/// shared state in every core's cache. The only write a hit performs is
+/// one relaxed increment of a cache-line-striped hit counter — a
+/// per-stripe private line that never bounces between cores — so the
+/// observability layer can report the exact hit/miss ratio instead of
+/// deriving it from op counts.
 /// Compilation is rare; writers copy the snapshot under a per-shard
 /// mutex, count the miss there, and publish the new version. Superseded
 /// snapshots are *retired through the epoch domain* (sync/Epoch.h): the
@@ -33,11 +37,14 @@
 #define CRS_RUNTIME_PLANCACHE_H
 
 #include "plan/QueryIR.h"
+#include "runtime/Statistics.h"
 #include "sync/Epoch.h"
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,14 +63,15 @@ public:
   ~PlanCache() = default;
 
   /// Wait-free lookup; null if the signature has not been compiled.
-  /// Deliberately writes nothing — no hit counter, and the plan comes
+  /// Writes nothing contended — the hit count goes to a striped counter
+  /// (one relaxed add on a per-stripe private line), and the plan comes
   /// back as a raw pointer rather than a shared_ptr copy, because a
   /// refcount RMW on the plan's control block would be one more shared
   /// cache line bouncing per operation. The pointer is lifetime-safe
   /// only while the caller's epoch guard is held (superseded snapshots
-  /// reclaim after a grace period). Misses are counted where the
-  /// (rare) compilation happens; callers that want a hit rate derive it
-  /// as 1 − misses/lookups from their own op counts.
+  /// reclaim after a grace period). Misses are counted where the (rare)
+  /// compilation happens, so hits() and misses() together give the
+  /// exact ratio.
   const Plan *find(PlanOp Op, uint64_t DomBits, uint64_t OutBits) const {
     const Shard &Sh = shardFor(Op, DomBits, OutBits);
     // seq_cst, matching the guard-entry protocol: a reader whose guard
@@ -72,8 +80,10 @@ public:
     // hold a reclaimable snapshot would not go through formally
     // (acquire only orders against the store it reads from).
     if (const PlanPtr *P = lookupIn(Sh.Snap.load(std::memory_order_seq_cst),
-                                    Op, DomBits, OutBits))
+                                    Op, DomBits, OutBits)) {
+      Hits.inc();
       return P->get();
+    }
     return nullptr;
   }
 
@@ -89,8 +99,10 @@ public:
     std::lock_guard<std::mutex> Guard(Sh.M);
     // Re-check: another thread may have published while we waited.
     const Snapshot *Snap = Sh.Snap.load(std::memory_order_seq_cst);
-    if (const PlanPtr *P = lookupIn(Snap, Op, DomBits, OutBits))
+    if (const PlanPtr *P = lookupIn(Snap, Op, DomBits, OutBits)) {
+      Hits.inc();
       return P->get();
+    }
     Sh.Misses.fetch_add(1, std::memory_order_relaxed);
     PlanPtr P = std::make_shared<const Plan>(Fn());
     auto Next = std::make_unique<Snapshot>();
@@ -127,6 +139,42 @@ public:
     PlanOp Op;
     uint64_t Dom; ///< dom(s) column bits
     uint64_t Out; ///< output column bits (queries)
+
+    /// Stable compact label for per-signature metrics and trace
+    /// payloads, e.g. "query:d1:o6" (dom/out column bits in hex). The
+    /// observability layer keys latency histograms by this, and the
+    /// tuner parses nothing — it matches labels string-equal.
+    std::string metricLabel() const {
+      const char *Name = "?";
+      switch (Op) {
+      case PlanOp::Query:
+        Name = "query";
+        break;
+      case PlanOp::RemoveLocate:
+        Name = "remove_locate";
+        break;
+      case PlanOp::Remove:
+        Name = "remove";
+        break;
+      case PlanOp::Insert:
+        Name = "insert";
+        break;
+      case PlanOp::QueryForUpdate:
+        Name = "query_for_update";
+        break;
+      case PlanOp::UndoInsert:
+        Name = "undo_insert";
+        break;
+      case PlanOp::UndoRemove:
+        Name = "undo_remove";
+        break;
+      }
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%s:d%llx:o%llx", Name,
+                    static_cast<unsigned long long>(Dom),
+                    static_cast<unsigned long long>(Out));
+      return Buf;
+    }
   };
 
   /// The currently published signatures (cold path: takes each shard's
@@ -151,6 +199,11 @@ public:
       N += Sh.Misses.load(std::memory_order_relaxed);
     return N;
   }
+
+  /// Number of lookups served from a published snapshot. Exact (every
+  /// hit counts, including the compile path's re-check), monotonic,
+  /// relaxed like every striped counter.
+  uint64_t hits() const { return Hits.load(); }
 
 private:
   struct SigKey {
@@ -197,6 +250,8 @@ private:
   }
 
   mutable Shard Shards[NumShards];
+  /// Striped so the wait-free hit path touches no shared line.
+  mutable StripedCounter Hits;
 };
 
 } // namespace crs

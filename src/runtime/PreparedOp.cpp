@@ -152,37 +152,78 @@ PreparedOpImpl::runQuery(const Value *Args,
   // layout: after the first execution this writes values only.
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());
+  // Sampled latency: when no registry is attached, the acquire load is
+  // the entire cost; when attached, one thread-local countdown, and a
+  // clock read only on the executions the sample period picks.
+  const detail::RelationObs *OS = Rel->observability();
+  const uint64_t T0 = OS ? OS->Reg->maybeSampleStart() : 0;
   {
     EpochDomain::Guard EG;
     if (Rel->FastReads.load(std::memory_order_seq_cst)) {
       const Plan *P = resolve();
-      if (P->EpochEligible)
-        return Rel->runFastQueryPlan(*P, Input, Visit);
+      if (P->EpochEligible) {
+        uint32_t N = Rel->runFastQueryPlan(*P, Input, Visit);
+        if (CRS_UNLIKELY(T0 != 0))
+          recordLatency(OS, T0);
+        return N;
+      }
     }
   } // exit the guard before possibly blocking on the gate
   OpGate::Scope G(Rel->Gate);
   EpochDomain::Guard EG;
-  return Rel->runQueryPlan(*resolve(), Input, Visit);
+  uint32_t N = Rel->runQueryPlan(*resolve(), Input, Visit);
+  if (CRS_UNLIKELY(T0 != 0))
+    recordLatency(OS, T0);
+  return N;
 }
 
 bool PreparedOpImpl::runInsert(const Value *Args) const {
   assert(Op == PlanOp::Insert && MutRel && "not an insert handle");
+  const detail::RelationObs *OS = Rel->observability();
+  const uint64_t T0 = OS ? OS->Reg->maybeSampleStart() : 0;
   OpGate::Scope G(Rel->Gate);
   EpochDomain::Guard EG;
   const Plan *P = resolve();
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());
-  return MutRel->runInsertPlan(*P, Input);
+  bool Won = MutRel->runInsertPlan(*P, Input);
+  if (CRS_UNLIKELY(T0 != 0))
+    recordLatency(OS, T0);
+  return Won;
 }
 
 unsigned PreparedOpImpl::runRemove(const Value *Args) const {
   assert(Op == PlanOp::Remove && MutRel && "not a remove handle");
+  const detail::RelationObs *OS = Rel->observability();
+  const uint64_t T0 = OS ? OS->Reg->maybeSampleStart() : 0;
   OpGate::Scope G(Rel->Gate);
   EpochDomain::Guard EG;
   const Plan *P = resolve();
   Tuple &Input = ExecContext::current().inputScratch();
   Input.rebind(Slots.data(), Args, Slots.size());
-  return MutRel->runRemovePlan(*P, Input);
+  unsigned N = MutRel->runRemovePlan(*P, Input);
+  if (CRS_UNLIKELY(T0 != 0))
+    recordLatency(OS, T0);
+  return N;
+}
+
+void PreparedOpImpl::recordLatency(const detail::RelationObs *OS,
+                                   uint64_t StartNanos) const {
+  obs::LatencyHistogram *H = LatHist.load(std::memory_order_acquire);
+  if (CRS_UNLIKELY(!H ||
+                   LatHistFor.load(std::memory_order_relaxed) != OS)) {
+    // First sampled execution under this attachment: resolve the
+    // signature's histogram once (registry mutex, deque-stable ref) and
+    // cache it. The tuner matches these by the exact label pair
+    // (relation=..., sig=...), so the label format is API.
+    PlanCache::Signature Sig{Op, DomS.bits(), Out.bits()};
+    obs::MetricLabels L = OS->Labels;
+    L.emplace_back("sig", Sig.metricLabel());
+    H = &OS->Reg->histogram("relation.op_latency", L);
+    LatHist.store(H, std::memory_order_release);
+    LatHistFor.store(OS, std::memory_order_relaxed);
+  }
+  H->record(obs::MetricsRegistry::nowNanos() - StartNanos);
 }
 
 //===----------------------------------------------------------------------===//

@@ -120,6 +120,13 @@ public:
 private:
   const Plan *rebindSlow() const;
   const Plan *rebindForUpdateSlow() const;
+  /// Cold tail of a *sampled* execution (the run paths sample via
+  /// MetricsRegistry::maybeSampleStart — one thread-local countdown per
+  /// call, a clock read only when the period fires): records elapsed
+  /// nanos into the signature's "relation.op_latency" histogram,
+  /// resolving and caching the histogram pointer on first use per
+  /// attachment (the only time this path touches the registry's mutex).
+  void recordLatency(const RelationObs *OS, uint64_t StartNanos) const;
 
   const ConcurrentRelation *Rel;
   ConcurrentRelation *MutRel; ///< non-null for insert/remove handles
@@ -145,6 +152,13 @@ private:
   mutable std::atomic<const Plan *> BoundTxnPlan{nullptr};
   mutable std::atomic<uint64_t> BoundTxnEpoch{UINT64_MAX};
   mutable std::mutex RebindM; ///< serializes the (rare) rebind paths
+  /// The signature's latency histogram, cached so sampled executions
+  /// record with two atomic loads + the record itself. LatHistFor
+  /// remembers which attachment resolved it: a detach/re-attach cycle
+  /// publishes a new RelationObs, and the pointer mismatch forces a
+  /// re-resolve against the new registry/labels.
+  mutable std::atomic<obs::LatencyHistogram *> LatHist{nullptr};
+  mutable std::atomic<const RelationObs *> LatHistFor{nullptr};
 };
 
 } // namespace detail

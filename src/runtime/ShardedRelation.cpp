@@ -100,6 +100,20 @@ uint64_t ShardedRelation::planCacheMisses() const {
   return N;
 }
 
+uint64_t ShardedRelation::planCacheHits() const {
+  uint64_t N = 0;
+  for (const auto &Sh : Shards)
+    N += Sh->planCacheHits();
+  return N;
+}
+
+void ShardedRelation::attachMetrics(obs::MetricsRegistry &Reg,
+                                    const std::string &Name) {
+  for (unsigned I = 0; I < numShards(); ++I)
+    Shards[I]->attachMetrics(Reg, Name,
+                             {{"shard", std::to_string(I)}});
+}
+
 OperationCounts ShardedRelation::operationCounts() const {
   OperationCounts Out;
   for (const auto &Sh : Shards) {

@@ -188,7 +188,19 @@ public:
   /// Aggregate executor health (sums over shards).
   uint64_t restarts() const;
   uint64_t planCacheMisses() const;
+  uint64_t planCacheHits() const;
   OperationCounts operationCounts() const;
+
+  /// Attaches every shard to \p Reg under the relation name \p Name
+  /// with a per-shard `shard=i` label, so the registry's tree reads
+  /// relation{relation="...",shard="0"}... per shard and aggregation
+  /// happens at query time. Same quiescence contract as the per-shard
+  /// ConcurrentRelation::attachMetrics.
+  void attachMetrics(obs::MetricsRegistry &Reg, const std::string &Name);
+  void detachMetrics() {
+    for (auto &S : Shards)
+      S->detachMetrics();
+  }
 
   /// Live statistics aggregated across shards. Each shard quiesces
   /// through its own gate in turn, so the view is per-shard atomic but

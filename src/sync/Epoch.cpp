@@ -7,6 +7,7 @@
 
 #include "sync/Epoch.h"
 
+#include "obs/Metrics.h"
 #include "support/Compiler.h"
 
 #include <thread>
@@ -94,6 +95,7 @@ EpochDomain::~EpochDomain() {
   // shared structure here). Pending retirees are still owed their
   // deleters: with no guards left, every grace period has trivially
   // elapsed.
+  detachMetrics(); // registry callbacks capture `this`
   AliveToken.reset(); // detach surviving thread caches first
   for (Retiree &R : Retired)
     R.Del(R.Obj);
@@ -195,11 +197,14 @@ bool EpochDomain::tryAdvance() {
     }
   if (!GlobalE.compare_exchange_strong(G, G + 1, std::memory_order_seq_cst))
     return false; // another collector advanced first
-  reclaim(G + 1);
+  size_t Freed = reclaim(G + 1);
+  if (obs::TraceRing *Ring = Trace.load(std::memory_order_acquire))
+    Ring->emit(obs::EventKind::EpochAdvance, G + 1, pendingRetires(),
+               Freed);
   return true;
 }
 
-void EpochDomain::reclaim(uint64_t Now) {
+size_t EpochDomain::reclaim(uint64_t Now) {
   // Free retirees whose grace period elapsed: stamped at R, safe once
   // the epoch reached R + 2 (both advances scanned every slot that
   // could have pinned R or earlier). Deleters run outside the mutex.
@@ -219,6 +224,7 @@ void EpochDomain::reclaim(uint64_t Now) {
     R.Del(R.Obj);
   if (!Free.empty())
     Reclaimed.fetch_add(Free.size(), std::memory_order_relaxed);
+  return Free.size();
 }
 
 void EpochDomain::synchronize() {
@@ -238,4 +244,27 @@ void EpochDomain::synchronize() {
 size_t EpochDomain::pendingRetires() const {
   std::lock_guard<std::mutex> G(RetireM);
   return Retired.size();
+}
+
+void EpochDomain::attachMetrics(obs::MetricsRegistry &R) {
+  detachMetrics();
+  MetricsReg = &R;
+  using CK = obs::MetricsRegistry::CallbackKind;
+  MetricsCallbacks.push_back(R.addCallback("epoch.current", {}, CK::Gauge,
+                                           [this] { return epoch(); }));
+  MetricsCallbacks.push_back(
+      R.addCallback("epoch.pending_retires", {}, CK::Gauge,
+                    [this] { return uint64_t(pendingRetires()); }));
+  MetricsCallbacks.push_back(R.addCallback(
+      "epoch.reclaimed", {}, CK::Counter, [this] { return reclaimed(); }));
+  Trace.store(&R.ring(obs::EventDomain::Epoch), std::memory_order_release);
+}
+
+void EpochDomain::detachMetrics() {
+  Trace.store(nullptr, std::memory_order_release);
+  if (MetricsReg) {
+    MetricsReg->removeCallbacks(MetricsCallbacks);
+    MetricsCallbacks.clear();
+    MetricsReg = nullptr;
+  }
 }

@@ -53,6 +53,11 @@
 
 namespace crs {
 
+namespace obs {
+class MetricsRegistry;
+class TraceRing;
+} // namespace obs
+
 /// One reclamation domain: a global epoch, participant slots, and the
 /// pending retire queue. The process-wide runtime shares `global()`;
 /// tests may instantiate private domains.
@@ -117,6 +122,14 @@ public:
     return Reclaimed.load(std::memory_order_relaxed);
   }
 
+  // -- Observability (src/obs) -------------------------------------------
+  /// Registers epoch.current / epoch.pending_retires (gauges) and
+  /// epoch.reclaimed (counter) with \p R, and points EpochAdvance trace
+  /// events at the registry's Epoch-domain ring. Detach (or destroy the
+  /// domain) before destroying the registry.
+  void attachMetrics(obs::MetricsRegistry &R);
+  void detachMetrics();
+
 private:
   static constexpr size_t SlotsPerBlock = 64;
   static constexpr size_t AdvanceBacklog = 64;
@@ -140,7 +153,7 @@ private:
   void enter();
   void exit();
   Slot *acquireSlot();
-  void reclaim(uint64_t Now);
+  size_t reclaim(uint64_t Now); ///< returns objects freed
 
   std::atomic<uint64_t> GlobalE{1};
   SlotBlock Head; ///< first slot block, inline; growth appends blocks
@@ -149,6 +162,14 @@ private:
   mutable std::mutex RetireM;
   std::vector<Retiree> Retired; ///< guarded by RetireM
   std::atomic<uint64_t> Reclaimed{0};
+
+  /// Observability wiring (attachMetrics). Trace is read lock-free on
+  /// the successful-advance path; the callback ids (raw
+  /// MetricsRegistry::CallbackId values, kept as uint64_t so this
+  /// header needs only forward declarations) are attach/detach-only.
+  std::atomic<obs::TraceRing *> Trace{nullptr};
+  obs::MetricsRegistry *MetricsReg = nullptr;
+  std::vector<uint64_t> MetricsCallbacks;
 
   /// Tombstone for thread-local slot caches: a cache entry outliving the
   /// domain (a test-scoped domain destroyed before thread exit) detects

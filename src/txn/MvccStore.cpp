@@ -151,7 +151,11 @@ MvccStore::Chain *MvccStore::findOrCreateChain(Bucket &B, const Tuple &Key) {
   // bucket, its lock/unlock of B.M ordered the registry publish before
   // this load (so we see the directory and link here); if it has not
   // yet, it will find this chain during its walk. Either way the chain
-  // lands in the directory exactly once (linkChainToDir dedups).
+  // lands in the directory exactly once (linkChainToDir dedups). The
+  // guard spans the walk *and* the link insertions: a directory being
+  // retired concurrently stays allocated until we exit, and any link we
+  // add to it is freed by its epoch deleter.
+  EpochDomain::Guard EG;
   for (Directory *D = Dirs.load(std::memory_order_acquire); D;
        D = D->Next.load(std::memory_order_acquire))
     linkChainToDir(*D, C);
@@ -308,10 +312,15 @@ bool MvccStore::ensureDirectory(ColumnSet QueryCols) {
   ColumnSet Cols = QueryCols & KeyCols;
   if (Cols.size() == 0 || Cols == KeyCols)
     return false; // nothing to index / the primary directory serves it
-  for (Directory *D = Dirs.load(std::memory_order_acquire); D;
-       D = D->Next.load(std::memory_order_acquire))
-    if (D->Cols == Cols)
-      return true;
+  {
+    // Optimistic pre-scan, guarded: a concurrent retire may be freeing
+    // entries of this list after the grace period.
+    EpochDomain::Guard EG;
+    for (Directory *D = Dirs.load(std::memory_order_acquire); D;
+         D = D->Next.load(std::memory_order_acquire))
+      if (D->Cols == Cols)
+        return true;
+  }
   Directory *D;
   {
     std::lock_guard<std::mutex> G(DirsM);
@@ -331,21 +340,75 @@ bool MvccStore::ensureDirectory(ColumnSet QueryCols) {
                   std::memory_order_relaxed);
     Dirs.store(D, std::memory_order_release);
   }
+  uint64_t Linked = 0;
   for (std::unique_ptr<Bucket> &B : Buckets) {
     std::lock_guard<std::mutex> G(B->M);
     for (Chain *C = B->Head.load(std::memory_order_relaxed); C;
-         C = C->Next.load(std::memory_order_relaxed))
+         C = C->Next.load(std::memory_order_relaxed)) {
       linkChainToDir(*D, C);
+      ++Linked;
+    }
   }
   D->Ready.store(true, std::memory_order_release);
+  if (obs::TraceRing *R = Trace.load(std::memory_order_acquire))
+    R->emit(obs::EventKind::DirectoryBackfill, Cols.bits(),
+            D->Buckets.size(), Linked);
   return true;
 }
 
 size_t MvccStore::directoryCount() const {
+  EpochDomain::Guard EG;
   size_t N = 0;
   for (Directory *D = Dirs.load(std::memory_order_acquire); D;
        D = D->Next.load(std::memory_order_acquire))
     ++N;
+  return N;
+}
+
+size_t
+MvccStore::retireStaleDirectories(function_ref<bool(ColumnSet)> StillServed) {
+  EpochDomain &ED = EpochDomain::global();
+  size_t N = 0;
+  std::lock_guard<std::mutex> G(DirsM);
+  // Predecessor-pointer removal under DirsM (the only writer of the
+  // registry list, so Next pointers of survivors are stable here).
+  std::atomic<Directory *> *Link = &Dirs;
+  Directory *D = Link->load(std::memory_order_relaxed);
+  while (D) {
+    Directory *Next = D->Next.load(std::memory_order_relaxed);
+    if (!D->Ready.load(std::memory_order_acquire) || StillServed(D->Cols)) {
+      Link = &D->Next;
+      D = Next;
+      continue;
+    }
+    // Unpublish (seq_cst, per the epoch contract), then retire with a
+    // deleter that frees the links too: an installer whose guarded
+    // registry walk began before this store may still add a link to the
+    // retiring directory, and that link dies with the directory.
+    Link->store(Next, std::memory_order_seq_cst);
+    uint64_t Links = 0;
+    for (const std::unique_ptr<DirBucket> &DB : D->Buckets)
+      for (DirLink *L = DB->Head.load(std::memory_order_relaxed); L;
+           L = L->Next.load(std::memory_order_relaxed))
+        ++Links;
+    if (obs::TraceRing *R = Trace.load(std::memory_order_acquire))
+      R->emit(obs::EventKind::DirectoryRetire, D->Cols.bits(), Links);
+    ED.retire(D, [](void *P) {
+      auto *Dir = static_cast<Directory *>(P);
+      for (std::unique_ptr<DirBucket> &DB : Dir->Buckets) {
+        DirLink *L = DB->Head.load(std::memory_order_relaxed);
+        while (L) {
+          DirLink *LN = L->Next.load(std::memory_order_relaxed);
+          delete L;
+          L = LN;
+        }
+      }
+      delete Dir;
+    });
+    DirsRetired.fetch_add(1, std::memory_order_relaxed);
+    ++N;
+    D = Next;
+  }
   return N;
 }
 
@@ -394,6 +457,9 @@ size_t MvccStore::pruneChainLocked(Bucket &B, Chain *C, uint64_t Watermark) {
         // here (still under B.M) observes every directory any earlier
         // linker under this mutex saw — read-read coherence through
         // the mutex ordering — so no stale link can outlive the chain.
+        // Guarded: a directory retired concurrently must stay allocated
+        // across this walk (its deleter then frees any link we leave).
+        EpochDomain::Guard EG;
         for (Directory *Dir = Dirs.load(std::memory_order_acquire); Dir;
              Dir = Dir->Next.load(std::memory_order_acquire)) {
           DirBucket &DB = Dir->bucketFor(C->Key.project(Dir->Cols));

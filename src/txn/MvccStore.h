@@ -65,15 +65,25 @@
 /// ignore it until the backfill completes (Ready), while installers
 /// observe it through the bucket-mutex ordering, so no chain created
 /// during the backfill is missed and duplicates are impossible (links
-/// dedup under the directory bucket mutex). Directories are never
-/// removed and survive migrateTo untouched — the store is
-/// decomposition-independent by design.
+/// dedup under the directory bucket mutex). Directories survive
+/// migrateTo untouched — the store is decomposition-independent by
+/// design — but are *not* immortal: when a query signature leaves the
+/// plan cache (adaptPlans recompiles against a changed workload and the
+/// signature is not re-requested), retireStaleDirectories() unpublishes
+/// the unused directory from the registry and hands it to the epoch
+/// domain, whose deleter frees the directory and its links after the
+/// grace period. Every walk of the directory registry therefore pins an
+/// epoch guard — including the installers' walks under bucket mutexes —
+/// so a straggler that loaded the registry just before an unpublish
+/// holds off reclamation, and a link it adds to a retiring directory is
+/// simply freed by the deleter.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRS_TXN_MVCCSTORE_H
 #define CRS_TXN_MVCCSTORE_H
 
+#include "obs/EventRing.h"
 #include "rel/RelationSpec.h"
 #include "rel/Tuple.h"
 #include "support/FunctionRef.h"
@@ -170,8 +180,32 @@ public:
   /// epoch guard to keep reclamation prompt.
   bool ensureDirectory(ColumnSet QueryCols);
 
-  /// Number of secondary directories created (tests).
+  /// Number of secondary directories currently registered (tests).
   size_t directoryCount() const;
+
+  /// Retires every *ready* directory whose column set \p StillServed
+  /// rejects: unpublishes it from the registry (new installers and
+  /// readers no longer see it) and hands it — links included — to the
+  /// epoch domain, which frees it after the grace period. Directories
+  /// still backfilling are skipped (the backfiller holds a raw pointer;
+  /// they are fresh by definition and a candidate next time). Called by
+  /// ConcurrentRelation::adaptPlans with the set of query signatures
+  /// that survived the replan. Returns directories retired. Thread-safe
+  /// against installs, reads, pruning, and ensureDirectory.
+  size_t retireStaleDirectories(function_ref<bool(ColumnSet)> StillServed);
+
+  /// Cumulative directories retired (observability:
+  /// relation.mvcc.directories_retired).
+  uint64_t directoriesRetired() const {
+    return DirsRetired.load(std::memory_order_relaxed);
+  }
+
+  /// Points directory lifecycle events (DirectoryBackfill /
+  /// DirectoryRetire) at \p Ring (the registry's Relation-domain ring);
+  /// null detaches. Attach/detach on a quiet store, like attachWal.
+  void attachTrace(obs::TraceRing *Ring) {
+    Trace.store(Ring, std::memory_order_release);
+  }
 
   /// Explicit vacuum: unlinks and retires every version invisible at
   /// \p Watermark (0 < End ≤ Watermark) and every emptied chain.
@@ -231,11 +265,16 @@ private:
   std::atomic<uint64_t> Installed{0};
   std::atomic<uint64_t> Retired{0};
   std::atomic<uint64_t> RemoveNoops{0};
-  /// Secondary directory registry: a grow-only lock-free list (new
-  /// directories push at head under DirsM; readers/installers load
-  /// acquire). Never shrinks — see the file comment.
+  std::atomic<uint64_t> DirsRetired{0};
+  /// Optional event sink (see attachTrace). Loaded relaxed on the cold
+  /// paths that emit; null means no tracing.
+  std::atomic<obs::TraceRing *> Trace{nullptr};
+  /// Secondary directory registry: a lock-free list (directories push
+  /// at head under DirsM; readers/installers load acquire *inside an
+  /// epoch guard*). Shrinks only via retireStaleDirectories, which
+  /// unlinks under DirsM and epoch-retires — see the file comment.
   std::atomic<Directory *> Dirs{nullptr};
-  std::mutex DirsM; ///< serializes directory creation + backfill
+  std::mutex DirsM; ///< serializes directory creation/backfill/retire
 };
 
 } // namespace crs

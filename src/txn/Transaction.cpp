@@ -531,10 +531,19 @@ void Transaction::abort() {
 
 void Transaction::abortWith(TxnAbortCause C) {
   assert(St == TxnState::Open && "aborting a finished scope");
+  static_assert(unsigned(TxnAbortCause::User) + 1 ==
+                    ConcurrentRelation::NumAbortCauses,
+                "relation per-cause abort counters must cover the enum");
   rollbackUndo();
   releaseScope();
   St = TxnState::Aborted;
   Cause = C;
+  // Per-cause striped counter (always on — an abort is never hot
+  // enough to sample) plus a trace event when a registry is attached.
+  Rel->AbortCounts[unsigned(C)].inc();
+  if (const detail::RelationObs *OS = Rel->observability())
+    OS->TxnRing->emit(obs::EventKind::TxnAbort, uint64_t(C), BirthStamp,
+                      Ops);
 }
 
 void Transaction::rollbackUndo() {
@@ -725,6 +734,7 @@ bool ShardedTransaction::query(const ShardedQuery &Q,
   // log, so the scope reads its own effects.
   static const std::vector<Transaction::UndoRecord> NoWrites;
   uint32_t Total = 0;
+  LastReadStats.clear();
   auto ReadShard = [&](unsigned Shard) {
     ConcurrentRelation &R = Rel->shard(Shard);
     const PreparedOpImpl &Impl = SI.shardImpl(Shard);
@@ -736,7 +746,10 @@ bool ShardedTransaction::query(const ShardedQuery &Q,
     R.NumQueries.inc();
     const std::vector<Transaction::UndoRecord> &Writes =
         Subs[Shard] ? Subs[Shard]->Undo : NoWrites;
-    Total += Transaction::snapshotReadOver(R, Writes, Input, Snap, Visit);
+    SnapshotQueryStats Stats;
+    Total += Transaction::snapshotReadOver(R, Writes, Input, Snap, Visit,
+                                           &Stats);
+    LastReadStats.emplace_back(Shard, Stats);
   };
   if (SI.singleShard())
     ReadShard(SI.shardOfArgs(Args.begin()));

@@ -121,6 +121,7 @@
 
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace crs {
@@ -344,6 +345,18 @@ public:
   /// Shards this scope holds locks (and the gate) on so far.
   unsigned shardsTouched() const;
 
+  /// Access-path attribution of the scope's most recent query(), one
+  /// (shard index, stats) entry per shard the read actually walked, in
+  /// ascending shard order: a routed single-shard read reports one
+  /// entry, a fan-out one per shard. The sharded analogue of
+  /// Transaction::lastSnapshotReadStats() — per-shard because each
+  /// shard's version store serves (or full-scans) independently.
+  /// Empty until the first query().
+  const std::vector<std::pair<unsigned, SnapshotQueryStats>> &
+  lastSnapshotReadStats() const {
+    return LastReadStats;
+  }
+
   /// The sharded operations mirror Transaction's, with routing: a
   /// signature covering the routing columns touches one shard; an
   /// under-bound query or remove fans out across every shard in
@@ -389,6 +402,8 @@ private:
   uint64_t Seq = 0;
   uint64_t BirthStamp = 0; ///< shared by every inner scope
   uint64_t Snap = 0;       ///< one snapshot for every shard
+  /// Most recent query()'s per-shard access paths (see accessor).
+  std::vector<std::pair<unsigned, SnapshotQueryStats>> LastReadStats;
   unsigned SnapSlot = 0;   ///< watermark registry slot (always owned)
   unsigned Patience;
   int MaxShard = -1; ///< highest shard joined so far (order discipline)

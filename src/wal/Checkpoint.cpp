@@ -123,6 +123,12 @@ bool crs::writeCheckpoint(ConcurrentRelation &R, const std::string &Dir,
     return false;
   }
 
+  // Trace via the relation's observability wiring when attached: begin
+  // before the gate-draining snapshot, end after the durable rename.
+  const detail::RelationObs *OS = R.observability();
+  if (OS)
+    OS->WalRing->emit(obs::EventKind::CheckpointBegin, Shard);
+
   uint64_t Watermark = 0;
   std::vector<Tuple> Snapshot = R.checkpointSnapshot(Watermark);
   // Watermark 0 means "nothing ever committed anywhere" — the clock is
@@ -165,6 +171,9 @@ bool crs::writeCheckpoint(ConcurrentRelation &R, const std::string &Dir,
   // so reclaim them (ROADMAP 2a — the log no longer grows unboundedly).
   if (WriteAheadLog *W = R.walLog())
     W->pruneSegments(R.walPartition(), Watermark);
+  if (OS)
+    OS->WalRing->emit(obs::EventKind::CheckpointEnd, Shard, Watermark,
+                      Snapshot.size());
   if (WatermarkOut)
     *WatermarkOut = Watermark;
   return true;

@@ -437,6 +437,7 @@ std::unique_ptr<WriteAheadLog> WriteAheadLog::open(const Options &O,
 }
 
 WriteAheadLog::~WriteAheadLog() {
+  detachMetrics(); // the registry callbacks capture `this`
   {
     std::lock_guard<std::mutex> G(FlushM);
     Stop = true;
@@ -609,7 +610,10 @@ void WriteAheadLog::flusherLoop() {
 
 uint64_t WriteAheadLog::flushRound() {
   std::lock_guard<std::mutex> RG(RoundM);
+  obs::TraceRing *Ring = Trace.load(std::memory_order_acquire);
+  const uint64_t T0 = Ring ? obs::MetricsRegistry::nowNanos() : 0;
   uint64_t Moved = 0;
+  unsigned PartsWithData = 0;
   for (unsigned I = 0; I < Parts.size(); ++I) {
     Partition &P = *Parts[I];
     std::vector<uint8_t> Local;
@@ -633,6 +637,7 @@ uint64_t WriteAheadLog::flushRound() {
       continue;
     }
     Moved += Local.size();
+    ++PartsWithData;
     P.SegBytes += Local.size();
     P.SegMaxSeq = std::max(P.SegMaxSeq, BatchMaxSeq);
     P.Durable.store(Target, std::memory_order_release);
@@ -653,6 +658,10 @@ uint64_t WriteAheadLog::flushRound() {
   }
   if (Moved) {
     Rounds.fetch_add(1, std::memory_order_relaxed);
+    if (Ring)
+      Ring->emit(obs::EventKind::WalFlushRound, Moved,
+                 (obs::MetricsRegistry::nowNanos() - T0) / 1000,
+                 PartsWithData);
     std::lock_guard<std::mutex> G(FlushM);
     CvDurable.notify_all();
   }
@@ -673,9 +682,37 @@ void WriteAheadLog::rotateSegmentLocked(Partition &P, unsigned Index) {
   P.SealedMaxSeq[P.Seg] = P.SegMaxSeq;
   ::close(P.Fd);
   P.Fd = Fd;
+  Rotations.fetch_add(1, std::memory_order_relaxed);
+  if (obs::TraceRing *Ring = Trace.load(std::memory_order_acquire))
+    Ring->emit(obs::EventKind::WalSegmentRotate, Index, P.Seg, P.SegMaxSeq);
   ++P.Seg;
   P.SegBytes = 0;
   P.SegMaxSeq = 0;
+}
+
+void WriteAheadLog::attachMetrics(obs::MetricsRegistry &R,
+                                  obs::MetricLabels Labels) {
+  detachMetrics();
+  MetricsReg = &R;
+  using CK = obs::MetricsRegistry::CallbackKind;
+  auto Add = [&](const char *N, std::function<uint64_t()> Fn) {
+    MetricsCallbacks.push_back(
+        R.addCallback(N, Labels, CK::Counter, std::move(Fn)));
+  };
+  Add("wal.records_appended", [this] { return recordsAppended(); });
+  Add("wal.bytes_appended", [this] { return bytesAppended(); });
+  Add("wal.flush_rounds", [this] { return syncRounds(); });
+  Add("wal.segment_rotations", [this] { return segmentRotations(); });
+  Trace.store(&R.ring(obs::EventDomain::Wal), std::memory_order_release);
+}
+
+void WriteAheadLog::detachMetrics() {
+  Trace.store(nullptr, std::memory_order_release);
+  if (MetricsReg) {
+    MetricsReg->removeCallbacks(MetricsCallbacks);
+    MetricsCallbacks.clear();
+    MetricsReg = nullptr;
+  }
 }
 
 unsigned WriteAheadLog::pruneSegments(uint32_t Partition,

@@ -52,6 +52,7 @@
 #ifndef CRS_WAL_WAL_H
 #define CRS_WAL_WAL_H
 
+#include "obs/Metrics.h"
 #include "rel/Tuple.h"
 #include "support/FunctionRef.h"
 
@@ -251,6 +252,23 @@ public:
   uint64_t syncRounds() const {
     return Rounds.load(std::memory_order_relaxed);
   }
+  /// Active-segment seals (rotations to a fresh segment file).
+  uint64_t segmentRotations() const {
+    return Rotations.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// \name Observability (src/obs)
+  /// Registers the log's counters with \p R under \p Labels
+  /// (wal.records_appended / bytes_appended / flush_rounds /
+  /// segment_rotations) and points WalFlushRound / WalSegmentRotate
+  /// trace events at the registry's Wal-domain ring. Same lifetime
+  /// contract as attachChannel: attach before traffic; the destructor
+  /// detaches, so destroy the registry after the log (or call
+  /// detachMetrics() first).
+  /// @{
+  void attachMetrics(obs::MetricsRegistry &R, obs::MetricLabels Labels = {});
+  void detachMetrics();
   /// @}
 
 private:
@@ -320,6 +338,14 @@ private:
   std::atomic<uint64_t> Records{0};
   std::atomic<uint64_t> Bytes{0};
   std::atomic<uint64_t> Rounds{0};
+  std::atomic<uint64_t> Rotations{0};
+
+  /// Observability wiring (attachMetrics). Trace is read by the flusher
+  /// round lock-free; the callback bookkeeping is touched only from
+  /// attach/detach (caller-serialized, like open/destroy).
+  std::atomic<obs::TraceRing *> Trace{nullptr};
+  obs::MetricsRegistry *MetricsReg = nullptr;
+  std::vector<obs::MetricsRegistry::CallbackId> MetricsCallbacks;
 };
 
 /// \name On-disk record format (shared with checkpoint/recovery)

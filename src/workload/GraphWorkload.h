@@ -79,9 +79,12 @@ public:
   /// the calling thread's buffer here).
   virtual void threadFinish() {}
   /// Executor-health metrics (zero for targets without them): total
-  /// transaction restarts, and plan-cache compilations (misses).
+  /// transaction restarts, and plan-cache lookups that compiled
+  /// (misses) or were served from the cache (hits) — the same counters
+  /// the metrics registry exports as relation.plan_cache.hits/misses.
   virtual uint64_t restarts() const { return 0; }
   virtual uint64_t planCacheMisses() const { return 0; }
+  virtual uint64_t planCacheHits() const { return 0; }
 };
 
 /// GraphTarget over a synthesized ConcurrentRelation (spec of
@@ -98,6 +101,7 @@ public:
   uint64_t planCacheMisses() const override {
     return Rel->planCacheMisses();
   }
+  uint64_t planCacheHits() const override { return Rel->planCacheHits(); }
 
 private:
   ConcurrentRelation *Rel;
@@ -197,6 +201,7 @@ public:
   uint64_t planCacheMisses() const override {
     return Rel->planCacheMisses();
   }
+  uint64_t planCacheHits() const override { return Rel->planCacheHits(); }
 
 protected:
   /// Position of \p C in a handle's bind-slot layout.

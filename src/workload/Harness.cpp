@@ -60,13 +60,24 @@ ThroughputResult crs::runThroughput(
         Ops ? static_cast<double>(Target->restarts()) /
                   static_cast<double>(Ops)
             : 0.0;
-    // Each operation performs exactly one plan lookup; hits are not
-    // counted on the wait-free path, so the rate is derived.
-    uint64_t Misses = Target->planCacheMisses();
-    Result.PlanCacheHitRate =
-        Ops ? 1.0 - std::min<double>(1.0, static_cast<double>(Misses) /
-                                              static_cast<double>(Ops))
-            : 0.0;
+    // Exact plan-cache counters (the same striped counters the metrics
+    // registry exports as relation.plan_cache.hits/misses). Prepared
+    // handles bypass the cache per execution, so a target may report
+    // fewer lookups than ops; the hit rate is exact over the lookups
+    // that happened, falling back to the ops-derived estimate for
+    // targets that only count misses.
+    Result.PlanCacheHits = Target->planCacheHits();
+    Result.PlanCacheMisses = Target->planCacheMisses();
+    uint64_t Lookups = Result.PlanCacheHits + Result.PlanCacheMisses;
+    if (Result.PlanCacheHits > 0)
+      Result.PlanCacheHitRate = static_cast<double>(Result.PlanCacheHits) /
+                                static_cast<double>(Lookups);
+    else
+      Result.PlanCacheHitRate =
+          Ops ? 1.0 - std::min<double>(
+                          1.0, static_cast<double>(Result.PlanCacheMisses) /
+                                   static_cast<double>(Ops))
+              : 0.0;
   }
 
   OnlineStats Stats;

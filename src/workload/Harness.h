@@ -44,6 +44,11 @@ struct ThroughputResult {
   /// every signature is warm).
   double RestartsPerOp = 0;
   double PlanCacheHitRate = 0;
+  /// Exact plan-cache counters over the last run (the values the
+  /// metrics registry exports as relation.plan_cache.hits/misses);
+  /// zero for targets that do not track them.
+  uint64_t PlanCacheHits = 0;
+  uint64_t PlanCacheMisses = 0;
 };
 
 /// Runs the §6.2 benchmark loop: builds a fresh target per repeat via

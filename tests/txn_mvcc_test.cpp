@@ -219,6 +219,78 @@ TEST(Mvcc, ReadSkewPreventedAcrossShards) {
   EXPECT_TRUE(After.commit());
 }
 
+TEST(Mvcc, ShardedSnapshotReadAttributesAccessPathPerShard) {
+  // The sharded scope's query() walks each touched shard's version
+  // store independently, so its access-path report is per shard: one
+  // (shard, stats) entry per store the read actually visited.
+  constexpr unsigned NumShards = 3;
+  constexpr int64_t NumSrcs = 30;
+  ShardedRelation SR(splitStriped(), NumShards);
+  const RelationSpec &Spec = SR.spec();
+  for (int64_t S = 0; S < NumSrcs; ++S)
+    for (int64_t D = 0; D < 2; ++D)
+      ASSERT_TRUE(SR.insert(key(Spec, S, D), weight(Spec, S)));
+  ShardedQuery Succ =
+      SR.prepareQuery(Spec.cols({"src"}), Spec.cols({"dst", "weight"}));
+  ShardedQuery Pred =
+      SR.prepareQuery(Spec.cols({"dst"}), Spec.cols({"src", "weight"}));
+
+  // A routed read (dom covers the routing key) touches exactly one
+  // shard and reports exactly one entry — the routed shard's.
+  {
+    ShardedTransaction T(SR);
+    uint32_t N = 0;
+    ASSERT_TRUE(T.query(Succ, {Value::ofInt(7)}, nullptr, &N));
+    EXPECT_EQ(N, 2u);
+    const auto &Stats = T.lastSnapshotReadStats();
+    ASSERT_EQ(Stats.size(), 1u);
+    EXPECT_EQ(Stats[0].first, SR.shardOf(key(Spec, 7, 0)));
+    ASSERT_TRUE(T.commit());
+  }
+
+  // A fan-out read reports every shard, ascending; the first non-key
+  // read pays each shard's documented full scan (leaving a {dst}
+  // directory behind per shard)...
+  {
+    ShardedTransaction T(SR);
+    uint32_t N = 0;
+    ASSERT_TRUE(T.query(Pred, {Value::ofInt(1)}, nullptr, &N));
+    EXPECT_EQ(N, static_cast<uint32_t>(NumSrcs));
+    const auto &Stats = T.lastSnapshotReadStats();
+    ASSERT_EQ(Stats.size(), NumShards);
+    for (unsigned I = 0; I < NumShards; ++I) {
+      EXPECT_EQ(Stats[I].first, I); // ascending shard order
+      EXPECT_TRUE(Stats[I].second.FullScan) << "shard " << I;
+      EXPECT_FALSE(Stats[I].second.DirectoryServed) << "shard " << I;
+    }
+    ASSERT_TRUE(T.commit());
+  }
+
+  // ...and from then on every shard serves through its own directory,
+  // each visiting only its matching chains: the per-shard chain counts
+  // sum to the match count, attributing the work shard by shard.
+  {
+    ShardedTransaction T(SR);
+    uint32_t N = 0;
+    ASSERT_TRUE(T.query(Pred, {Value::ofInt(1)}, nullptr, &N));
+    EXPECT_EQ(N, static_cast<uint32_t>(NumSrcs));
+    const auto &Stats = T.lastSnapshotReadStats();
+    ASSERT_EQ(Stats.size(), NumShards);
+    uint32_t Chains = 0;
+    for (unsigned I = 0; I < NumShards; ++I) {
+      EXPECT_TRUE(Stats[I].second.DirectoryServed) << "shard " << I;
+      EXPECT_FALSE(Stats[I].second.FullScan) << "shard " << I;
+      Chains += Stats[I].second.ChainsVisited;
+    }
+    EXPECT_EQ(Chains, static_cast<uint32_t>(NumSrcs));
+    // The report is per query: a subsequent routed read replaces the
+    // fan-out's three entries with the one shard it touched.
+    ASSERT_TRUE(T.query(Succ, {Value::ofInt(3)}, nullptr, &N));
+    EXPECT_EQ(T.lastSnapshotReadStats().size(), 1u);
+    ASSERT_TRUE(T.commit());
+  }
+}
+
 TEST(Mvcc, LostUpdatePermittedByQueryPreventedByQueryForUpdate) {
   RepresentationConfig C = splitStriped();
   ConcurrentRelation R(C);

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Pretty-print, validate, or diff crs-metrics/1 dumps.
+
+The C++ exporter (src/obs/Exporter.h) writes one JSON document per
+registry snapshot. This tool renders such a dump for humans, checks it
+against the schema (used by the tier-1 obs test and the CI stress
+lane), and diffs two dumps counter-by-counter:
+
+    metrics_summary.py dump.json                 # pretty-print
+    metrics_summary.py --validate dump.json      # schema check only
+    metrics_summary.py --diff old.json new.json  # counter deltas
+
+Exit status: 0 on success, 1 on schema violation or I/O error. No
+third-party dependencies (stdlib json only).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "crs-metrics/1"
+
+EVENT_DOMAINS = {"relation", "txn", "wal", "epoch", "migration", "tuner"}
+
+
+def fail(msg):
+    print("metrics_summary: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail("%s: %s" % (path, e))
+
+
+def check(cond, msg):
+    if not cond:
+        fail("schema violation: " + msg)
+
+
+def is_labels(obj):
+    return isinstance(obj, dict) and all(
+        isinstance(k, str) and isinstance(v, str) for k, v in obj.items()
+    )
+
+
+def validate(doc):
+    """Asserts `doc` is a well-formed crs-metrics/1 document."""
+    check(isinstance(doc, dict), "top level must be an object")
+    check(doc.get("schema") == SCHEMA,
+          "schema must be %r, got %r" % (SCHEMA, doc.get("schema")))
+    check(isinstance(doc.get("captured_unix_micros"), int),
+          "captured_unix_micros must be an integer")
+    for section in ("counters", "gauges", "histograms", "events"):
+        check(isinstance(doc.get(section), list),
+              "%s must be a list" % section)
+    for kind in ("counters", "gauges"):
+        for m in doc[kind]:
+            check(isinstance(m.get("name"), str), "%s entry needs name" % kind)
+            check(is_labels(m.get("labels")),
+                  "%s %s: labels must map str->str" % (kind, m.get("name")))
+            check(isinstance(m.get("value"), int),
+                  "%s %s: value must be an integer" % (kind, m.get("name")))
+    for h in doc["histograms"]:
+        check(isinstance(h.get("name"), str), "histogram entry needs name")
+        check(is_labels(h.get("labels")),
+              "histogram %s: labels must map str->str" % h.get("name"))
+        for field in ("count", "sum_nanos", "max_nanos", "p50_nanos",
+                      "p95_nanos", "p99_nanos"):
+            check(isinstance(h.get(field), int),
+                  "histogram %s: %s must be an integer" % (h["name"], field))
+        check(isinstance(h.get("buckets"), list),
+              "histogram %s: buckets must be a list" % h["name"])
+        total = 0
+        prev_le = -1
+        for b in h["buckets"]:
+            check(isinstance(b.get("le_nanos"), int)
+                  and isinstance(b.get("count"), int),
+                  "histogram %s: bucket needs integer le_nanos/count"
+                  % h["name"])
+            check(b["le_nanos"] > prev_le,
+                  "histogram %s: buckets must be sorted by le_nanos"
+                  % h["name"])
+            prev_le = b["le_nanos"]
+            total += b["count"]
+        check(total == h["count"],
+              "histogram %s: bucket counts (%d) != count (%d)"
+              % (h["name"], total, h["count"]))
+    for e in doc["events"]:
+        check(isinstance(e.get("domain"), str)
+              and e["domain"] in EVENT_DOMAINS,
+              "event domain %r not one of %s"
+              % (e.get("domain"), sorted(EVENT_DOMAINS)))
+        check(isinstance(e.get("kind"), str), "event needs a kind name")
+        for field in ("seq", "unix_micros", "a", "b", "c"):
+            check(isinstance(e.get(field), int),
+                  "event %s: %s must be an integer" % (e["kind"], field))
+
+
+def fmt_labels(labels):
+    if not labels:
+        return ""
+    return "{" + ",".join("%s=%s" % kv for kv in sorted(labels.items())) + "}"
+
+
+def fmt_nanos(n):
+    if n >= 1_000_000_000:
+        return "%.2fs" % (n / 1e9)
+    if n >= 1_000_000:
+        return "%.2fms" % (n / 1e6)
+    if n >= 1_000:
+        return "%.1fus" % (n / 1e3)
+    return "%dns" % n
+
+
+def summarize(doc):
+    print("schema %s, captured at unix_micros=%d"
+          % (doc["schema"], doc["captured_unix_micros"]))
+    if doc["counters"]:
+        print("\ncounters:")
+        for m in sorted(doc["counters"],
+                        key=lambda m: (m["name"], sorted(m["labels"].items()))):
+            print("  %-44s %12d" % (m["name"] + fmt_labels(m["labels"]),
+                                    m["value"]))
+    if doc["gauges"]:
+        print("\ngauges:")
+        for m in sorted(doc["gauges"],
+                        key=lambda m: (m["name"], sorted(m["labels"].items()))):
+            print("  %-44s %12d" % (m["name"] + fmt_labels(m["labels"]),
+                                    m["value"]))
+    if doc["histograms"]:
+        print("\nhistograms (count / p50 / p95 / p99 / max):")
+        for h in sorted(doc["histograms"],
+                        key=lambda h: (h["name"], sorted(h["labels"].items()))):
+            print("  %-44s %8d  %s / %s / %s / %s"
+                  % (h["name"] + fmt_labels(h["labels"]), h["count"],
+                     fmt_nanos(h["p50_nanos"]), fmt_nanos(h["p95_nanos"]),
+                     fmt_nanos(h["p99_nanos"]), fmt_nanos(h["max_nanos"])))
+    if doc["events"]:
+        by_domain = {}
+        for e in doc["events"]:
+            by_domain.setdefault(e["domain"], []).append(e)
+        print("\nevents:")
+        for domain in sorted(by_domain):
+            evs = sorted(by_domain[domain], key=lambda e: e["seq"])
+            print("  [%s] %d event(s):" % (domain, len(evs)))
+            for e in evs[-20:]:
+                print("    #%-6d %-20s a=%d b=%d c=%d"
+                      % (e["seq"], e["kind"], e["a"], e["b"], e["c"]))
+
+
+def metric_key(m):
+    return (m["name"], tuple(sorted(m["labels"].items())))
+
+
+def diff(old, new):
+    """Counter/gauge deltas and histogram count/quantile movement."""
+    for kind, fmt in (("counters", "%+d"), ("gauges", "%+d")):
+        olds = {metric_key(m): m["value"] for m in old[kind]}
+        news = {metric_key(m): m["value"] for m in new[kind]}
+        lines = []
+        for key in sorted(set(olds) | set(news)):
+            a, b = olds.get(key, 0), news.get(key, 0)
+            if a != b:
+                lines.append("  %-44s %12d -> %-12d (%s)"
+                             % (key[0] + fmt_labels(dict(key[1])), a, b,
+                                fmt % (b - a)))
+        if lines:
+            print("%s:" % kind)
+            print("\n".join(lines))
+    oldh = {metric_key(h): h for h in old["histograms"]}
+    newh = {metric_key(h): h for h in new["histograms"]}
+    lines = []
+    for key in sorted(set(oldh) | set(newh)):
+        a = oldh.get(key)
+        b = newh.get(key)
+        ac = a["count"] if a else 0
+        bc = b["count"] if b else 0
+        if ac == bc:
+            continue
+        bp99 = b["p99_nanos"] if b else 0
+        lines.append("  %-44s count %d -> %d, p99 %s"
+                     % (key[0] + fmt_labels(dict(key[1])), ac, bc,
+                        fmt_nanos(bp99)))
+    if lines:
+        print("histograms:")
+        print("\n".join(lines))
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("files", nargs="+", help="crs-metrics/1 JSON dump(s)")
+    p.add_argument("--validate", action="store_true",
+                   help="schema-check only; print OK and exit")
+    p.add_argument("--diff", action="store_true",
+                   help="diff two dumps (old new)")
+    args = p.parse_args()
+
+    docs = [load(f) for f in args.files]
+    for doc in docs:
+        validate(doc)
+    if args.validate:
+        print("OK: %d valid %s document(s)" % (len(docs), SCHEMA))
+        return
+    if args.diff:
+        if len(docs) != 2:
+            fail("--diff needs exactly two files (old new)")
+        diff(docs[0], docs[1])
+        return
+    for i, doc in enumerate(docs):
+        if i:
+            print()
+        summarize(doc)
+
+
+if __name__ == "__main__":
+    main()
